@@ -1,0 +1,82 @@
+(* The benchmark binary regenerates every table and figure of the
+   paper's evaluation (the E1–E8 index in DESIGN.md §4), printing the
+   same series the paper reports, and then runs one Bechamel
+   micro-benchmark per experiment measuring the wall-clock cost of the
+   corresponding simulation harness. *)
+
+module Runner = Udma_workloads.Runner
+
+open Bechamel
+open Toolkit
+
+(* Small parameterisations so each Bechamel sample is a fraction of a
+   second; the printed paper series above use the full parameters. *)
+let bech_tests =
+  [
+    Test.make ~name:"e1_figure8_point"
+      (Staged.stage (fun () ->
+           ignore (Runner.figure8 ~sizes:[ 512; 4096 ] ~messages:4 ())));
+    Test.make ~name:"e2_initiation"
+      (Staged.stage (fun () -> ignore (Runner.initiation_costs ())));
+    Test.make ~name:"e3_hippi"
+      (Staged.stage (fun () ->
+           ignore (Runner.hippi_motivation ~blocks:[ 1024; 65536 ] ())));
+    Test.make ~name:"e4_pio_crossover"
+      (Staged.stage (fun () ->
+           ignore (Runner.pio_crossover ~sizes:[ 64; 1024 ] ~trials:2 ())));
+    Test.make ~name:"e5_queueing"
+      (Staged.stage (fun () ->
+           ignore (Runner.queueing ~total_sizes:[ 16384 ] ~depths:[ 4 ] ())));
+    Test.make ~name:"e6_atomicity"
+      (Staged.stage (fun () ->
+           ignore (Runner.atomicity ~probs_pct:[ 10 ] ~transfers:20 ())));
+    Test.make ~name:"e7_pinning"
+      (Staged.stage (fun () -> ignore (Runner.pinning_vs_i4 ())));
+    Test.make ~name:"e8_proxy_fault"
+      (Staged.stage (fun () -> ignore (Runner.proxy_fault_costs ())));
+    Test.make ~name:"e9_i3_policy"
+      (Staged.stage (fun () ->
+           ignore (Runner.i3_policies ~transfers:8 ~pages:2 ())));
+    Test.make ~name:"e10_updates"
+      (Staged.stage (fun () -> ignore (Runner.update_strategies ())));
+  ]
+
+let run_bechamel () =
+  Printf.printf "\n=== Bechamel micro-benchmarks (host wall-clock per harness run) ===\n";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw =
+    Benchmark.all cfg [ instance ]
+      (Test.make_grouped ~name:"udma" bech_tests)
+  in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (est :: _) -> est
+          | Some [] | None -> nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Printf.printf "%-28s %16s\n" "harness" "ns/run";
+  List.iter
+    (fun (name, ns) -> Printf.printf "%-28s %16.0f\n" name ns)
+    rows
+
+let () =
+  Printf.printf
+    "Reproduction of: Blumrich, Dubnicki, Felten, Li — \"Protected, \
+     User-Level DMA for the SHRIMP Network Interface\" (HPCA 1996)\n";
+  Printf.printf
+    "Every series below corresponds to a table/figure or quantitative \
+     claim of the paper; see DESIGN.md section 4 and EXPERIMENTS.md.\n";
+  Runner.run_all ();
+  run_bechamel ();
+  Printf.printf "\nDone.\n"

@@ -1,0 +1,189 @@
+(* Command-line driver: run any single experiment from the paper's
+   evaluation with parameter overrides, or all of them. *)
+
+module Runner = Udma_workloads.Runner
+open Cmdliner
+
+let sizes_arg ~doc default =
+  Arg.(value & opt (list int) default & info [ "sizes" ] ~docv:"BYTES,..." ~doc)
+
+let figure8_cmd =
+  let messages =
+    Arg.(
+      value & opt int 32
+      & info [ "messages" ] ~docv:"N" ~doc:"Messages per size point.")
+  in
+  let run sizes messages =
+    Runner.print_figure8 (Runner.figure8 ~sizes ~messages ())
+  in
+  Cmd.v
+    (Cmd.info "figure8"
+       ~doc:"E1: deliberate-update bandwidth vs message size (Figure 8).")
+    Term.(
+      const run
+      $ sizes_arg ~doc:"Message sizes to sweep." Udma_workloads.Sizes.figure8
+      $ messages)
+
+let initiation_cmd =
+  let run () = Runner.print_costs (Runner.initiation_costs ()) in
+  Cmd.v
+    (Cmd.info "initiation"
+       ~doc:"E2: UDMA vs traditional transfer-initiation cost (the 2.8us).")
+    Term.(const run $ const ())
+
+let hippi_cmd =
+  let run blocks = Runner.print_hippi (Runner.hippi_motivation ~blocks ()) in
+  Cmd.v
+    (Cmd.info "hippi"
+       ~doc:"E3: kernel DMA bandwidth vs block size on a HIPPI profile.")
+    Term.(
+      const run
+      $ sizes_arg ~doc:"Block sizes to sweep." Udma_workloads.Sizes.hippi_blocks)
+
+let crossover_cmd =
+  let trials =
+    Arg.(value & opt int 8 & info [ "trials" ] ~docv:"N" ~doc:"Trials per size.")
+  in
+  let run sizes trials =
+    Runner.print_crossover (Runner.pio_crossover ~sizes ~trials ())
+  in
+  Cmd.v
+    (Cmd.info "crossover" ~doc:"E4: UDMA vs memory-mapped FIFO latency.")
+    Term.(
+      const run
+      $ sizes_arg ~doc:"Message sizes." Udma_workloads.Sizes.crossover
+      $ trials)
+
+let queueing_cmd =
+  let depths =
+    Arg.(
+      value
+      & opt (list int) [ 2; 4; 8; 16 ]
+      & info [ "depths" ] ~docv:"D,..." ~doc:"Hardware queue depths.")
+  in
+  let run sizes depths =
+    Runner.print_queueing (Runner.queueing ~total_sizes:sizes ~depths ())
+  in
+  Cmd.v
+    (Cmd.info "queueing" ~doc:"E5: basic vs queued UDMA for multi-page transfers.")
+    Term.(
+      const run
+      $ sizes_arg ~doc:"Total transfer sizes." [ 8192; 16384; 32768; 65536 ]
+      $ depths)
+
+let atomicity_cmd =
+  let probs =
+    Arg.(
+      value
+      & opt (list int) [ 0; 5; 10; 20; 30; 50 ]
+      & info [ "probs" ] ~docv:"PCT,..." ~doc:"Preemption probabilities (%).")
+  in
+  let transfers =
+    Arg.(
+      value & opt int 200
+      & info [ "transfers" ] ~docv:"N" ~doc:"Transfers per probability point.")
+  in
+  let run probs transfers =
+    Runner.print_atomicity (Runner.atomicity ~probs_pct:probs ~transfers ())
+  in
+  Cmd.v
+    (Cmd.info "atomicity" ~doc:"E6: I1 retries under forced preemption.")
+    Term.(const run $ probs $ transfers)
+
+let pinning_cmd =
+  let run () = Runner.print_pinning (Runner.pinning_vs_i4 ()) in
+  Cmd.v
+    (Cmd.info "pinning" ~doc:"E7: page pinning vs the I4 remap check.")
+    Term.(const run $ const ())
+
+let proxyfault_cmd =
+  let run () = Runner.print_proxy_faults (Runner.proxy_fault_costs ()) in
+  Cmd.v
+    (Cmd.info "proxyfault" ~doc:"E8: demand proxy-mapping fault costs.")
+    Term.(const run $ const ())
+
+let i3_cmd =
+  let run () = Runner.print_i3 (Runner.i3_policies ()) in
+  Cmd.v
+    (Cmd.info "i3policy" ~doc:"E9: the two I3 content-consistency methods.")
+    Term.(const run $ const ())
+
+let updates_cmd =
+  let run () = Runner.print_updates (Runner.update_strategies ()) in
+  Cmd.v
+    (Cmd.info "updates" ~doc:"E10: deliberate vs automatic update.")
+    Term.(const run $ const ())
+
+let trace_cmd =
+  let run () =
+    (* one traced deliberate-update send on a 2-node system *)
+    let module System = Udma_shrimp.System in
+    let module Messaging = Udma_shrimp.Messaging in
+    let module M = Udma_os.Machine in
+    let module Scheduler = Udma_os.Scheduler in
+    let module Kernel = Udma_os.Kernel in
+    let config =
+      { System.default_config with
+        System.machine = { M.default_config with M.trace_enabled = true } }
+    in
+    let sys = System.create ~config ~nodes:2 () in
+    let snd = System.node sys 0 in
+    let sp = Scheduler.spawn snd.System.machine ~name:"sender" in
+    let rp = Scheduler.spawn (System.node sys 1).System.machine ~name:"receiver" in
+    let ch = Messaging.connect sys ~sender:(0, sp) ~receiver:(1, rp) ~pages:1 () in
+    let buf = Kernel.alloc_buffer snd.System.machine sp ~bytes:4096 in
+    Kernel.write_user snd.System.machine sp ~vaddr:buf (Bytes.make 256 'x');
+    let cpu_s = Kernel.user_cpu snd.System.machine sp in
+    let cpu_r = Kernel.user_cpu (System.node sys 1).System.machine rp in
+    (match Messaging.send ch cpu_s ~src_vaddr:buf ~nbytes:256 () with
+    | Ok seq -> (
+        match Messaging.recv_wait ch cpu_r ~seq () with
+        | Ok _ -> ()
+        | Error msg -> prerr_endline msg)
+    | Error e -> Format.eprintf "%a@." Messaging.pp_send_error e);
+    System.run_until_idle sys;
+    Printf.printf "--- sender-node trace (256 B deliberate-update send) ---\n";
+    List.iter
+      (fun (t, msg) -> Printf.printf "%8d  %s\n" t msg)
+      (Udma_sim.Trace.events snd.System.machine.M.trace);
+    Printf.printf "--- sender-node kernel counters ---\n";
+    List.iter
+      (fun (name, v) -> Printf.printf "%-28s %d\n" name v)
+      (Udma_sim.Stats.counters snd.System.machine.M.stats)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run one traced deliberate-update send and dump the hardware \
+             and kernel event trace.")
+    Term.(const run $ const ())
+
+let all_cmd =
+  let run () = Runner.run_all () in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every experiment (same as bench/main.exe's series).")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "shrimp_sim" ~version:"1.0.0"
+      ~doc:
+        "Experiments from 'Protected, User-Level DMA for the SHRIMP Network \
+         Interface' (HPCA 1996), reproduced in simulation."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            figure8_cmd;
+            initiation_cmd;
+            hippi_cmd;
+            crossover_cmd;
+            queueing_cmd;
+            atomicity_cmd;
+            pinning_cmd;
+            proxyfault_cmd;
+            i3_cmd;
+            updates_cmd;
+            trace_cmd;
+            all_cmd;
+          ]))

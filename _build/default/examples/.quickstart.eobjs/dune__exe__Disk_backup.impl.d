@@ -1,0 +1,1 @@
+examples/disk_backup.ml: Bytes Char Format List Option Printf Udma Udma_devices Udma_mmu Udma_os Udma_sim

@@ -1,0 +1,1 @@
+examples/framebuffer_blit.ml: Bytes Char Format Option Printf Udma Udma_devices Udma_mmu Udma_os Udma_sim

@@ -1,0 +1,1 @@
+examples/framebuffer_blit.mli:

@@ -1,0 +1,1 @@
+examples/message_passing.ml: Array Bytes Char Format Printf Udma_os Udma_shrimp Udma_sim

@@ -1,0 +1,1 @@
+examples/parallel_reduce.ml: Array Bytes Int32 List Printf Udma_os Udma_shrimp Udma_sim

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Format Option Printf Udma Udma_dma Udma_mmu Udma_os Udma_sim

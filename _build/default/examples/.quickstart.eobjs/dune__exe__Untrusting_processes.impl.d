@@ -1,0 +1,1 @@
+examples/untrusting_processes.ml: Bytes Format List Option Printexc Printf Udma Udma_dma Udma_mmu Udma_os Udma_sim

@@ -1,0 +1,1 @@
+examples/untrusting_processes.mli:

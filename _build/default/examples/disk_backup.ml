@@ -1,0 +1,128 @@
+(* Streaming a memory region to disk with user-level DMA.
+
+   The paper stresses that UDMA "can be used with a wide variety of
+   I/O devices including ... data storage devices such as disks and
+   tape drives" (§1), with device-proxy addresses naming blocks (§4).
+   This example backs up a 64 KB region to the disk device twice: once
+   page by page on the basic hardware, once pipelined through the §7
+   queueing hardware with a gather of out-of-order blocks — and
+   verifies the bytes on the platters.
+
+   Run with: dune exec examples/disk_backup.exe *)
+
+module Engine = Udma_sim.Engine
+module Layout = Udma_mmu.Layout
+module Initiator = Udma.Initiator
+module Udma_engine = Udma.Udma_engine
+module Disk = Udma_devices.Disk
+module M = Udma_os.Machine
+module Scheduler = Udma_os.Scheduler
+module Syscall = Udma_os.Syscall
+module Kernel = Udma_os.Kernel
+module Cost_model = Udma_os.Cost_model
+
+let total = 65536
+
+let machine_with_disk ~mode =
+  let config =
+    { M.default_config with M.udma_mode = Some mode; dev_pages = 64 }
+  in
+  let m = M.create ~config () in
+  let udma = Option.get m.M.udma in
+  let disk = Disk.create () in
+  let pages = min 64 (Disk.pages disk ~page_size:(Layout.page_size m.M.layout)) in
+  Udma_engine.attach_device udma ~base_page:0 ~pages ~port:(Disk.port disk) ();
+  (m, disk)
+
+let prepare m proc =
+  let pages = total / Layout.page_size m.M.layout in
+  for i = 0 to pages - 1 do
+    match
+      Syscall.map_device_proxy m proc ~vdev_index:i ~pdev_index:i ~writable:true
+    with
+    | Ok () -> ()
+    | Error e -> failwith (Format.asprintf "grant: %a" Syscall.pp_error e)
+  done;
+  let buf = Kernel.alloc_buffer m proc ~bytes:total in
+  Kernel.write_user m proc ~vaddr:buf
+    (Bytes.init total (fun i -> Char.chr ((i * 7) land 0xff)));
+  buf
+
+let verify disk =
+  let ok = ref true in
+  for b = 0 to (total / 4096) - 1 do
+    let data = Disk.read_block disk b in
+    for i = 0 to 4095 do
+      let expect = Char.chr ((((b * 4096) + i) * 7) land 0xff) in
+      if Bytes.get data i <> expect then ok := false
+    done
+  done;
+  !ok
+
+let () =
+  (* -- basic hardware: one page at a time --------------------------- *)
+  let m, disk = machine_with_disk ~mode:Udma_engine.Basic in
+  let proc = Scheduler.spawn m ~name:"backup" in
+  let buf = prepare m proc in
+  let cpu = Kernel.user_cpu m proc in
+  let stats =
+    match
+      Initiator.transfer cpu ~layout:m.M.layout ~src:(Initiator.Memory buf)
+        ~dst:(Initiator.Device (Kernel.vdev_addr m ~index:0 ~offset:0))
+        ~nbytes:total ()
+    with
+    | Ok s -> s
+    | Error e -> failwith (Format.asprintf "%a" Initiator.pp_error e)
+  in
+  Engine.run_until_idle m.M.engine;
+  Printf.printf
+    "basic:  %d KB in %d pieces, %d cycles (%.0f us), disk seeks: %d, data %s\n"
+    (total / 1024) stats.Initiator.pieces stats.Initiator.cycles
+    (Cost_model.us_of_cycles m.M.costs stats.Initiator.cycles)
+    (Disk.seeks disk)
+    (if verify disk then "verified" else "CORRUPT");
+
+  (* -- queued hardware: pipelined, plus an out-of-order gather ------ *)
+  let m, disk = machine_with_disk ~mode:(Udma_engine.Queued { depth = 8 }) in
+  let proc = Scheduler.spawn m ~name:"backup" in
+  let buf = prepare m proc in
+  let cpu = Kernel.user_cpu m proc in
+  let stats =
+    match
+      Initiator.transfer_queued cpu ~layout:m.M.layout
+        ~src:(Initiator.Memory buf)
+        ~dst:(Initiator.Device (Kernel.vdev_addr m ~index:0 ~offset:0))
+        ~nbytes:total ()
+    with
+    | Ok s -> s
+    | Error e -> failwith (Format.asprintf "%a" Initiator.pp_error e)
+  in
+  Engine.run_until_idle m.M.engine;
+  Printf.printf "queued: %d KB in %d pieces, %d cycles (%.0f us), data %s\n"
+    (total / 1024) stats.Initiator.pieces stats.Initiator.cycles
+    (Cost_model.us_of_cycles m.M.costs stats.Initiator.cycles)
+    (if verify disk then "verified" else "CORRUPT");
+
+  (* gather: write the blocks back in reverse order in one call *)
+  let page = Layout.page_size m.M.layout in
+  let pieces =
+    List.init (total / page) (fun i ->
+        let j = (total / page) - 1 - i in
+        ( Initiator.Memory (buf + (j * page)),
+          Initiator.Device (Kernel.vdev_addr m ~index:j ~offset:0),
+          page ))
+  in
+  let stats =
+    match Initiator.transfer_gather cpu ~layout:m.M.layout ~pieces () with
+    | Ok s -> s
+    | Error e -> failwith (Format.asprintf "%a" Initiator.pp_error e)
+  in
+  Engine.run_until_idle m.M.engine;
+  Printf.printf
+    "gather: %d reverse-order blocks in %d cycles (%.0f us), disk seeks: %d, \
+     data %s\n"
+    (total / page) stats.Initiator.cycles
+    (Cost_model.us_of_cycles m.M.costs stats.Initiator.cycles)
+    (Disk.seeks disk)
+    (if verify disk then "verified" else "CORRUPT");
+  print_endline "disk_backup: OK"

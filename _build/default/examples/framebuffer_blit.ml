@@ -1,0 +1,94 @@
+(* Blitting scanlines into a graphics frame buffer.
+
+   §4 of the paper: "if the device is a graphics frame-buffer, a
+   device address might specify a pixel". A user process renders a
+   gradient into its own memory and blits it to the frame buffer with
+   UDMA, then repeats the job with programmed I/O (one uncached store
+   per pixel) to show why the paper bothers: for bulk pixel data the
+   DMA path is more than an order of magnitude cheaper.
+
+   Run with: dune exec examples/framebuffer_blit.exe *)
+
+module Engine = Udma_sim.Engine
+module Layout = Udma_mmu.Layout
+module Initiator = Udma.Initiator
+module Udma_engine = Udma.Udma_engine
+module Frame_buffer = Udma_devices.Frame_buffer
+module M = Udma_os.Machine
+module Scheduler = Udma_os.Scheduler
+module Syscall = Udma_os.Syscall
+module Kernel = Udma_os.Kernel
+module Cost_model = Udma_os.Cost_model
+
+let width = 256
+let height = 64
+
+let gradient_row y =
+  Bytes.init (width * 4) (fun i ->
+      let x = i / 4 in
+      match i land 3 with
+      | 0 -> Char.chr (x land 0xff)          (* r *)
+      | 1 -> Char.chr (y * 4 land 0xff)      (* g *)
+      | 2 -> Char.chr ((x + y) land 0xff)    (* b *)
+      | _ -> Char.chr 0xff)                  (* a *)
+
+let () =
+  let m = M.create () in
+  let udma = Option.get m.M.udma in
+  let fb = Frame_buffer.create ~width ~height in
+  let page_size = Layout.page_size m.M.layout in
+  let fb_pages = Frame_buffer.pages fb ~page_size in
+  Udma_engine.attach_device udma ~base_page:0 ~pages:fb_pages
+    ~port:(Frame_buffer.port fb) ();
+
+  let proc = Scheduler.spawn m ~name:"render" in
+  for i = 0 to fb_pages - 1 do
+    match
+      Syscall.map_device_proxy m proc ~vdev_index:i ~pdev_index:i ~writable:true
+    with
+    | Ok () -> ()
+    | Error e -> failwith (Format.asprintf "grant: %a" Syscall.pp_error e)
+  done;
+
+  (* render into user memory *)
+  let frame_bytes = width * height * 4 in
+  let buf = Kernel.alloc_buffer m proc ~bytes:frame_bytes in
+  for y = 0 to height - 1 do
+    Kernel.write_user m proc ~vaddr:(buf + (y * width * 4)) (gradient_row y)
+  done;
+
+  (* -- UDMA blit of the whole frame --------------------------------- *)
+  let cpu = Kernel.user_cpu m proc in
+  let stats =
+    match
+      Initiator.transfer cpu ~layout:m.M.layout ~src:(Initiator.Memory buf)
+        ~dst:(Initiator.Device (Kernel.vdev_addr m ~index:0 ~offset:0))
+        ~nbytes:frame_bytes ()
+    with
+    | Ok s -> s
+    | Error e -> failwith (Format.asprintf "%a" Initiator.pp_error e)
+  in
+  Engine.run_until_idle m.M.engine;
+  let udma_cycles = stats.Initiator.cycles in
+  Printf.printf "UDMA blit: %dx%d (%d KB) in %d cycles (%.0f us), %d pieces\n"
+    width height (frame_bytes / 1024) udma_cycles
+    (Cost_model.us_of_cycles m.M.costs udma_cycles)
+    stats.Initiator.pieces;
+
+  (* verify a few pixels *)
+  assert (Frame_buffer.get_pixel fb ~x:0 ~y:0 = Bytes.get_int32_le (gradient_row 0) 0);
+  assert (
+    Frame_buffer.get_pixel fb ~x:(width - 1) ~y:(height - 1)
+    = Bytes.get_int32_le (gradient_row (height - 1)) ((width - 1) * 4));
+
+  (* -- the same frame by programmed I/O: what UDMA replaces ---------- *)
+  (* modelled: one uncached store per pixel *)
+  let pio_cycles = width * height * m.M.costs.Cost_model.uncached_ref in
+  Printf.printf
+    "PIO blit (modelled, 1 uncached store/pixel): %d cycles (%.0f us)\n"
+    pio_cycles
+    (Cost_model.us_of_cycles m.M.costs pio_cycles);
+  Printf.printf "UDMA speedup over PIO: %.1fx\n"
+    (float_of_int pio_cycles /. float_of_int udma_cycles);
+  Printf.printf "frame checksum: %d\n" (Frame_buffer.checksum fb);
+  print_endline "framebuffer_blit: OK"

@@ -1,0 +1,1 @@
+lib/core/initiator.ml: Format Int32 List Result Status Udma_mmu

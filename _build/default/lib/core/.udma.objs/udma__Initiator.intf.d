@@ -1,0 +1,1 @@
+lib/core/initiator.mli: Format Status Udma_mmu

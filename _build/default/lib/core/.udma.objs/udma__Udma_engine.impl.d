@@ -1,0 +1,1 @@
+lib/core/udma_engine.ml: Hashtbl Int32 List Option Printf Queue State_machine Status Udma_dma Udma_mmu Udma_sim

@@ -1,0 +1,1 @@
+lib/core/udma_engine.mli: State_machine Status Udma_dma Udma_mmu Udma_sim

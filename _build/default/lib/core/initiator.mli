@@ -1,0 +1,114 @@
+(** User-level transfer initiation library.
+
+    This is the code a user process runs: the two-reference
+    STORE/LOAD sequence of §3, the data-alignment / page-boundary check
+    that the paper's 2.8 µs figure includes (§8), retry on
+    invalidation or a busy engine, splitting of multi-page transfers,
+    and completion polling by re-issuing the initiating LOAD (§5).
+
+    The library is written against an abstract {!cpu} so it can run on
+    any simulated process; the OS layer provides the concrete
+    implementation that charges cycle costs and handles faults. *)
+
+type cpu = {
+  load : vaddr:int -> int32;         (** user-level LOAD *)
+  store : vaddr:int -> int32 -> unit;  (** user-level STORE *)
+  compute : int -> unit;             (** charge pure CPU cycles *)
+  now : unit -> int;                 (** current cycle *)
+}
+
+type endpoint =
+  | Memory of int
+      (** ordinary virtual address of user data; the library applies
+          [PROXY] itself *)
+  | Device of int
+      (** virtual device-proxy address *)
+
+val pp_endpoint : Format.formatter -> endpoint -> unit
+
+type split_strategy =
+  | Optimistic
+      (** SHRIMP's strategy (§8): pass the full remaining count and let
+          the hardware clamp at the page boundary; advance by the count
+          the status word reports *)
+  | Precompute
+      (** compute each piece's size in software before initiating *)
+
+type config = {
+  call_overhead_cycles : int;
+      (** fixed software cost per [transfer*] call (argument setup,
+          loop entry) — charged once per message *)
+  alignment_check_cycles : int;
+      (** software cost of the §8 alignment / page-boundary check,
+          charged once per initiated piece *)
+  split : split_strategy;
+  max_retries : int;   (** retry budget per piece for busy/invalidated *)
+  poll_limit : int;    (** completion-poll budget per piece *)
+}
+
+val default_config : config
+(** 180-cycle call overhead, 100-cycle check (DESIGN.md §5),
+    [Optimistic], 10_000 retries, 10_000_000 polls. *)
+
+type error =
+  | Hard_error of Status.t
+      (** wrong-space or device-specific error reported by hardware *)
+  | Retries_exhausted of Status.t
+  | Poll_limit_exceeded
+  | Protocol_violation of string
+      (** a completion probe unexpectedly initiated a transfer — only
+          possible when the I1 kernel discipline is broken *)
+
+val pp_error : Format.formatter -> error -> unit
+
+type stats = {
+  pieces : int;        (** hardware transfers issued *)
+  pairs : int;         (** STORE/LOAD pairs executed, incl. retries *)
+  retries : int;
+  polls : int;         (** completion-wait probe loads *)
+  cycles : int;        (** total cycles from first STORE to completion *)
+}
+
+val transfer :
+  cpu ->
+  layout:Udma_mmu.Layout.t ->
+  ?config:config ->
+  src:endpoint ->
+  dst:endpoint ->
+  nbytes:int ->
+  unit ->
+  (stats, error) result
+(** Blocking transfer for the basic (§5) hardware: initiates each
+    page-bounded piece, waits for it to complete, proceeds to the next.
+    Both endpoint addresses advance together as pieces are issued. *)
+
+val transfer_queued :
+  cpu ->
+  layout:Udma_mmu.Layout.t ->
+  ?config:config ->
+  src:endpoint ->
+  dst:endpoint ->
+  nbytes:int ->
+  unit ->
+  (stats, error) result
+(** Pipelined transfer for the queued (§7) hardware: issues every piece
+    back-to-back (two references per page; retrying the LOAD alone when
+    the queue is full) and then waits only for the last piece, as §7
+    prescribes. *)
+
+val transfer_gather :
+  cpu ->
+  layout:Udma_mmu.Layout.t ->
+  ?config:config ->
+  pieces:(endpoint * endpoint * int) list ->
+  unit ->
+  (stats, error) result
+(** Gather–scatter (§7): a list of (src, dst, nbytes) transfers issued
+    through the queue, waiting only for the last. Each entry may itself
+    span pages. *)
+
+val initiation_cycles : cpu -> layout:Udma_mmu.Layout.t -> config:config ->
+  src:endpoint -> dst:endpoint -> nbytes:int -> (int, error) result
+(** The paper's §8 initiation measurement: cycles from first reference
+    until the initiating LOAD returns, for a single piece, not waiting
+    for the transfer itself. *)

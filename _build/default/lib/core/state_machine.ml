@@ -1,0 +1,81 @@
+type space = Mem_space | Dev_space
+
+let pp_space ppf = function
+  | Mem_space -> Format.pp_print_string ppf "mem"
+  | Dev_space -> Format.pp_print_string ppf "dev"
+
+type dest = { dest_proxy : int; dest_space : space; nbytes : int }
+
+type state =
+  | Idle
+  | Dest_loaded of dest
+  | Transferring of { src_proxy : int; src_space : space; dest : dest }
+
+let pp_state ppf = function
+  | Idle -> Format.pp_print_string ppf "Idle"
+  | Dest_loaded d ->
+      Format.fprintf ppf "DestLoaded(%a:%#x,%d)" pp_space d.dest_space
+        d.dest_proxy d.nbytes
+  | Transferring { src_proxy; src_space; dest } ->
+      Format.fprintf ppf "Transferring(%a:%#x -> %a:%#x,%d)" pp_space src_space
+        src_proxy pp_space dest.dest_space dest.dest_proxy dest.nbytes
+
+type event =
+  | Store of { proxy : int; space : space; value : int }
+  | Load of { proxy : int; space : space }
+  | Done
+
+let pp_event ppf = function
+  | Store { proxy; space; value } ->
+      Format.fprintf ppf "Store(%a:%#x,%d)" pp_space space proxy value
+  | Load { proxy; space } -> Format.fprintf ppf "Load(%a:%#x)" pp_space space proxy
+  | Done -> Format.pp_print_string ppf "Done"
+
+type action =
+  | No_action
+  | Latch_dest
+  | Invalidated
+  | Start of { src_proxy : int; src_space : space; dest : dest }
+  | Bad_load
+  | Status_probe
+  | Completed
+
+let pp_action ppf = function
+  | No_action -> Format.pp_print_string ppf "no-action"
+  | Latch_dest -> Format.pp_print_string ppf "latch-dest"
+  | Invalidated -> Format.pp_print_string ppf "invalidated"
+  | Start { src_proxy; src_space; dest } ->
+      Format.fprintf ppf "start(%a:%#x -> %a:%#x,%d)" pp_space src_space
+        src_proxy pp_space dest.dest_space dest.dest_proxy dest.nbytes
+  | Bad_load -> Format.pp_print_string ppf "bad-load"
+  | Status_probe -> Format.pp_print_string ppf "status-probe"
+  | Completed -> Format.pp_print_string ppf "completed"
+
+let step state event =
+  match (state, event) with
+  (* --- Store events: positive value latches, non-positive is Inval --- *)
+  | Idle, Store { proxy; space; value } when value > 0 ->
+      (Dest_loaded { dest_proxy = proxy; dest_space = space; nbytes = value },
+       Latch_dest)
+  | Idle, Store _ -> (Idle, Invalidated)
+  | Dest_loaded _, Store { proxy; space; value } when value > 0 ->
+      (* A Store in DestLoaded overwrites DESTINATION and COUNT (§5). *)
+      (Dest_loaded { dest_proxy = proxy; dest_space = space; nbytes = value },
+       Latch_dest)
+  | Dest_loaded _, Store _ -> (Idle, Invalidated)
+  | (Transferring _ as s), Store _ ->
+      (* No transition depicted: a started transfer is never disturbed. *)
+      (s, No_action)
+  (* --- Load events --- *)
+  | Idle, Load _ -> (Idle, Status_probe)
+  | Dest_loaded dest, Load { proxy; space } ->
+      if space = dest.dest_space then
+        (* BadLoad: memory-to-memory or device-to-device request. *)
+        (Idle, Bad_load)
+      else
+        (Transferring { src_proxy = proxy; src_space = space; dest },
+         Start { src_proxy = proxy; src_space = space; dest })
+  | (Transferring _ as s), Load _ -> (s, Status_probe)
+  (* --- Done from the DMA engine --- *)
+  | Transferring _, Done -> (Idle, Completed)
+  | (Idle as s), Done | (Dest_loaded _ as s), Done -> (s, No_action)

@@ -1,0 +1,53 @@
+(** The UDMA hardware state machine (paper §5, Figure 5).
+
+    Pure transition function over the three states — [Idle],
+    [Dest_loaded], [Transferring] — and the events [Store], [Load]
+    (with [Inval] being a store of a non-positive count and [BadLoad]
+    a load from the same proxy space as the latched destination), plus
+    the internal [Done] event from the DMA engine. Events with no
+    depicted transition leave the state unchanged (paper: "if no
+    transition is depicted ... that event does not cause a state
+    transition").
+
+    The function is pure so it can be tested exhaustively; the engine
+    in {!Udma_engine} interprets the returned action against the real
+    DMA hardware. *)
+
+type space = Mem_space | Dev_space
+
+val pp_space : Format.formatter -> space -> unit
+
+type dest = { dest_proxy : int; dest_space : space; nbytes : int }
+(** Latched DESTINATION register + COUNT. [dest_proxy] is a physical
+    proxy address. *)
+
+type state =
+  | Idle
+  | Dest_loaded of dest
+  | Transferring of { src_proxy : int; src_space : space; dest : dest }
+
+val pp_state : Format.formatter -> state -> unit
+
+type event =
+  | Store of { proxy : int; space : space; value : int }
+      (** a STORE of [value] to physical proxy address [proxy];
+          [value <= 0] is an [Inval] *)
+  | Load of { proxy : int; space : space }
+  | Done  (** the DMA engine finished the transfer *)
+
+val pp_event : Format.formatter -> event -> unit
+
+type action =
+  | No_action        (** event ignored in this state *)
+  | Latch_dest       (** DESTINATION/COUNT written *)
+  | Invalidated      (** Inval consumed, machine reset to Idle *)
+  | Start of { src_proxy : int; src_space : space; dest : dest }
+      (** the Load completed an initiation pair: start the DMA *)
+  | Bad_load         (** load from the same space as the destination *)
+  | Status_probe     (** load answered with status only *)
+  | Completed        (** Done consumed *)
+
+val pp_action : Format.formatter -> action -> unit
+
+val step : state -> event -> state * action
+(** One transition. Total over all [state * event] pairs. *)

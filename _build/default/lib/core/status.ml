@@ -1,0 +1,76 @@
+type t = {
+  started : bool;
+  transferring : bool;
+  invalid : bool;
+  matches : bool;
+  wrong_space : bool;
+  queue_full : bool;
+  device_error : int;
+  remaining_bytes : int;
+}
+
+let make ?(started = false) ?(transferring = false) ?(invalid = false)
+    ?(matches = false) ?(wrong_space = false) ?(queue_full = false)
+    ?(device_error = 0) ?(remaining_bytes = 0) () =
+  if device_error < 0 || device_error > 0xf then
+    invalid_arg "Status.make: device_error must fit 4 bits";
+  if remaining_bytes < 0 then
+    invalid_arg "Status.make: negative remaining_bytes";
+  {
+    started;
+    transferring;
+    invalid;
+    matches;
+    wrong_space;
+    queue_full;
+    device_error;
+    remaining_bytes;
+  }
+
+let idle = make ~invalid:true ()
+
+let max_remaining = (1 lsl 21) - 1
+
+let bit b pos = if b then Int32.shift_left 1l pos else 0l
+
+let encode t =
+  let remaining = min t.remaining_bytes max_remaining in
+  let open Int32 in
+  logor (bit (not t.started) 0)
+  @@ logor (bit t.transferring 1)
+  @@ logor (bit t.invalid 2)
+  @@ logor (bit t.matches 3)
+  @@ logor (bit t.wrong_space 4)
+  @@ logor (bit t.queue_full 5)
+  @@ logor (shift_left (of_int (t.device_error land 0xf)) 6)
+       (shift_left (of_int remaining) 10)
+
+let decode w =
+  let geti shift mask = Int32.to_int (Int32.shift_right_logical w shift) land mask in
+  let getb pos = geti pos 1 = 1 in
+  {
+    started = not (getb 0);
+    transferring = getb 1;
+    invalid = getb 2;
+    matches = getb 3;
+    wrong_space = getb 4;
+    queue_full = getb 5;
+    device_error = geti 6 0xf;
+    remaining_bytes = geti 10 0x1fffff;
+  }
+
+let ok t = t.started && t.device_error = 0 && not t.wrong_space
+
+let hard_error t = t.wrong_space || t.device_error <> 0
+
+let pp ppf t =
+  Format.fprintf ppf "{%s%s%s%s%s%s err=%d rem=%d}"
+    (if t.started then "S" else "-")
+    (if t.transferring then "T" else "-")
+    (if t.invalid then "I" else "-")
+    (if t.matches then "M" else "-")
+    (if t.wrong_space then "W" else "-")
+    (if t.queue_full then "Q" else "-")
+    t.device_error t.remaining_bytes
+
+let equal a b = a = b

@@ -1,0 +1,524 @@
+module Engine = Udma_sim.Engine
+module Trace = Udma_sim.Trace
+module Layout = Udma_mmu.Layout
+module Bus = Udma_dma.Bus
+module Device = Udma_dma.Device
+module Dma_engine = Udma_dma.Dma_engine
+module Sm = State_machine
+
+type mode = Basic | Queued of { depth : int }
+
+type priority = User | System
+
+type binding = {
+  base_page : int;
+  pages : int;
+  port : Device.port;
+  validate : dev_addr:int -> nbytes:int -> int;
+}
+
+(* One accepted transfer, in proxy terms plus resolved endpoints. *)
+type request = {
+  src_proxy : int;
+  dest_proxy : int;
+  nbytes : int; (* already clamped to page boundaries *)
+  src_ep : Dma_engine.endpoint;
+  dst_ep : Dma_engine.endpoint;
+  priority : priority;
+}
+
+type counters = {
+  initiations : int;
+  completions : int;
+  bad_loads : int;
+  invals : int;
+  probes : int;
+  clamped : int;
+  refused_full : int;
+  device_errors : int;
+  aborts : int;
+}
+
+type t = {
+  engine : Engine.t;
+  layout : Layout.t;
+  bus : Bus.t;
+  dma_engine : Dma_engine.t;
+  mode : mode;
+  trace : Trace.t;
+  mutable sm : Sm.state;
+  mutable bindings : binding list;
+  mutable active : request option;
+  user_queue : request Queue.t;
+  system_queue : request Queue.t;
+  refcounts : (int, int) Hashtbl.t; (* memory frame -> outstanding refs *)
+  mutable start_hook :
+    (src_proxy:int -> dest_proxy:int -> nbytes:int -> unit) option;
+  mutable c_initiations : int;
+  mutable c_completions : int;
+  mutable c_bad_loads : int;
+  mutable c_invals : int;
+  mutable c_probes : int;
+  mutable c_clamped : int;
+  mutable c_refused_full : int;
+  mutable c_device_errors : int;
+  mutable c_aborts : int;
+}
+
+let mode t = t.mode
+let state t = t.sm
+let dma t = t.dma_engine
+
+(* ---------- reference counting (I4 support, §7) ---------- *)
+
+let frames_of_request t r =
+  let page_size = Layout.page_size t.layout in
+  let mem_addr_of = function
+    | Dma_engine.Mem a -> Some a
+    | Dma_engine.Dev _ -> None
+  in
+  match (mem_addr_of r.src_ep, mem_addr_of r.dst_ep) with
+  | Some a, None | None, Some a ->
+      (* clamped to one page, so a single frame *)
+      [ a / page_size ]
+  | Some a, Some b -> [ a / page_size; b / page_size ]
+  | None, None -> []
+
+let ref_incr t r =
+  List.iter
+    (fun f ->
+      let v = Option.value (Hashtbl.find_opt t.refcounts f) ~default:0 in
+      Hashtbl.replace t.refcounts f (v + 1))
+    (frames_of_request t r)
+
+let ref_decr t r =
+  List.iter
+    (fun f ->
+      match Hashtbl.find_opt t.refcounts f with
+      | Some 1 -> Hashtbl.remove t.refcounts f
+      | Some v -> Hashtbl.replace t.refcounts f (v - 1)
+      | None -> assert false)
+    (frames_of_request t r)
+
+let refcount t ~frame =
+  Option.value (Hashtbl.find_opt t.refcounts frame) ~default:0
+
+(* ---------- device binding / endpoint resolution ---------- *)
+
+let find_binding t page =
+  List.find_opt
+    (fun b -> page >= b.base_page && page < b.base_page + b.pages)
+    t.bindings
+
+let attach_device t ~base_page ~pages ~port ?(validate = fun ~dev_addr:_ ~nbytes:_ -> 0)
+    () =
+  if base_page < 0 || pages <= 0
+     || base_page + pages > Layout.dev_pages t.layout then
+    invalid_arg "Udma_engine.attach_device: pages out of range";
+  List.iter
+    (fun b ->
+      if base_page < b.base_page + b.pages && b.base_page < base_page + pages
+      then invalid_arg "Udma_engine.attach_device: overlapping binding")
+    t.bindings;
+  t.bindings <- { base_page; pages; port; validate } :: t.bindings
+
+(* Error bits reported in the status word's DEVICE-SPECIFIC field. *)
+let err_unbound_device = 0x1
+let err_device = 0x2 (* device's own validate failed *)
+let err_refused = 0x4 (* DMA engine rejected the endpoints *)
+
+type resolved = {
+  endpoint : Dma_engine.endpoint;
+  binding : binding option; (* Some for device endpoints *)
+  dev_addr : int; (* device-internal address; 0 for memory *)
+}
+
+let resolve t proxy space =
+  match (space : Sm.space) with
+  | Mem_space -> Ok { endpoint = Mem (Layout.unproxy t.layout proxy); binding = None; dev_addr = 0 }
+  | Dev_space -> (
+      let page, offset = Layout.dev_proxy_index t.layout proxy in
+      match find_binding t page with
+      | None -> Error err_unbound_device
+      | Some b ->
+          let dev_addr =
+            ((page - b.base_page) * Layout.page_size t.layout) + offset
+          in
+          Ok { endpoint = Dev (b.port, dev_addr); binding = Some b; dev_addr })
+
+(* ---------- starting / queueing transfers ---------- *)
+
+let record_started t r =
+  t.c_initiations <- t.c_initiations + 1;
+  (match t.start_hook with
+  | Some hook ->
+      hook ~src_proxy:r.src_proxy ~dest_proxy:r.dest_proxy ~nbytes:r.nbytes
+  | None -> ());
+  Trace.recordf t.trace ~time:(Engine.now t.engine)
+    "udma: start %#x -> %#x (%d bytes)" r.src_proxy r.dest_proxy r.nbytes
+
+let rec start_on_dma t r =
+  match
+    Dma_engine.start t.dma_engine ~src:r.src_ep ~dst:r.dst_ep ~nbytes:r.nbytes
+      ~on_complete:(fun () -> on_dma_complete t r)
+  with
+  | Ok () -> Ok ()
+  | Error e ->
+      Trace.recordf t.trace ~time:(Engine.now t.engine)
+        "udma: dma refused (%a)" Dma_engine.pp_error e;
+      Error err_refused
+
+and on_dma_complete t r =
+  ref_decr t r;
+  t.c_completions <- t.c_completions + 1;
+  (match t.mode with
+  | Basic ->
+      let sm, action = Sm.step t.sm Done in
+      t.sm <- sm;
+      (match action with
+      | Sm.Completed -> ()
+      | Sm.No_action | Sm.Latch_dest | Sm.Invalidated | Sm.Start _
+      | Sm.Bad_load | Sm.Status_probe ->
+          ())
+  | Queued _ -> ());
+  t.active <- None;
+  dispatch_next t
+
+and dispatch_next t =
+  if not (Dma_engine.busy t.dma_engine) then begin
+    let next =
+      if not (Queue.is_empty t.system_queue) then Some (Queue.pop t.system_queue)
+      else if not (Queue.is_empty t.user_queue) then Some (Queue.pop t.user_queue)
+      else None
+    in
+    match next with
+    | None -> ()
+    | Some r -> (
+        t.active <- Some r;
+        match start_on_dma t r with
+        | Ok () -> ()
+        | Error _ ->
+            (* endpoints were validated at acceptance; a refusal here is
+               a hardware bug *)
+            assert false)
+  end
+
+(* Build a request from an initiation pair: clamp at page boundaries of
+   both proxy spaces, resolve endpoints, run device validation. *)
+let build_request t ~src_proxy ~src_space ~dest ~priority =
+  let page_size = Layout.page_size t.layout in
+  let room addr = page_size - Layout.offset_in_page t.layout addr in
+  let clamped =
+    min dest.Sm.nbytes (min (room src_proxy) (room dest.Sm.dest_proxy))
+  in
+  if clamped < dest.Sm.nbytes then t.c_clamped <- t.c_clamped + 1;
+  match resolve t src_proxy src_space with
+  | Error e -> Error e
+  | Ok src -> (
+      match resolve t dest.Sm.dest_proxy dest.Sm.dest_space with
+      | Error e -> Error e
+      | Ok dst -> (
+          let validation =
+            match (src.binding, dst.binding) with
+            | Some b, None -> b.validate ~dev_addr:src.dev_addr ~nbytes:clamped
+            | None, Some b -> b.validate ~dev_addr:dst.dev_addr ~nbytes:clamped
+            | None, None | Some _, Some _ ->
+                (* spaces always differ at this point *)
+                assert false
+          in
+          if validation <> 0 then
+            (* low two device bits ride along in the status word *)
+            Error (err_device lor ((validation land 0x3) lsl 2))
+          else
+            Ok
+              {
+                src_proxy;
+                dest_proxy = dest.Sm.dest_proxy;
+                nbytes = clamped;
+                src_ep = src.endpoint;
+                dst_ep = dst.endpoint;
+                priority;
+              }))
+
+(* Accept a request: start immediately or queue it. Returns the status
+   fields describing the acceptance. *)
+let accept t r =
+  ref_incr t r;
+  record_started t r;
+  if Dma_engine.busy t.dma_engine then begin
+    (match r.priority with
+    | System -> Queue.push r t.system_queue
+    | User -> Queue.push r t.user_queue);
+    Ok `Queued
+  end
+  else begin
+    t.active <- Some r;
+    match start_on_dma t r with
+    | Ok () -> Ok `Started
+    | Error e ->
+        ref_decr t r;
+        t.active <- None;
+        t.c_initiations <- t.c_initiations - 1;
+        Error e
+  end
+
+let queued_len t = Queue.length t.user_queue + Queue.length t.system_queue
+
+let outstanding t = queued_len t + if t.active = None then 0 else 1
+
+(* ---------- match flag (associative query, §7) ---------- *)
+
+let request_matches proxy r = r.src_proxy = proxy || r.dest_proxy = proxy
+
+let match_flag t proxy =
+  let active = match t.active with Some r -> request_matches proxy r | None -> false in
+  if active then true
+  else
+    let in_queue q =
+      Queue.fold (fun acc r -> acc || request_matches proxy r) false q
+    in
+    in_queue t.user_queue || in_queue t.system_queue
+
+(* ---------- status composition ---------- *)
+
+let probe_status t proxy =
+  let transferring = Dma_engine.busy t.dma_engine in
+  let invalid = match t.sm with Sm.Idle -> true | _ -> false in
+  let remaining =
+    match t.sm with
+    | Sm.Dest_loaded d -> d.Sm.nbytes
+    | Sm.Transferring _ -> Dma_engine.remaining_bytes t.dma_engine
+    | Sm.Idle -> Dma_engine.remaining_bytes t.dma_engine
+  in
+  Status.make ~transferring ~invalid ~matches:(match_flag t proxy)
+    ~remaining_bytes:remaining ()
+
+(* ---------- bus-visible operations ---------- *)
+
+let space_of_paddr t paddr =
+  match Layout.region_of t.layout paddr with
+  | Some Layout.Mem_proxy -> Some Sm.Mem_space
+  | Some Layout.Dev_proxy -> Some Sm.Dev_space
+  | Some Layout.Mem | None -> None
+
+let handle_store t ~paddr value =
+  match space_of_paddr t paddr with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Udma_engine.handle_store: %#x not proxy space" paddr)
+  | Some space ->
+      let value = Int32.to_int value in
+      let sm, action = Sm.step t.sm (Store { proxy = paddr; space; value }) in
+      t.sm <- sm;
+      (match action with
+      | Sm.Latch_dest -> ()
+      | Sm.Invalidated ->
+          t.c_invals <- t.c_invals + 1;
+          Trace.recordf t.trace ~time:(Engine.now t.engine) "udma: inval"
+      | Sm.No_action -> ()
+      | Sm.Start _ | Sm.Bad_load | Sm.Status_probe | Sm.Completed ->
+          (* stores never produce these *)
+          assert false)
+
+let handle_load t ~paddr =
+  match space_of_paddr t paddr with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Udma_engine.handle_load: %#x not proxy space" paddr)
+  | Some space -> (
+      let sm, action = Sm.step t.sm (Load { proxy = paddr; space }) in
+      match action with
+      | Sm.Status_probe ->
+          t.sm <- sm;
+          t.c_probes <- t.c_probes + 1;
+          probe_status t paddr
+      | Sm.Bad_load ->
+          t.sm <- sm;
+          t.c_bad_loads <- t.c_bad_loads + 1;
+          Status.make ~wrong_space:true ~invalid:true
+            ~transferring:(Dma_engine.busy t.dma_engine) ()
+      | Sm.Start { src_proxy; src_space; dest } -> (
+          match build_request t ~src_proxy ~src_space ~dest ~priority:User with
+          | Error bits ->
+              t.sm <- Sm.Idle;
+              t.c_device_errors <- t.c_device_errors + 1;
+              Status.make ~invalid:true ~device_error:(bits land 0xf)
+                ~transferring:(Dma_engine.busy t.dma_engine) ()
+          | Ok r -> (
+              match t.mode with
+              | Basic -> (
+                  (* the machine is Transferring iff the DMA is busy *)
+                  match accept t r with
+                  | Ok `Started ->
+                      t.sm <- sm;
+                      Status.make ~started:true ~transferring:true ~matches:true
+                        ~remaining_bytes:r.nbytes ()
+                  | Ok `Queued ->
+                      (* cannot happen: basic mode implies dma idle here *)
+                      assert false
+                  | Error bits ->
+                      t.sm <- Sm.Idle;
+                      t.c_device_errors <- t.c_device_errors + 1;
+                      Status.make ~invalid:true ~device_error:(bits land 0xf) ())
+              | Queued { depth } ->
+                  if Dma_engine.busy t.dma_engine && queued_len t >= depth then begin
+                    (* refuse; keep DestLoaded so the user can retry the
+                       LOAD alone (§7: refused only when the queue is
+                       full) *)
+                    t.c_refused_full <- t.c_refused_full + 1;
+                    Status.make ~transferring:true ~queue_full:true
+                      ~remaining_bytes:dest.Sm.nbytes ()
+                  end
+                  else
+                    (match accept t r with
+                    | Ok (`Started | `Queued) ->
+                        t.sm <- Sm.Idle;
+                        Status.make ~started:true
+                          ~transferring:(Dma_engine.busy t.dma_engine)
+                          ~invalid:true ~matches:true ~remaining_bytes:r.nbytes
+                          ()
+                    | Error bits ->
+                        t.sm <- Sm.Idle;
+                        t.c_device_errors <- t.c_device_errors + 1;
+                        Status.make ~invalid:true
+                          ~device_error:(bits land 0xf) ())))
+      | Sm.No_action | Sm.Latch_dest | Sm.Invalidated | Sm.Completed ->
+          (* loads never produce these *)
+          assert false)
+
+(* ---------- kernel interface ---------- *)
+
+let abort_active t =
+  match t.active with
+  | None -> false
+  | Some r ->
+      ignore (Dma_engine.abort t.dma_engine);
+      ref_decr t r;
+      t.active <- None;
+      t.c_aborts <- t.c_aborts + 1;
+      Trace.recordf t.trace ~time:(Engine.now t.engine) "udma: abort %#x -> %#x"
+        r.src_proxy r.dest_proxy;
+      (match t.mode with
+      | Basic -> t.sm <- Sm.Idle
+      | Queued _ -> ());
+      dispatch_next t;
+      true
+
+let invalidate t =
+  (* Store of a negative count to any valid proxy address; we use the
+     first memory-proxy address. *)
+  let paddr = Layout.mem_proxy_base t.layout in
+  handle_store t ~paddr (-1l)
+
+let mem_frame_busy t ~frame =
+  refcount t ~frame > 0
+  || Dma_engine.mem_page_in_flight t.dma_engine
+       ~page_size:(Layout.page_size t.layout) frame
+  ||
+  match t.sm with
+  | Sm.Dest_loaded { dest_proxy; dest_space = Sm.Mem_space; _ } ->
+      Layout.page_of_addr t.layout (Layout.unproxy t.layout dest_proxy) = frame
+  | Sm.Dest_loaded _ | Sm.Idle | Sm.Transferring _ -> false
+
+let enqueue_system t ~src_proxy ~dest_proxy ~nbytes =
+  let space p =
+    match space_of_paddr t p with
+    | Some s -> s
+    | None -> invalid_arg "Udma_engine.enqueue_system: not a proxy address"
+  in
+  let src_space = space src_proxy and dest_space = space dest_proxy in
+  if src_space = dest_space || nbytes <= 0 then Error `Rejected
+  else
+    let full =
+      match t.mode with
+      | Basic ->
+          (* depth-0: refuse whenever the engine is anything but idle,
+             including mid-initiation, so the Basic-mode invariant
+             (machine Transferring iff DMA busy) is preserved *)
+          Dma_engine.busy t.dma_engine || t.sm <> Sm.Idle
+      | Queued { depth } ->
+          Dma_engine.busy t.dma_engine && queued_len t >= depth
+    in
+    if full then Error `Full
+    else
+      let dest = Sm.{ dest_proxy; dest_space; nbytes } in
+      match build_request t ~src_proxy ~src_space ~dest ~priority:System with
+      | Error _ -> Error `Rejected
+      | Ok r -> (
+          match accept t r with
+          | Ok (`Started | `Queued) ->
+              (match t.mode with
+              | Basic ->
+                  (* mirror the hardware: a running transfer holds the
+                     machine in Transferring until Done *)
+                  t.sm <-
+                    Sm.Transferring
+                      { src_proxy; src_space;
+                        dest = { dest with Sm.nbytes = r.nbytes } }
+              | Queued _ -> ());
+              Ok ()
+          | Error _ -> Error `Rejected)
+
+(* ---------- construction ---------- *)
+
+let counters t =
+  {
+    initiations = t.c_initiations;
+    completions = t.c_completions;
+    bad_loads = t.c_bad_loads;
+    invals = t.c_invals;
+    probes = t.c_probes;
+    clamped = t.c_clamped;
+    refused_full = t.c_refused_full;
+    device_errors = t.c_device_errors;
+    aborts = t.c_aborts;
+  }
+
+let set_start_hook t hook = t.start_hook <- Some hook
+
+let create ~engine ~layout ~bus ~dma ?(mode = Basic)
+    ?(trace = Trace.create ~enabled:false ()) () =
+  (match mode with
+  | Queued { depth } when depth < 1 ->
+      invalid_arg "Udma_engine.create: queue depth must be >= 1"
+  | Queued _ | Basic -> ());
+  let t =
+    {
+      engine;
+      layout;
+      bus;
+      dma_engine = dma;
+      mode;
+      trace;
+      sm = Sm.Idle;
+      bindings = [];
+      active = None;
+      user_queue = Queue.create ();
+      system_queue = Queue.create ();
+      refcounts = Hashtbl.create 64;
+      start_hook = None;
+      c_initiations = 0;
+      c_completions = 0;
+      c_bad_loads = 0;
+      c_invals = 0;
+      c_probes = 0;
+      c_clamped = 0;
+      c_refused_full = 0;
+      c_device_errors = 0;
+      c_aborts = 0;
+    }
+  in
+  let handler =
+    Bus.
+      {
+        io_load = (fun ~paddr -> Status.encode (handle_load t ~paddr));
+        io_store = (fun ~paddr v -> handle_store t ~paddr v);
+      }
+  in
+  let mem_proxy_size = Layout.mem_pages layout * Layout.page_size layout in
+  Bus.register_io bus ~base:(Layout.mem_proxy_base layout) ~size:mem_proxy_size
+    handler;
+  let dev_proxy_size = Layout.dev_pages layout * Layout.page_size layout in
+  Bus.register_io bus ~base:(Layout.dev_proxy_base layout) ~size:dev_proxy_size
+    handler;
+  t

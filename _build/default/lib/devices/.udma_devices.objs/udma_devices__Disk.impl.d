@@ -1,0 +1,1 @@
+lib/devices/disk.ml: Bytes Printf Udma_dma

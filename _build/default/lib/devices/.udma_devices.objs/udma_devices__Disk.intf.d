@@ -1,0 +1,1 @@
+lib/devices/disk.mli: Udma_dma

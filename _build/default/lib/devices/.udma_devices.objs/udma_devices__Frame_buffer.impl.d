@@ -1,0 +1,1 @@
+lib/devices/frame_buffer.ml: Bytes Char Printf Udma_dma

@@ -1,0 +1,1 @@
+lib/devices/frame_buffer.mli: Udma_dma

@@ -1,0 +1,1 @@
+lib/devices/pio_fifo.ml: Int32 Queue Udma_dma Udma_sim

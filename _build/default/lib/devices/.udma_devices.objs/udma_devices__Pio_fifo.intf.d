@@ -1,0 +1,1 @@
+lib/devices/pio_fifo.mli: Udma_dma Udma_sim

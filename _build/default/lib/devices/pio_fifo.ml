@@ -1,0 +1,79 @@
+module Engine = Udma_sim.Engine
+
+type t = {
+  engine : Engine.t;
+  capacity : int;
+  rx : int32 Queue.t;
+  mutable peer : t option;
+  link_latency : int;
+  mutable base : int; (* set at install time *)
+  mutable tx_pushed : int;
+  mutable rx_delivered : int;
+  mutable overruns : int;
+}
+
+let create ~engine ?(capacity_words = 16384) ?(link_latency = 40) () =
+  if capacity_words <= 0 then invalid_arg "Pio_fifo.create: capacity";
+  if link_latency < 0 then invalid_arg "Pio_fifo.create: latency";
+  {
+    engine;
+    capacity = capacity_words;
+    rx = Queue.create ();
+    peer = None;
+    link_latency;
+    base = 0;
+    tx_pushed = 0;
+    rx_delivered = 0;
+    overruns = 0;
+  }
+
+let connect a b =
+  a.peer <- Some b;
+  b.peer <- Some a
+
+let deliver peer word _engine =
+  if Queue.length peer.rx < peer.capacity then begin
+    Queue.push word peer.rx;
+    peer.rx_delivered <- peer.rx_delivered + 1
+  end
+  else peer.overruns <- peer.overruns + 1
+
+let push_tx t word =
+  t.tx_pushed <- t.tx_pushed + 1;
+  match t.peer with
+  | None -> () (* unconnected: words vanish into the void *)
+  | Some peer -> Engine.schedule t.engine ~delay:t.link_latency (deliver peer word)
+
+let reg_tx = 0
+let reg_rx = 4
+let reg_rx_count = 8
+let reg_tx_space = 12
+
+let handler t =
+  Udma_dma.Bus.
+    {
+      io_load =
+        (fun ~paddr ->
+          match paddr - t.base with
+          | o when o = reg_rx -> (
+              match Queue.take_opt t.rx with Some w -> w | None -> 0l)
+          | o when o = reg_rx_count -> Int32.of_int (Queue.length t.rx)
+          | o when o = reg_tx_space ->
+              (* the TX side is wire-limited, not buffered; always room *)
+              Int32.of_int t.capacity
+          | _ -> 0l);
+      io_store =
+        (fun ~paddr v ->
+          match paddr - t.base with
+          | o when o = reg_tx -> push_tx t v
+          | _ -> () (* writes to other registers are ignored *));
+    }
+
+let install_at t bus ~base ~size =
+  t.base <- base;
+  Udma_dma.Bus.register_io bus ~base ~size (handler t)
+
+let tx_pushed t = t.tx_pushed
+let rx_delivered t = t.rx_delivered
+let overruns t = t.overruns
+let rx_pending t = Queue.length t.rx

@@ -1,0 +1,44 @@
+(** Memory-mapped FIFO network interface — the related-work baseline
+    (paper §9: CM-5-style controllers with no DMA capability, where
+    "the host processor communicates with the network interface by
+    reading or writing special memory locations").
+
+    Every word crosses the bus as a processor-generated single-word
+    transaction, so short messages enjoy low latency but long messages
+    cannot use burst mode — exactly the trade-off the paper argues UDMA
+    wins for long messages.
+
+    The register page layout (word offsets from the installed base):
+    - [+0]  TX data (store pushes one word toward the peer)
+    - [+4]  RX data (load pops one received word; 0 when empty)
+    - [+8]  RX count (load: words waiting)
+    - [+12] TX space (load: words of room left) *)
+
+type t
+
+val create :
+  engine:Udma_sim.Engine.t ->
+  ?capacity_words:int ->
+  ?link_latency:int ->
+  unit ->
+  t
+(** [capacity_words] (default 16384) bounds both FIFOs; [link_latency]
+    (default 40 cycles) is the per-word wire delay to the peer. *)
+
+val connect : t -> t -> unit
+(** Cross-connect two interfaces (idempotent, symmetric). *)
+
+val handler : t -> Udma_dma.Bus.io_handler
+(** To be registered over one page of physical address space; register
+    decoding is relative to the lowest registered address, so pass the
+    same [base] to {!install_at}. *)
+
+val install_at : t -> Udma_dma.Bus.t -> base:int -> size:int -> unit
+(** Register the device's one page of registers on the bus. *)
+
+val tx_pushed : t -> int
+val rx_delivered : t -> int
+val overruns : t -> int
+(** Words dropped because the peer's RX FIFO was full. *)
+
+val rx_pending : t -> int

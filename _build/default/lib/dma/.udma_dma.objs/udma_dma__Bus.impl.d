@@ -1,0 +1,1 @@
+lib/dma/bus.ml: List Printf Udma_memory

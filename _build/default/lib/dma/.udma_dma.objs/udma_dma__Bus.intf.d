@@ -1,0 +1,1 @@
+lib/dma/bus.mli: Udma_memory

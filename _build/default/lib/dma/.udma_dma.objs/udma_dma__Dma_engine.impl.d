@@ -1,0 +1,1 @@
+lib/dma/dma_engine.ml: Bus Device Format Option Udma_memory Udma_sim

@@ -1,0 +1,1 @@
+lib/dma/dma_engine.mli: Bus Device Format Udma_sim

@@ -1,0 +1,153 @@
+module Engine = Udma_sim.Engine
+module Phys_mem = Udma_memory.Phys_mem
+
+type endpoint = Mem of int | Dev of Device.port * int
+
+let pp_endpoint ppf = function
+  | Mem a -> Format.fprintf ppf "mem:%#x" a
+  | Dev (p, a) -> Format.fprintf ppf "dev(%s):%#x" p.Device.name a
+
+type error = Busy | Bad_size | Unsupported_pair | Device_refused
+
+let pp_error ppf = function
+  | Busy -> Format.pp_print_string ppf "busy"
+  | Bad_size -> Format.pp_print_string ppf "bad-size"
+  | Unsupported_pair -> Format.pp_print_string ppf "unsupported-pair"
+  | Device_refused -> Format.pp_print_string ppf "device-refused"
+
+type transfer = {
+  src : endpoint;
+  dst : endpoint;
+  nbytes : int;
+  started_at : int;
+  duration : int;
+  on_complete : unit -> unit;
+  id : int;
+}
+
+type t = {
+  engine : Engine.t;
+  bus : Bus.t;
+  mutable current : transfer option;
+  mutable next_id : int;
+  mutable transfers_completed : int;
+  mutable bytes_moved : int;
+}
+
+let create ~engine ~bus =
+  {
+    engine;
+    bus;
+    current = None;
+    next_id = 0;
+    transfers_completed = 0;
+    bytes_moved = 0;
+  }
+
+let busy t = t.current <> None
+
+let mem_size t = Phys_mem.size (Bus.memory t.bus)
+
+let endpoint_ok t ~as_src nbytes = function
+  | Mem a -> a >= 0 && a + nbytes <= mem_size t
+  | Dev (p, a) ->
+      if as_src then p.Device.readable ~addr:a else p.Device.writable ~addr:a
+
+let move t xfer =
+  let mem = Bus.memory t.bus in
+  match (xfer.src, xfer.dst) with
+  | Mem src, Dev (p, dst) ->
+      let data = Phys_mem.read_bytes mem ~addr:src ~len:xfer.nbytes in
+      p.Device.dev_write ~addr:dst data
+  | Dev (p, src), Mem dst ->
+      let data = p.Device.dev_read ~addr:src ~len:xfer.nbytes in
+      Phys_mem.write_bytes mem ~addr:dst data
+  | Mem _, Mem _ | Dev _, Dev _ -> assert false (* refused at start *)
+
+let start t ~src ~dst ~nbytes ~on_complete =
+  if busy t then Error Busy
+  else if nbytes <= 0 then Error Bad_size
+  else
+    match (src, dst) with
+    | Mem _, Mem _ | Dev _, Dev _ -> Error Unsupported_pair
+    | (Mem _ | Dev _), (Mem _ | Dev _) ->
+        if not (endpoint_ok t ~as_src:true nbytes src) then
+          if (match src with Mem _ -> true | Dev _ -> false) then
+            Error Bad_size
+          else Error Device_refused
+        else if not (endpoint_ok t ~as_src:false nbytes dst) then
+          if (match dst with Mem _ -> true | Dev _ -> false) then
+            Error Bad_size
+          else Error Device_refused
+        else begin
+          let dev_cycles =
+            match (src, dst) with
+            | Dev (p, a), _ | _, Dev (p, a) ->
+                p.Device.access_cycles ~addr:a ~len:nbytes
+            | Mem _, Mem _ -> 0
+          in
+          let duration = Bus.dma_burst_cycles t.bus ~nbytes + dev_cycles in
+          let id = t.next_id in
+          t.next_id <- t.next_id + 1;
+          let xfer =
+            {
+              src;
+              dst;
+              nbytes;
+              started_at = Engine.now t.engine;
+              duration;
+              on_complete;
+              id;
+            }
+          in
+          t.current <- Some xfer;
+          Engine.schedule t.engine ~delay:duration (fun _ ->
+              (* An abort may have retired this transfer already. *)
+              match t.current with
+              | Some cur when cur.id = id ->
+                  move t cur;
+                  t.current <- None;
+                  t.transfers_completed <- t.transfers_completed + 1;
+                  t.bytes_moved <- t.bytes_moved + cur.nbytes;
+                  cur.on_complete ()
+              | Some _ | None -> ());
+          Ok ()
+        end
+
+let source t = Option.map (fun x -> x.src) t.current
+let destination t = Option.map (fun x -> x.dst) t.current
+let count t = match t.current with Some x -> x.nbytes | None -> 0
+
+let remaining_bytes t =
+  match t.current with
+  | None -> 0
+  | Some x ->
+      let elapsed = Engine.now t.engine - x.started_at in
+      if x.duration <= 0 || elapsed >= x.duration then 0
+      else
+        let done_bytes = x.nbytes * elapsed / x.duration in
+        (* report whole words, as the hardware counter would *)
+        x.nbytes - (done_bytes land lnot 3)
+
+let transfer_base t =
+  match t.current with
+  | Some { src = Mem a; _ } | Some { dst = Mem a; _ } -> Some a
+  | Some _ -> None
+  | None -> None
+
+let mem_page_in_flight t ~page_size frame =
+  match t.current with
+  | Some ({ src = Mem a; _ } as x) | Some ({ dst = Mem a; _ } as x) ->
+      let lo = a / page_size and hi = (a + x.nbytes - 1) / page_size in
+      frame >= lo && frame <= hi
+  | Some _ | None -> false
+
+let abort t =
+  match t.current with
+  | Some _ ->
+      t.current <- None;
+      true
+  | None -> false
+
+let transfers_completed t = t.transfers_completed
+let bytes_moved t = t.bytes_moved

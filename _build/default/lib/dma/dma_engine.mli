@@ -1,0 +1,71 @@
+(** Traditional DMA controller (paper §2, Figure 1).
+
+    SOURCE, DESTINATION and COUNT registers plus a transfer state
+    machine. One transfer may be in flight at a time; it occupies the
+    bus for [burst_setup + words × burst_word] cycles plus any
+    device-side latency, then raises its completion callback (the
+    "interrupt"). Data is deposited atomically at completion time.
+
+    The basic engine moves data between memory and exactly one device
+    endpoint — memory-to-memory and device-to-device are refused, which
+    is what makes the UDMA [BadLoad] event observable (paper §5). *)
+
+type endpoint =
+  | Mem of int                  (** physical byte address in real memory *)
+  | Dev of Device.port * int    (** device port + device-internal address *)
+
+val pp_endpoint : Format.formatter -> endpoint -> unit
+
+type error =
+  | Busy                  (** a transfer is already in flight *)
+  | Bad_size              (** nbytes <= 0 or beyond device/memory limits *)
+  | Unsupported_pair      (** mem→mem or dev→dev *)
+  | Device_refused        (** endpoint not readable/writable at that address *)
+
+val pp_error : Format.formatter -> error -> unit
+
+type t
+
+val create : engine:Udma_sim.Engine.t -> bus:Bus.t -> t
+
+val busy : t -> bool
+
+val start :
+  t ->
+  src:endpoint ->
+  dst:endpoint ->
+  nbytes:int ->
+  on_complete:(unit -> unit) ->
+  (unit, error) result
+(** [start t ~src ~dst ~nbytes ~on_complete] begins a transfer.
+    [on_complete] fires (via the simulation engine) after the modelled
+    duration, after the data has been moved. *)
+
+val source : t -> endpoint option
+(** Value of the SOURCE register while a transfer is in flight. *)
+
+val destination : t -> endpoint option
+(** Value of the DESTINATION register while a transfer is in flight. *)
+
+val count : t -> int
+(** Bytes requested by the in-flight transfer; 0 when idle. *)
+
+val remaining_bytes : t -> int
+(** Bytes not yet on the wire, estimated linearly; 0 when idle. *)
+
+val transfer_base : t -> int option
+(** Memory-side physical base address of the in-flight transfer, if it
+    has one — what the kernel's I4 check reads. *)
+
+val mem_page_in_flight : t -> page_size:int -> int -> bool
+(** [mem_page_in_flight t ~page_size frame] is [true] when physical
+    page [frame] overlaps the memory side of the in-flight transfer. *)
+
+val abort : t -> bool
+(** Cancel the in-flight transfer (no data is moved, no completion
+    callback fires). Returns [false] when idle. The paper notes such a
+    mechanism "is not hard to imagine adding" (§5); it is exercised in
+    failure-injection tests. *)
+
+val transfers_completed : t -> int
+val bytes_moved : t -> int

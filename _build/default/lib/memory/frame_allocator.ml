@@ -1,0 +1,67 @@
+type t = {
+  frames : int;
+  reserved : int;
+  free_set : bool array; (* index 0 = frame [reserved] *)
+  mutable free_count : int;
+  mutable search_hint : int; (* lowest index possibly free *)
+}
+
+let create ~frames ~reserved =
+  if reserved < 0 || reserved >= frames then
+    invalid_arg "Frame_allocator.create: bad reserved count";
+  {
+    frames;
+    reserved;
+    free_set = Array.make (frames - reserved) true;
+    free_count = frames - reserved;
+    search_hint = 0;
+  }
+
+let total t = t.frames - t.reserved
+
+let free_count t = t.free_count
+
+let alloc t =
+  if t.free_count = 0 then None
+  else begin
+    let n = Array.length t.free_set in
+    let rec find i = if i >= n then None else if t.free_set.(i) then Some i else find (i + 1) in
+    match find t.search_hint with
+    | None -> None (* hint stale and nothing above it; rescan from 0 *)
+    | Some i ->
+        t.free_set.(i) <- false;
+        t.free_count <- t.free_count - 1;
+        t.search_hint <- i + 1;
+        Some (i + t.reserved)
+  end
+
+(* The hint only moves forward on alloc and back on free, so a stale
+   hint can only over-shoot when frees happened below it; reset then. *)
+let alloc t =
+  match alloc t with
+  | Some f -> Some f
+  | None when t.free_count > 0 ->
+      t.search_hint <- 0;
+      alloc t
+  | None -> None
+
+let alloc_exn t =
+  match alloc t with
+  | Some f -> f
+  | None -> failwith "Frame_allocator.alloc_exn: out of physical frames"
+
+let check_range t f what =
+  if f < t.reserved || f >= t.frames then
+    invalid_arg (Printf.sprintf "Frame_allocator.%s: frame %d out of range" what f)
+
+let free t f =
+  check_range t f "free";
+  let i = f - t.reserved in
+  if t.free_set.(i) then
+    invalid_arg (Printf.sprintf "Frame_allocator.free: double free of frame %d" f);
+  t.free_set.(i) <- true;
+  t.free_count <- t.free_count + 1;
+  if i < t.search_hint then t.search_hint <- i
+
+let is_free t f =
+  if f < t.reserved || f >= t.frames then false else t.free_set.(f - t.reserved)

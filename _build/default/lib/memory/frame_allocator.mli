@@ -1,0 +1,30 @@
+(** Physical frame allocator.
+
+    Tracks which frames of a {!Phys_mem.t} are free. Frames are
+    allocated lowest-first so runs are deterministic. *)
+
+type t
+
+val create : frames:int -> reserved:int -> t
+(** [create ~frames ~reserved] manages frames [reserved .. frames-1];
+    the first [reserved] frames (kernel image, device tables) are never
+    handed out. Raises [Invalid_argument] if [reserved < 0] or
+    [reserved >= frames]. *)
+
+val total : t -> int
+(** Frames under management (excludes reserved). *)
+
+val free_count : t -> int
+
+val alloc : t -> int option
+(** [alloc t] takes the lowest free frame, or [None] when exhausted. *)
+
+val alloc_exn : t -> int
+(** Like {!alloc} but raises [Failure] when out of memory. *)
+
+val free : t -> int -> unit
+(** [free t f] returns frame [f]. Raises [Invalid_argument] if [f] is
+    reserved, out of range, or already free (double free). *)
+
+val is_free : t -> int -> bool
+(** [is_free t f] for managed frames; reserved frames report [false]. *)

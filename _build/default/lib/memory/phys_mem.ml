@@ -1,0 +1,67 @@
+type t = { data : Bytes.t; frames : int; page_size : int }
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let create ~frames ~page_size =
+  if frames <= 0 then invalid_arg "Phys_mem.create: frames must be positive";
+  if not (is_power_of_two page_size) then
+    invalid_arg "Phys_mem.create: page_size must be a positive power of two";
+  { data = Bytes.make (frames * page_size) '\000'; frames; page_size }
+
+let frames t = t.frames
+let page_size t = t.page_size
+let size t = Bytes.length t.data
+
+let check t addr len what =
+  if addr < 0 || len < 0 || addr + len > Bytes.length t.data then
+    invalid_arg
+      (Printf.sprintf "Phys_mem.%s: [%#x,+%d) out of range [0,%#x)" what addr
+         len (Bytes.length t.data))
+
+let read_byte t addr =
+  check t addr 1 "read_byte";
+  Char.code (Bytes.get t.data addr)
+
+let write_byte t addr v =
+  check t addr 1 "write_byte";
+  Bytes.set t.data addr (Char.chr (v land 0xff))
+
+let check_aligned addr what =
+  if addr land 3 <> 0 then
+    invalid_arg (Printf.sprintf "Phys_mem.%s: unaligned address %#x" what addr)
+
+let read_word t addr =
+  check t addr 4 "read_word";
+  check_aligned addr "read_word";
+  Bytes.get_int32_le t.data addr
+
+let write_word t addr v =
+  check t addr 4 "write_word";
+  check_aligned addr "write_word";
+  Bytes.set_int32_le t.data addr v
+
+let read_bytes t ~addr ~len =
+  check t addr len "read_bytes";
+  Bytes.sub t.data addr len
+
+let write_bytes t ~addr b =
+  check t addr (Bytes.length b) "write_bytes";
+  Bytes.blit b 0 t.data addr (Bytes.length b)
+
+let blit t ~src ~dst ~len =
+  check t src len "blit";
+  check t dst len "blit";
+  Bytes.blit t.data src t.data dst len
+
+let frame_base t f =
+  if f < 0 || f >= t.frames then
+    invalid_arg (Printf.sprintf "Phys_mem.frame_base: frame %d" f);
+  f * t.page_size
+
+let frame_of_addr t addr =
+  check t addr 1 "frame_of_addr";
+  addr / t.page_size
+
+let fill_frame t ~frame v =
+  let base = frame_base t frame in
+  Bytes.fill t.data base t.page_size (Char.chr (v land 0xff))

@@ -1,0 +1,1 @@
+lib/mmu/layout.mli: Format

@@ -1,0 +1,1 @@
+lib/mmu/mmu.ml: Format Layout Page_table Printexc Pte Tlb

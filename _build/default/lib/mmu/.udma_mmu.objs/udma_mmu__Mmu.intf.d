@@ -1,0 +1,1 @@
+lib/mmu/mmu.mli: Format Layout Page_table Tlb

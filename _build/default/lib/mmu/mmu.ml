@@ -1,0 +1,95 @@
+type access = Read | Write
+
+let pp_access ppf = function
+  | Read -> Format.pp_print_string ppf "read"
+  | Write -> Format.pp_print_string ppf "write"
+
+type fault_kind = Not_present | Protection | Out_of_range
+
+let pp_fault_kind ppf = function
+  | Not_present -> Format.pp_print_string ppf "not-present"
+  | Protection -> Format.pp_print_string ppf "protection"
+  | Out_of_range -> Format.pp_print_string ppf "out-of-range"
+
+exception Fault of { vaddr : int; access : access; kind : fault_kind }
+
+let () =
+  Printexc.register_printer (function
+    | Fault { vaddr; access; kind } ->
+        Some
+          (Format.asprintf "Mmu.Fault(%#x, %a, %a)" vaddr pp_access access
+             pp_fault_kind kind)
+    | _ -> None)
+
+type t = { layout : Layout.t; tlb : Tlb.t }
+
+let create ~layout ~tlb_capacity =
+  { layout; tlb = Tlb.create ~capacity:tlb_capacity }
+
+let layout t = t.layout
+let tlb t = t.tlb
+
+type translation = { paddr : int; tlb_hit : bool }
+
+let fault vaddr access kind = raise (Fault { vaddr; access; kind })
+
+(* Find a usable PTE for [vpn], recording whether the TLB supplied it.
+   A TLB hit whose entry is stale (not present) falls back to the walk
+   path after flushing; the kernel may have paged the frame out. *)
+let find_pte t pt vpn =
+  match Tlb.lookup t.tlb vpn with
+  | Some pte when pte.Pte.present -> Some (pte, true)
+  | Some _ ->
+      Tlb.flush_page t.tlb vpn;
+      (match Page_table.find pt vpn with
+      | Some pte when pte.Pte.present -> Some (pte, false)
+      | Some _ | None -> None)
+  | None -> (
+      match Page_table.find pt vpn with
+      | Some pte when pte.Pte.present ->
+          Tlb.insert t.tlb vpn pte;
+          Some (pte, false)
+      | Some _ | None -> None)
+
+let translate t pt access vaddr =
+  (match Layout.region_of t.layout vaddr with
+  | Some _ -> ()
+  | None -> fault vaddr access Out_of_range);
+  let vpn = Layout.page_of_addr t.layout vaddr in
+  match find_pte t pt vpn with
+  | None -> fault vaddr access Not_present
+  | Some (pte, tlb_hit) ->
+      (match access with
+      | Read -> ()
+      | Write -> if not pte.Pte.writable then fault vaddr access Protection);
+      pte.Pte.referenced <- true;
+      (match access with
+      | Write -> pte.Pte.dirty <- true
+      | Read -> ());
+      let paddr =
+        Layout.addr_of_page t.layout pte.Pte.ppage
+        + Layout.offset_in_page t.layout vaddr
+      in
+      { paddr; tlb_hit }
+
+let probe t pt access vaddr =
+  match Layout.region_of t.layout vaddr with
+  | None -> Error Out_of_range
+  | Some _ -> (
+      let vpn = Layout.page_of_addr t.layout vaddr in
+      match Page_table.find pt vpn with
+      | None -> Error Not_present
+      | Some pte when not pte.Pte.present -> Error Not_present
+      | Some pte -> (
+          match access with
+          | Write when not pte.Pte.writable -> Error Protection
+          | Read | Write ->
+              let paddr =
+                Layout.addr_of_page t.layout pte.Pte.ppage
+                + Layout.offset_in_page t.layout vaddr
+              in
+              Ok { paddr; tlb_hit = false }))
+
+let flush_tlb t = Tlb.flush_all t.tlb
+
+let flush_tlb_page t ~vpn = Tlb.flush_page t.tlb vpn

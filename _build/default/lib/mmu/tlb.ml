@@ -1,0 +1,54 @@
+type entry = { vpn : int; pte : Pte.t; mutable stamp : int }
+
+type t = {
+  capacity : int;
+  mutable entries : entry list; (* unordered, length <= capacity *)
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Tlb.create: capacity must be positive";
+  { capacity; entries = []; tick = 0; hits = 0; misses = 0 }
+
+let capacity t = t.capacity
+
+let lookup t vpn =
+  match List.find_opt (fun e -> e.vpn = vpn) t.entries with
+  | Some e ->
+      t.tick <- t.tick + 1;
+      e.stamp <- t.tick;
+      t.hits <- t.hits + 1;
+      Some e.pte
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let insert t vpn pte =
+  t.tick <- t.tick + 1;
+  let without = List.filter (fun e -> e.vpn <> vpn) t.entries in
+  let without =
+    if List.length without >= t.capacity then
+      (* Evict the least recently used entry. *)
+      let lru =
+        List.fold_left
+          (fun acc e ->
+            match acc with
+            | None -> Some e
+            | Some best -> if e.stamp < best.stamp then Some e else acc)
+          None without
+      in
+      match lru with
+      | Some victim -> List.filter (fun e -> e != victim) without
+      | None -> without
+    else without
+  in
+  t.entries <- { vpn; pte; stamp = t.tick } :: without
+
+let flush_page t vpn = t.entries <- List.filter (fun e -> e.vpn <> vpn) t.entries
+
+let flush_all t = t.entries <- []
+
+let hits t = t.hits
+let misses t = t.misses

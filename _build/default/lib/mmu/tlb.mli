@@ -1,0 +1,30 @@
+(** Translation lookaside buffer.
+
+    A small, fully associative, LRU-replaced cache of page-table
+    entries. Entries alias the live {!Pte.t} objects, so bit updates
+    (dirty/referenced) made through the TLB are visible in the page
+    table — but a cached entry must be flushed when the page table
+    mapping itself is removed or replaced. *)
+
+type t
+
+val create : capacity:int -> t
+(** Raises [Invalid_argument] if [capacity <= 0]. *)
+
+val capacity : t -> int
+
+val lookup : t -> int -> Pte.t option
+(** [lookup t vpn] is a hit (refreshing LRU order) or [None]. *)
+
+val insert : t -> int -> Pte.t -> unit
+(** [insert t vpn pte] caches an entry, evicting the LRU one if full. *)
+
+val flush_page : t -> int -> unit
+(** Drop the entry for [vpn] if cached. *)
+
+val flush_all : t -> unit
+(** Full flush (context switch). *)
+
+val hits : t -> int
+val misses : t -> int
+(** Cumulative counters (a [lookup] returning [None] is a miss). *)

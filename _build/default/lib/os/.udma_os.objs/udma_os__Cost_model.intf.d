@@ -1,0 +1,1 @@
+lib/os/cost_model.mli:

@@ -1,0 +1,1 @@
+lib/os/kernel.ml: Bytes Cost_model Machine Printf Proc Scheduler Udma Udma_dma Udma_memory Udma_mmu Udma_sim Vm

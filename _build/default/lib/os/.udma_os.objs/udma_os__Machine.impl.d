@@ -1,0 +1,1 @@
+lib/os/machine.ml: Cost_model Hashtbl List Proc Udma Udma_dma Udma_memory Udma_mmu Udma_sim

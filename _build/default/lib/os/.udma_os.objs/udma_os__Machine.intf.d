@@ -1,0 +1,1 @@
+lib/os/machine.mli: Cost_model Hashtbl Proc Udma Udma_dma Udma_memory Udma_mmu Udma_sim

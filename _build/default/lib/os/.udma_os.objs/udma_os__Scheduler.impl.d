@@ -1,0 +1,1 @@
+lib/os/scheduler.ml: Cost_model List Machine Proc Udma Udma_mmu Udma_sim

@@ -1,0 +1,1 @@
+lib/os/syscall.ml: Cost_model Format List Machine Proc Result Udma Udma_dma Udma_memory Udma_mmu Udma_sim Vm

@@ -1,0 +1,1 @@
+lib/os/syscall.mli: Format Machine Proc Udma_dma

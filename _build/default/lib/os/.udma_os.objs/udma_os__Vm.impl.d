@@ -1,0 +1,1 @@
+lib/os/vm.ml: Cost_model Format Hashtbl List Machine Option Printexc Proc Udma Udma_dma Udma_memory Udma_mmu Udma_sim

@@ -1,0 +1,68 @@
+type t = {
+  mhz : int;
+  cached_ref : int;
+  tlb_miss : int;
+  uncached_ref : int;
+  page_fault : int;
+  proxy_map : int;
+  dirty_upgrade : int;
+  syscall : int;
+  translate_page : int;
+  pin_page : int;
+  unpin_page : int;
+  descriptor_build : int;
+  dma_start : int;
+  interrupt : int;
+  context_switch : int;
+  copy_per_byte_x8 : int;
+  page_io : int;
+  remap_check : int;
+}
+
+let default =
+  {
+    mhz = 72;
+    cached_ref = 2;
+    tlb_miss = 24;
+    uncached_ref = 50;
+    page_fault = 500;
+    proxy_map = 300;
+    dirty_upgrade = 250;
+    syscall = 800;
+    translate_page = 160;
+    pin_page = 600;
+    unpin_page = 400;
+    descriptor_build = 200;
+    dma_start = 100;
+    interrupt = 1000;
+    context_switch = 1200;
+    copy_per_byte_x8 = 8; (* 1 cycle per byte *)
+    page_io = 20_000;
+    remap_check = 40;
+  }
+
+(* §1: >350 us of per-transfer overhead on the Paragon HIPPI path.
+   At the modelled 72 MHz that is ~25_000 cycles per transfer. The
+   Paragon path amortises its pinned I/O buffers, so the overhead is
+   dominated by fixed per-call work (syscall, descriptor, start,
+   interrupt) with only light per-page bookkeeping. *)
+let hippi =
+  {
+    default with
+    syscall = 9_000;
+    translate_page = 60;
+    pin_page = 100;
+    unpin_page = 40;
+    descriptor_build = 5_000;
+    dma_start = 1_700;
+    interrupt = 9_000;
+  }
+
+let us_of_cycles t c = float_of_int c /. float_of_int t.mhz
+
+let copy_cycles t nbytes =
+  if nbytes < 0 then invalid_arg "Cost_model.copy_cycles: negative size";
+  (nbytes * t.copy_per_byte_x8 + 7) / 8
+
+let udma_initiation_estimate t ~alignment_check_cycles =
+  (2 * t.uncached_ref) + alignment_check_cycles

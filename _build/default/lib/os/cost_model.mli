@@ -1,0 +1,44 @@
+(** Cycle costs of kernel and memory-system operations.
+
+    Every experiment parameterises the simulation through one of these
+    records; DESIGN.md §5 documents the calibration. The modelled clock
+    is [mhz] MHz, so microseconds = cycles / mhz. *)
+
+type t = {
+  mhz : int;
+  cached_ref : int;       (** user load/store hitting the cache + TLB *)
+  tlb_miss : int;         (** additional cost of a page-table walk *)
+  uncached_ref : int;     (** uncached (I/O-bus) reference — proxy space *)
+  page_fault : int;       (** trap entry + dispatch + return *)
+  proxy_map : int;        (** creating one proxy PTE on demand (§6) *)
+  dirty_upgrade : int;    (** I3 write-enable + dirty-mark path (§6) *)
+  syscall : int;          (** system-call entry + exit *)
+  translate_page : int;   (** kernel virtual→physical translation, per page *)
+  pin_page : int;         (** pinning one page (traditional DMA) *)
+  unpin_page : int;
+  descriptor_build : int; (** building one DMA descriptor *)
+  dma_start : int;        (** kernel pokes the DMA control register *)
+  interrupt : int;        (** completion interrupt + handler *)
+  context_switch : int;   (** full context switch, incl. the I1 Inval store *)
+  copy_per_byte_x8 : int; (** memory-copy cost in eighths of a cycle/byte *)
+  page_io : int;          (** one page in/out of backing store *)
+  remap_check : int;      (** I4 check: read engine registers / refcount *)
+}
+
+val default : t
+(** The SHRIMP-calibrated profile (72 MHz; DESIGN.md §5): the
+    two-reference initiation plus the user library's page-boundary
+    check totals 200 cycles = 2.8 µs, the paper's §8 figure. *)
+
+val hippi : t
+(** The §1 motivation profile: kernel-initiated DMA with ≈350 µs of
+    software overhead per transfer on a 100 MB/s-class channel. *)
+
+val us_of_cycles : t -> int -> float
+
+val copy_cycles : t -> int -> int
+(** [copy_cycles t nbytes] is the memory-copy cost for [nbytes]. *)
+
+val udma_initiation_estimate : t -> alignment_check_cycles:int -> int
+(** Two uncached references plus the user library's check — the §8
+    number. *)

@@ -1,0 +1,39 @@
+(** Kernel glue: the simulated user-level CPU and setup helpers.
+
+    {!user_cpu} turns a process into the {!Udma.Initiator.cpu} the
+    user-level library runs on: each reference consults the preemption
+    hook (I1 failure injection), translates through the MMU, lets the
+    VM resolve faults, charges the calibrated cycle cost (cached,
+    TLB-miss or uncached), and routes the physical access over the
+    bus — proxy references therefore land in the UDMA engine exactly as
+    on real hardware. *)
+
+val user_cpu : Machine.t -> Proc.t -> Udma.Initiator.cpu
+(** CPU operations for [proc]. Issuing an operation when another
+    process is current performs a real context switch first (with its
+    I1 Inval), so tests interleave processes simply by interleaving
+    calls. Raises {!Vm.Segfault} for illegal accesses and
+    [Invalid_argument] for unaligned word access. *)
+
+val alloc_buffer : Machine.t -> Proc.t -> bytes:int -> int
+(** Allocate and map a page-aligned user buffer of at least [bytes]
+    bytes; returns its virtual address. New pages are clean. *)
+
+val write_user : Machine.t -> Proc.t -> vaddr:int -> bytes -> unit
+(** Loader-style helper (no cycle cost): copy data into user memory
+    through the page table, paging in as needed and setting dirty bits
+    as a kernel write would. *)
+
+val read_user : Machine.t -> Proc.t -> vaddr:int -> len:int -> bytes
+(** Loader-style helper (no cycle cost): copy data out of user
+    memory. *)
+
+val touch_dirty : Machine.t -> Proc.t -> vaddr:int -> unit
+(** Make the page dirty the honest way: one user-level store of the
+    word already there (costs cycles, may fault). Used to pre-arm I3
+    before using a page as a UDMA destination. *)
+
+val vdev_addr : Machine.t -> index:int -> offset:int -> int
+(** The virtual device-proxy address of byte [offset] in device-proxy
+    page [index] (identical to the physical one; mappings decide
+    access). *)

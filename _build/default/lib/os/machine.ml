@@ -1,0 +1,143 @@
+module Engine = Udma_sim.Engine
+module Stats = Udma_sim.Stats
+module Trace = Udma_sim.Trace
+module Layout = Udma_mmu.Layout
+module Mmu = Udma_mmu.Mmu
+module Phys_mem = Udma_memory.Phys_mem
+module Frame_allocator = Udma_memory.Frame_allocator
+module Backing_store = Udma_memory.Backing_store
+module Bus = Udma_dma.Bus
+module Dma_engine = Udma_dma.Dma_engine
+module Udma_engine = Udma.Udma_engine
+
+type i3_policy = Write_upgrade | Proxy_dirty_union
+
+type t = {
+  engine : Engine.t;
+  layout : Layout.t;
+  mem : Phys_mem.t;
+  alloc : Frame_allocator.t;
+  swap : Backing_store.t;
+  bus : Bus.t;
+  mmu : Mmu.t;
+  dma : Dma_engine.t;
+  udma : Udma_engine.t option;
+  costs : Cost_model.t;
+  i3_policy : i3_policy;
+  stats : Stats.t;
+  trace : Trace.t;
+  mutable procs : Proc.t list;
+  mutable runq : Proc.t list;
+  mutable current : Proc.t option;
+  mutable next_pid : int;
+  frame_owner : (int, int * int) Hashtbl.t;
+  swap_slots : (int * int, Backing_store.slot) Hashtbl.t;
+  pinned : (int, int) Hashtbl.t;
+  mutable clock_hand : int;
+  mutable preempt_hook : (t -> bool) option;
+}
+
+type config = {
+  page_size : int;
+  mem_pages : int;
+  virt_pages : int;
+  dev_pages : int;
+  reserved_frames : int;
+  tlb_entries : int;
+  udma_mode : Udma_engine.mode option;
+  costs : Cost_model.t;
+  i3_policy : i3_policy;
+  bus_timing : Bus.timing;
+  trace_enabled : bool;
+  shared_engine : Engine.t option;
+      (* multi-node systems run every machine on one engine *)
+}
+
+let default_config =
+  {
+    page_size = 4096;
+    mem_pages = 512;
+    virt_pages = 2048;
+    dev_pages = 64;
+    reserved_frames = 2;
+    tlb_entries = 64;
+    udma_mode = Some Udma_engine.Basic;
+    costs = Cost_model.default;
+    i3_policy = Write_upgrade;
+    bus_timing = Bus.default_timing;
+    trace_enabled = false;
+    shared_engine = None;
+  }
+
+let create ?(config = default_config) () =
+  (* the virtual user region may exceed installed memory (demand
+     paging); the layout describes the larger of the two and physical
+     addresses beyond installed memory simply never get mapped *)
+  let virt_pages = max config.virt_pages config.mem_pages in
+  let layout =
+    Layout.create ~page_size:config.page_size ~mem_pages:virt_pages
+      ~dev_pages:config.dev_pages
+  in
+  let mem =
+    Phys_mem.create ~frames:config.mem_pages ~page_size:config.page_size
+  in
+  let engine =
+    match config.shared_engine with
+    | Some e -> e
+    | None -> Engine.create ~mhz:config.costs.Cost_model.mhz ()
+  in
+  let bus = Bus.create ~timing:config.bus_timing mem in
+  let mmu = Mmu.create ~layout ~tlb_capacity:config.tlb_entries in
+  let dma = Dma_engine.create ~engine ~bus in
+  let trace = Trace.create ~enabled:config.trace_enabled () in
+  let udma =
+    match config.udma_mode with
+    | None -> None
+    | Some mode ->
+        Some (Udma_engine.create ~engine ~layout ~bus ~dma ~mode ~trace ())
+  in
+  {
+    engine;
+    layout;
+    mem;
+    alloc =
+      Frame_allocator.create ~frames:config.mem_pages
+        ~reserved:config.reserved_frames;
+    swap = Backing_store.create ~page_size:config.page_size;
+    bus;
+    mmu;
+    dma;
+    udma;
+    costs = config.costs;
+    i3_policy = config.i3_policy;
+    stats = Stats.create ();
+    trace;
+    procs = [];
+    runq = [];
+    current = None;
+    next_pid = 1;
+    frame_owner = Hashtbl.create 64;
+    swap_slots = Hashtbl.create 64;
+    pinned = Hashtbl.create 16;
+    clock_hand = config.reserved_frames;
+    preempt_hook = None;
+  }
+
+let find_proc t ~pid = List.find_opt (fun p -> p.Proc.pid = pid) t.procs
+
+let charge t cycles =
+  Engine.advance t.engine cycles;
+  match t.current with
+  | Some p -> p.Proc.cpu_cycles <- p.Proc.cpu_cycles + cycles
+  | None -> ()
+
+let pages_per_span t = Layout.span t.layout / Layout.page_size t.layout
+
+let proxy_vpn t vpn = vpn + pages_per_span t
+
+let proxy_ppage t frame = frame + pages_per_span t
+
+let frame_is_pinned t frame =
+  match Hashtbl.find_opt t.pinned frame with
+  | Some n -> n > 0
+  | None -> false

@@ -1,0 +1,90 @@
+(** One simulated node: hardware plus kernel-visible state.
+
+    [Machine.t] is the record every OS module operates on. It is built
+    by {!create}, which assembles physical memory, the bus, the MMU,
+    the DMA engine and (optionally) the UDMA engine over one simulation
+    engine. *)
+
+(** How invariant I3 (content consistency, paper §6) is maintained. *)
+type i3_policy =
+  | Write_upgrade
+      (** the paper's primary method: a proxy page is writable only
+          while its real page is dirty; the first proxy write faults
+          and upgrades; cleaning write-protects the proxy page *)
+  | Proxy_dirty_union
+      (** the paper's alternative: proxy pages carry their own dirty
+          bits and the paging code treats a page as dirty when either
+          it or its proxy page is dirty — "conceptually simpler, but
+          requires more changes to the paging code" *)
+
+type t = {
+  engine : Udma_sim.Engine.t;
+  layout : Udma_mmu.Layout.t;
+  mem : Udma_memory.Phys_mem.t;
+  alloc : Udma_memory.Frame_allocator.t;
+  swap : Udma_memory.Backing_store.t;
+  bus : Udma_dma.Bus.t;
+  mmu : Udma_mmu.Mmu.t;
+  dma : Udma_dma.Dma_engine.t;
+  udma : Udma.Udma_engine.t option;
+      (** [None] builds a traditional-DMA-only machine (baselines) *)
+  costs : Cost_model.t;
+  i3_policy : i3_policy;
+  stats : Udma_sim.Stats.t;
+  trace : Udma_sim.Trace.t;
+  mutable procs : Proc.t list;
+  mutable runq : Proc.t list;        (** round-robin ready queue *)
+  mutable current : Proc.t option;
+  mutable next_pid : int;
+  frame_owner : (int, int * int) Hashtbl.t;
+      (** frame → (pid, vpn) for replacement; only user memory frames *)
+  swap_slots : (int * int, Udma_memory.Backing_store.slot) Hashtbl.t;
+      (** (pid, vpn) → swap slot for paged-out pages *)
+  pinned : (int, int) Hashtbl.t;     (** frame → pin count *)
+  mutable clock_hand : int;          (** clock-replacement cursor *)
+  mutable preempt_hook : (t -> bool) option;
+      (** consulted before every user reference; returning [true]
+          forces a context switch (failure injection for I1 tests) *)
+}
+
+type config = {
+  page_size : int;
+  mem_pages : int;       (** physical frames *)
+  virt_pages : int;
+      (** user virtual pages (≥ [mem_pages]; excess is demand-paged) *)
+  dev_pages : int;       (** device-proxy pages *)
+  reserved_frames : int; (** frames the kernel keeps (≥ 1) *)
+  tlb_entries : int;
+  udma_mode : Udma.Udma_engine.mode option;
+      (** [None] = no UDMA hardware; [Some mode] installs the engine *)
+  costs : Cost_model.t;
+  i3_policy : i3_policy;
+  bus_timing : Udma_dma.Bus.timing;
+  trace_enabled : bool;
+  shared_engine : Udma_sim.Engine.t option;
+      (** multi-node systems pass one engine to every machine so that
+          all nodes share simulated time *)
+}
+
+val default_config : config
+(** 4 KB pages, 512 frames, 2048 virtual pages, 64 device-proxy pages,
+    2 reserved frames, 64 TLB entries, basic UDMA, default costs and
+    timing, no trace. *)
+
+val create : ?config:config -> unit -> t
+
+val find_proc : t -> pid:int -> Proc.t option
+
+val charge : t -> int -> unit
+(** [charge m cycles] advances the simulation clock by [cycles] and
+    attributes them to the current process. *)
+
+val proxy_vpn : t -> int -> int
+(** [proxy_vpn m vpn] is the virtual page number of [PROXY] of virtual
+    page [vpn]. *)
+
+val proxy_ppage : t -> int -> int
+(** [proxy_ppage m frame] is the physical page number of [PROXY] of
+    physical frame [frame]. *)
+
+val frame_is_pinned : t -> int -> bool

@@ -1,0 +1,33 @@
+type state = Ready | Running | Blocked | Exited
+
+let pp_state ppf = function
+  | Ready -> Format.pp_print_string ppf "ready"
+  | Running -> Format.pp_print_string ppf "running"
+  | Blocked -> Format.pp_print_string ppf "blocked"
+  | Exited -> Format.pp_print_string ppf "exited"
+
+type t = {
+  pid : int;
+  name : string;
+  page_table : Udma_mmu.Page_table.t;
+  mutable state : state;
+  mutable brk_vpn : int;
+  mutable faults : int;
+  mutable proxy_faults : int;
+  mutable cpu_cycles : int;
+}
+
+let make ~pid ~name =
+  {
+    pid;
+    name;
+    page_table = Udma_mmu.Page_table.create ();
+    state = Ready;
+    brk_vpn = 1;
+    faults = 0;
+    proxy_faults = 0;
+    cpu_cycles = 0;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "proc(%d:%s,%a)" t.pid t.name pp_state t.state

@@ -1,0 +1,70 @@
+module Stats = Udma_sim.Stats
+module Trace = Udma_sim.Trace
+module Engine = Udma_sim.Engine
+module Mmu = Udma_mmu.Mmu
+module Udma_engine = Udma.Udma_engine
+module M = Machine
+
+let spawn m ~name =
+  let proc = Proc.make ~pid:m.M.next_pid ~name in
+  m.M.next_pid <- m.M.next_pid + 1;
+  m.M.procs <- m.M.procs @ [ proc ];
+  m.M.runq <- m.M.runq @ [ proc ];
+  if m.M.current = None then begin
+    proc.Proc.state <- Proc.Running;
+    m.M.current <- Some proc
+  end;
+  proc
+
+let current m = m.M.current
+
+let switch_to m proc =
+  match m.M.current with
+  | Some cur when cur == proc -> ()
+  | cur ->
+      Machine.charge m m.M.costs.Cost_model.context_switch;
+      Stats.incr m.M.stats "sched.switches";
+      (* I1: invalidate any partially initiated UDMA sequence with a
+         single STORE of a negative count to a proxy address *)
+      (match m.M.udma with
+      | Some u -> Udma_engine.invalidate u
+      | None -> ());
+      Mmu.flush_tlb m.M.mmu;
+      (match cur with
+      | Some c when c.Proc.state = Proc.Running -> c.Proc.state <- Proc.Ready
+      | Some _ | None -> ());
+      proc.Proc.state <- Proc.Running;
+      m.M.current <- Some proc;
+      Trace.recordf m.M.trace ~time:(Engine.now m.M.engine)
+        "sched: switch to pid %d" proc.Proc.pid
+
+let ready m =
+  List.filter (fun p -> p.Proc.state <> Proc.Exited) m.M.runq
+
+let preempt m =
+  match (m.M.current, ready m) with
+  | _, [] | _, [ _ ] -> ()
+  | Some cur, rq -> (
+      (* rotate: next after current, wrapping *)
+      let rec next = function
+        | [] -> List.hd rq
+        | p :: rest -> if p == cur then (match rest with q :: _ -> q | [] -> List.hd rq) else next rest
+      in
+      match next rq with p -> switch_to m p)
+  | None, p :: _ -> switch_to m p
+
+let set_preempt_hook m hook = m.M.preempt_hook <- hook
+
+let maybe_preempt m =
+  match m.M.preempt_hook with
+  | Some hook -> if hook m then preempt m
+  | None -> ()
+
+let exit_proc m proc =
+  proc.Proc.state <- Proc.Exited;
+  m.M.runq <- List.filter (fun p -> not (p == proc)) m.M.runq;
+  match m.M.current with
+  | Some cur when cur == proc ->
+      m.M.current <- None;
+      (match ready m with p :: _ -> switch_to m p | [] -> ())
+  | Some _ | None -> ()

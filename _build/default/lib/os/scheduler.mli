@@ -1,0 +1,33 @@
+(** Process scheduling with the I1 context-switch hook.
+
+    The paper's atomicity invariant (I1) is maintained by one action:
+    every context switch stores a negative count to a valid proxy
+    address, resetting any partially initiated UDMA sequence (§6,
+    "the context-switch code does this with a single STORE
+    instruction"). The UDMA device itself is stateless across switches;
+    a transfer in flight continues. *)
+
+val spawn : Machine.t -> name:string -> Proc.t
+(** Create a process, append it to the ready queue. The first spawned
+    process becomes current. *)
+
+val current : Machine.t -> Proc.t option
+
+val switch_to : Machine.t -> Proc.t -> unit
+(** Full context switch: charges the switch cost, performs the I1
+    Inval store on the UDMA engine, flushes the TLB, and makes [proc]
+    current. Switching to the current process is a no-op. *)
+
+val preempt : Machine.t -> unit
+(** Round-robin: switch to the next ready process (no-op with fewer
+    than two ready processes). *)
+
+val set_preempt_hook : Machine.t -> (Machine.t -> bool) option -> unit
+(** Install the failure-injection hook consulted before every user
+    memory reference; returning [true] triggers {!preempt}. *)
+
+val maybe_preempt : Machine.t -> unit
+(** Consult the hook and preempt if it fires (called by the CPU layer). *)
+
+val exit_proc : Machine.t -> Proc.t -> unit
+(** Mark exited and drop from the ready queue. *)

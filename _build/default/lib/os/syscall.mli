@@ -1,0 +1,46 @@
+(** System calls — most importantly the traditional kernel-initiated
+    DMA path of paper §2, used as the baseline in every comparison.
+
+    A traditional transfer performs the four §2 steps: system call,
+    translate + verify + pin + descriptor, the transfer itself, and
+    completion interrupt + unpin + reschedule. The [Copy_through_buffer]
+    variant models the common alternative the paper mentions: copying
+    through reserved, pre-pinned kernel I/O buffers instead of pinning
+    user pages. *)
+
+type direction = To_device | From_device
+
+type strategy =
+  | Pin_user_pages      (** translate, pin, DMA directly, unpin *)
+  | Copy_through_buffer (** bounce through a pinned kernel page *)
+
+type error =
+  | Bad_address   (** range not mapped in the process *)
+  | Bad_size
+  | Device_error of string
+
+val pp_error : Format.formatter -> error -> unit
+
+val dma_transfer :
+  Machine.t ->
+  Proc.t ->
+  dir:direction ->
+  vaddr:int ->
+  nbytes:int ->
+  port:Udma_dma.Device.port ->
+  dev_addr:int ->
+  strategy:strategy ->
+  (int, error) result
+(** Blocking kernel DMA between user virtual memory and a device.
+    Returns the cycles consumed from syscall entry to return. *)
+
+val map_device_proxy :
+  Machine.t -> Proc.t -> vdev_index:int -> pdev_index:int -> writable:bool ->
+  (unit, error) result
+(** The §4 system call that grants a process a device-proxy mapping
+    (charges the syscall cost, then installs the PTE). *)
+
+val udma_enqueue_system :
+  Machine.t -> src_proxy:int -> dest_proxy:int -> nbytes:int ->
+  (unit, error) result
+(** Kernel-initiated transfer through the §7 system-priority queue. *)

@@ -1,0 +1,1 @@
+lib/shrimp/auto_update.ml: Buffer Bytes Hashtbl Network_interface Udma_dma Udma_mmu Udma_os Udma_sim

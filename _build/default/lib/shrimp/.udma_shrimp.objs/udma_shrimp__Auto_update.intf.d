@@ -1,0 +1,1 @@
+lib/shrimp/auto_update.mli: Network_interface Udma_os

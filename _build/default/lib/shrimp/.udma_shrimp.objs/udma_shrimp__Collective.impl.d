@@ -1,0 +1,1 @@
+lib/shrimp/collective.ml: Array Bytes Format Fun List Messaging Option System Udma Udma_mmu Udma_os

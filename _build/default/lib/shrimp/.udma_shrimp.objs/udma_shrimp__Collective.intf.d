@@ -1,0 +1,1 @@
+lib/shrimp/collective.mli: System Udma Udma_os

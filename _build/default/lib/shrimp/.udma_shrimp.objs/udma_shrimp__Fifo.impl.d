@@ -1,0 +1,1 @@
+lib/shrimp/fifo.ml: Packet Queue

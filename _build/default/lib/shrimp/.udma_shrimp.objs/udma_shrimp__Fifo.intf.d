@@ -1,0 +1,1 @@
+lib/shrimp/fifo.mli: Packet

@@ -1,0 +1,1 @@
+lib/shrimp/messaging.ml: Bytes Format Int32 Printf System Udma Udma_mmu Udma_os Udma_sim

@@ -1,0 +1,1 @@
+lib/shrimp/messaging.mli: Format System Udma Udma_os

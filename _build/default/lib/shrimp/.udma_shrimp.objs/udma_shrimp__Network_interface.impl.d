@@ -1,0 +1,1 @@
+lib/shrimp/network_interface.ml: Bytes Fifo Hashtbl Nipt Packet Printf Router Udma Udma_dma Udma_memory Udma_mmu Udma_os Udma_sim

@@ -1,0 +1,1 @@
+lib/shrimp/network_interface.mli: Nipt Packet Router Udma_dma Udma_os

@@ -1,0 +1,1 @@
+lib/shrimp/nipt.ml: Array Printf

@@ -1,0 +1,1 @@
+lib/shrimp/packet.ml: Bytes Format

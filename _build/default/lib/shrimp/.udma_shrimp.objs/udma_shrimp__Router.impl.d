@@ -1,0 +1,1 @@
+lib/shrimp/router.ml: Array Hashtbl Packet Printf Udma_sim

@@ -1,0 +1,1 @@
+lib/shrimp/router.mli: Packet Udma_sim

@@ -1,0 +1,1 @@
+lib/shrimp/system.ml: Array Auto_update Format List Network_interface Nipt Printf Router Udma_mmu Udma_os Udma_sim

@@ -1,0 +1,1 @@
+lib/shrimp/system.mli: Auto_update Network_interface Router Udma_os Udma_sim

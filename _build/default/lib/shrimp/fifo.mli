@@ -1,0 +1,25 @@
+(** Bounded packet FIFO (the outgoing/incoming FIFOs of Figure 6).
+
+    Capacity is accounted in bytes of packet data (header included) so
+    big packets occupy proportionally more of the buffer. *)
+
+type t
+
+val create : capacity_bytes:int -> t
+
+val capacity_bytes : t -> int
+val used_bytes : t -> int
+val length : t -> int
+
+val push : t -> Packet.t -> bool
+(** [false] when the packet does not fit (caller applies
+    backpressure). *)
+
+val pop : t -> Packet.t option
+
+val peek : t -> Packet.t option
+
+val is_empty : t -> bool
+
+val pushes : t -> int
+val rejections : t -> int

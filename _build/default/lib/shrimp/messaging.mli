@@ -1,0 +1,88 @@
+(** User-level message passing over deliberate update (paper §8).
+
+    A channel is a one-way mapping from a sender process to an
+    exported, pinned receive buffer. [send] is a UDMA transfer of the
+    payload followed by a 4-byte flag-word transfer carrying the
+    message sequence number; the receiver polls the flag word in its
+    own memory with ordinary cached loads — no interrupts, no kernel.
+
+    The last word of the buffer is the flag; the payload capacity is
+    the rest. *)
+
+type channel
+
+val capacity : channel -> int
+(** Usable payload bytes per message. *)
+
+val recv_vaddr : channel -> int
+(** Receiver's virtual address of the payload. *)
+
+val connect :
+  System.t ->
+  sender:int * Udma_os.Proc.t ->
+  receiver:int * Udma_os.Proc.t ->
+  ?first_index:int ->
+  pages:int ->
+  unit ->
+  channel
+(** Set up a channel using device-proxy/NIPT pages
+    [first_index .. first_index+pages-1] (default [first_index] 0) on
+    the sending node. Allocates and pins the receive buffer, fills the
+    NIPT, maps the proxies, and allocates the sender's staging page. *)
+
+type send_error = Transfer of Udma.Initiator.error
+
+val pp_send_error : Format.formatter -> send_error -> unit
+
+val send :
+  channel ->
+  Udma.Initiator.cpu ->
+  src_vaddr:int ->
+  nbytes:int ->
+  ?config:Udma.Initiator.config ->
+  unit ->
+  (int, send_error) result
+(** Blocking send of [nbytes] (4-byte multiple, at most [capacity]):
+    payload transfer, then flag transfer. Returns the message's
+    sequence number. *)
+
+val send_pipelined :
+  channel ->
+  Udma.Initiator.cpu ->
+  src_vaddr:int ->
+  nbytes:int ->
+  ?config:Udma.Initiator.config ->
+  unit ->
+  (int, send_error) result
+(** Like {!send} but issues the payload pages through the §7 hardware
+    queue ([Initiator.transfer_queued]) — two references per page,
+    waiting only once. Requires the sending node's UDMA engine to be in
+    [Queued] mode for real pipelining; degrades to serialised pieces on
+    basic hardware. *)
+
+val send_nowait :
+  channel ->
+  Udma.Initiator.cpu ->
+  src_vaddr:int ->
+  nbytes:int ->
+  ?pipelined:bool ->
+  ?config:Udma.Initiator.config ->
+  unit ->
+  (unit, send_error) result
+(** Payload only, no flag — the streaming-bandwidth primitive used by
+    the Figure 8 measurement. [pipelined] (default false) issues the
+    pages through the §7 queue. *)
+
+val recv_poll : channel -> Udma.Initiator.cpu -> int
+(** Current value of the flag word (the last delivered sequence
+    number; 0 before any message). *)
+
+val recv_wait :
+  channel -> Udma.Initiator.cpu -> seq:int -> ?max_polls:int -> unit ->
+  (int, string) result
+(** Poll until the flag reaches [seq] (default budget 10_000_000
+    polls); returns the number of polls. *)
+
+val read_payload : channel -> len:int -> bytes
+(** Receiver-side payload bytes (test/verification helper, no cycle
+    cost). *)

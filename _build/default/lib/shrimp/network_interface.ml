@@ -1,0 +1,207 @@
+module Engine = Udma_sim.Engine
+module Layout = Udma_mmu.Layout
+module Page_table = Udma_mmu.Page_table
+module Pte = Udma_mmu.Pte
+module Phys_mem = Udma_memory.Phys_mem
+module Bus = Udma_dma.Bus
+module Device = Udma_dma.Device
+module Udma_engine = Udma.Udma_engine
+module M = Udma_os.Machine
+
+type config = {
+  packetize_cycles : int;
+  out_fifo_bytes : int;
+  in_fifo_bytes : int;
+  link_word_cycles : int;
+}
+
+let default_config =
+  {
+    packetize_cycles = 15;
+    out_fifo_bytes = 65536;
+    in_fifo_bytes = 65536;
+    link_word_cycles = 1;
+  }
+
+type t = {
+  id : int;
+  machine : M.t;
+  config : config;
+  nipt : Nipt.t;
+  out_fifo : Fifo.t;
+  in_fifo : Fifo.t;
+  mutable router : Router.t option;
+  mutable out_busy_until : int;
+  mutable in_busy_until : int;
+  mutable next_seq : int;
+  mutable packets_sent : int;
+  mutable bytes_sent : int;
+  mutable packets_received : int;
+  mutable bytes_received : int;
+  mutable send_drops : int;
+  mutable receive_drops : int;
+  mutable delivery_errors : int;
+}
+
+let create ~id ~machine ?(config = default_config) () =
+  {
+    id;
+    machine;
+    config;
+    nipt = Nipt.create ~entries:(Layout.dev_pages machine.M.layout);
+    out_fifo = Fifo.create ~capacity_bytes:config.out_fifo_bytes;
+    in_fifo = Fifo.create ~capacity_bytes:config.in_fifo_bytes;
+    router = None;
+    out_busy_until = 0;
+    in_busy_until = 0;
+    next_seq = 0;
+    packets_sent = 0;
+    bytes_sent = 0;
+    packets_received = 0;
+    bytes_received = 0;
+    send_drops = 0;
+    receive_drops = 0;
+    delivery_errors = 0;
+  }
+
+let id t = t.id
+let nipt t = t.nipt
+
+let set_router t router = t.router <- Some router
+
+let err_misaligned = 0x1
+let err_no_mapping = 0x2
+
+let validate t ~dev_addr ~nbytes =
+  let page_size = Layout.page_size t.machine.M.layout in
+  let align = if dev_addr land 3 <> 0 || nbytes land 3 <> 0 then err_misaligned else 0 in
+  let mapping =
+    match Nipt.lookup t.nipt ~index:(dev_addr / page_size) with
+    | Some _ -> 0
+    | None -> err_no_mapping
+  in
+  align lor mapping
+
+(* Launch one packet: serialise on the outgoing link, then route. *)
+let launch t pkt =
+  match t.router with
+  | None -> t.send_drops <- t.send_drops + 1
+  | Some router ->
+      if Fifo.push t.out_fifo pkt then begin
+        let engine = t.machine.M.engine in
+        let now = Engine.now engine in
+        let words = (Packet.size_bytes pkt + 3) / 4 in
+        let start = max now t.out_busy_until in
+        t.out_busy_until <- start + (words * t.config.link_word_cycles);
+        Engine.schedule engine ~delay:(t.out_busy_until - now) (fun _ ->
+            match Fifo.pop t.out_fifo with
+            | Some pkt ->
+                t.packets_sent <- t.packets_sent + 1;
+                t.bytes_sent <- t.bytes_sent + Bytes.length pkt.Packet.payload;
+                Router.send router pkt
+            | None -> ())
+      end
+      else t.send_drops <- t.send_drops + 1
+
+(* The DMA engine hands over a whole transfer's data at once. *)
+let dev_write t ~addr data =
+  let page_size = Layout.page_size t.machine.M.layout in
+  let page = addr / page_size and offset = addr mod page_size in
+  match Nipt.lookup t.nipt ~index:page with
+  | None ->
+      (* validated at initiation; a vanished entry is a kernel bug *)
+      t.send_drops <- t.send_drops + 1
+  | Some { Nipt.dst_node; dst_frame } ->
+      let seq = t.next_seq in
+      t.next_seq <- seq + 1;
+      launch t
+        {
+          Packet.src_node = t.id;
+          dst_node;
+          dst_paddr = (dst_frame * page_size) + offset;
+          payload = Bytes.copy data;
+          seq;
+        }
+
+let send_raw t ~dst_node ~dst_paddr data =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  launch t
+    { Packet.src_node = t.id; dst_node; dst_paddr; payload = Bytes.copy data;
+      seq }
+
+(* EISA DMA on the receiving node: write payload to physical memory
+   and mark the page dirty so the data survives paging (paper §6 I3 —
+   here the hardware path, with the receive mapping pinned at import
+   time). *)
+let deposit t pkt =
+  let mem = t.machine.M.mem in
+  let paddr = pkt.Packet.dst_paddr in
+  let len = Bytes.length pkt.Packet.payload in
+  if paddr < 0 || paddr + len > Phys_mem.size mem then
+    t.delivery_errors <- t.delivery_errors + 1
+  else begin
+    Phys_mem.write_bytes mem ~addr:paddr pkt.Packet.payload;
+    t.packets_received <- t.packets_received + 1;
+    t.bytes_received <- t.bytes_received + len;
+    let frame = paddr / Layout.page_size t.machine.M.layout in
+    match Hashtbl.find_opt t.machine.M.frame_owner frame with
+    | Some (pid, vpn) -> (
+        match M.find_proc t.machine ~pid with
+        | Some proc -> (
+            match Page_table.find proc.Udma_os.Proc.page_table vpn with
+            | Some pte -> pte.Pte.dirty <- true
+            | None -> ())
+        | None -> ())
+    | None -> ()
+  end
+
+let receive t pkt =
+  if Fifo.push t.in_fifo pkt then begin
+    let engine = t.machine.M.engine in
+    let now = Engine.now engine in
+    let dma_cycles =
+      Bus.dma_burst_cycles t.machine.M.bus ~nbytes:(Packet.size_bytes pkt)
+    in
+    let start = max now t.in_busy_until in
+    t.in_busy_until <- start + dma_cycles;
+    Engine.schedule engine ~delay:(t.in_busy_until - now) (fun _ ->
+        match Fifo.pop t.in_fifo with
+        | Some pkt -> deposit t pkt
+        | None -> ())
+  end
+  else t.receive_drops <- t.receive_drops + 1
+
+let port t =
+  Device.
+    {
+      name = Printf.sprintf "shrimp-ni%d" t.id;
+      dev_write = (fun ~addr b -> dev_write t ~addr b);
+      dev_read =
+        (fun ~addr:_ ~len ->
+          (* send-only: never called because [readable] is false *)
+          Bytes.make len '\000');
+      access_cycles = (fun ~addr:_ ~len:_ -> t.config.packetize_cycles);
+      writable =
+        (fun ~addr ->
+          let page_size = Layout.page_size t.machine.M.layout in
+          Nipt.lookup t.nipt ~index:(addr / page_size) <> None);
+      readable = (fun ~addr:_ -> false);
+    }
+
+let attach t =
+  match t.machine.M.udma with
+  | None -> failwith "Network_interface.attach: machine has no UDMA engine"
+  | Some udma ->
+      Udma_engine.attach_device udma ~base_page:0
+        ~pages:(Layout.dev_pages t.machine.M.layout) ~port:(port t)
+        ~validate:(fun ~dev_addr ~nbytes -> validate t ~dev_addr ~nbytes)
+        ()
+
+let packets_sent t = t.packets_sent
+let bytes_sent t = t.bytes_sent
+let packets_received t = t.packets_received
+let bytes_received t = t.bytes_received
+let send_drops t = t.send_drops
+let receive_drops t = t.receive_drops
+let delivery_errors t = t.delivery_errors

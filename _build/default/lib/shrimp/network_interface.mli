@@ -1,0 +1,73 @@
+(** The SHRIMP network interface (paper §8, Figures 6–7).
+
+    A UDMA device whose device-proxy pages name entries of the
+    {!Nipt}. A deliberate-update send is a UDMA transfer from user
+    memory to the interface: at initiation the interface validates the
+    access (4-byte alignment, a configured NIPT entry — the
+    device-specific error bits of §5); when the DMA delivers the data
+    it packetizes (header = NIPT entry + offset) and launches the
+    packet through the router, serialising on the outgoing link. On
+    the receiving side the packet lands in the incoming FIFO and the
+    EISA DMA logic writes the payload straight to physical memory,
+    marking the frame's page dirty. *)
+
+type config = {
+  packetize_cycles : int;   (** header construction per transfer *)
+  out_fifo_bytes : int;
+  in_fifo_bytes : int;
+  link_word_cycles : int;   (** outgoing-link occupancy per word *)
+}
+
+val default_config : config
+(** 15-cycle packetize, 64 KB FIFOs, 1 cycle/word link (DESIGN.md §5
+    calibration). *)
+
+type t
+
+val create :
+  id:int -> machine:Udma_os.Machine.t -> ?config:config -> unit -> t
+
+val id : t -> int
+val nipt : t -> Nipt.t
+
+val set_router : t -> Router.t -> unit
+(** Must be called before the first send. *)
+
+val port : t -> Udma_dma.Device.port
+(** Send-only DMA port ([readable] is always false: SHRIMP uses UDMA
+    only for memory-to-device transfers, §8). *)
+
+val validate : t -> dev_addr:int -> nbytes:int -> int
+(** Device-specific validation for the UDMA engine: bit 0 set on a
+    misaligned address or count, bit 1 set on an unconfigured NIPT
+    entry. *)
+
+val send_raw : t -> dst_node:int -> dst_paddr:int -> bytes -> unit
+(** Launch a packet straight through the outgoing path, bypassing the
+    NIPT — used by the automatic-update snooper ({!Auto_update}),
+    whose bindings resolve destinations directly. *)
+
+val receive : t -> Packet.t -> unit
+(** Router sink: accept a packet into the incoming FIFO and schedule
+    its EISA DMA into memory. *)
+
+val attach : t -> unit
+(** Bind the interface to its machine's UDMA engine over the whole
+    device-proxy region. Raises [Failure] if the machine has no UDMA
+    engine. *)
+
+(** {1 Counters} *)
+
+val packets_sent : t -> int
+val bytes_sent : t -> int
+val packets_received : t -> int
+val bytes_received : t -> int
+
+val send_drops : t -> int
+(** Packets lost to outgoing FIFO overflow. *)
+
+val receive_drops : t -> int
+(** Packets lost to incoming FIFO overflow. *)
+
+val delivery_errors : t -> int
+(** Packets naming physical memory out of range. *)

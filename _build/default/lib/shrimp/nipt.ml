@@ -1,0 +1,27 @@
+type entry = { dst_node : int; dst_frame : int }
+
+type t = { table : entry option array }
+
+let create ~entries =
+  if entries <= 0 then invalid_arg "Nipt.create: entries must be positive";
+  { table = Array.make entries None }
+
+let capacity t = Array.length t.table
+
+let check t index what =
+  if index < 0 || index >= Array.length t.table then
+    invalid_arg (Printf.sprintf "Nipt.%s: index %d out of range" what index)
+
+let set t ~index entry =
+  check t index "set";
+  t.table.(index) <- Some entry
+
+let clear t ~index =
+  check t index "clear";
+  t.table.(index) <- None
+
+let lookup t ~index =
+  if index < 0 || index >= Array.length t.table then None else t.table.(index)
+
+let valid_count t =
+  Array.fold_left (fun n e -> if e = None then n else n + 1) 0 t.table

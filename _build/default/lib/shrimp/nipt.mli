@@ -1,0 +1,27 @@
+(** The Network Interface Page Table (paper §8, Figures 6–7).
+
+    Every potential message destination is an entry naming a remote
+    node and a physical page on that node. A device-proxy address is
+    split into a page number and an offset; the page number indexes the
+    NIPT directly, and the offset is combined with the entry's remote
+    page to form the remote physical address. The real board indexes
+    with 15 bits (32 K destination pages); the size here is
+    configurable. *)
+
+type entry = { dst_node : int; dst_frame : int }
+
+type t
+
+val create : entries:int -> t
+
+val capacity : t -> int
+
+val set : t -> index:int -> entry -> unit
+(** Kernel-only operation: configure a destination. *)
+
+val clear : t -> index:int -> unit
+
+val lookup : t -> index:int -> entry option
+(** [None] for invalid/unconfigured entries. *)
+
+val valid_count : t -> int

@@ -1,0 +1,15 @@
+type t = {
+  src_node : int;
+  dst_node : int;
+  dst_paddr : int;
+  payload : bytes;
+  seq : int;
+}
+
+let header_bytes = 16
+
+let size_bytes t = Bytes.length t.payload + header_bytes
+
+let pp ppf t =
+  Format.fprintf ppf "pkt#%d %d->%d @%#x (%d bytes)" t.seq t.src_node
+    t.dst_node t.dst_paddr (Bytes.length t.payload)

@@ -1,0 +1,92 @@
+module Engine = Udma_sim.Engine
+
+type config = {
+  base_cycles : int;
+  per_hop_cycles : int;
+  per_word_cycles : int;
+}
+
+let default_config = { base_cycles = 20; per_hop_cycles = 8; per_word_cycles = 1 }
+
+type t = {
+  engine : Engine.t;
+  config : config;
+  node_count : int;
+  width : int;
+  sinks : (Packet.t -> unit) option array;
+  last_arrival : (int * int, int) Hashtbl.t;
+      (* dimension-order routing uses one fixed path per (src, dst), so
+         packets between a pair of nodes are delivered in order *)
+  mutable packets_routed : int;
+  mutable bytes_routed : int;
+}
+
+let create ~engine ~nodes ?(config = default_config) () =
+  if nodes <= 0 then invalid_arg "Router.create: nodes must be positive";
+  let width =
+    let rec go w = if w * w >= nodes then w else go (w + 1) in
+    go 1
+  in
+  {
+    engine;
+    config;
+    node_count = nodes;
+    width;
+    sinks = Array.make nodes None;
+    last_arrival = Hashtbl.create 16;
+    packets_routed = 0;
+    bytes_routed = 0;
+  }
+
+let nodes t = t.node_count
+
+let check_node t id what =
+  if id < 0 || id >= t.node_count then
+    invalid_arg (Printf.sprintf "Router.%s: node %d out of range" what id)
+
+let coords t id =
+  check_node t id "coords";
+  (id mod t.width, id / t.width)
+
+let hops t ~src ~dst =
+  let sx, sy = coords t src and dx, dy = coords t dst in
+  abs (sx - dx) + abs (sy - dy)
+
+let register t ~node_id sink =
+  check_node t node_id "register";
+  t.sinks.(node_id) <- Some sink
+
+let latency_cycles t ~src ~dst ~bytes =
+  let words = (bytes + 3) / 4 in
+  t.config.base_cycles
+  + (hops t ~src ~dst * t.config.per_hop_cycles)
+  + (words * t.config.per_word_cycles)
+
+let send t pkt =
+  check_node t pkt.Packet.src_node "send";
+  check_node t pkt.Packet.dst_node "send";
+  match t.sinks.(pkt.Packet.dst_node) with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Router.send: node %d has no sink" pkt.Packet.dst_node)
+  | Some sink ->
+      let bytes = Packet.size_bytes pkt in
+      let latency =
+        latency_cycles t ~src:pkt.Packet.src_node ~dst:pkt.Packet.dst_node
+          ~bytes
+      in
+      let key = (pkt.Packet.src_node, pkt.Packet.dst_node) in
+      let earliest =
+        match Hashtbl.find_opt t.last_arrival key with
+        | Some last -> last + 1
+        | None -> 0
+      in
+      let arrival = max (Engine.now t.engine + latency) earliest in
+      Hashtbl.replace t.last_arrival key arrival;
+      t.packets_routed <- t.packets_routed + 1;
+      t.bytes_routed <- t.bytes_routed + bytes;
+      Engine.schedule t.engine ~delay:(arrival - Engine.now t.engine) (fun _ ->
+          sink pkt)
+
+let packets_routed t = t.packets_routed
+let bytes_routed t = t.bytes_routed

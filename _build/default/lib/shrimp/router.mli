@@ -1,0 +1,44 @@
+(** The interconnect: a 2-D mesh with dimension-order routing, standing
+    in for the Intel Paragon routing backplane (paper §8).
+
+    Packet latency is [base + hops·per_hop + words·per_word]; each
+    link is cut-through so only total occupancy matters for the shapes
+    the evaluation measures. Dimension-order routing uses one fixed
+    path per (src, dst) pair, so delivery between a pair of nodes is
+    in order — a small packet never overtakes a large one sent before
+    it (SHRIMP's flag-after-payload notification depends on this). *)
+
+type config = {
+  base_cycles : int;       (** injection + ejection *)
+  per_hop_cycles : int;
+  per_word_cycles : int;   (** wire occupancy per 32-bit word *)
+}
+
+val default_config : config
+(** 20 / 8 / 1 cycles. *)
+
+type t
+
+val create :
+  engine:Udma_sim.Engine.t -> nodes:int -> ?config:config -> unit -> t
+(** A mesh of the squarest shape covering [nodes]. *)
+
+val nodes : t -> int
+
+val coords : t -> int -> int * int
+(** Mesh coordinates of a node id. *)
+
+val hops : t -> src:int -> dst:int -> int
+(** Dimension-order hop count ([0] for self). *)
+
+val register : t -> node_id:int -> (Packet.t -> unit) -> unit
+(** Install node [node_id]'s delivery sink. *)
+
+val send : t -> Packet.t -> unit
+(** Route a packet: its sink fires after the modelled latency. Raises
+    [Invalid_argument] for an unregistered destination. *)
+
+val latency_cycles : t -> src:int -> dst:int -> bytes:int -> int
+
+val packets_routed : t -> int
+val bytes_routed : t -> int

@@ -1,0 +1,81 @@
+type t = { mutable clock : int; mhz : int; queue : event Eventq.t }
+and event = t -> unit
+
+let create ?(mhz = 120) () =
+  if mhz <= 0 then invalid_arg "Engine.create: mhz must be positive";
+  { clock = 0; mhz; queue = Eventq.create () }
+
+let now t = t.clock
+
+let mhz t = t.mhz
+
+let ns_of_cycles t c = float_of_int c *. 1000.0 /. float_of_int t.mhz
+
+let us_of_cycles t c = ns_of_cycles t c /. 1000.0
+
+let schedule t ~delay ev =
+  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
+  Eventq.push t.queue ~time:(t.clock + delay) ev
+
+let schedule_at t ~time ev =
+  let time = max time t.clock in
+  Eventq.push t.queue ~time ev
+
+(* Fire every event due at or before [horizon], letting fired events
+   schedule more work inside the window. The clock tracks each event's
+   own timestamp while events run. *)
+let pump t horizon =
+  let rec loop () =
+    match Eventq.peek_time t.queue with
+    | Some time when time <= horizon -> (
+        match Eventq.pop t.queue with
+        | Some (time, ev) ->
+            if time > t.clock then t.clock <- time;
+            ev t;
+            loop ()
+        | None -> ())
+    | Some _ | None -> ()
+  in
+  loop ()
+
+let run_until t time =
+  if time > t.clock then begin
+    pump t time;
+    t.clock <- time
+  end
+
+let advance t cost =
+  if cost < 0 then invalid_arg "Engine.advance: negative cost";
+  run_until t (t.clock + cost)
+
+let run_until_idle t =
+  let rec loop () =
+    match Eventq.pop t.queue with
+    | Some (time, ev) ->
+        if time > t.clock then t.clock <- time;
+        ev t;
+        loop ()
+    | None -> ()
+  in
+  loop ()
+
+let pending_events t = Eventq.length t.queue
+
+let wait_for t ?(poll_cost = 2) ?(max_polls = 10_000_000) cond =
+  let rec loop polls =
+    if cond () then polls
+    else if polls >= max_polls then
+      failwith "Engine.wait_for: poll budget exhausted"
+    else if Eventq.is_empty t.queue then
+      failwith "Engine.wait_for: condition can never become true (idle)"
+    else begin
+      (* Jump straight to the next event when polling would only spin
+         through empty cycles; the clock ends at the same place as if
+         every intermediate poll had been simulated. *)
+      let next = Option.value (Eventq.peek_time t.queue) ~default:t.clock in
+      if t.clock + poll_cost < next then run_until t next
+      else advance t poll_cost;
+      loop (polls + 1)
+    end
+  in
+  loop 0

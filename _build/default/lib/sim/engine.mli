@@ -1,0 +1,62 @@
+(** Discrete-event simulation engine with a cycle clock.
+
+    One engine drives one experiment. Simulated "hardware" schedules
+    events in the future; simulated "software" (plain OCaml callbacks)
+    advances the clock by charging cycle costs with {!advance}, which
+    pumps any events that become due. This interleaves asynchronous DMA
+    completion with CPU-side polling exactly as on a real machine,
+    without threads. *)
+
+type t
+
+type event = t -> unit
+(** An event receives the engine so it can schedule follow-up events. *)
+
+val create : ?mhz:int -> unit -> t
+(** [create ?mhz ()] is a fresh engine at cycle 0. [mhz] (default 120)
+    is the modelled clock frequency, used only to convert cycles to
+    wall-clock units in reports. *)
+
+val now : t -> int
+(** [now t] is the current cycle. *)
+
+val mhz : t -> int
+(** Modelled clock frequency in MHz. *)
+
+val ns_of_cycles : t -> int -> float
+(** [ns_of_cycles t c] converts a cycle count to nanoseconds. *)
+
+val us_of_cycles : t -> int -> float
+(** [us_of_cycles t c] converts a cycle count to microseconds. *)
+
+val schedule : t -> delay:int -> event -> unit
+(** [schedule t ~delay ev] fires [ev] [delay] cycles from now.
+    Raises [Invalid_argument] if [delay < 0]. *)
+
+val schedule_at : t -> time:int -> event -> unit
+(** [schedule_at t ~time ev] fires [ev] at absolute cycle [time]
+    (clamped to [now] if in the past). *)
+
+val advance : t -> int -> unit
+(** [advance t cost] charges [cost] cycles of CPU work: runs every event
+    due at or before [now + cost], then sets the clock to [now + cost].
+    Events that fire may schedule further events; those are honoured if
+    still within the window. *)
+
+val run_until : t -> int -> unit
+(** [run_until t time] runs due events and moves the clock to [time]
+    (no-op if [time <= now]). *)
+
+val run_until_idle : t -> unit
+(** [run_until_idle t] drains the event queue entirely, advancing the
+    clock to the last event's time. *)
+
+val wait_for : t -> ?poll_cost:int -> ?max_polls:int -> (unit -> bool) -> int
+(** [wait_for t cond] repeatedly charges [poll_cost] cycles (default 2)
+    until [cond ()] holds or the queue is idle and [cond] still fails,
+    or [max_polls] (default 10_000_000) is exhausted; returns the number
+    of polls performed. Raises [Failure] if [cond] can no longer become
+    true (queue idle) or the poll budget is exhausted. *)
+
+val pending_events : t -> int
+(** Number of scheduled, not-yet-fired events. *)

@@ -1,0 +1,86 @@
+type 'a entry = { time : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let initial_capacity = 64
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+
+let is_empty q = q.size = 0
+
+let length q = q.size
+
+(* Entry ordering: earlier time first; FIFO among equal times. *)
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let ensure_capacity q =
+  let cap = Array.length q.heap in
+  if q.size >= cap then begin
+    let dummy = q.heap.(0) in
+    let new_cap = if cap = 0 then initial_capacity else cap * 2 in
+    let heap = Array.make new_cap dummy in
+    Array.blit q.heap 0 heap 0 q.size;
+    q.heap <- heap
+  end
+
+let sift_up q i =
+  let rec loop i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if before q.heap.(i) q.heap.(parent) then begin
+        let tmp = q.heap.(i) in
+        q.heap.(i) <- q.heap.(parent);
+        q.heap.(parent) <- tmp;
+        loop parent
+      end
+    end
+  in
+  loop i
+
+let sift_down q i =
+  let rec loop i =
+    let left = (2 * i) + 1 and right = (2 * i) + 2 in
+    let smallest = ref i in
+    if left < q.size && before q.heap.(left) q.heap.(!smallest) then
+      smallest := left;
+    if right < q.size && before q.heap.(right) q.heap.(!smallest) then
+      smallest := right;
+    if !smallest <> i then begin
+      let tmp = q.heap.(i) in
+      q.heap.(i) <- q.heap.(!smallest);
+      q.heap.(!smallest) <- tmp;
+      loop !smallest
+    end
+  in
+  loop i
+
+let push q ~time payload =
+  if time < 0 then invalid_arg "Eventq.push: negative time";
+  let entry = { time; seq = q.next_seq; payload } in
+  q.next_seq <- q.next_seq + 1;
+  if q.size = 0 && Array.length q.heap = 0 then
+    q.heap <- Array.make initial_capacity entry
+  else ensure_capacity q;
+  q.heap.(q.size) <- entry;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let peek_time q = if q.size = 0 then None else Some q.heap.(0).time
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      sift_down q 0
+    end;
+    Some (top.time, top.payload)
+  end
+
+let clear q = q.size <- 0

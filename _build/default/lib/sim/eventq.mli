@@ -1,0 +1,31 @@
+(** Priority queue of timestamped events.
+
+    A binary min-heap keyed by (time, sequence number). The sequence
+    number guarantees that two events scheduled for the same cycle fire
+    in insertion order, which keeps every simulation run deterministic. *)
+
+type 'a t
+(** Mutable event queue holding payloads of type ['a]. *)
+
+val create : unit -> 'a t
+(** [create ()] is a fresh empty queue. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty q] is [true] iff no event is pending. *)
+
+val length : 'a t -> int
+(** [length q] is the number of pending events. *)
+
+val push : 'a t -> time:int -> 'a -> unit
+(** [push q ~time payload] schedules [payload] at cycle [time].
+    Raises [Invalid_argument] if [time < 0]. *)
+
+val peek_time : 'a t -> int option
+(** [peek_time q] is the firing time of the earliest event, if any. *)
+
+val pop : 'a t -> (int * 'a) option
+(** [pop q] removes and returns the earliest event as [(time, payload)].
+    Ties fire in insertion order. *)
+
+val clear : 'a t -> unit
+(** [clear q] discards all pending events. *)

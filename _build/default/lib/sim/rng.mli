@@ -1,0 +1,29 @@
+(** Deterministic pseudo-random numbers for workload generation.
+
+    A small splittable xorshift generator so that every experiment is
+    reproducible from a seed and independent streams can be derived for
+    independent traffic sources. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a generator; equal seeds give equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator and perturbs [t]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Raises [Invalid_argument]
+    if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** [pick t arr] is a uniformly chosen element.
+    Raises [Invalid_argument] on an empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,93 @@
+type series = { mutable values : float list; mutable n : int }
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  series : (string, series) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 16; series = Hashtbl.create 16 }
+
+let counter_ref t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t.counters name r;
+      r
+
+let incr t name = Stdlib.incr (counter_ref t name)
+
+let add t name n =
+  let r = counter_ref t name in
+  r := !r + n
+
+let get t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let counters t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let series_ref t name =
+  match Hashtbl.find_opt t.series name with
+  | Some s -> s
+  | None ->
+      let s = { values = []; n = 0 } in
+      Hashtbl.add t.series name s;
+      s
+
+let observe t name v =
+  let s = series_ref t name in
+  s.values <- v :: s.values;
+  s.n <- s.n + 1
+
+let observations t name =
+  match Hashtbl.find_opt t.series name with
+  | Some s -> List.rev s.values
+  | None -> []
+
+type summary = {
+  count : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+(* Nearest-rank percentile over a sorted array. *)
+let percentile sorted p =
+  let n = Array.length sorted in
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  let idx = max 0 (min (n - 1) (rank - 1)) in
+  sorted.(idx)
+
+let summarize t name =
+  match Hashtbl.find_opt t.series name with
+  | None -> None
+  | Some s when s.n = 0 -> None
+  | Some s ->
+      let arr = Array.of_list s.values in
+      Array.sort compare arr;
+      let n = Array.length arr in
+      let total = Array.fold_left ( +. ) 0.0 arr in
+      Some
+        {
+          count = n;
+          mean = total /. float_of_int n;
+          min = arr.(0);
+          max = arr.(n - 1);
+          p50 = percentile arr 50.0;
+          p95 = percentile arr 95.0;
+          p99 = percentile arr 99.0;
+        }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.2f min=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f" s.count
+    s.mean s.min s.p50 s.p95 s.p99 s.max
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.series

@@ -1,0 +1,50 @@
+(** Counters and summary statistics for experiments.
+
+    A [Stats.t] is a named bag of integer counters plus value series.
+    Experiments record per-operation costs into series and report
+    min/mean/max/percentiles. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+val incr : t -> string -> unit
+(** [incr t name] bumps counter [name] by one (creating it at 0). *)
+
+val add : t -> string -> int -> unit
+(** [add t name n] bumps counter [name] by [n]. *)
+
+val get : t -> string -> int
+(** [get t name] is the counter's value, 0 if never touched. *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+(** {1 Series} *)
+
+val observe : t -> string -> float -> unit
+(** [observe t name v] appends [v] to series [name]. *)
+
+val observations : t -> string -> float list
+(** All recorded values of a series, oldest first ([] if absent). *)
+
+type summary = {
+  count : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val summarize : t -> string -> summary option
+(** [summarize t name] is [None] when the series is empty. Percentiles
+    use the nearest-rank method. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val reset : t -> unit
+(** Drop every counter and series. *)

@@ -1,0 +1,53 @@
+type t = {
+  enabled : bool;
+  capacity : int;
+  mutable items : (int * string) list; (* newest first, length <= capacity *)
+  mutable count : int;
+}
+
+let create ?(capacity = 4096) ~enabled () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { enabled; capacity; items = []; count = 0 }
+
+let enabled t = t.enabled
+
+let trim t =
+  if t.count > t.capacity then begin
+    (* Drop the oldest half; amortises the O(n) rebuild. *)
+    let keep = t.capacity / 2 in
+    t.items <- List.filteri (fun i _ -> i < keep) t.items;
+    t.count <- keep
+  end
+
+let record t ~time msg =
+  if t.enabled then begin
+    t.items <- (time, msg) :: t.items;
+    t.count <- t.count + 1;
+    trim t
+  end
+
+let recordf t ~time fmt =
+  if t.enabled then
+    Format.kasprintf (fun msg -> record t ~time msg) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let events t = List.rev t.items
+
+let contains_substring hay needle =
+  let hl = String.length hay and nl = String.length needle in
+  if nl = 0 then true
+  else begin
+    let rec at i =
+      if i + nl > hl then false
+      else if String.sub hay i nl = needle then true
+      else at (i + 1)
+    in
+    at 0
+  end
+
+let matching t sub =
+  List.filter (fun (_, msg) -> contains_substring msg sub) (events t)
+
+let clear t =
+  t.items <- [];
+  t.count <- 0

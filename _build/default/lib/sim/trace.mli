@@ -1,0 +1,28 @@
+(** Lightweight event tracing.
+
+    A trace is a bounded ring of timestamped strings; tests assert on
+    it and the CLI can dump it. Disabled traces cost one branch. *)
+
+type t
+
+val create : ?capacity:int -> enabled:bool -> unit -> t
+(** [create ~enabled ()] keeps the last [capacity] (default 4096)
+    records when [enabled]; otherwise records nothing. *)
+
+val enabled : t -> bool
+
+val record : t -> time:int -> string -> unit
+(** [record t ~time msg] appends a record (no-op when disabled). *)
+
+val recordf :
+  t -> time:int -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted variant; the format arguments are not evaluated when the
+    trace is disabled. *)
+
+val events : t -> (int * string) list
+(** Recorded events, oldest first (at most [capacity]). *)
+
+val matching : t -> string -> (int * string) list
+(** [matching t sub] keeps events whose text contains [sub]. *)
+
+val clear : t -> unit

@@ -1,0 +1,1 @@
+lib/workloads/runner.ml: Array Bytes Char Float Format Int32 List Option Printf Sizes String Udma Udma_devices Udma_dma Udma_mmu Udma_os Udma_shrimp Udma_sim

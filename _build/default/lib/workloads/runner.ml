@@ -1,0 +1,891 @@
+module Engine = Udma_sim.Engine
+module Rng = Udma_sim.Rng
+module Stats = Udma_sim.Stats
+module Layout = Udma_mmu.Layout
+module Bus = Udma_dma.Bus
+module Device = Udma_dma.Device
+module Status = Udma.Status
+module Initiator = Udma.Initiator
+module Udma_engine = Udma.Udma_engine
+module M = Udma_os.Machine
+module Proc = Udma_os.Proc
+module Vm = Udma_os.Vm
+module Scheduler = Udma_os.Scheduler
+module Syscall = Udma_os.Syscall
+module Kernel = Udma_os.Kernel
+module Cost_model = Udma_os.Cost_model
+module System = Udma_shrimp.System
+module Messaging = Udma_shrimp.Messaging
+module Pio_fifo = Udma_devices.Pio_fifo
+
+let pattern n = Bytes.init n (fun i -> Char.chr (i land 0xff))
+
+let fail_transfer e = failwith (Format.asprintf "transfer: %a" Initiator.pp_error e)
+let fail_syscall e = failwith (Format.asprintf "syscall: %a" Syscall.pp_error e)
+let fail_send e = failwith (Format.asprintf "send: %a" Messaging.pp_send_error e)
+
+(* ------------------------------------------------------------------ *)
+(* E1 / Figure 8                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type bw_point = {
+  size : int;
+  cycles_per_msg : float;
+  bytes_per_cycle : float;
+  pct_of_max : float;
+}
+
+let figure8 ?(sizes = Sizes.figure8) ?(messages = 32) ?(queued = false) () =
+  let sys =
+    if queued then
+      System.create
+        ~config:
+          { System.default_config with
+            System.machine =
+              { M.default_config with
+                M.udma_mode = Some (Udma_engine.Queued { depth = 8 }) } }
+        ~nodes:2 ()
+    else System.create ~nodes:2 ()
+  in
+  let snd = System.node sys 0 and rcv = System.node sys 1 in
+  let sender = Scheduler.spawn snd.System.machine ~name:"sender" in
+  let receiver = Scheduler.spawn rcv.System.machine ~name:"receiver" in
+  let max_size = List.fold_left max 4096 sizes in
+  let page_size = Layout.page_size snd.System.machine.M.layout in
+  let pages = ((max_size + 4) + page_size - 1) / page_size + 1 in
+  let ch =
+    Messaging.connect sys ~sender:(0, sender) ~receiver:(1, receiver) ~pages ()
+  in
+  let buf = Kernel.alloc_buffer snd.System.machine sender ~bytes:(pages * page_size) in
+  Kernel.write_user snd.System.machine sender ~vaddr:buf (pattern max_size);
+  let cpu = Kernel.user_cpu snd.System.machine sender in
+  (* warm every mapping (proxy pages, TLB) with one full-size send *)
+  (match
+     Messaging.send_nowait ch cpu ~src_vaddr:buf ~nbytes:max_size
+       ~pipelined:queued ()
+   with
+  | Ok () -> ()
+  | Error e -> fail_send e);
+  System.run_until_idle sys;
+  let raw =
+    List.map
+      (fun size ->
+        let t0 = Engine.now (System.engine sys) in
+        for _ = 1 to messages do
+          match
+            Messaging.send_nowait ch cpu ~src_vaddr:buf ~nbytes:size
+              ~pipelined:queued ()
+          with
+          | Ok () -> ()
+          | Error e -> fail_send e
+        done;
+        let dt = Engine.now (System.engine sys) - t0 in
+        System.run_until_idle sys;
+        (size, float_of_int dt /. float_of_int messages))
+      sizes
+  in
+  let max_bpc =
+    List.fold_left
+      (fun acc (size, cpm) -> Float.max acc (float_of_int size /. cpm))
+      0.0 raw
+  in
+  List.map
+    (fun (size, cpm) ->
+      let bpc = float_of_int size /. cpm in
+      {
+        size;
+        cycles_per_msg = cpm;
+        bytes_per_cycle = bpc;
+        pct_of_max = 100.0 *. bpc /. max_bpc;
+      })
+    raw
+
+let print_figure8 points =
+  Printf.printf
+    "\n=== E1 / Figure 8: deliberate-update UDMA bandwidth vs message size ===\n";
+  Printf.printf "%8s %14s %12s %8s  %s\n" "size" "cycles/msg" "bytes/cyc"
+    "%max" "";
+  List.iter
+    (fun p ->
+      let bar = String.make (int_of_float (p.pct_of_max /. 2.5)) '#' in
+      Printf.printf "%8s %14.1f %12.4f %7.1f%%  %s\n" (Sizes.pretty p.size)
+        p.cycles_per_msg p.bytes_per_cycle p.pct_of_max bar)
+    points
+
+(* ------------------------------------------------------------------ *)
+(* shared single-node rig: machine + UDMA + one buffer device          *)
+(* ------------------------------------------------------------------ *)
+
+let buffer_rig ?(mode = Udma_engine.Basic) ?(mem_pages = 128) ?(dev_pages = 64)
+    () =
+  let config =
+    { M.default_config with M.udma_mode = Some mode; mem_pages; dev_pages }
+  in
+  let m = M.create ~config () in
+  let udma = Option.get m.M.udma in
+  let page_size = Layout.page_size m.M.layout in
+  let port, store = Device.buffer "dev" ~size:(dev_pages * page_size) in
+  Udma_engine.attach_device udma ~base_page:0 ~pages:dev_pages ~port ();
+  (m, udma, port, store)
+
+let grant_dev m proc ~pages =
+  for i = 0 to pages - 1 do
+    match Syscall.map_device_proxy m proc ~vdev_index:i ~pdev_index:i ~writable:true with
+    | Ok () -> ()
+    | Error e -> fail_syscall e
+  done
+
+(* ------------------------------------------------------------------ *)
+(* E2: initiation costs                                                *)
+(* ------------------------------------------------------------------ *)
+
+type cost_row = { label : string; cycles : int; us : float }
+
+let row costs label cycles =
+  { label; cycles; us = Cost_model.us_of_cycles costs cycles }
+
+let initiation_costs () =
+  let m, _udma, port, _ = buffer_rig () in
+  let proc = Scheduler.spawn m ~name:"p" in
+  grant_dev m proc ~pages:2;
+  let buf = Kernel.alloc_buffer m proc ~bytes:8192 in
+  Kernel.write_user m proc ~vaddr:buf (pattern 8192);
+  let cpu = Kernel.user_cpu m proc in
+  let dst = Initiator.Device (Kernel.vdev_addr m ~index:0 ~offset:0) in
+  (* warm mappings *)
+  (match
+     Initiator.transfer cpu ~layout:m.M.layout ~src:(Initiator.Memory buf)
+       ~dst ~nbytes:4096 ()
+   with
+  | Ok _ -> ()
+  | Error e -> fail_transfer e);
+  Engine.run_until_idle m.M.engine;
+  let udma_init =
+    match
+      Initiator.initiation_cycles cpu ~layout:m.M.layout
+        ~config:Initiator.default_config ~src:(Initiator.Memory buf) ~dst
+        ~nbytes:4096
+    with
+    | Ok c -> c
+    | Error e -> fail_transfer e
+  in
+  Engine.run_until_idle m.M.engine;
+  let udma_4k =
+    match
+      Initiator.transfer cpu ~layout:m.M.layout ~src:(Initiator.Memory buf)
+        ~dst ~nbytes:4096 ()
+    with
+    | Ok s -> s.Initiator.cycles
+    | Error e -> fail_transfer e
+  in
+  Engine.run_until_idle m.M.engine;
+  let trad strategy nbytes =
+    match
+      Syscall.dma_transfer m proc ~dir:Syscall.To_device ~vaddr:buf ~nbytes
+        ~port ~dev_addr:0 ~strategy
+    with
+    | Ok c -> c
+    | Error e -> fail_syscall e
+  in
+  let trad_pin_4 = trad Syscall.Pin_user_pages 4 in
+  let trad_pin_4k = trad Syscall.Pin_user_pages 4096 in
+  let trad_copy_4k = trad Syscall.Copy_through_buffer 4096 in
+  let costs = m.M.costs in
+  [
+    row costs "UDMA initiation (2 refs + check)" udma_init;
+    row costs "UDMA 4 KB transfer, end to end" udma_4k;
+    row costs "traditional syscall entry/exit alone" costs.Cost_model.syscall;
+    row costs "traditional 4 B transfer (pin)" trad_pin_4;
+    row costs "traditional 4 KB transfer (pin)" trad_pin_4k;
+    row costs "traditional 4 KB transfer (copy)" trad_copy_4k;
+  ]
+
+let print_costs rows =
+  Printf.printf "\n=== E2: transfer-initiation cost (the paper's 2.8 us) ===\n";
+  Printf.printf "%-42s %10s %10s\n" "path" "cycles" "us";
+  List.iter
+    (fun (r : cost_row) ->
+      Printf.printf "%-42s %10d %10.2f\n" r.label r.cycles r.us)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E3: HIPPI motivation                                                *)
+(* ------------------------------------------------------------------ *)
+
+type hippi_row = { block : int; mbytes_per_s : float; pct_of_channel : float }
+
+let hippi_motivation ?(blocks = Sizes.hippi_blocks) () =
+  let config =
+    {
+      M.default_config with
+      M.udma_mode = None;
+      costs = Cost_model.hippi;
+      mem_pages = 256;
+      virt_pages = 512;
+    }
+  in
+  let m = M.create ~config () in
+  let proc = Scheduler.spawn m ~name:"p" in
+  let port = Device.null "hippi" in
+  let max_block = List.fold_left max 4096 blocks in
+  let buf = Kernel.alloc_buffer m proc ~bytes:max_block in
+  Kernel.write_user m proc ~vaddr:buf (pattern (min max_block 65536));
+  let mhz = float_of_int m.M.costs.Cost_model.mhz in
+  (* raw channel rate: one 4-byte word per [burst_word_cycles] *)
+  let channel_mbps =
+    4.0 *. mhz /. float_of_int (Bus.timing m.M.bus).Bus.burst_word_cycles
+  in
+  List.map
+    (fun block ->
+      let cycles =
+        match
+          Syscall.dma_transfer m proc ~dir:Syscall.To_device ~vaddr:buf
+            ~nbytes:block ~port ~dev_addr:0 ~strategy:Syscall.Pin_user_pages
+        with
+        | Ok c -> c
+        | Error e -> fail_syscall e
+      in
+      let mbps = float_of_int block *. mhz /. float_of_int cycles in
+      { block; mbytes_per_s = mbps; pct_of_channel = 100.0 *. mbps /. channel_mbps })
+    blocks
+
+let print_hippi rows =
+  Printf.printf
+    "\n=== E3: kernel-initiated DMA on a HIPPI-class channel (paper section 1) ===\n";
+  Printf.printf "%8s %12s %10s\n" "block" "MB/s" "%channel";
+  List.iter
+    (fun r ->
+      Printf.printf "%8s %12.2f %9.1f%%\n" (Sizes.pretty r.block) r.mbytes_per_s
+        r.pct_of_channel)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E4: PIO-FIFO crossover                                              *)
+(* ------------------------------------------------------------------ *)
+
+type crossover_row = { xsize : int; udma_cycles : float; pio_cycles : float }
+
+let udma_latency sys ch cpu_snd cpu_rcv ~buf ~size ~trials =
+  let total = ref 0 in
+  for _ = 1 to trials do
+    let t0 = Engine.now (System.engine sys) in
+    let seq =
+      match Messaging.send ch cpu_snd ~src_vaddr:buf ~nbytes:size () with
+      | Ok seq -> seq
+      | Error e -> fail_send e
+    in
+    (match Messaging.recv_wait ch cpu_rcv ~seq () with
+    | Ok _ -> ()
+    | Error msg -> failwith msg);
+    total := !total + (Engine.now (System.engine sys) - t0);
+    System.run_until_idle sys
+  done;
+  float_of_int !total /. float_of_int trials
+
+let pio_pair () =
+  let config = { M.default_config with M.udma_mode = None; mem_pages = 64 } in
+  let engine = Engine.create ~mhz:config.M.costs.Cost_model.mhz () in
+  let mk () =
+    M.create ~config:{ config with M.shared_engine = Some engine } ()
+  in
+  let ma = mk () and mb = mk () in
+  let fa = Pio_fifo.create ~engine () and fb = Pio_fifo.create ~engine () in
+  Pio_fifo.connect fa fb;
+  let install m f =
+    Pio_fifo.install_at f m.M.bus
+      ~base:(Layout.dev_proxy_base m.M.layout)
+      ~size:(Layout.page_size m.M.layout)
+  in
+  install ma fa;
+  install mb fb;
+  (engine, ma, mb, fa, fb)
+
+let pio_latency ~size ~trials =
+  let engine, ma, mb, _fa, _fb = pio_pair () in
+  let pa = Scheduler.spawn ma ~name:"pio-snd" in
+  let pb = Scheduler.spawn mb ~name:"pio-rcv" in
+  (match Syscall.map_device_proxy ma pa ~vdev_index:0 ~pdev_index:0 ~writable:true with
+  | Ok () -> ()
+  | Error e -> fail_syscall e);
+  (match Syscall.map_device_proxy mb pb ~vdev_index:0 ~pdev_index:0 ~writable:true with
+  | Ok () -> ()
+  | Error e -> fail_syscall e);
+  let ca = Kernel.user_cpu ma pa and cb = Kernel.user_cpu mb pb in
+  let tx_a = Layout.dev_proxy_base ma.M.layout in
+  let rx_b = Layout.dev_proxy_base mb.M.layout + 4 in
+  let count_b = Layout.dev_proxy_base mb.M.layout + 8 in
+  let words = (size + 3) / 4 in
+  let total = ref 0 in
+  for _ = 1 to trials do
+    let t0 = Engine.now engine in
+    (* sender: one length word then the payload, one store per word *)
+    ca.Initiator.store ~vaddr:tx_a (Int32.of_int words);
+    for w = 1 to words do
+      ca.Initiator.store ~vaddr:tx_a (Int32.of_int w)
+    done;
+    (* receiver: poll the count, then drain *)
+    let expected = words + 1 in
+    let rec wait_drain got polls =
+      if got >= expected then ()
+      else if polls > 10_000_000 then failwith "pio: poll budget"
+      else begin
+        let avail = Int32.to_int (cb.Initiator.load ~vaddr:count_b) in
+        let take = min avail (expected - got) in
+        for _ = 1 to take do
+          ignore (cb.Initiator.load ~vaddr:rx_b)
+        done;
+        wait_drain (got + take) (polls + 1)
+      end
+    in
+    wait_drain 0 0;
+    total := !total + (Engine.now engine - t0)
+  done;
+  float_of_int !total /. float_of_int trials
+
+let pio_crossover ?(sizes = Sizes.crossover) ?(trials = 8) () =
+  (* UDMA side: one 2-node system reused across sizes *)
+  let sys = System.create ~nodes:2 () in
+  let snd = System.node sys 0 and rcv = System.node sys 1 in
+  let sender = Scheduler.spawn snd.System.machine ~name:"s" in
+  let receiver = Scheduler.spawn rcv.System.machine ~name:"r" in
+  let max_size = List.fold_left max 4096 sizes in
+  let page_size = Layout.page_size snd.System.machine.M.layout in
+  let pages = ((max_size + 4) + page_size - 1) / page_size + 1 in
+  let ch =
+    Messaging.connect sys ~sender:(0, sender) ~receiver:(1, receiver) ~pages ()
+  in
+  let buf =
+    Kernel.alloc_buffer snd.System.machine sender ~bytes:(pages * page_size)
+  in
+  Kernel.write_user snd.System.machine sender ~vaddr:buf (pattern max_size);
+  let cpu_snd = Kernel.user_cpu snd.System.machine sender in
+  let cpu_rcv = Kernel.user_cpu rcv.System.machine receiver in
+  (match Messaging.send ch cpu_snd ~src_vaddr:buf ~nbytes:max_size () with
+  | Ok seq -> (
+      match Messaging.recv_wait ch cpu_rcv ~seq () with
+      | Ok _ -> ()
+      | Error msg -> failwith msg)
+  | Error e -> fail_send e);
+  System.run_until_idle sys;
+  List.map
+    (fun size ->
+      let size = max 4 (size land lnot 3) in
+      {
+        xsize = size;
+        udma_cycles = udma_latency sys ch cpu_snd cpu_rcv ~buf ~size ~trials;
+        pio_cycles = pio_latency ~size ~trials;
+      })
+    sizes
+
+let print_crossover rows =
+  Printf.printf
+    "\n=== E4: one-way latency, UDMA vs memory-mapped FIFO (paper section 9) ===\n";
+  Printf.printf "%8s %14s %14s %10s\n" "size" "UDMA cycles" "PIO cycles" "winner";
+  List.iter
+    (fun r ->
+      Printf.printf "%8s %14.0f %14.0f %10s\n" (Sizes.pretty r.xsize)
+        r.udma_cycles r.pio_cycles
+        (if r.pio_cycles < r.udma_cycles then "PIO" else "UDMA"))
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E5: queueing ablation                                               *)
+(* ------------------------------------------------------------------ *)
+
+type queueing_row = {
+  total_bytes : int;
+  basic_cycles : int;
+  queued_cycles : (int * int) list;
+}
+
+let one_big_transfer ~mode ~total =
+  let m, _udma, _, _ = buffer_rig ~mode () in
+  let proc = Scheduler.spawn m ~name:"p" in
+  let page_size = Layout.page_size m.M.layout in
+  let pages = (total + page_size - 1) / page_size in
+  grant_dev m proc ~pages;
+  let buf = Kernel.alloc_buffer m proc ~bytes:total in
+  Kernel.write_user m proc ~vaddr:buf (pattern (min total 65536));
+  let cpu = Kernel.user_cpu m proc in
+  let dst = Initiator.Device (Kernel.vdev_addr m ~index:0 ~offset:0) in
+  (* warm one page of mappings, then measure the full transfer cold on
+     data but warm on code paths *)
+  (match
+     Initiator.transfer cpu ~layout:m.M.layout ~src:(Initiator.Memory buf)
+       ~dst ~nbytes:4096 ()
+   with
+  | Ok _ -> ()
+  | Error e -> fail_transfer e);
+  Engine.run_until_idle m.M.engine;
+  let call =
+    match mode with
+    | Udma_engine.Basic -> Initiator.transfer
+    | Udma_engine.Queued _ -> Initiator.transfer_queued
+  in
+  match
+    call cpu ~layout:m.M.layout ~src:(Initiator.Memory buf) ~dst ~nbytes:total
+      ()
+  with
+  | Ok s -> s.Initiator.cycles
+  | Error e -> fail_transfer e
+
+let queueing ?(total_sizes = [ 8192; 16384; 32768; 65536 ])
+    ?(depths = [ 2; 4; 8; 16 ]) () =
+  List.map
+    (fun total ->
+      {
+        total_bytes = total;
+        basic_cycles = one_big_transfer ~mode:Udma_engine.Basic ~total;
+        queued_cycles =
+          List.map
+            (fun depth ->
+              (depth, one_big_transfer ~mode:(Udma_engine.Queued { depth }) ~total))
+            depths;
+      })
+    total_sizes
+
+let print_queueing rows =
+  Printf.printf "\n=== E5: multi-page transfers, basic vs queued UDMA (section 7) ===\n";
+  (match rows with
+  | [] -> ()
+  | r :: _ ->
+      Printf.printf "%8s %12s" "total" "basic";
+      List.iter (fun (d, _) -> Printf.printf " %10s" (Printf.sprintf "depth=%d" d)) r.queued_cycles;
+      Printf.printf "\n");
+  List.iter
+    (fun r ->
+      Printf.printf "%8s %12d" (Sizes.pretty r.total_bytes) r.basic_cycles;
+      List.iter (fun (_, c) -> Printf.printf " %10d" c) r.queued_cycles;
+      Printf.printf "\n")
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E6: I1 atomicity under preemption                                   *)
+(* ------------------------------------------------------------------ *)
+
+type atomicity_row = {
+  preempt_pct : int;
+  transfers : int;
+  retries : int;
+  avg_cycles : float;
+  violations : int;
+}
+
+let atomicity ?(probs_pct = [ 0; 5; 10; 20; 30; 50 ]) ?(transfers = 200) () =
+  List.map
+    (fun pct ->
+      let m, udma, _, _ = buffer_rig () in
+      let p1 = Scheduler.spawn m ~name:"p1" in
+      let p2 = Scheduler.spawn m ~name:"p2" in
+      grant_dev m p1 ~pages:1;
+      (match
+         Syscall.map_device_proxy m p2 ~vdev_index:1 ~pdev_index:1 ~writable:true
+       with
+      | Ok () -> ()
+      | Error e -> fail_syscall e);
+      let b1 = Kernel.alloc_buffer m p1 ~bytes:4096 in
+      Kernel.write_user m p1 ~vaddr:b1 (pattern 512);
+      let b2 = Kernel.alloc_buffer m p2 ~bytes:4096 in
+      Kernel.write_user m p2 ~vaddr:b2 (pattern 512);
+      let cpu1 = Kernel.user_cpu m p1 in
+      let cpu2 = Kernel.user_cpu m p2 in
+      (* legal pairings: p1 sends b1 -> dev page 0, p2 sends b2 -> dev
+         page 1; anything else is a cross-process pairing *)
+      let dev0 = Kernel.vdev_addr m ~index:0 ~offset:0 in
+      let dev1 = Kernel.vdev_addr m ~index:1 ~offset:0 in
+      (* the start hook sees PHYSICAL proxy addresses; device-proxy
+         pages are identity-mapped here, memory proxies are checked
+         through the buffers' frames *)
+      let phys_src vaddr proc =
+        let page_size = Layout.page_size m.M.layout in
+        match Vm.frame_of_vpn m proc ~vpn:(vaddr / page_size) with
+        | Some frame ->
+            Layout.proxy_of m.M.layout
+              ((frame * page_size) + (vaddr mod page_size))
+        | None -> -1
+      in
+      let violations = ref 0 in
+      Udma_engine.set_start_hook udma (fun ~src_proxy ~dest_proxy ~nbytes:_ ->
+          let legal =
+            (src_proxy = phys_src b1 p1 && dest_proxy = dev0)
+            || (src_proxy = phys_src b2 p2 && dest_proxy = dev1)
+          in
+          if not legal then incr violations);
+      let rng = Rng.create (42 + pct) in
+      Scheduler.set_preempt_hook m
+        (Some (fun _ -> pct > 0 && Rng.int rng 100 < pct));
+      let retries = ref 0 and cycles = ref 0 in
+      for i = 1 to transfers do
+        let cpu, buf, dev = if i land 1 = 0 then (cpu2, b2, dev1) else (cpu1, b1, dev0) in
+        match
+          Initiator.transfer cpu ~layout:m.M.layout ~src:(Initiator.Memory buf)
+            ~dst:(Initiator.Device dev) ~nbytes:512 ()
+        with
+        | Ok s ->
+            retries := !retries + s.Initiator.retries;
+            cycles := !cycles + s.Initiator.cycles
+        | Error e -> fail_transfer e
+      done;
+      Scheduler.set_preempt_hook m None;
+      Engine.run_until_idle m.M.engine;
+      {
+        preempt_pct = pct;
+        transfers;
+        retries = !retries;
+        avg_cycles = float_of_int !cycles /. float_of_int transfers;
+        violations = !violations;
+      })
+    probs_pct
+
+let print_atomicity rows =
+  Printf.printf
+    "\n=== E6: two-reference atomicity under preemption (invariant I1) ===\n";
+  Printf.printf "%10s %10s %10s %12s %11s\n" "preempt%" "transfers" "retries"
+    "avg cycles" "violations";
+  List.iter
+    (fun r ->
+      Printf.printf "%9d%% %10d %10d %12.1f %11d\n" r.preempt_pct r.transfers
+        r.retries r.avg_cycles r.violations)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E7: I4 vs pinning                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type pinning_row = { label : string; value : float; unit_ : string }
+
+let pinning_vs_i4 () =
+  let costs = Cost_model.default in
+  let static =
+    [
+      {
+        label = "pin + unpin one page (traditional, every transfer)";
+        value = float_of_int (costs.Cost_model.pin_page + costs.Cost_model.unpin_page);
+        unit_ = "cycles";
+      };
+      {
+        label = "I4 register/refcount check (per replacement candidate)";
+        value = float_of_int costs.Cost_model.remap_check;
+        unit_ = "cycles";
+      };
+    ]
+  in
+  (* dynamic: paging pressure while transfers are in flight *)
+  let m, _udma, _, _ = buffer_rig ~mem_pages:24 () in
+  let p1 = Scheduler.spawn m ~name:"streamer" in
+  let hog = Scheduler.spawn m ~name:"hog" in
+  grant_dev m p1 ~pages:1;
+  let buf = Kernel.alloc_buffer m p1 ~bytes:4096 in
+  Kernel.write_user m p1 ~vaddr:buf (pattern 4096);
+  let cpu = Kernel.user_cpu m p1 in
+  let transfers = 60 in
+  for _ = 1 to transfers do
+    (* initiate without waiting so the engine is busy while the hog
+       allocates and forces evictions *)
+    cpu.Initiator.store
+      ~vaddr:(Kernel.vdev_addr m ~index:0 ~offset:0)
+      (Int32.of_int 4096);
+    let st =
+      Status.decode (cpu.Initiator.load ~vaddr:(Layout.proxy_of m.M.layout buf))
+    in
+    if not (Status.ok st) then failwith "pinning_vs_i4: initiation failed";
+    ignore (Kernel.alloc_buffer m hog ~bytes:4096);
+    Scheduler.switch_to m p1;
+    Engine.run_until_idle m.M.engine
+  done;
+  let s name = float_of_int (Stats.get m.M.stats name) in
+  static
+  @ [
+      { label = "dynamic run: transfers completed"; value = float_of_int transfers; unit_ = "" };
+      { label = "dynamic run: evictions"; value = s "vm.evictions"; unit_ = "" };
+      { label = "dynamic run: I4 busy-frame skips"; value = s "vm.i4_skips"; unit_ = "" };
+      { label = "dynamic run: deferred cleans"; value = s "vm.clean_deferred"; unit_ = "" };
+    ]
+
+let print_pinning rows =
+  Printf.printf "\n=== E7: page pinning vs the I4 check (section 6) ===\n";
+  List.iter
+    (fun r -> Printf.printf "%-56s %10.0f %s\n" r.label r.value r.unit_)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E8: proxy fault costs                                               *)
+(* ------------------------------------------------------------------ *)
+
+let proxy_fault_costs () =
+  let m, udma, _, _ = buffer_rig ~mem_pages:16 () in
+  let proc = Scheduler.spawn m ~name:"p" in
+  grant_dev m proc ~pages:1;
+  let costs = m.M.costs in
+  let cpu = Kernel.user_cpu m proc in
+  let buf = Kernel.alloc_buffer m proc ~bytes:4096 in
+  Kernel.write_user m proc ~vaddr:buf (pattern 64);
+  let proxy = Layout.proxy_of m.M.layout buf in
+  let timed f =
+    let t0 = Engine.now m.M.engine in
+    f ();
+    Engine.now m.M.engine - t0
+  in
+  (* cold: first touch takes the not-present proxy fault (§6 case 1) *)
+  let cold = timed (fun () -> ignore (cpu.Initiator.load ~vaddr:proxy)) in
+  let warm = timed (fun () -> ignore (cpu.Initiator.load ~vaddr:proxy)) in
+  (* write upgrade: proxy STORE to a clean page (I3) *)
+  let vpn = buf / Layout.page_size m.M.layout in
+  ignore (Vm.clean_page m proc ~vpn);
+  let upgrade =
+    timed (fun () -> cpu.Initiator.store ~vaddr:proxy 64l)
+  in
+  Udma_engine.invalidate udma;
+  (* paged out: evict buf, then touch its proxy (§6 case 2) *)
+  let hog = Scheduler.spawn m ~name:"hog" in
+  let rec force i =
+    if Vm.frame_of_vpn m proc ~vpn <> None && i < 64 then begin
+      ignore (Kernel.alloc_buffer m hog ~bytes:4096);
+      force (i + 1)
+    end
+  in
+  force 0;
+  Scheduler.switch_to m proc;
+  let paged_out = timed (fun () -> ignore (cpu.Initiator.load ~vaddr:proxy)) in
+  (* illegal: proxy of an unmapped page segfaults (§6 case 3) *)
+  let illegal_vaddr =
+    Layout.proxy_of m.M.layout (100 * Layout.page_size m.M.layout)
+  in
+  let illegal_ok =
+    match cpu.Initiator.load ~vaddr:illegal_vaddr with
+    | _ -> false
+    | exception Vm.Segfault _ -> true
+  in
+  [
+    row costs "cold proxy access (fault + mapping)" cold;
+    row costs "warm proxy access" warm;
+    row costs "I3 write upgrade (clean page as destination)" upgrade;
+    row costs "proxy access to paged-out page (incl. page-in)" paged_out;
+    row costs
+      (if illegal_ok then "illegal proxy access -> segfault (correct)"
+       else "illegal proxy access -> NOT caught (BUG)")
+      0;
+  ]
+
+let print_proxy_faults rows =
+  Printf.printf "\n=== E8: demand proxy-mapping costs (section 6) ===\n";
+  Printf.printf "%-52s %10s %10s\n" "case" "cycles" "us";
+  List.iter
+    (fun (r : cost_row) ->
+      Printf.printf "%-52s %10d %10.2f\n" r.label r.cycles r.us)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E9: I3 policy ablation                                              *)
+(* ------------------------------------------------------------------ *)
+
+type i3_row = {
+  policy : string;
+  transfers_done : int;
+  total_cycles : int;
+  proxy_faults : int;
+  upgrades : int;
+  cleans : int;
+}
+
+let i3_run ~policy ~transfers ~pages =
+  let config =
+    { M.default_config with
+      M.udma_mode = Some Udma_engine.Basic;
+      mem_pages = 128;
+      i3_policy = policy }
+  in
+  let m = M.create ~config () in
+  let udma = Option.get m.M.udma in
+  let page_size = Layout.page_size m.M.layout in
+  let port, store = Device.buffer "dev" ~size:(8 * page_size) in
+  Udma_engine.attach_device udma ~base_page:0 ~pages:8 ~port ();
+  ignore store;
+  let proc = Scheduler.spawn m ~name:"sink" in
+  grant_dev m proc ~pages:1;
+  let bufs =
+    Array.init pages (fun _ -> Kernel.alloc_buffer m proc ~bytes:page_size)
+  in
+  let cpu = Kernel.user_cpu m proc in
+  let t0 = Engine.now m.M.engine in
+  for i = 0 to transfers - 1 do
+    let buf = bufs.(i mod pages) in
+    (match
+       Initiator.transfer cpu ~layout:m.M.layout
+         ~src:(Initiator.Device (Kernel.vdev_addr m ~index:0 ~offset:0))
+         ~dst:(Initiator.Memory buf) ~nbytes:1024 ()
+     with
+    | Ok _ -> ()
+    | Error e -> fail_transfer e);
+    Engine.run_until_idle m.M.engine;
+    (* a pageout-daemon pass cleans every dirty page between rounds,
+       forcing the Write_upgrade policy to re-fault on the next
+       incoming transfer *)
+    if i mod pages = pages - 1 then
+      Array.iter
+        (fun b -> ignore (Vm.clean_page m proc ~vpn:(b / page_size)))
+        bufs
+  done;
+  {
+    policy =
+      (match policy with
+      | M.Write_upgrade -> "write-upgrade (primary)"
+      | M.Proxy_dirty_union -> "proxy-dirty union (alternative)");
+    transfers_done = transfers;
+    total_cycles = Engine.now m.M.engine - t0;
+    proxy_faults = Stats.get m.M.stats "vm.proxy_faults";
+    upgrades = Stats.get m.M.stats "vm.dirty_upgrades";
+    cleans = Stats.get m.M.stats "vm.cleans";
+  }
+
+let i3_policies ?(transfers = 64) ?(pages = 4) () =
+  [
+    i3_run ~policy:M.Write_upgrade ~transfers ~pages;
+    i3_run ~policy:M.Proxy_dirty_union ~transfers ~pages;
+  ]
+
+let print_i3 rows =
+  Printf.printf
+    "\n=== E9: the two I3 content-consistency methods (section 6) ===\n";
+  Printf.printf "%-34s %10s %10s %8s %8s %8s\n" "policy" "transfers" "cycles"
+    "faults" "upgrades" "cleans";
+  List.iter
+    (fun r ->
+      Printf.printf "%-34s %10d %10d %8d %8d %8d\n" r.policy r.transfers_done
+        r.total_cycles r.proxy_faults r.upgrades r.cleans)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E10: deliberate vs automatic update                                 *)
+(* ------------------------------------------------------------------ *)
+
+type update_row = {
+  workload : string;
+  deliberate_cycles : int;
+  automatic_cycles : int;
+  deliberate_packets : int;
+  automatic_packets : int;
+}
+
+let update_rig () =
+  let sys = System.create ~nodes:2 () in
+  let snd = System.node sys 0 in
+  let sp = Scheduler.spawn snd.Udma_shrimp.System.machine ~name:"s" in
+  let rp =
+    Scheduler.spawn (System.node sys 1).Udma_shrimp.System.machine ~name:"r"
+  in
+  (sys, snd, sp, rp)
+
+(* deliberate: one UDMA transfer per update *)
+let deliberate_updates ~offsets ~len =
+  let sys, snd, sp, rp = update_rig () in
+  let m = snd.Udma_shrimp.System.machine in
+  let export = System.export_buffer sys ~node:1 ~proc:rp ~pages:1 in
+  System.import_export sys ~node:0 ~proc:sp ~first_index:0 export;
+  let buf = Kernel.alloc_buffer m sp ~bytes:4096 in
+  Kernel.write_user m sp ~vaddr:buf (pattern 4096);
+  let cpu = Kernel.user_cpu m sp in
+  (* warm *)
+  (match
+     Initiator.transfer cpu ~layout:m.M.layout ~src:(Initiator.Memory buf)
+       ~dst:(Initiator.Device (Kernel.vdev_addr m ~index:0 ~offset:0))
+       ~nbytes:len ()
+   with
+  | Ok _ -> ()
+  | Error e -> fail_transfer e);
+  System.run_until_idle sys;
+  let sent0 = Udma_shrimp.Network_interface.packets_sent snd.Udma_shrimp.System.ni in
+  let t0 = Engine.now (System.engine sys) in
+  List.iter
+    (fun off ->
+      match
+        Initiator.transfer cpu ~layout:m.M.layout
+          ~src:(Initiator.Memory (buf + off))
+          ~dst:(Initiator.Device (Kernel.vdev_addr m ~index:0 ~offset:off))
+          ~nbytes:len ()
+      with
+      | Ok _ -> ()
+      | Error e -> fail_transfer e)
+    offsets;
+  let cycles = Engine.now (System.engine sys) - t0 in
+  System.run_until_idle sys;
+  (cycles,
+   Udma_shrimp.Network_interface.packets_sent snd.Udma_shrimp.System.ni - sent0)
+
+(* automatic: plain stores to a bound page *)
+let automatic_updates ~offsets ~len =
+  let sys, snd, sp, rp = update_rig () in
+  let m = snd.Udma_shrimp.System.machine in
+  let export = System.export_buffer sys ~node:1 ~proc:rp ~pages:1 in
+  let buf = Kernel.alloc_buffer m sp ~bytes:4096 in
+  Kernel.write_user m sp ~vaddr:buf (pattern 4096);
+  System.auto_bind sys ~node:0 ~proc:sp ~vaddr:buf export;
+  let cpu = Kernel.user_cpu m sp in
+  (* warm the TLB *)
+  ignore (cpu.Initiator.load ~vaddr:buf);
+  let sent0 = Udma_shrimp.Network_interface.packets_sent snd.Udma_shrimp.System.ni in
+  let t0 = Engine.now (System.engine sys) in
+  List.iter
+    (fun off ->
+      for w = 0 to (len / 4) - 1 do
+        cpu.Initiator.store ~vaddr:(buf + off + (w * 4)) (Int32.of_int w)
+      done)
+    offsets;
+  let cycles = Engine.now (System.engine sys) - t0 in
+  System.run_until_idle sys;
+  (cycles,
+   Udma_shrimp.Network_interface.packets_sent snd.Udma_shrimp.System.ni - sent0)
+
+let update_strategies () =
+  let scattered =
+    (* 32 single-word updates scattered across the page *)
+    List.init 32 (fun i -> (i * 41 * 4) mod 4000 land lnot 3)
+  in
+  let d_c, d_p = deliberate_updates ~offsets:scattered ~len:4 in
+  let a_c, a_p = automatic_updates ~offsets:scattered ~len:4 in
+  let bulk = [ 0 ] in
+  let bd_c, bd_p = deliberate_updates ~offsets:bulk ~len:4096 in
+  let ba_c, ba_p = automatic_updates ~offsets:bulk ~len:4096 in
+  [
+    {
+      workload = "32 scattered single-word updates";
+      deliberate_cycles = d_c;
+      automatic_cycles = a_c;
+      deliberate_packets = d_p;
+      automatic_packets = a_p;
+    };
+    {
+      workload = "one 4 KB sequential region";
+      deliberate_cycles = bd_c;
+      automatic_cycles = ba_c;
+      deliberate_packets = bd_p;
+      automatic_packets = ba_p;
+    };
+  ]
+
+let print_updates rows =
+  Printf.printf
+    "\n=== E10: deliberate vs automatic update (section 9) ===\n";
+  Printf.printf "%-36s %12s %12s %8s %8s\n" "workload" "delib cyc" "auto cyc"
+    "delib pk" "auto pk";
+  List.iter
+    (fun r ->
+      Printf.printf "%-36s %12d %12d %8d %8d\n" r.workload r.deliberate_cycles
+        r.automatic_cycles r.deliberate_packets r.automatic_packets)
+    rows
+
+(* ------------------------------------------------------------------ *)
+
+let run_all () =
+  print_figure8 (figure8 ());
+  Printf.printf "\n--- same sweep on the queued (section 7) hardware ---\n";
+  print_figure8 (figure8 ~queued:true ());
+  print_costs (initiation_costs ());
+  print_hippi (hippi_motivation ());
+  print_crossover (pio_crossover ());
+  print_queueing (queueing ());
+  print_atomicity (atomicity ());
+  print_pinning (pinning_vs_i4 ());
+  print_proxy_faults (proxy_fault_costs ());
+  print_i3 (i3_policies ());
+  print_updates (update_strategies ())

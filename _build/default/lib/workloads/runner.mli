@@ -1,0 +1,146 @@
+(** Experiment harnesses — one per paper table/figure (see DESIGN.md §4
+    for the index). Each returns typed rows; [print_*] renders the
+    series the way the paper reports them. Both `bench/main.exe` and
+    `bin/shrimp_sim.exe` drive these. *)
+
+(** {1 E1 — Figure 8: deliberate-update bandwidth vs. message size} *)
+
+type bw_point = {
+  size : int;
+  cycles_per_msg : float;
+  bytes_per_cycle : float;
+  pct_of_max : float;
+}
+
+val figure8 :
+  ?sizes:int list -> ?messages:int -> ?queued:bool -> unit -> bw_point list
+(** 2-node SHRIMP, back-to-back blocking sends of each size
+    ([messages] per point, default 32), normalised to the maximum
+    measured bandwidth, exactly as Figure 8. [queued] (default false)
+    swaps in the §7 queued hardware and the pipelined initiator as an
+    ablation. *)
+
+val print_figure8 : bw_point list -> unit
+
+(** {1 E2 — initiation cost (the §8 "2.8 µs" and §1/§2 contrast)} *)
+
+type cost_row = { label : string; cycles : int; us : float }
+
+val initiation_costs : unit -> cost_row list
+(** UDMA two-reference initiation vs. the traditional kernel paths
+    (pin and copy strategies, 4 B and 4 KB), on the default profile. *)
+
+val print_costs : cost_row list -> unit
+
+(** {1 E3 — §1 HIPPI motivation: kernel DMA bandwidth vs. block size} *)
+
+type hippi_row = {
+  block : int;
+  mbytes_per_s : float;
+  pct_of_channel : float;
+}
+
+val hippi_motivation : ?blocks:int list -> unit -> hippi_row list
+(** Kernel-initiated DMA on the HIPPI cost profile over a ~96 MB/s
+    channel; reproduces "2.7 MB/s at 1 KB" and the large-block
+    requirement for 80 % utilisation. *)
+
+val print_hippi : hippi_row list -> unit
+
+(** {1 E4 — §9 PIO-FIFO vs. UDMA crossover} *)
+
+type crossover_row = {
+  xsize : int;
+  udma_cycles : float;   (** one-way user-to-user latency *)
+  pio_cycles : float;
+}
+
+val pio_crossover : ?sizes:int list -> ?trials:int -> unit -> crossover_row list
+
+val print_crossover : crossover_row list -> unit
+
+(** {1 E5 — §7 queueing ablation} *)
+
+type queueing_row = {
+  total_bytes : int;
+  basic_cycles : int;
+  queued_cycles : (int * int) list;  (** (depth, cycles) *)
+}
+
+val queueing : ?total_sizes:int list -> ?depths:int list -> unit -> queueing_row list
+
+val print_queueing : queueing_row list -> unit
+
+(** {1 E6 — I1 atomicity under preemption} *)
+
+type atomicity_row = {
+  preempt_pct : int;      (** preemption probability per reference, % *)
+  transfers : int;
+  retries : int;
+  avg_cycles : float;
+  violations : int;       (** cross-process pairings observed (must be 0) *)
+}
+
+val atomicity : ?probs_pct:int list -> ?transfers:int -> unit -> atomicity_row list
+
+val print_atomicity : atomicity_row list -> unit
+
+(** {1 E7 — I4 remap-check vs. pinning} *)
+
+type pinning_row = { label : string; value : float; unit_ : string }
+
+val pinning_vs_i4 : unit -> pinning_row list
+(** Static per-page costs plus a dynamic paging-under-transfers run
+    reporting I4 skips and deferred cleans. *)
+
+val print_pinning : pinning_row list -> unit
+
+(** {1 E8 — §6 proxy-fault costs} *)
+
+val proxy_fault_costs : unit -> cost_row list
+(** Cold (fault + mapping) vs. warm proxy references; the in-core,
+    paged-out and illegal cases. *)
+
+val print_proxy_faults : cost_row list -> unit
+
+(** {1 E9 — I3 policy ablation (§6's two content-consistency methods)} *)
+
+type i3_row = {
+  policy : string;
+  transfers_done : int;
+  total_cycles : int;
+  proxy_faults : int;
+  upgrades : int;
+  cleans : int;
+}
+
+val i3_policies : ?transfers:int -> ?pages:int -> unit -> i3_row list
+(** Incoming (device-to-memory) transfers across [pages] buffers with a
+    page-cleaning daemon running between rounds, under [Write_upgrade]
+    and [Proxy_dirty_union]. The union policy trades upgrade faults
+    for paging-code complexity, as §6 predicts. *)
+
+val print_i3 : i3_row list -> unit
+
+(** {1 E10 — deliberate vs automatic update (§9)} *)
+
+type update_row = {
+  workload : string;
+  deliberate_cycles : int;
+  automatic_cycles : int;
+  deliberate_packets : int;
+  automatic_packets : int;
+}
+
+val update_strategies : unit -> update_row list
+(** Word-grain scattered updates vs bulk sequential writes, sent with
+    a deliberate-update UDMA transfer per update vs snooped automatic
+    update. Automatic update should win fine-grain scattered writes;
+    deliberate update should win bulk. *)
+
+val print_updates : update_row list -> unit
+
+(** {1 Driver} *)
+
+val run_all : unit -> unit
+(** Run and print every experiment (what [bench/main.exe] calls). *)

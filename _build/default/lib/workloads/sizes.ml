@@ -1,0 +1,17 @@
+let pow2 ~lo ~hi =
+  if lo <= 0 || hi < lo then invalid_arg "Sizes.pow2";
+  let rec go s acc = if s > hi then List.rev acc else go (s * 2) (s :: acc) in
+  go lo []
+
+let figure8 =
+  [ 64; 128; 256; 384; 512; 768; 1024; 1536; 2048; 3072; 4096;
+    4608; 5120; 6144; 7168; 8192; 10240; 12288; 16384 ]
+
+let hippi_blocks = pow2 ~lo:256 ~hi:262144
+
+let crossover = [ 16; 32; 64; 128; 256; 512; 1024; 2048; 4096; 8192 ]
+
+let pretty n =
+  if n >= 1048576 && n mod 1048576 = 0 then Printf.sprintf "%dM" (n / 1048576)
+  else if n >= 1024 && n mod 1024 = 0 then Printf.sprintf "%dK" (n / 1024)
+  else string_of_int n

@@ -1,0 +1,16 @@
+(** Message-size sweeps used across experiments. *)
+
+val figure8 : int list
+(** The Figure 8 x-axis: 64 B to 16 KB, denser below one page. *)
+
+val hippi_blocks : int list
+(** 256 B to 256 KB block sizes for the §1 HIPPI motivation. *)
+
+val crossover : int list
+(** 16 B to 8 KB for the PIO/UDMA comparison. *)
+
+val pow2 : lo:int -> hi:int -> int list
+(** Powers of two from [lo] to [hi] inclusive. *)
+
+val pretty : int -> string
+(** [pretty 4096] is ["4K"]. *)

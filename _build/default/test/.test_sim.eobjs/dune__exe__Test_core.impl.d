@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Bytes Int32 List Printf Udma Udma_dma Udma_memory Udma_mmu Udma_shrimp Udma_sim

@@ -1,0 +1,1 @@
+test/test_devices.ml: Alcotest Bytes Char Int32 Option Udma Udma_devices Udma_dma Udma_mmu Udma_os Udma_sim

@@ -1,0 +1,1 @@
+test/test_dma.ml: Alcotest Bytes Int32 Udma_dma Udma_memory Udma_sim

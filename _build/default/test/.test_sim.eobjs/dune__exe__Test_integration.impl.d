@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Bytes Char List Option Printf Udma Udma_devices Udma_dma Udma_mmu Udma_os Udma_shrimp Udma_sim Udma_workloads

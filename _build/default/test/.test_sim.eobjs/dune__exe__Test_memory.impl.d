@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Bytes Char Hashtbl Printf Udma_memory Udma_sim

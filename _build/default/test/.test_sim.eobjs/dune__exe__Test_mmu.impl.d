@@ -1,0 +1,1 @@
+test/test_mmu.ml: Alcotest List Udma_mmu

@@ -1,0 +1,1 @@
+test/test_os.ml: Alcotest Bytes Char Int32 List Option Printf Udma Udma_dma Udma_mmu Udma_os Udma_sim

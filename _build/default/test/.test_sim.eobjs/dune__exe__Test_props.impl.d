@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Bytes Char Fun Gen Hashtbl Int32 List Option QCheck QCheck_alcotest Udma Udma_dma Udma_mmu Udma_os Udma_shrimp Udma_sim

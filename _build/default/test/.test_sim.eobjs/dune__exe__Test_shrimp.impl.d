@@ -1,0 +1,1 @@
+test/test_shrimp.ml: Alcotest Array Bytes Char Hashtbl Int32 List Option Printf Udma Udma_memory Udma_mmu Udma_os Udma_shrimp Udma_sim

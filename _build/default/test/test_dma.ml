@@ -1,0 +1,279 @@
+(* Unit tests for the bus and the traditional DMA controller (paper
+   section 2, Figure 1). *)
+
+module Engine = Udma_sim.Engine
+module Phys_mem = Udma_memory.Phys_mem
+module Bus = Udma_dma.Bus
+module Device = Udma_dma.Device
+module Dma_engine = Udma_dma.Dma_engine
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+let rig () =
+  let mem = Phys_mem.create ~frames:8 ~page_size:4096 in
+  let engine = Engine.create () in
+  let bus = Bus.create mem in
+  let dma = Dma_engine.create ~engine ~bus in
+  (engine, mem, bus, dma)
+
+(* ---------- Bus ---------- *)
+
+let test_bus_memory_routing () =
+  let _, mem, bus, _ = rig () in
+  Bus.store_word bus 64 0xCAFEl;
+  Alcotest.check Alcotest.int32 "read via bus" 0xCAFEl (Bus.load_word bus 64);
+  Alcotest.check Alcotest.int32 "read via memory" 0xCAFEl (Phys_mem.read_word mem 64)
+
+let test_bus_io_routing () =
+  let _, _, bus, _ = rig () in
+  let stored = ref [] in
+  let handler =
+    Bus.
+      {
+        io_load = (fun ~paddr -> Int32.of_int (paddr land 0xff));
+        io_store = (fun ~paddr v -> stored := (paddr, v) :: !stored);
+      }
+  in
+  Bus.register_io bus ~base:0x100000 ~size:4096 handler;
+  Bus.store_word bus 0x100010 7l;
+  Alcotest.(check (list (pair int int32))) "store routed" [ (0x100010, 7l) ] !stored;
+  Alcotest.check Alcotest.int32 "load routed" 0x10l (Bus.load_word bus 0x100010)
+
+let test_bus_overlap_rejected () =
+  let _, _, bus, _ = rig () in
+  let h = Bus.{ io_load = (fun ~paddr:_ -> 0l); io_store = (fun ~paddr:_ _ -> ()) } in
+  Bus.register_io bus ~base:0x100000 ~size:4096 h;
+  checkb "overlap raises" true
+    (try Bus.register_io bus ~base:0x100800 ~size:4096 h; false
+     with Invalid_argument _ -> true);
+  (* adjacent is fine *)
+  Bus.register_io bus ~base:0x101000 ~size:4096 h
+
+let test_bus_machine_check () =
+  let _, _, bus, _ = rig () in
+  checkb "unmapped load raises" true
+    (try ignore (Bus.load_word bus 0x900000); false
+     with Invalid_argument _ -> true)
+
+let test_bus_timing () =
+  let _, _, bus, _ = rig () in
+  let t = Bus.timing bus in
+  checki "burst: setup + words*cost"
+    (t.Bus.burst_setup_cycles + (256 * t.Bus.burst_word_cycles))
+    (Bus.dma_burst_cycles bus ~nbytes:1024);
+  checki "burst rounds up words"
+    (t.Bus.burst_setup_cycles + (2 * t.Bus.burst_word_cycles))
+    (Bus.dma_burst_cycles bus ~nbytes:5);
+  checki "pio: one transaction per word" (256 * t.Bus.single_word_cycles)
+    (Bus.pio_cycles bus ~nbytes:1024)
+
+(* ---------- Device ports ---------- *)
+
+let test_device_buffer () =
+  let port, store = Device.buffer "d" ~size:128 in
+  port.Device.dev_write ~addr:8 (Bytes.of_string "hi");
+  Alcotest.check Alcotest.string "stored" "hi"
+    (Bytes.to_string (Bytes.sub store 8 2));
+  Alcotest.check Alcotest.bytes "read" (Bytes.of_string "hi")
+    (port.Device.dev_read ~addr:8 ~len:2);
+  checkb "writable in range" true (port.Device.writable ~addr:0);
+  checkb "not writable out of range" false (port.Device.writable ~addr:128)
+
+let test_device_null () =
+  let port = Device.null "sink" in
+  port.Device.dev_write ~addr:0 (Bytes.make 16 'x');
+  Alcotest.check Alcotest.bytes "reads zeros" (Bytes.make 4 '\000')
+    (port.Device.dev_read ~addr:0 ~len:4);
+  checki "free" 0 (port.Device.access_cycles ~addr:0 ~len:4096)
+
+(* ---------- Dma_engine ---------- *)
+
+let test_dma_mem_to_dev () =
+  let engine, mem, _, dma = rig () in
+  let port, store = Device.buffer "d" ~size:4096 in
+  Phys_mem.write_bytes mem ~addr:100 (Bytes.of_string "payload!");
+  let done_at = ref (-1) in
+  (match
+     Dma_engine.start dma ~src:(Dma_engine.Mem 100)
+       ~dst:(Dma_engine.Dev (port, 20)) ~nbytes:8
+       ~on_complete:(fun () -> done_at := Engine.now engine)
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "start failed: %a" Dma_engine.pp_error e);
+  checkb "busy during transfer" true (Dma_engine.busy dma);
+  checkb "data not yet moved" true (Bytes.get store 20 = '\000');
+  Engine.run_until_idle engine;
+  checkb "idle after" false (Dma_engine.busy dma);
+  Alcotest.check Alcotest.string "moved" "payload!"
+    (Bytes.to_string (Bytes.sub store 20 8));
+  checkb "completion time positive" true (!done_at > 0)
+
+let test_dma_dev_to_mem () =
+  let engine, mem, _, dma = rig () in
+  let port, store = Device.buffer "d" ~size:4096 in
+  Bytes.blit_string "incoming" 0 store 0 8;
+  (match
+     Dma_engine.start dma ~src:(Dma_engine.Dev (port, 0))
+       ~dst:(Dma_engine.Mem 500) ~nbytes:8 ~on_complete:ignore
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "start failed: %a" Dma_engine.pp_error e);
+  Engine.run_until_idle engine;
+  Alcotest.check Alcotest.string "moved" "incoming"
+    (Bytes.to_string (Phys_mem.read_bytes mem ~addr:500 ~len:8))
+
+let test_dma_busy_rejected () =
+  let _, _, _, dma = rig () in
+  let port = Device.null "d" in
+  ignore
+    (Dma_engine.start dma ~src:(Dma_engine.Mem 0)
+       ~dst:(Dma_engine.Dev (port, 0)) ~nbytes:64 ~on_complete:ignore);
+  checkb "second start refused" true
+    (Dma_engine.start dma ~src:(Dma_engine.Mem 0)
+       ~dst:(Dma_engine.Dev (port, 0)) ~nbytes:64 ~on_complete:ignore
+     = Error Dma_engine.Busy)
+
+let test_dma_unsupported_pairs () =
+  let _, _, _, dma = rig () in
+  let port = Device.null "d" in
+  checkb "mem to mem" true
+    (Dma_engine.start dma ~src:(Dma_engine.Mem 0) ~dst:(Dma_engine.Mem 64)
+       ~nbytes:8 ~on_complete:ignore
+     = Error Dma_engine.Unsupported_pair);
+  checkb "dev to dev" true
+    (Dma_engine.start dma
+       ~src:(Dma_engine.Dev (port, 0))
+       ~dst:(Dma_engine.Dev (port, 64))
+       ~nbytes:8 ~on_complete:ignore
+     = Error Dma_engine.Unsupported_pair)
+
+let test_dma_bad_sizes () =
+  let _, _, _, dma = rig () in
+  let port = Device.null "d" in
+  checkb "zero" true
+    (Dma_engine.start dma ~src:(Dma_engine.Mem 0)
+       ~dst:(Dma_engine.Dev (port, 0)) ~nbytes:0 ~on_complete:ignore
+     = Error Dma_engine.Bad_size);
+  checkb "memory overrun" true
+    (Dma_engine.start dma
+       ~src:(Dma_engine.Mem (8 * 4096 - 4))
+       ~dst:(Dma_engine.Dev (port, 0)) ~nbytes:64 ~on_complete:ignore
+     = Error Dma_engine.Bad_size)
+
+let test_dma_device_refusal () =
+  let _, _, _, dma = rig () in
+  let port, _ = Device.buffer "d" ~size:64 in
+  checkb "device refuses out-of-range dest" true
+    (Dma_engine.start dma ~src:(Dma_engine.Mem 0)
+       ~dst:(Dma_engine.Dev (port, 100))
+       ~nbytes:8 ~on_complete:ignore
+     = Error Dma_engine.Device_refused)
+
+let test_dma_registers_and_remaining () =
+  let engine, _, bus, dma = rig () in
+  let port = Device.null "d" in
+  ignore
+    (Dma_engine.start dma ~src:(Dma_engine.Mem 4096)
+       ~dst:(Dma_engine.Dev (port, 0)) ~nbytes:1024 ~on_complete:ignore);
+  checki "count register" 1024 (Dma_engine.count dma);
+  Alcotest.(check (option int)) "memory-side base" (Some 4096)
+    (Dma_engine.transfer_base dma);
+  checki "remaining at start" 1024 (Dma_engine.remaining_bytes dma);
+  let duration = Bus.dma_burst_cycles bus ~nbytes:1024 in
+  Engine.advance engine (duration / 2);
+  let rem = Dma_engine.remaining_bytes dma in
+  checkb "about half remains" true (rem > 256 && rem < 768);
+  checki "word multiple" 0 ((1024 - rem) land 3);
+  Engine.run_until_idle engine;
+  checki "zero when idle" 0 (Dma_engine.remaining_bytes dma);
+  checki "count zero when idle" 0 (Dma_engine.count dma)
+
+let test_dma_page_in_flight () =
+  let engine, _, _, dma = rig () in
+  let port = Device.null "d" in
+  ignore
+    (Dma_engine.start dma
+       ~src:(Dma_engine.Mem (2 * 4096 + 2048))
+       ~dst:(Dma_engine.Dev (port, 0)) ~nbytes:4096 ~on_complete:ignore);
+  checkb "first page busy" true (Dma_engine.mem_page_in_flight dma ~page_size:4096 2);
+  checkb "straddled page busy" true
+    (Dma_engine.mem_page_in_flight dma ~page_size:4096 3);
+  checkb "other page free" false
+    (Dma_engine.mem_page_in_flight dma ~page_size:4096 4);
+  Engine.run_until_idle engine;
+  checkb "free after" false (Dma_engine.mem_page_in_flight dma ~page_size:4096 2)
+
+let test_dma_abort () =
+  let engine, _, _, dma = rig () in
+  let port, store = Device.buffer "d" ~size:4096 in
+  let completed = ref false in
+  ignore
+    (Dma_engine.start dma ~src:(Dma_engine.Mem 0)
+       ~dst:(Dma_engine.Dev (port, 0)) ~nbytes:64
+       ~on_complete:(fun () -> completed := true));
+  checkb "abort succeeds" true (Dma_engine.abort dma);
+  checkb "idle immediately" false (Dma_engine.busy dma);
+  Engine.run_until_idle engine;
+  checkb "no completion callback" false !completed;
+  checkb "no data moved" true (Bytes.get store 0 = '\000');
+  checkb "abort when idle" false (Dma_engine.abort dma)
+
+let test_dma_counters () =
+  let engine, _, _, dma = rig () in
+  let port = Device.null "d" in
+  for _ = 1 to 3 do
+    ignore
+      (Dma_engine.start dma ~src:(Dma_engine.Mem 0)
+         ~dst:(Dma_engine.Dev (port, 0)) ~nbytes:100 ~on_complete:ignore);
+    Engine.run_until_idle engine
+  done;
+  checki "transfers" 3 (Dma_engine.transfers_completed dma);
+  checki "bytes" 300 (Dma_engine.bytes_moved dma)
+
+let test_dma_device_latency_counts () =
+  let engine, _, bus, dma = rig () in
+  let slow =
+    { (Device.null "slow") with Device.access_cycles = (fun ~addr:_ ~len:_ -> 5000) }
+  in
+  let t0 = Engine.now engine in
+  ignore
+    (Dma_engine.start dma ~src:(Dma_engine.Mem 0)
+       ~dst:(Dma_engine.Dev (slow, 0)) ~nbytes:64 ~on_complete:ignore);
+  Engine.run_until_idle engine;
+  checki "device latency added"
+    (Bus.dma_burst_cycles bus ~nbytes:64 + 5000)
+    (Engine.now engine - t0)
+
+let () =
+  Alcotest.run "udma_dma"
+    [
+      ( "bus",
+        [
+          Alcotest.test_case "memory routing" `Quick test_bus_memory_routing;
+          Alcotest.test_case "io routing" `Quick test_bus_io_routing;
+          Alcotest.test_case "overlap rejected" `Quick test_bus_overlap_rejected;
+          Alcotest.test_case "machine check" `Quick test_bus_machine_check;
+          Alcotest.test_case "timing" `Quick test_bus_timing;
+        ] );
+      ( "device",
+        [
+          Alcotest.test_case "buffer port" `Quick test_device_buffer;
+          Alcotest.test_case "null port" `Quick test_device_null;
+        ] );
+      ( "dma_engine",
+        [
+          Alcotest.test_case "mem to dev" `Quick test_dma_mem_to_dev;
+          Alcotest.test_case "dev to mem" `Quick test_dma_dev_to_mem;
+          Alcotest.test_case "busy rejected" `Quick test_dma_busy_rejected;
+          Alcotest.test_case "unsupported pairs" `Quick test_dma_unsupported_pairs;
+          Alcotest.test_case "bad sizes" `Quick test_dma_bad_sizes;
+          Alcotest.test_case "device refusal" `Quick test_dma_device_refusal;
+          Alcotest.test_case "registers + remaining" `Quick
+            test_dma_registers_and_remaining;
+          Alcotest.test_case "page in flight" `Quick test_dma_page_in_flight;
+          Alcotest.test_case "abort" `Quick test_dma_abort;
+          Alcotest.test_case "counters" `Quick test_dma_counters;
+          Alcotest.test_case "device latency" `Quick test_dma_device_latency_counts;
+        ] );
+    ]

@@ -1,0 +1,429 @@
+(* Cross-module integration tests: protection/isolation, experiment
+   anchors from the paper, and mixed workloads. *)
+
+module Engine = Udma_sim.Engine
+module Layout = Udma_mmu.Layout
+module Device = Udma_dma.Device
+module Status = Udma.Status
+module Initiator = Udma.Initiator
+module Udma_engine = Udma.Udma_engine
+module M = Udma_os.Machine
+module Proc = Udma_os.Proc
+module Vm = Udma_os.Vm
+module Scheduler = Udma_os.Scheduler
+module Syscall = Udma_os.Syscall
+module Kernel = Udma_os.Kernel
+module Runner = Udma_workloads.Runner
+module System = Udma_shrimp.System
+module Messaging = Udma_shrimp.Messaging
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+let pattern n seed = Bytes.init n (fun i -> Char.chr ((i + seed) land 0xff))
+
+(* ---------- protection / isolation ---------- *)
+
+let test_ungranted_device_proxy_faults () =
+  let m = M.create () in
+  let udma = Option.get m.M.udma in
+  let port, _ = Device.buffer "d" ~size:65536 in
+  Udma_engine.attach_device udma ~base_page:0 ~pages:8 ~port ();
+  let evil = Scheduler.spawn m ~name:"evil" in
+  let cpu = Kernel.user_cpu m evil in
+  (* no grant: storing to device proxy must segfault, not reach the
+     hardware *)
+  checkb "segfaults" true
+    (try
+       cpu.Initiator.store ~vaddr:(Kernel.vdev_addr m ~index:0 ~offset:0) 64l;
+       false
+     with Vm.Segfault _ -> true);
+  checki "hardware untouched" 0 (Udma_engine.counters udma).Udma_engine.initiations
+
+let test_readonly_grant_blocks_sends () =
+  let m = M.create () in
+  let udma = Option.get m.M.udma in
+  let port, _ = Device.buffer "d" ~size:65536 in
+  Udma_engine.attach_device udma ~base_page:0 ~pages:8 ~port ();
+  let p = Scheduler.spawn m ~name:"p" in
+  (* read-only device grant (§4: "whether the permission is read-only") *)
+  (match Syscall.map_device_proxy m p ~vdev_index:0 ~pdev_index:0 ~writable:false with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "grant failed");
+  let cpu = Kernel.user_cpu m p in
+  checkb "store blocked" true
+    (try
+       cpu.Initiator.store ~vaddr:(Kernel.vdev_addr m ~index:0 ~offset:0) 64l;
+       false
+     with Vm.Segfault _ -> true)
+
+let test_process_cannot_name_others_memory () =
+  (* p2 cannot use p1's memory as a transfer source: the proxy of an
+     address p2 has no mapping for faults as illegal (§6 case 3) *)
+  let m = M.create () in
+  let udma = Option.get m.M.udma in
+  let port, store = Device.buffer "d" ~size:65536 in
+  Udma_engine.attach_device udma ~base_page:0 ~pages:8 ~port ();
+  let p1 = Scheduler.spawn m ~name:"victim" in
+  let p2 = Scheduler.spawn m ~name:"evil" in
+  ignore (Syscall.map_device_proxy m p2 ~vdev_index:0 ~pdev_index:0 ~writable:true);
+  let secret = Kernel.alloc_buffer m p1 ~bytes:4096 in
+  Kernel.write_user m p1 ~vaddr:secret (Bytes.of_string "top-secret-data!");
+  let cpu2 = Kernel.user_cpu m p2 in
+  (* p2 issues the STORE (legal: it owns the device grant) and then
+     tries to LOAD from the proxy of p1's buffer address; in p2's
+     address space that page is unmapped, so the proxy fault is an
+     illegal access *)
+  cpu2.Initiator.store ~vaddr:(Kernel.vdev_addr m ~index:0 ~offset:0) 16l;
+  checkb "cross-process source segfaults" true
+    (try
+       ignore (cpu2.Initiator.load ~vaddr:(Layout.proxy_of m.M.layout secret));
+       false
+     with Vm.Segfault _ -> true);
+  Engine.run_until_idle m.M.engine;
+  checkb "no secret bytes leaked" true
+    (Bytes.to_string (Bytes.sub store 0 16) <> "top-secret-data!")
+
+let test_same_address_different_processes () =
+  (* the same virtual address in two processes names different frames,
+     and UDMA follows the mappings, not the numbers *)
+  let m = M.create () in
+  let udma = Option.get m.M.udma in
+  let port, store = Device.buffer "d" ~size:65536 in
+  Udma_engine.attach_device udma ~base_page:0 ~pages:8 ~port ();
+  let p1 = Scheduler.spawn m ~name:"p1" in
+  let p2 = Scheduler.spawn m ~name:"p2" in
+  ignore (Syscall.map_device_proxy m p1 ~vdev_index:0 ~pdev_index:0 ~writable:true);
+  ignore (Syscall.map_device_proxy m p2 ~vdev_index:1 ~pdev_index:1 ~writable:true);
+  let b1 = Kernel.alloc_buffer m p1 ~bytes:4096 in
+  let b2 = Kernel.alloc_buffer m p2 ~bytes:4096 in
+  checki "same virtual address" b1 b2;
+  Kernel.write_user m p1 ~vaddr:b1 (Bytes.of_string "process-one-data");
+  Kernel.write_user m p2 ~vaddr:b2 (Bytes.of_string "process-two-data");
+  let send proc dev_page =
+    let cpu = Kernel.user_cpu m proc in
+    match
+      Initiator.transfer cpu ~layout:m.M.layout ~src:(Initiator.Memory b1)
+        ~dst:(Initiator.Device (Kernel.vdev_addr m ~index:dev_page ~offset:0))
+        ~nbytes:16 ()
+    with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "send: %a" Initiator.pp_error e
+  in
+  send p1 0;
+  send p2 1;
+  Engine.run_until_idle m.M.engine;
+  Alcotest.check Alcotest.string "p1's bytes via p1's grant" "process-one-data"
+    (Bytes.to_string (Bytes.sub store 0 16));
+  Alcotest.check Alcotest.string "p2's bytes via p2's grant" "process-two-data"
+    (Bytes.to_string (Bytes.sub store 4096 16))
+
+(* ---------- experiment anchors from the paper ---------- *)
+
+let test_figure8_anchors () =
+  let points = Runner.figure8 ~messages:16 () in
+  let pct size =
+    match List.find_opt (fun p -> p.Runner.size = size) points with
+    | Some p -> p.Runner.pct_of_max
+    | None -> Alcotest.failf "size %d missing" size
+  in
+  (* §8: "exceeds 50% of the maximum measured at a message size of
+     only 512 bytes" *)
+  checkb
+    (Printf.sprintf "512B >= 50%% (got %.1f)" (pct 512))
+    true
+    (pct 512 >= 50.0);
+  (* §8: a single page achieves 94%; we require the same ballpark *)
+  checkb
+    (Printf.sprintf "4K in [90,100] (got %.1f)" (pct 4096))
+    true
+    (pct 4096 >= 90.0);
+  (* the dip after one page *)
+  checkb
+    (Printf.sprintf "dip after 4K (%.1f -> %.1f)" (pct 4096) (pct 4608))
+    true
+    (pct 4608 < pct 4096);
+  (* max sustained for messages exceeding 8K *)
+  checkb
+    (Printf.sprintf "8K near max (got %.1f)" (pct 8192))
+    true
+    (pct 8192 >= 95.0);
+  (* monotone rise below a page *)
+  checkb "monotone rise to 4K" true (pct 64 < pct 512 && pct 512 < pct 4096)
+
+let test_initiation_cost_anchor () =
+  let rows = Runner.initiation_costs () in
+  let find label =
+    match List.find_opt (fun (r : Runner.cost_row) -> r.Runner.label = label) rows with
+    | Some r -> r
+    | None -> Alcotest.failf "row %s missing" label
+  in
+  let udma = find "UDMA initiation (2 refs + check)" in
+  (* §8: about 2.8 microseconds *)
+  checkb
+    (Printf.sprintf "2.8us (got %.2f)" udma.Runner.us)
+    true
+    (udma.Runner.us > 2.2 && udma.Runner.us < 3.4);
+  let trad = find "traditional 4 KB transfer (pin)" in
+  checkb "traditional is 10x+ the UDMA initiation" true
+    (trad.Runner.cycles > 10 * udma.Runner.cycles)
+
+let test_hippi_anchor () =
+  let rows = Runner.hippi_motivation () in
+  let at block =
+    match List.find_opt (fun r -> r.Runner.block = block) rows with
+    | Some r -> r.Runner.mbytes_per_s
+    | None -> Alcotest.failf "block %d missing" block
+  in
+  (* §1: "With a data block size of 1 Kbyte, the transfer rate achieved
+     is only 2.7 MByte/sec, which is less than 2% of the raw hardware
+     bandwidth" (we land within a factor ~1.5 and under 4%) *)
+  checkb
+    (Printf.sprintf "1KB ~2.7MB/s (got %.2f)" (at 1024))
+    true
+    (at 1024 > 1.8 && at 1024 < 4.0);
+  (* §1: 80 MB/s requires large blocks *)
+  checkb "64KB still below 80MB/s" true (at 65536 < 80.0);
+  checkb "256KB reaches ~80MB/s" true (at 262144 >= 78.0)
+
+let test_crossover_anchor () =
+  let rows = Runner.pio_crossover ~sizes:[ 16; 4096 ] ~trials:3 () in
+  let at size = List.find (fun r -> r.Runner.xsize = size) rows in
+  (* §9: FIFO interfaces win small messages, DMA wins long ones *)
+  checkb "PIO wins at 16B" true
+    ((at 16).Runner.pio_cycles < (at 16).Runner.udma_cycles);
+  checkb "UDMA wins at 4KB by a lot" true
+    ((at 4096).Runner.pio_cycles > 5.0 *. (at 4096).Runner.udma_cycles)
+
+let test_queueing_anchor () =
+  let rows = Runner.queueing ~total_sizes:[ 65536 ] ~depths:[ 4 ] () in
+  match rows with
+  | [ r ] ->
+      let _, queued = List.hd r.Runner.queued_cycles in
+      checkb "queueing beats basic for multi-page transfers" true
+        (queued < r.Runner.basic_cycles)
+  | _ -> Alcotest.fail "expected one row"
+
+let test_atomicity_never_violates () =
+  let rows = Runner.atomicity ~probs_pct:[ 0; 25; 50 ] ~transfers:100 () in
+  List.iter
+    (fun r ->
+      checki
+        (Printf.sprintf "violations at %d%%" r.Runner.preempt_pct)
+        0 r.Runner.violations;
+      if r.Runner.preempt_pct = 0 then
+        checki "no retries without preemption" 0 r.Runner.retries
+      else checkb "preemption causes retries" true (r.Runner.retries > 0))
+    rows
+
+let test_i3_policy_anchor () =
+  let rows = Runner.i3_policies ~transfers:32 ~pages:4 () in
+  match rows with
+  | [ upgrade; union ] ->
+      checkb "union takes fewer proxy faults" true
+        (union.Runner.proxy_faults < upgrade.Runner.proxy_faults);
+      checki "union takes no upgrades" 0 union.Runner.upgrades;
+      checkb "upgrade policy re-faults after every clean" true
+        (upgrade.Runner.upgrades >= 28)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_update_strategy_anchor () =
+  let rows = Runner.update_strategies () in
+  let find w = List.find (fun r -> r.Runner.workload = w) rows in
+  let scattered = find "32 scattered single-word updates" in
+  (* automatic update has no initiation cost: scattered word updates
+     are at least an order of magnitude cheaper on the sending CPU *)
+  checkb "automatic wins scattered updates" true
+    (scattered.Runner.automatic_cycles * 10 < scattered.Runner.deliberate_cycles);
+  let bulk = find "one 4 KB sequential region" in
+  (* deliberate update ships bulk data in far fewer packets *)
+  checkb "deliberate wins bulk packet count" true
+    (bulk.Runner.deliberate_packets * 10 <= bulk.Runner.automatic_packets)
+
+(* ---------- mixed workloads ---------- *)
+
+let test_messaging_under_memory_pressure () =
+  (* sender keeps messaging while a hog forces paging on its node;
+     every message must still arrive intact (I2/I4 at work) *)
+  let config = { M.default_config with M.mem_pages = 32 } in
+  let sys =
+    System.create
+      ~config:{ System.default_config with System.machine = config }
+      ~nodes:2 ()
+  in
+  let snd = System.node sys 0 in
+  let sp = Scheduler.spawn snd.System.machine ~name:"s" in
+  let rp = Scheduler.spawn (System.node sys 1).System.machine ~name:"r" in
+  let hog = Scheduler.spawn snd.System.machine ~name:"hog" in
+  let ch = Messaging.connect sys ~sender:(0, sp) ~receiver:(1, rp) ~pages:1 () in
+  let buf = Kernel.alloc_buffer snd.System.machine sp ~bytes:4096 in
+  let cpu_s = Kernel.user_cpu snd.System.machine sp in
+  let cpu_r = Kernel.user_cpu (System.node sys 1).System.machine rp in
+  for round = 1 to 12 do
+    let data = pattern 1024 round in
+    Scheduler.switch_to snd.System.machine sp;
+    Kernel.write_user snd.System.machine sp ~vaddr:buf data;
+    (* memory pressure between sends *)
+    ignore (Kernel.alloc_buffer snd.System.machine hog ~bytes:(3 * 4096));
+    let seq =
+      match Messaging.send ch cpu_s ~src_vaddr:buf ~nbytes:1024 () with
+      | Ok seq -> seq
+      | Error e -> Alcotest.failf "send %d: %a" round Messaging.pp_send_error e
+    in
+    (match Messaging.recv_wait ch cpu_r ~seq () with
+    | Ok _ -> ()
+    | Error msg -> Alcotest.fail msg);
+    Alcotest.check Alcotest.bytes
+      (Printf.sprintf "round %d intact" round)
+      data
+      (Bytes.sub (Messaging.read_payload ch ~len:1024) 0 1024)
+  done;
+  checkb "paging actually happened" true
+    (Udma_sim.Stats.get snd.System.machine.M.stats "vm.evictions" > 0)
+
+let test_concurrent_channels_interleave () =
+  (* two senders on one node share the UDMA engine; the basic hardware
+     serialises them but both make progress *)
+  let sys = System.create ~nodes:2 () in
+  let snd = System.node sys 0 in
+  let s1 = Scheduler.spawn snd.System.machine ~name:"s1" in
+  let s2 = Scheduler.spawn snd.System.machine ~name:"s2" in
+  let rp = Scheduler.spawn (System.node sys 1).System.machine ~name:"r" in
+  let ch1 =
+    Messaging.connect sys ~sender:(0, s1) ~receiver:(1, rp) ~first_index:0
+      ~pages:1 ()
+  in
+  let ch2 =
+    Messaging.connect sys ~sender:(0, s2) ~receiver:(1, rp) ~first_index:1
+      ~pages:1 ()
+  in
+  let b1 = Kernel.alloc_buffer snd.System.machine s1 ~bytes:4096 in
+  let b2 = Kernel.alloc_buffer snd.System.machine s2 ~bytes:4096 in
+  Kernel.write_user snd.System.machine s1 ~vaddr:b1 (pattern 256 1);
+  Kernel.write_user snd.System.machine s2 ~vaddr:b2 (pattern 256 2);
+  let c1 = Kernel.user_cpu snd.System.machine s1 in
+  let c2 = Kernel.user_cpu snd.System.machine s2 in
+  let cr = Kernel.user_cpu (System.node sys 1).System.machine rp in
+  for _ = 1 to 5 do
+    let q1 =
+      match Messaging.send ch1 c1 ~src_vaddr:b1 ~nbytes:256 () with
+      | Ok q -> q
+      | Error e -> Alcotest.failf "s1: %a" Messaging.pp_send_error e
+    in
+    let q2 =
+      match Messaging.send ch2 c2 ~src_vaddr:b2 ~nbytes:256 () with
+      | Ok q -> q
+      | Error e -> Alcotest.failf "s2: %a" Messaging.pp_send_error e
+    in
+    (match Messaging.recv_wait ch1 cr ~seq:q1 () with
+    | Ok _ -> ()
+    | Error msg -> Alcotest.fail msg);
+    match Messaging.recv_wait ch2 cr ~seq:q2 () with
+    | Ok _ -> ()
+    | Error msg -> Alcotest.fail msg
+  done;
+  Alcotest.check Alcotest.bytes "ch1 payload" (pattern 256 1)
+    (Bytes.sub (Messaging.read_payload ch1 ~len:256) 0 256);
+  Alcotest.check Alcotest.bytes "ch2 payload" (pattern 256 2)
+    (Bytes.sub (Messaging.read_payload ch2 ~len:256) 0 256)
+
+(* ---------- several devices behind one UDMA engine ---------- *)
+
+let test_multi_device_node () =
+  (* one engine serves a frame buffer, a disk and a buffer device at
+     disjoint device-proxy ranges; one process drives all three *)
+  let module Frame_buffer = Udma_devices.Frame_buffer in
+  let module Disk = Udma_devices.Disk in
+  let m = M.create () in
+  let udma = Option.get m.M.udma in
+  let fb = Frame_buffer.create ~width:64 ~height:32 in
+  let disk = Disk.create () in
+  let port, store = Device.buffer "aux" ~size:(4 * 4096) in
+  (* layout: fb pages [0..1], disk pages [8..23], buffer pages [32..35] *)
+  let fb_pages = Frame_buffer.pages fb ~page_size:4096 in
+  Udma_engine.attach_device udma ~base_page:0 ~pages:fb_pages
+    ~port:(Frame_buffer.port fb) ();
+  Udma_engine.attach_device udma ~base_page:8 ~pages:16 ~port:(Disk.port disk) ();
+  Udma_engine.attach_device udma ~base_page:32 ~pages:4 ~port ();
+  (* overlapping attachment is rejected *)
+  checkb "overlap rejected" true
+    (try
+       Udma_engine.attach_device udma ~base_page:9 ~pages:1 ~port ();
+       false
+     with Invalid_argument _ -> true);
+  let proc = Scheduler.spawn m ~name:"driver" in
+  List.iter
+    (fun i ->
+      ignore (Syscall.map_device_proxy m proc ~vdev_index:i ~pdev_index:i ~writable:true))
+    [ 0; 8; 32 ];
+  let buf = Kernel.alloc_buffer m proc ~bytes:4096 in
+  let cpu = Kernel.user_cpu m proc in
+  let send ~dev_index ~seed ~nbytes =
+    Kernel.write_user m proc ~vaddr:buf (pattern nbytes seed);
+    match
+      Initiator.transfer cpu ~layout:m.M.layout ~src:(Initiator.Memory buf)
+        ~dst:(Initiator.Device (Kernel.vdev_addr m ~index:dev_index ~offset:0))
+        ~nbytes ()
+    with
+    | Ok _ -> Engine.run_until_idle m.M.engine
+    | Error e -> Alcotest.failf "dev %d: %a" dev_index Initiator.pp_error e
+  in
+  send ~dev_index:0 ~seed:1 ~nbytes:256;   (* 64 pixels *)
+  send ~dev_index:8 ~seed:2 ~nbytes:4096;  (* disk block 0 *)
+  send ~dev_index:32 ~seed:3 ~nbytes:512;  (* aux buffer *)
+  Alcotest.check Alcotest.bytes "pixels" (pattern 256 1)
+    (Bytes.sub (Frame_buffer.row fb ~y:0) 0 256);
+  Alcotest.check Alcotest.bytes "disk block" (pattern 4096 2) (Disk.read_block disk 0);
+  Alcotest.check Alcotest.bytes "aux" (pattern 512 3) (Bytes.sub store 0 512);
+  (* access to a device-proxy page bound to nothing reports a device
+     error, even though the grant exists *)
+  ignore (Syscall.map_device_proxy m proc ~vdev_index:40 ~pdev_index:40 ~writable:true);
+  Kernel.write_user m proc ~vaddr:buf (pattern 64 9);
+  match
+    Initiator.transfer cpu ~layout:m.M.layout ~src:(Initiator.Memory buf)
+      ~dst:(Initiator.Device (Kernel.vdev_addr m ~index:40 ~offset:0))
+      ~nbytes:64 ()
+  with
+  | Error (Initiator.Hard_error st) ->
+      checkb "unbound page reports device error" true
+        (st.Udma.Status.device_error <> 0)
+  | Ok _ -> Alcotest.fail "transfer to an unbound device page succeeded"
+  | Error e -> Alcotest.failf "unexpected: %a" Initiator.pp_error e
+
+let () =
+  Alcotest.run "udma_integration"
+    [
+      ( "protection",
+        [
+          Alcotest.test_case "ungranted device proxy faults" `Quick
+            test_ungranted_device_proxy_faults;
+          Alcotest.test_case "read-only grant blocks sends" `Quick
+            test_readonly_grant_blocks_sends;
+          Alcotest.test_case "cannot name another's memory" `Quick
+            test_process_cannot_name_others_memory;
+          Alcotest.test_case "same vaddr, different processes" `Quick
+            test_same_address_different_processes;
+        ] );
+      ( "paper-anchors",
+        [
+          Alcotest.test_case "Figure 8 shape" `Slow test_figure8_anchors;
+          Alcotest.test_case "2.8us initiation" `Quick test_initiation_cost_anchor;
+          Alcotest.test_case "HIPPI motivation" `Quick test_hippi_anchor;
+          Alcotest.test_case "PIO crossover" `Slow test_crossover_anchor;
+          Alcotest.test_case "queueing wins" `Slow test_queueing_anchor;
+          Alcotest.test_case "I1 never violated" `Slow test_atomicity_never_violates;
+          Alcotest.test_case "I3 policies trade faults" `Quick
+            test_i3_policy_anchor;
+          Alcotest.test_case "update strategies crossover" `Quick
+            test_update_strategy_anchor;
+        ] );
+      ( "multi-device",
+        [ Alcotest.test_case "three devices, one engine" `Quick test_multi_device_node ] );
+      ( "mixed",
+        [
+          Alcotest.test_case "messaging under memory pressure" `Slow
+            test_messaging_under_memory_pressure;
+          Alcotest.test_case "concurrent channels" `Quick
+            test_concurrent_channels_interleave;
+        ] );
+    ]

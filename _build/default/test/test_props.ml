@@ -1,0 +1,555 @@
+(* Property-based tests (qcheck) on core data structures and the
+   paper's invariants, registered as alcotest cases. *)
+
+module Eventq = Udma_sim.Eventq
+module Rng = Udma_sim.Rng
+module Engine = Udma_sim.Engine
+module Layout = Udma_mmu.Layout
+module Status = Udma.Status
+module Sm = Udma.State_machine
+module Initiator = Udma.Initiator
+module M = Udma_os.Machine
+module Vm = Udma_os.Vm
+module Scheduler = Udma_os.Scheduler
+module Syscall = Udma_os.Syscall
+module Kernel = Udma_os.Kernel
+module Device = Udma_dma.Device
+module Udma_engine = Udma.Udma_engine
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* ---------- Eventq: pops are sorted, ties FIFO ---------- *)
+
+let prop_eventq_sorted =
+  qtest "eventq pops sorted, ties in insertion order"
+    QCheck.(list (int_bound 1000))
+    (fun times ->
+      let q = Eventq.create () in
+      List.iteri (fun i t -> Eventq.push q ~time:t i) times;
+      let rec drain acc =
+        match Eventq.pop q with
+        | Some (t, i) -> drain ((t, i) :: acc)
+        | None -> List.rev acc
+      in
+      let out = drain [] in
+      let rec sorted = function
+        | (t1, i1) :: ((t2, i2) :: _ as rest) ->
+            (t1 < t2 || (t1 = t2 && i1 < i2)) && sorted rest
+        | [ _ ] | [] -> true
+      in
+      List.length out = List.length times && sorted out)
+
+(* ---------- Status: encode/decode is the identity ---------- *)
+
+let status_gen =
+  QCheck.(
+    map
+      (fun (a, b, c, (d, e, f, (err, rem))) ->
+        Status.make ~started:a ~transferring:b ~invalid:c ~matches:d
+          ~wrong_space:e ~queue_full:f ~device_error:err ~remaining_bytes:rem
+          ())
+      (quad bool bool bool
+         (quad bool bool bool (pair (int_bound 15) (int_bound Status.max_remaining)))))
+
+let prop_status_roundtrip =
+  qtest "status encode/decode roundtrip" status_gen (fun s ->
+      Status.equal s (Status.decode (Status.encode s)))
+
+(* ---------- Layout: proxy is a bijection on memory ---------- *)
+
+let prop_layout_proxy_bijection =
+  qtest "PROXY is a bijection between memory and proxy space"
+    QCheck.(int_bound ((64 * 4096) - 1))
+    (fun addr ->
+      let l = Layout.create ~page_size:4096 ~mem_pages:64 ~dev_pages:8 in
+      let p = Layout.proxy_of l addr in
+      Layout.region_of l p = Some Layout.Mem_proxy
+      && Layout.unproxy l p = addr
+      && Layout.offset_in_page l p = Layout.offset_in_page l addr)
+
+(* ---------- State machine invariants ---------- *)
+
+let event_gen =
+  QCheck.(
+    map
+      (fun (k, proxy, value) ->
+        let space = if proxy land 1 = 0 then Sm.Mem_space else Sm.Dev_space in
+        match k mod 3 with
+        | 0 -> Sm.Store { proxy; space; value }
+        | 1 -> Sm.Load { proxy; space }
+        | _ -> Sm.Done)
+      (triple (int_bound 100) (int_bound 64) (int_range (-4) 100)))
+
+(* Transferring is entered only through a Start action, and Start only
+   happens on a Load whose space differs from the latched destination. *)
+let prop_sm_transferring_only_via_start =
+  qtest ~count:500 "Transferring entered only via Start"
+    QCheck.(list event_gen)
+    (fun events ->
+      let ok = ref true in
+      let state = ref Sm.Idle in
+      List.iter
+        (fun ev ->
+          let prev = !state in
+          let next, action = Sm.step prev ev in
+          (match (prev, next) with
+          | (Sm.Idle | Sm.Dest_loaded _), Sm.Transferring _ -> (
+              match action with Sm.Start _ -> () | _ -> ok := false)
+          | Sm.Transferring _, _ | _, (Sm.Idle | Sm.Dest_loaded _) -> ());
+          (* a started transfer only leaves via Done *)
+          (match (prev, ev, next) with
+          | Sm.Transferring _, Sm.Done, Sm.Idle -> ()
+          | Sm.Transferring _, Sm.Done, _ -> ok := false
+          | Sm.Transferring t, _, next when next <> Sm.Transferring t ->
+              ok := false
+          | _ -> ());
+          state := next)
+        events;
+      !ok)
+
+(* After an Inval the machine is Idle unless it was Transferring. *)
+let prop_sm_inval_resets =
+  qtest ~count:500 "Inval resets any partial initiation"
+    QCheck.(list event_gen)
+    (fun events ->
+      let state = ref Sm.Idle in
+      List.iter (fun ev -> state := fst (Sm.step !state ev)) events;
+      let before = !state in
+      let after, _ =
+        Sm.step before (Sm.Store { proxy = 0; space = Sm.Mem_space; value = -1 })
+      in
+      match before with
+      | Sm.Transferring _ -> after = before (* never disturbed *)
+      | Sm.Idle | Sm.Dest_loaded _ -> after = Sm.Idle)
+
+(* ---------- Rng ---------- *)
+
+let prop_rng_in_bounds =
+  qtest "rng stays in bounds"
+    QCheck.(pair small_int (int_range 1 10_000))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let v = Rng.int r bound in
+        if v < 0 || v >= bound then ok := false
+      done;
+      !ok)
+
+(* ---------- end-to-end: random transfers deliver exact bytes ---------- *)
+
+let transfer_rig () =
+  let config = { M.default_config with M.mem_pages = 64 } in
+  let m = M.create ~config () in
+  let udma = Option.get m.M.udma in
+  let port, store = Device.buffer "d" ~size:(16 * 4096) in
+  Udma_engine.attach_device udma ~base_page:0 ~pages:16 ~port ();
+  let proc = Scheduler.spawn m ~name:"p" in
+  for i = 0 to 15 do
+    match Syscall.map_device_proxy m proc ~vdev_index:i ~pdev_index:i ~writable:true with
+    | Ok () -> ()
+    | Error _ -> failwith "grant"
+  done;
+  (m, proc, store)
+
+let prop_random_transfers_exact =
+  qtest ~count:40 "random transfers deliver exact bytes"
+    QCheck.(pair (int_range 1 12_000) (int_bound 1000))
+    (fun (nbytes, seed) ->
+      let m, proc, store = transfer_rig () in
+      let buf = Kernel.alloc_buffer m proc ~bytes:16384 in
+      let data = Bytes.init nbytes (fun i -> Char.chr ((i * 31 + seed) land 0xff)) in
+      Kernel.write_user m proc ~vaddr:buf data;
+      let cpu = Kernel.user_cpu m proc in
+      match
+        Initiator.transfer cpu ~layout:m.M.layout ~src:(Initiator.Memory buf)
+          ~dst:(Initiator.Device (Kernel.vdev_addr m ~index:0 ~offset:0))
+          ~nbytes ()
+      with
+      | Ok _ ->
+          Engine.run_until_idle m.M.engine;
+          Bytes.sub store 0 nbytes = data
+      | Error _ -> false)
+
+(* offsets that straddle page boundaries on either side *)
+let prop_unaligned_offsets_exact =
+  qtest ~count:40 "transfers from odd offsets split correctly"
+    QCheck.(pair (int_range 0 4092) (int_range 1 8000))
+    (fun (off, nbytes) ->
+      let off = off land lnot 3 in
+      let m, proc, store = transfer_rig () in
+      let buf = Kernel.alloc_buffer m proc ~bytes:16384 in
+      let data = Bytes.init nbytes (fun i -> Char.chr ((i * 7) land 0xff)) in
+      Kernel.write_user m proc ~vaddr:(buf + off) data;
+      let cpu = Kernel.user_cpu m proc in
+      match
+        Initiator.transfer cpu ~layout:m.M.layout
+          ~src:(Initiator.Memory (buf + off))
+          ~dst:(Initiator.Device (Kernel.vdev_addr m ~index:1 ~offset:0))
+          ~nbytes ()
+      with
+      | Ok _ ->
+          Engine.run_until_idle m.M.engine;
+          Bytes.sub store 4096 nbytes = data
+      | Error _ -> false)
+
+(* ---------- paging: random overcommit never loses data ---------- *)
+
+let prop_paging_preserves_data =
+  qtest ~count:15 "random paging workload preserves data"
+    QCheck.(pair (int_range 1 1000) (int_range 18 40))
+    (fun (seed, buffers) ->
+      let config = { M.default_config with M.mem_pages = 16 } in
+      let m = M.create ~config () in
+      let proc = Scheduler.spawn m ~name:"p" in
+      let rng = Rng.create seed in
+      let bufs =
+        Array.init buffers (fun i ->
+            let v = Kernel.alloc_buffer m proc ~bytes:4096 in
+            Kernel.write_user m proc ~vaddr:v
+              (Bytes.make 4096 (Char.chr ((i * 3) land 0xff)));
+            (v, i))
+      in
+      (* random touch order, including rewrites *)
+      let ok = ref true in
+      for _ = 1 to 60 do
+        let v, i = bufs.(Rng.int rng buffers) in
+        if Rng.bool rng then
+          Kernel.write_user m proc ~vaddr:v
+            (Bytes.make 4096 (Char.chr ((i * 3) land 0xff)))
+        else begin
+          let got = Kernel.read_user m proc ~vaddr:v ~len:4096 in
+          if got <> Bytes.make 4096 (Char.chr ((i * 3) land 0xff)) then
+            ok := false
+        end
+      done;
+      Array.iter
+        (fun (v, i) ->
+          let got = Kernel.read_user m proc ~vaddr:v ~len:4096 in
+          if got <> Bytes.make 4096 (Char.chr ((i * 3) land 0xff)) then ok := false)
+        bufs;
+      !ok)
+
+(* ---------- I1 under random preemption: correct and violation-free ---------- *)
+
+let prop_i1_random_preemption =
+  qtest ~count:10 "I1: random preemption never mis-pairs and data stays exact"
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let m, proc, store = transfer_rig () in
+      let p2 = Scheduler.spawn m ~name:"other" in
+      ignore p2;
+      let rng = Rng.create seed in
+      Scheduler.set_preempt_hook m (Some (fun _ -> Rng.int rng 100 < 30));
+      let buf = Kernel.alloc_buffer m proc ~bytes:4096 in
+      let data = Bytes.init 512 (fun i -> Char.chr ((i + seed) land 0xff)) in
+      Kernel.write_user m proc ~vaddr:buf data;
+      let cpu = Kernel.user_cpu m proc in
+      let ok =
+        match
+          Initiator.transfer cpu ~layout:m.M.layout ~src:(Initiator.Memory buf)
+            ~dst:(Initiator.Device (Kernel.vdev_addr m ~index:2 ~offset:0))
+            ~nbytes:512 ()
+        with
+        | Ok _ ->
+            Engine.run_until_idle m.M.engine;
+            Bytes.sub store (2 * 4096) 512 = data
+        | Error _ -> false
+      in
+      Scheduler.set_preempt_hook m None;
+      ok)
+
+(* ---------- queued engine: random pieces, exact delivery ---------- *)
+
+let queued_rig depth =
+  let config =
+    { M.default_config with
+      M.mem_pages = 64;
+      udma_mode = Some (Udma_engine.Queued { depth }) }
+  in
+  let m = M.create ~config () in
+  let udma = Option.get m.M.udma in
+  let port, store = Device.buffer "d" ~size:(16 * 4096) in
+  Udma_engine.attach_device udma ~base_page:0 ~pages:16 ~port ();
+  let proc = Scheduler.spawn m ~name:"p" in
+  for i = 0 to 15 do
+    match Syscall.map_device_proxy m proc ~vdev_index:i ~pdev_index:i ~writable:true with
+    | Ok () -> ()
+    | Error _ -> failwith "grant"
+  done;
+  (m, udma, proc, store)
+
+let prop_queued_random_exact =
+  qtest ~count:30 "queued engine delivers random transfers exactly"
+    QCheck.(triple (int_range 1 4) (int_range 1 12_000) (int_bound 1000))
+    (fun (depth, nbytes, seed) ->
+      let m, udma, proc, store = queued_rig depth in
+      let buf = Kernel.alloc_buffer m proc ~bytes:16384 in
+      let data =
+        Bytes.init nbytes (fun i -> Char.chr ((i * 13 + seed) land 0xff))
+      in
+      Kernel.write_user m proc ~vaddr:buf data;
+      let cpu = Kernel.user_cpu m proc in
+      match
+        Initiator.transfer_queued cpu ~layout:m.M.layout
+          ~src:(Initiator.Memory buf)
+          ~dst:(Initiator.Device (Kernel.vdev_addr m ~index:0 ~offset:0))
+          ~nbytes ()
+      with
+      | Ok _ ->
+          Engine.run_until_idle m.M.engine;
+          Bytes.sub store 0 nbytes = data
+          && Udma_engine.outstanding udma = 0
+          && Udma_engine.refcount udma
+               ~frame:(Option.get (Vm.frame_of_vpn m proc ~vpn:(buf / 4096)))
+             = 0
+      | Error _ -> false)
+
+(* ---------- I3 policies agree on observable behaviour ---------- *)
+
+let incoming_rig policy =
+  let config =
+    { M.default_config with M.mem_pages = 64; i3_policy = policy }
+  in
+  let m = M.create ~config () in
+  let udma = Option.get m.M.udma in
+  let port, store = Device.buffer "d" ~size:(16 * 4096) in
+  Udma_engine.attach_device udma ~base_page:0 ~pages:16 ~port ();
+  let proc = Scheduler.spawn m ~name:"p" in
+  (match Syscall.map_device_proxy m proc ~vdev_index:0 ~pdev_index:0 ~writable:true with
+  | Ok () -> ()
+  | Error _ -> failwith "grant");
+  (m, proc, store)
+
+let prop_i3_policies_equivalent_data =
+  qtest ~count:20 "both I3 policies deliver identical incoming data"
+    QCheck.(pair (int_range 4 4000) (int_bound 500))
+    (fun (nbytes, seed) ->
+      let nbytes = max 4 (nbytes land lnot 3) in
+      let run policy =
+        let m, proc, store = incoming_rig policy in
+        Bytes.blit
+          (Bytes.init nbytes (fun i -> Char.chr ((i + seed) land 0xff)))
+          0 store 0 nbytes;
+        let buf = Kernel.alloc_buffer m proc ~bytes:4096 in
+        let cpu = Kernel.user_cpu m proc in
+        match
+          Initiator.transfer cpu ~layout:m.M.layout
+            ~src:(Initiator.Device (Kernel.vdev_addr m ~index:0 ~offset:0))
+            ~dst:(Initiator.Memory buf) ~nbytes ()
+        with
+        | Ok _ ->
+            Engine.run_until_idle m.M.engine;
+            Some (Kernel.read_user m proc ~vaddr:buf ~len:nbytes)
+        | Error _ -> None
+      in
+      match (run M.Write_upgrade, run M.Proxy_dirty_union) with
+      | Some a, Some b ->
+          a = b
+          && a = Bytes.init nbytes (fun i -> Char.chr ((i + seed) land 0xff))
+      | _ -> false)
+
+(* ---------- router: per-path delivery is in order ---------- *)
+
+module Packet = Udma_shrimp.Packet
+module Router = Udma_shrimp.Router
+
+let prop_router_in_order =
+  qtest ~count:50 "router never reorders packets on one path"
+    QCheck.(list_of_size (Gen.int_range 1 30) (int_range 1 2000))
+    (fun sizes ->
+      let engine = Engine.create () in
+      let r = Router.create ~engine ~nodes:4 () in
+      let got = ref [] in
+      Router.register r ~node_id:3 (fun p -> got := p.Packet.seq :: !got);
+      List.iteri
+        (fun i size ->
+          Router.send r
+            { Packet.src_node = 0; dst_node = 3; dst_paddr = 0;
+              payload = Bytes.make size 'x'; seq = i })
+        sizes;
+      Engine.run_until_idle engine;
+      List.rev !got = List.init (List.length sizes) Fun.id)
+
+(* ---------- automatic update: every write eventually visible ---------- *)
+
+module System = Udma_shrimp.System
+module Auto_update = Udma_shrimp.Auto_update
+
+let prop_auto_update_complete =
+  qtest ~count:15 "every snooped write is eventually visible remotely"
+    QCheck.(pair (int_bound 1000) (int_range 1 40))
+    (fun (seed, writes) ->
+      let sys = System.create ~nodes:2 () in
+      let snd = System.node sys 0 in
+      let sp = Scheduler.spawn snd.System.machine ~name:"s" in
+      let rp = Scheduler.spawn (System.node sys 1).System.machine ~name:"r" in
+      let export = System.export_buffer sys ~node:1 ~proc:rp ~pages:1 in
+      let buf = Kernel.alloc_buffer snd.System.machine sp ~bytes:4096 in
+      Kernel.write_user snd.System.machine sp ~vaddr:buf (Bytes.make 4096 '\000');
+      System.auto_bind sys ~node:0 ~proc:sp ~vaddr:buf export;
+      let rng = Rng.create seed in
+      let cpu = Kernel.user_cpu snd.System.machine sp in
+      let expected = Hashtbl.create 16 in
+      for i = 1 to writes do
+        let off = Rng.int rng 1024 * 4 in
+        Hashtbl.replace expected off (Int32.of_int i);
+        cpu.Initiator.store ~vaddr:(buf + off) (Int32.of_int i)
+      done;
+      System.run_until_idle sys;
+      Hashtbl.fold
+        (fun off v ok ->
+          ok
+          && Bytes.get_int32_le
+               (Kernel.read_user (System.node sys 1).System.machine rp
+                  ~vaddr:(export.System.vaddr + off) ~len:4)
+               0
+             = v)
+        expected true)
+
+(* ---------- I2/I3 as machine-wide predicates under random ops ---------- *)
+
+module Page_table = Udma_mmu.Page_table
+module Pte = Udma_mmu.Pte
+
+(* I2: every present proxy mapping points at the proxy of the frame the
+   real mapping currently holds. I3 (write-upgrade policy): a writable
+   proxy page implies a dirty real page. Checked over every process
+   after every operation of a random workload. *)
+let invariants_hold m =
+  let layout = m.M.layout in
+  let first_proxy = M.proxy_vpn m 0 in
+  let dev_base = Layout.page_of_addr layout (Layout.dev_proxy_base layout) in
+  List.for_all
+    (fun proc ->
+      List.for_all
+        (fun (vpn, (pte : Pte.t)) ->
+          if (not pte.Pte.present) || vpn < first_proxy || vpn >= dev_base then
+            true
+          else begin
+            let real_vpn = vpn - first_proxy in
+            match Page_table.find proc.Udma_os.Proc.page_table real_vpn with
+            | Some real when real.Pte.present ->
+                let i2 = pte.Pte.ppage = M.proxy_ppage m real.Pte.ppage in
+                let i3 =
+                  match m.M.i3_policy with
+                  | M.Write_upgrade -> (not pte.Pte.writable) || real.Pte.dirty
+                  | M.Proxy_dirty_union -> true
+                in
+                i2 && i3
+            | Some _ | None -> false (* proxy outlived its real mapping *)
+          end)
+        (Page_table.entries proc.Udma_os.Proc.page_table))
+    m.M.procs
+
+let prop_invariants_under_random_ops =
+  let policies = [| M.Write_upgrade; M.Proxy_dirty_union |] in
+  qtest ~count:25 "I2/I3 hold after every op of a random workload"
+    QCheck.(pair (int_bound 10_000) (int_bound 1))
+    (fun (seed, policy_idx) ->
+      let config =
+        { M.default_config with
+          M.mem_pages = 20;
+          i3_policy = policies.(policy_idx) }
+      in
+      let m = M.create ~config () in
+      let udma = Option.get m.M.udma in
+      let port, store = Device.buffer "d" ~size:(8 * 4096) in
+      Bytes.fill store 0 (Bytes.length store) 'd';
+      Udma_engine.attach_device udma ~base_page:0 ~pages:8 ~port ();
+      let proc = Scheduler.spawn m ~name:"p" in
+      (match
+         Syscall.map_device_proxy m proc ~vdev_index:0 ~pdev_index:0
+           ~writable:true
+       with
+      | Ok () -> ()
+      | Error _ -> failwith "grant");
+      let rng = Rng.create seed in
+      let cpu = Kernel.user_cpu m proc in
+      let bufs = ref [] in
+      let pick_buf () =
+        match !bufs with
+        | [] -> None
+        | l -> Some (List.nth l (Rng.int rng (List.length l)))
+      in
+      let ok = ref true in
+      for _ = 1 to 60 do
+        (match Rng.int rng 7 with
+        | 0 ->
+            (* allocate a fresh page *)
+            if List.length !bufs < 24 then
+              bufs := Kernel.alloc_buffer m proc ~bytes:4096 :: !bufs
+        | 1 -> (
+            (* dirty a page with a user write *)
+            match pick_buf () with
+            | Some b -> cpu.Initiator.store ~vaddr:b 7l
+            | None -> ())
+        | 2 -> (
+            (* outgoing transfer: page as source *)
+            match pick_buf () with
+            | Some b -> (
+                match
+                  Initiator.transfer cpu ~layout:m.M.layout
+                    ~src:(Initiator.Memory b)
+                    ~dst:(Initiator.Device (Kernel.vdev_addr m ~index:0 ~offset:0))
+                    ~nbytes:256 ()
+                with
+                | Ok _ -> ()
+                | Error _ -> ok := false)
+            | None -> ())
+        | 3 -> (
+            (* incoming transfer: page as destination (I3 path) *)
+            match pick_buf () with
+            | Some b -> (
+                match
+                  Initiator.transfer cpu ~layout:m.M.layout
+                    ~src:(Initiator.Device (Kernel.vdev_addr m ~index:0 ~offset:0))
+                    ~dst:(Initiator.Memory b) ~nbytes:256 ()
+                with
+                | Ok _ -> ()
+                | Error _ -> ok := false)
+            | None -> ())
+        | 4 -> (
+            (* pageout daemon: clean a page *)
+            match pick_buf () with
+            | Some b -> ignore (Vm.clean_page m proc ~vpn:(b / 4096))
+            | None -> ())
+        | 5 ->
+            (* memory pressure: force an eviction if possible *)
+            (try ignore (Vm.evict_one m) with Vm.Out_of_memory -> ())
+        | _ -> (
+            (* read a page back (page-in path) *)
+            match pick_buf () with
+            | Some b -> ignore (Kernel.read_user m proc ~vaddr:b ~len:64)
+            | None -> ()));
+        Engine.run_until_idle m.M.engine;
+        if not (invariants_hold m) then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "udma_props"
+    [
+      ( "structures",
+        [
+          prop_eventq_sorted;
+          prop_status_roundtrip;
+          prop_layout_proxy_bijection;
+          prop_rng_in_bounds;
+        ] );
+      ( "state-machine",
+        [ prop_sm_transferring_only_via_start; prop_sm_inval_resets ] );
+      ( "end-to-end",
+        [
+          prop_random_transfers_exact;
+          prop_unaligned_offsets_exact;
+          prop_paging_preserves_data;
+          prop_i1_random_preemption;
+          prop_queued_random_exact;
+          prop_router_in_order;
+          prop_i3_policies_equivalent_data;
+          prop_auto_update_complete;
+          prop_invariants_under_random_ops;
+        ] );
+    ]

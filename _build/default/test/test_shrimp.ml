@@ -1,0 +1,664 @@
+(* Unit tests for the SHRIMP network stack: NIPT, FIFOs, router, the
+   network interface, the multi-node system and the messaging layer. *)
+
+module Engine = Udma_sim.Engine
+module Layout = Udma_mmu.Layout
+module Phys_mem = Udma_memory.Phys_mem
+module Initiator = Udma.Initiator
+module Status = Udma.Status
+module M = Udma_os.Machine
+module Scheduler = Udma_os.Scheduler
+module Kernel = Udma_os.Kernel
+module Vm = Udma_os.Vm
+module Packet = Udma_shrimp.Packet
+module Nipt = Udma_shrimp.Nipt
+module Fifo = Udma_shrimp.Fifo
+module Router = Udma_shrimp.Router
+module Ni = Udma_shrimp.Network_interface
+module System = Udma_shrimp.System
+module Messaging = Udma_shrimp.Messaging
+
+let check = Alcotest.check
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+let pattern n seed = Bytes.init n (fun i -> Char.chr ((i + seed) land 0xff))
+
+(* ---------- Nipt ---------- *)
+
+let test_nipt_basic () =
+  let t = Nipt.create ~entries:32 in
+  checki "capacity" 32 (Nipt.capacity t);
+  checkb "empty" true (Nipt.lookup t ~index:0 = None);
+  Nipt.set t ~index:5 { Nipt.dst_node = 2; dst_frame = 77 };
+  (match Nipt.lookup t ~index:5 with
+  | Some e ->
+      checki "node" 2 e.Nipt.dst_node;
+      checki "frame" 77 e.Nipt.dst_frame
+  | None -> Alcotest.fail "entry lost");
+  checki "valid count" 1 (Nipt.valid_count t);
+  Nipt.clear t ~index:5;
+  checkb "cleared" true (Nipt.lookup t ~index:5 = None);
+  checkb "out of range is None" true (Nipt.lookup t ~index:99 = None)
+
+(* ---------- Fifo ---------- *)
+
+let pkt ?(len = 100) seq =
+  { Packet.src_node = 0; dst_node = 1; dst_paddr = 0;
+    payload = Bytes.make len 'x'; seq }
+
+let test_fifo_order_and_capacity () =
+  let f = Fifo.create ~capacity_bytes:300 in
+  checkb "push 1" true (Fifo.push f (pkt 1));
+  checkb "push 2" true (Fifo.push f (pkt 2));
+  checkb "third does not fit (2x116 used)" false (Fifo.push f (pkt ~len:100 3));
+  checki "rejections" 1 (Fifo.rejections f);
+  (match Fifo.pop f with
+  | Some p -> checki "fifo order" 1 p.Packet.seq
+  | None -> Alcotest.fail "empty");
+  checkb "space reclaimed" true (Fifo.push f (pkt 3));
+  checki "length" 2 (Fifo.length f)
+
+(* ---------- Router ---------- *)
+
+let test_router_mesh_hops () =
+  let engine = Engine.create () in
+  let r = Router.create ~engine ~nodes:9 () in
+  (* 3x3 mesh, row-major ids *)
+  Alcotest.(check (pair int int)) "coords of 4" (1, 1) (Router.coords r 4);
+  checki "self" 0 (Router.hops r ~src:4 ~dst:4);
+  checki "adjacent" 1 (Router.hops r ~src:0 ~dst:1);
+  checki "corner to corner" 4 (Router.hops r ~src:0 ~dst:8)
+
+let test_router_delivery_and_latency () =
+  let engine = Engine.create () in
+  let r = Router.create ~engine ~nodes:4 () in
+  let got = ref [] in
+  Router.register r ~node_id:1 (fun p -> got := (p.Packet.seq, Engine.now engine) :: !got);
+  let p = { (pkt 7) with Packet.dst_node = 1 } in
+  Router.send r p;
+  checkb "not yet delivered" true (!got = []);
+  Engine.run_until_idle engine;
+  (match !got with
+  | [ (seq, at) ] ->
+      checki "right packet" 7 seq;
+      checki "at the modelled latency"
+        (Router.latency_cycles r ~src:0 ~dst:1 ~bytes:(Packet.size_bytes p))
+        at
+  | _ -> Alcotest.fail "expected exactly one delivery");
+  checki "counters" 1 (Router.packets_routed r)
+
+let test_router_unregistered_sink () =
+  let engine = Engine.create () in
+  let r = Router.create ~engine ~nodes:2 () in
+  checkb "raises" true
+    (try Router.send r (pkt 1); false with Invalid_argument _ -> true)
+
+(* ---------- System + NI end to end ---------- *)
+
+let two_nodes () =
+  let sys = System.create ~nodes:2 () in
+  let snd = System.node sys 0 and rcv = System.node sys 1 in
+  let sp = Scheduler.spawn snd.System.machine ~name:"s" in
+  let rp = Scheduler.spawn rcv.System.machine ~name:"r" in
+  (sys, snd, rcv, sp, rp)
+
+let test_export_import_plumbing () =
+  let sys, snd, rcv, sp, rp = two_nodes () in
+  let export = System.export_buffer sys ~node:1 ~proc:rp ~pages:2 in
+  checki "two frames" 2 (List.length export.System.frames);
+  (* frames are pinned *)
+  List.iter
+    (fun f -> checkb "pinned" true (M.frame_is_pinned rcv.System.machine f))
+    export.System.frames;
+  System.import_export sys ~node:0 ~proc:sp ~first_index:3 export;
+  (* NIPT entries installed *)
+  let nipt = Ni.nipt snd.System.ni in
+  (match Nipt.lookup nipt ~index:3 with
+  | Some e -> checki "points at receiver" 1 e.Nipt.dst_node
+  | None -> Alcotest.fail "NIPT entry missing");
+  checki "two entries" 2 (Nipt.valid_count nipt);
+  System.release_export sys export;
+  List.iter
+    (fun f -> checkb "unpinned" false (M.frame_is_pinned rcv.System.machine f))
+    export.System.frames
+
+let test_deliberate_update_send () =
+  let sys, snd, rcv, sp, rp = two_nodes () in
+  let export = System.export_buffer sys ~node:1 ~proc:rp ~pages:1 in
+  System.import_export sys ~node:0 ~proc:sp ~first_index:0 export;
+  let buf = Kernel.alloc_buffer snd.System.machine sp ~bytes:4096 in
+  let data = pattern 1024 5 in
+  Kernel.write_user snd.System.machine sp ~vaddr:buf data;
+  let cpu = Kernel.user_cpu snd.System.machine sp in
+  (match
+     Initiator.transfer cpu ~layout:snd.System.machine.M.layout
+       ~src:(Initiator.Memory buf)
+       ~dst:(Initiator.Device (Kernel.vdev_addr snd.System.machine ~index:0 ~offset:0))
+       ~nbytes:1024 ()
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "send failed: %a" Initiator.pp_error e);
+  System.run_until_idle sys;
+  checki "one packet sent" 1 (Ni.packets_sent snd.System.ni);
+  checki "one packet received" 1 (Ni.packets_received rcv.System.ni);
+  checki "bytes" 1024 (Ni.bytes_received rcv.System.ni);
+  Alcotest.check Alcotest.bytes "payload in receiver memory" data
+    (Kernel.read_user rcv.System.machine rp ~vaddr:export.System.vaddr ~len:1024)
+
+let test_ni_alignment_rejected () =
+  let sys, snd, _rcv, sp, rp = two_nodes () in
+  ignore rp;
+  let rcv = System.node sys 1 in
+  let rp2 = List.hd rcv.System.machine.M.procs in
+  let export = System.export_buffer sys ~node:1 ~proc:rp2 ~pages:1 in
+  System.import_export sys ~node:0 ~proc:sp ~first_index:0 export;
+  let buf = Kernel.alloc_buffer snd.System.machine sp ~bytes:4096 in
+  Kernel.write_user snd.System.machine sp ~vaddr:buf (pattern 64 0);
+  let cpu = Kernel.user_cpu snd.System.machine sp in
+  (* misaligned count: the NI's validate hook reports a device error,
+     which the initiator surfaces as a hard error *)
+  match
+    Initiator.transfer cpu ~layout:snd.System.machine.M.layout
+      ~src:(Initiator.Memory buf)
+      ~dst:(Initiator.Device (Kernel.vdev_addr snd.System.machine ~index:0 ~offset:0))
+      ~nbytes:10 ()
+  with
+  | Error (Initiator.Hard_error st) ->
+      checkb "device error bits" true (st.Status.device_error <> 0)
+  | Ok _ -> Alcotest.fail "misaligned transfer accepted"
+  | Error e -> Alcotest.failf "unexpected error: %a" Initiator.pp_error e
+
+let test_ni_unconfigured_page_rejected () =
+  let sys, snd, _rcv, sp, _rp = two_nodes () in
+  ignore sys;
+  (* map the device-proxy page but leave the NIPT empty *)
+  (match
+     Udma_os.Syscall.map_device_proxy snd.System.machine sp ~vdev_index:5
+       ~pdev_index:5 ~writable:true
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "grant failed");
+  let buf = Kernel.alloc_buffer snd.System.machine sp ~bytes:4096 in
+  Kernel.write_user snd.System.machine sp ~vaddr:buf (pattern 64 0);
+  let cpu = Kernel.user_cpu snd.System.machine sp in
+  match
+    Initiator.transfer cpu ~layout:snd.System.machine.M.layout
+      ~src:(Initiator.Memory buf)
+      ~dst:(Initiator.Device (Kernel.vdev_addr snd.System.machine ~index:5 ~offset:0))
+      ~nbytes:64 ()
+  with
+  | Error (Initiator.Hard_error _) -> ()
+  | Ok _ -> Alcotest.fail "send through empty NIPT entry accepted"
+  | Error e -> Alcotest.failf "unexpected error: %a" Initiator.pp_error e
+
+let test_receive_marks_dirty () =
+  let sys, snd, rcv, sp, rp = two_nodes () in
+  let export = System.export_buffer sys ~node:1 ~proc:rp ~pages:1 in
+  System.import_export sys ~node:0 ~proc:sp ~first_index:0 export;
+  let vpn = export.System.vaddr / Layout.page_size rcv.System.machine.M.layout in
+  let pte =
+    Option.get (Udma_mmu.Page_table.find rp.Udma_os.Proc.page_table vpn)
+  in
+  pte.Udma_mmu.Pte.dirty <- false;
+  let buf = Kernel.alloc_buffer snd.System.machine sp ~bytes:4096 in
+  Kernel.write_user snd.System.machine sp ~vaddr:buf (pattern 64 0);
+  let cpu = Kernel.user_cpu snd.System.machine sp in
+  (match
+     Initiator.transfer cpu ~layout:snd.System.machine.M.layout
+       ~src:(Initiator.Memory buf)
+       ~dst:(Initiator.Device (Kernel.vdev_addr snd.System.machine ~index:0 ~offset:0))
+       ~nbytes:64 ()
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "send failed: %a" Initiator.pp_error e);
+  System.run_until_idle sys;
+  checkb "receive dirtied the page (I3 discipline)" true pte.Udma_mmu.Pte.dirty
+
+(* ---------- Messaging ---------- *)
+
+let test_messaging_roundtrip () =
+  let sys, snd, _rcv, sp, rp = two_nodes () in
+  let ch = Messaging.connect sys ~sender:(0, sp) ~receiver:(1, rp) ~pages:1 () in
+  checki "capacity excludes flag" (4096 - 4) (Messaging.capacity ch);
+  let buf = Kernel.alloc_buffer snd.System.machine sp ~bytes:4096 in
+  let data = pattern 256 9 in
+  Kernel.write_user snd.System.machine sp ~vaddr:buf data;
+  let cpu_s = Kernel.user_cpu snd.System.machine sp in
+  let cpu_r = Kernel.user_cpu (System.node sys 1).System.machine rp in
+  let seq =
+    match Messaging.send ch cpu_s ~src_vaddr:buf ~nbytes:256 () with
+    | Ok seq -> seq
+    | Error e -> Alcotest.failf "send: %a" Messaging.pp_send_error e
+  in
+  checki "first message" 1 seq;
+  (match Messaging.recv_wait ch cpu_r ~seq () with
+  | Ok polls -> checkb "took some polls" true (polls >= 0)
+  | Error msg -> Alcotest.fail msg);
+  Alcotest.check Alcotest.bytes "payload" data
+    (Bytes.sub (Messaging.read_payload ch ~len:256) 0 256)
+
+let test_messaging_flag_after_payload () =
+  (* the flag word must never be observable before the payload *)
+  let sys, snd, _rcv, sp, rp = two_nodes () in
+  let ch = Messaging.connect sys ~sender:(0, sp) ~receiver:(1, rp) ~pages:1 () in
+  let buf = Kernel.alloc_buffer snd.System.machine sp ~bytes:4096 in
+  let cpu_s = Kernel.user_cpu snd.System.machine sp in
+  let cpu_r = Kernel.user_cpu (System.node sys 1).System.machine rp in
+  for round = 1 to 10 do
+    let data = pattern 512 round in
+    Kernel.write_user snd.System.machine sp ~vaddr:buf data;
+    let seq =
+      match Messaging.send ch cpu_s ~src_vaddr:buf ~nbytes:512 () with
+      | Ok seq -> seq
+      | Error e -> Alcotest.failf "send: %a" Messaging.pp_send_error e
+    in
+    (match Messaging.recv_wait ch cpu_r ~seq () with
+    | Ok _ -> ()
+    | Error msg -> Alcotest.fail msg);
+    Alcotest.check Alcotest.bytes
+      (Printf.sprintf "round %d payload complete at flag time" round)
+      data
+      (Bytes.sub (Messaging.read_payload ch ~len:512) 0 512)
+  done
+
+let test_messaging_multi_page () =
+  let sys, snd, _rcv, sp, rp = two_nodes () in
+  let ch = Messaging.connect sys ~sender:(0, sp) ~receiver:(1, rp) ~pages:3 () in
+  let nbytes = 2 * 4096 in
+  let buf = Kernel.alloc_buffer snd.System.machine sp ~bytes:nbytes in
+  let data = pattern nbytes 3 in
+  Kernel.write_user snd.System.machine sp ~vaddr:buf data;
+  let cpu_s = Kernel.user_cpu snd.System.machine sp in
+  let cpu_r = Kernel.user_cpu (System.node sys 1).System.machine rp in
+  let seq =
+    match Messaging.send ch cpu_s ~src_vaddr:buf ~nbytes () with
+    | Ok seq -> seq
+    | Error e -> Alcotest.failf "send: %a" Messaging.pp_send_error e
+  in
+  (match Messaging.recv_wait ch cpu_r ~seq () with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg);
+  Alcotest.check Alcotest.bytes "multi-page payload" data
+    (Messaging.read_payload ch ~len:nbytes)
+
+let test_messaging_size_checks () =
+  let sys, snd, _rcv, sp, rp = two_nodes () in
+  ignore snd;
+  let ch = Messaging.connect sys ~sender:(0, sp) ~receiver:(1, rp) ~pages:1 () in
+  let cpu = Kernel.user_cpu (System.node sys 0).System.machine sp in
+  checkb "oversized rejected" true
+    (try ignore (Messaging.send ch cpu ~src_vaddr:4096 ~nbytes:8192 ()); false
+     with Invalid_argument _ -> true);
+  checkb "unaligned rejected" true
+    (try ignore (Messaging.send ch cpu ~src_vaddr:4096 ~nbytes:10 ()); false
+     with Invalid_argument _ -> true)
+
+let test_queued_system_pipelined_send () =
+  let config =
+    { System.default_config with
+      System.machine =
+        { M.default_config with
+          M.udma_mode = Some (Udma.Udma_engine.Queued { depth = 8 }) } }
+  in
+  let sys = System.create ~config ~nodes:2 () in
+  let snd = System.node sys 0 in
+  let sp = Scheduler.spawn snd.System.machine ~name:"s" in
+  let rp = Scheduler.spawn (System.node sys 1).System.machine ~name:"r" in
+  let ch = Messaging.connect sys ~sender:(0, sp) ~receiver:(1, rp) ~pages:4 () in
+  let nbytes = 3 * 4096 in
+  let buf = Kernel.alloc_buffer snd.System.machine sp ~bytes:nbytes in
+  let data = pattern nbytes 7 in
+  Kernel.write_user snd.System.machine sp ~vaddr:buf data;
+  let cpu_s = Kernel.user_cpu snd.System.machine sp in
+  let cpu_r = Kernel.user_cpu (System.node sys 1).System.machine rp in
+  let seq =
+    match Messaging.send_pipelined ch cpu_s ~src_vaddr:buf ~nbytes () with
+    | Ok seq -> seq
+    | Error e -> Alcotest.failf "send: %a" Messaging.pp_send_error e
+  in
+  (match Messaging.recv_wait ch cpu_r ~seq () with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg);
+  check Alcotest.bytes "pipelined multi-page payload" data
+    (Messaging.read_payload ch ~len:nbytes)
+
+let test_pipelined_beats_blocking () =
+  let run pipelined =
+    let config =
+      { System.default_config with
+        System.machine =
+          { M.default_config with
+            M.udma_mode = Some (Udma.Udma_engine.Queued { depth = 8 }) } }
+    in
+    let sys = System.create ~config ~nodes:2 () in
+    let snd = System.node sys 0 in
+    let sp = Scheduler.spawn snd.System.machine ~name:"s" in
+    let rp = Scheduler.spawn (System.node sys 1).System.machine ~name:"r" in
+    let ch = Messaging.connect sys ~sender:(0, sp) ~receiver:(1, rp) ~pages:5 () in
+    let nbytes = 4 * 4096 in
+    let buf = Kernel.alloc_buffer snd.System.machine sp ~bytes:nbytes in
+    Kernel.write_user snd.System.machine sp ~vaddr:buf (pattern nbytes 1);
+    let cpu = Kernel.user_cpu snd.System.machine sp in
+    let send = if pipelined then Messaging.send_pipelined else Messaging.send in
+    (* warm *)
+    ignore (send ch cpu ~src_vaddr:buf ~nbytes ());
+    System.run_until_idle sys;
+    let t0 = Engine.now (System.engine sys) in
+    (match send ch cpu ~src_vaddr:buf ~nbytes () with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "send: %a" Messaging.pp_send_error e);
+    let dt = Engine.now (System.engine sys) - t0 in
+    System.run_until_idle sys;
+    dt
+  in
+  let blocking = run false and pipelined = run true in
+  checkb
+    (Printf.sprintf "pipelined (%d) < blocking (%d)" pipelined blocking)
+    true (pipelined < blocking)
+
+let test_nine_node_corner_to_corner () =
+  (* 3x3 mesh: corner-to-corner traffic pays 4 hops and still arrives *)
+  let sys = System.create ~nodes:9 () in
+  let p0 = Scheduler.spawn (System.node sys 0).System.machine ~name:"p0" in
+  let p8 = Scheduler.spawn (System.node sys 8).System.machine ~name:"p8" in
+  checki "4 hops" 4 (Router.hops (System.router sys) ~src:0 ~dst:8);
+  let ch = Messaging.connect sys ~sender:(0, p0) ~receiver:(8, p8) ~pages:1 () in
+  let near = Scheduler.spawn (System.node sys 1).System.machine ~name:"p1" in
+  let ch_near =
+    Messaging.connect sys ~sender:(0, p0) ~receiver:(1, near) ~first_index:4
+      ~pages:1 ()
+  in
+  let m0 = (System.node sys 0).System.machine in
+  let buf = Kernel.alloc_buffer m0 p0 ~bytes:4096 in
+  Kernel.write_user m0 p0 ~vaddr:buf (pattern 512 3);
+  let cpu0 = Kernel.user_cpu m0 p0 in
+  let cpu8 = Kernel.user_cpu (System.node sys 8).System.machine p8 in
+  let cpu1 = Kernel.user_cpu (System.node sys 1).System.machine near in
+  let time_send ch cpu_r =
+    let t0 = Engine.now (System.engine sys) in
+    let seq =
+      match Messaging.send ch cpu0 ~src_vaddr:buf ~nbytes:512 () with
+      | Ok seq -> seq
+      | Error e -> Alcotest.failf "send: %a" Messaging.pp_send_error e
+    in
+    (match Messaging.recv_wait ch cpu_r ~seq () with
+    | Ok _ -> ()
+    | Error msg -> Alcotest.fail msg);
+    let dt = Engine.now (System.engine sys) - t0 in
+    System.run_until_idle sys;
+    dt
+  in
+  let far = time_send ch cpu8 in
+  let nearby = time_send ch_near cpu1 in
+  checkb
+    (Printf.sprintf "more hops cost more (far %d vs near %d)" far nearby)
+    true (far > nearby);
+  check Alcotest.bytes "far payload intact" (pattern 512 3)
+    (Bytes.sub (Messaging.read_payload ch ~len:512) 0 512)
+
+let test_four_node_all_pairs () =
+  let sys = System.create ~nodes:4 () in
+  let procs =
+    Array.init 4 (fun i ->
+        Scheduler.spawn (System.node sys i).System.machine
+          ~name:(Printf.sprintf "p%d" i))
+  in
+  let cpus =
+    Array.init 4 (fun i ->
+        Kernel.user_cpu (System.node sys i).System.machine procs.(i))
+  in
+  (* one channel per ordered pair, each with its own NIPT slice *)
+  let idx = ref 0 in
+  let chans = Hashtbl.create 16 in
+  for s = 0 to 3 do
+    for r = 0 to 3 do
+      if s <> r then begin
+        Hashtbl.replace chans (s, r)
+          (Messaging.connect sys ~sender:(s, procs.(s)) ~receiver:(r, procs.(r))
+             ~first_index:!idx ~pages:1 ());
+        incr idx
+      end
+    done
+  done;
+  (* every pair sends a distinct message; all must arrive intact *)
+  for s = 0 to 3 do
+    for r = 0 to 3 do
+      if s <> r then begin
+        let m = (System.node sys s).System.machine in
+        let buf = Kernel.alloc_buffer m procs.(s) ~bytes:4096 in
+        let data = pattern 128 ((s * 4) + r) in
+        Kernel.write_user m procs.(s) ~vaddr:buf data;
+        let ch = Hashtbl.find chans (s, r) in
+        let seq =
+          match Messaging.send ch cpus.(s) ~src_vaddr:buf ~nbytes:128 () with
+          | Ok seq -> seq
+          | Error e -> Alcotest.failf "send %d->%d: %a" s r Messaging.pp_send_error e
+        in
+        match Messaging.recv_wait ch cpus.(r) ~seq () with
+        | Ok _ ->
+            Alcotest.check Alcotest.bytes
+              (Printf.sprintf "payload %d->%d" s r)
+              data
+              (Bytes.sub (Messaging.read_payload ch ~len:128) 0 128)
+        | Error msg -> Alcotest.fail msg
+      end
+    done
+  done;
+  System.run_until_idle sys
+
+(* ---------- Collectives ---------- *)
+
+module Collective = Udma_shrimp.Collective
+
+let group_of n =
+  let sys = System.create ~nodes:n () in
+  let members =
+    List.init n (fun i ->
+        (i, Scheduler.spawn (System.node sys i).System.machine
+              ~name:(Printf.sprintf "rank%d" i)))
+  in
+  (sys, Collective.create_group sys ~members ())
+
+let test_collective_barrier () =
+  let _sys, g = group_of 4 in
+  checki "size" 4 (Collective.group_size g);
+  for round = 1 to 3 do
+    List.iter (fun r -> Collective.barrier g ~rank:r) [ 2; 0; 3; 1 ];
+    checki (Printf.sprintf "round %d completed" round) round
+      (Collective.barriers_completed g)
+  done
+
+let test_collective_barrier_double_arrival () =
+  let _sys, g = group_of 2 in
+  Collective.barrier g ~rank:1;
+  checkb "double arrival rejected" true
+    (try Collective.barrier g ~rank:1; false with Invalid_argument _ -> true)
+
+let test_collective_broadcast () =
+  let sys, g = group_of 3 in
+  let root_m = (System.node sys 0).System.machine in
+  let root_p = List.hd root_m.M.procs in
+  let buf = Kernel.alloc_buffer root_m root_p ~bytes:4096 in
+  let data = pattern 512 17 in
+  Kernel.write_user root_m root_p ~vaddr:buf data;
+  Collective.broadcast g ~root:0 ~src_vaddr:buf ~nbytes:512;
+  for rank = 1 to 2 do
+    let m = (System.node sys rank).System.machine in
+    let p = List.hd m.M.procs in
+    let v = Collective.bcast_recv_vaddr g ~root:0 ~rank in
+    check Alcotest.bytes
+      (Printf.sprintf "rank %d got the broadcast" rank)
+      data
+      (Kernel.read_user m p ~vaddr:v ~len:512)
+  done
+
+let test_collective_all_gather () =
+  let sys, g = group_of 3 in
+  let contributions =
+    Array.init 3 (fun rank ->
+        let m = (System.node sys rank).System.machine in
+        let p = List.hd m.M.procs in
+        let buf = Kernel.alloc_buffer m p ~bytes:4096 in
+        Kernel.write_user m p ~vaddr:buf (pattern 256 (100 + rank));
+        (buf, 256))
+  in
+  Collective.all_gather g ~contributions;
+  for rank = 0 to 2 do
+    for from_rank = 0 to 2 do
+      if from_rank <> rank then begin
+        let m = (System.node sys rank).System.machine in
+        let p = List.hd m.M.procs in
+        let v = Collective.gather_recv_vaddr g ~from_rank ~rank in
+        check Alcotest.bytes
+          (Printf.sprintf "rank %d has rank %d's data" rank from_rank)
+          (pattern 256 (100 + from_rank))
+          (Kernel.read_user m p ~vaddr:v ~len:256)
+      end
+    done
+  done
+
+(* ---------- Automatic update (§9) ---------- *)
+
+module Auto_update = Udma_shrimp.Auto_update
+
+let auto_rig () =
+  let sys, snd, rcv, sp, rp = two_nodes () in
+  let export = System.export_buffer sys ~node:1 ~proc:rp ~pages:1 in
+  let buf = Kernel.alloc_buffer snd.System.machine sp ~bytes:4096 in
+  (* make the page resident and dirty so plain stores work *)
+  Kernel.write_user snd.System.machine sp ~vaddr:buf (Bytes.make 4096 '\000');
+  System.auto_bind sys ~node:0 ~proc:sp ~vaddr:buf export;
+  (sys, snd, rcv, sp, rp, export, buf)
+
+let test_auto_update_propagates_word () =
+  let sys, snd, rcv, sp, rp, export, buf = auto_rig () in
+  ignore rcv;
+  let cpu = Kernel.user_cpu snd.System.machine sp in
+  cpu.Udma.Initiator.store ~vaddr:(buf + 64) 0xBEEFl;
+  (* the combining window must elapse before the update is launched *)
+  System.run_until_idle sys;
+  checki "one update packet" 1 (Auto_update.updates_sent snd.System.auto);
+  let got =
+    Kernel.read_user (System.node sys 1).System.machine rp
+      ~vaddr:(export.System.vaddr + 64) ~len:4
+  in
+  Alcotest.check Alcotest.int32 "word arrived at same offset" 0xBEEFl
+    (Bytes.get_int32_le got 0)
+
+let test_auto_update_combines_contiguous () =
+  let sys, snd, _rcv, sp, rp, export, buf = auto_rig () in
+  let cpu = Kernel.user_cpu snd.System.machine sp in
+  (* eight contiguous words: one combined packet *)
+  for w = 0 to 7 do
+    cpu.Udma.Initiator.store ~vaddr:(buf + 128 + (w * 4)) (Int32.of_int w)
+  done;
+  System.run_until_idle sys;
+  checki "single combined packet" 1 (Auto_update.updates_sent snd.System.auto);
+  checki "seven merged words" 7 (Auto_update.words_combined snd.System.auto);
+  let got =
+    Kernel.read_user (System.node sys 1).System.machine rp
+      ~vaddr:(export.System.vaddr + 128) ~len:32
+  in
+  for w = 0 to 7 do
+    checki (Printf.sprintf "word %d" w) w
+      (Int32.to_int (Bytes.get_int32_le got (w * 4)))
+  done
+
+let test_auto_update_discontiguous_flushes () =
+  let sys, snd, _rcv, sp, _rp, _export, buf = auto_rig () in
+  let cpu = Kernel.user_cpu snd.System.machine sp in
+  cpu.Udma.Initiator.store ~vaddr:(buf + 0) 1l;
+  cpu.Udma.Initiator.store ~vaddr:(buf + 512) 2l;
+  cpu.Udma.Initiator.store ~vaddr:(buf + 1024) 3l;
+  System.run_until_idle sys;
+  checki "three separate packets" 3 (Auto_update.updates_sent snd.System.auto)
+
+let test_auto_update_unbind_stops () =
+  let sys, snd, _rcv, sp, rp, export, buf = auto_rig () in
+  let cpu = Kernel.user_cpu snd.System.machine sp in
+  cpu.Udma.Initiator.store ~vaddr:buf 7l;
+  let frame =
+    Option.get
+      (Vm.frame_of_vpn snd.System.machine sp
+         ~vpn:(buf / Layout.page_size snd.System.machine.M.layout))
+  in
+  (* unbind flushes the pending run, then silences the page *)
+  Auto_update.unbind snd.System.auto ~frame;
+  cpu.Udma.Initiator.store ~vaddr:(buf + 256) 8l;
+  System.run_until_idle sys;
+  checki "only the pre-unbind update" 1 (Auto_update.updates_sent snd.System.auto);
+  let got =
+    Kernel.read_user (System.node sys 1).System.machine rp
+      ~vaddr:export.System.vaddr ~len:4
+  in
+  Alcotest.check Alcotest.int32 "flushed word arrived" 7l (Bytes.get_int32_le got 0)
+
+let test_auto_update_ignores_other_pages () =
+  let sys, snd, _rcv, sp, _rp, _export, _buf = auto_rig () in
+  let other = Kernel.alloc_buffer snd.System.machine sp ~bytes:4096 in
+  Kernel.write_user snd.System.machine sp ~vaddr:other (Bytes.make 8 'x');
+  let cpu = Kernel.user_cpu snd.System.machine sp in
+  cpu.Udma.Initiator.store ~vaddr:other 9l;
+  System.run_until_idle sys;
+  checki "unbound page not propagated" 0 (Auto_update.updates_sent snd.System.auto)
+
+let () =
+  Alcotest.run "udma_shrimp"
+    [
+      ("nipt", [ Alcotest.test_case "basic" `Quick test_nipt_basic ]);
+      ("fifo", [ Alcotest.test_case "order + capacity" `Quick test_fifo_order_and_capacity ]);
+      ( "router",
+        [
+          Alcotest.test_case "mesh hops" `Quick test_router_mesh_hops;
+          Alcotest.test_case "delivery + latency" `Quick
+            test_router_delivery_and_latency;
+          Alcotest.test_case "unregistered sink" `Quick test_router_unregistered_sink;
+        ] );
+      ( "system",
+        [
+          Alcotest.test_case "export/import plumbing" `Quick
+            test_export_import_plumbing;
+          Alcotest.test_case "deliberate update send" `Quick
+            test_deliberate_update_send;
+          Alcotest.test_case "alignment rejected" `Quick test_ni_alignment_rejected;
+          Alcotest.test_case "unconfigured NIPT page rejected" `Quick
+            test_ni_unconfigured_page_rejected;
+          Alcotest.test_case "receive marks dirty" `Quick test_receive_marks_dirty;
+        ] );
+      ( "collective",
+        [
+          Alcotest.test_case "barrier" `Quick test_collective_barrier;
+          Alcotest.test_case "barrier double arrival" `Quick
+            test_collective_barrier_double_arrival;
+          Alcotest.test_case "broadcast" `Quick test_collective_broadcast;
+          Alcotest.test_case "all-gather" `Quick test_collective_all_gather;
+        ] );
+      ( "auto-update",
+        [
+          Alcotest.test_case "word propagates" `Quick test_auto_update_propagates_word;
+          Alcotest.test_case "contiguous writes combine" `Quick
+            test_auto_update_combines_contiguous;
+          Alcotest.test_case "discontiguous writes flush" `Quick
+            test_auto_update_discontiguous_flushes;
+          Alcotest.test_case "unbind stops propagation" `Quick
+            test_auto_update_unbind_stops;
+          Alcotest.test_case "other pages ignored" `Quick
+            test_auto_update_ignores_other_pages;
+        ] );
+      ( "messaging",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_messaging_roundtrip;
+          Alcotest.test_case "flag after payload" `Quick
+            test_messaging_flag_after_payload;
+          Alcotest.test_case "multi-page message" `Quick test_messaging_multi_page;
+          Alcotest.test_case "size checks" `Quick test_messaging_size_checks;
+          Alcotest.test_case "queued system pipelined send" `Quick
+            test_queued_system_pipelined_send;
+          Alcotest.test_case "pipelined beats blocking" `Quick
+            test_pipelined_beats_blocking;
+          Alcotest.test_case "9-node corner to corner" `Quick
+            test_nine_node_corner_to_corner;
+          Alcotest.test_case "4-node all pairs" `Quick test_four_node_all_pairs;
+        ] );
+    ]

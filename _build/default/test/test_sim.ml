@@ -1,0 +1,313 @@
+(* Unit tests for the discrete-event simulation core. *)
+
+module Eventq = Udma_sim.Eventq
+module Engine = Udma_sim.Engine
+module Stats = Udma_sim.Stats
+module Rng = Udma_sim.Rng
+module Trace = Udma_sim.Trace
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+(* ---------- Eventq ---------- *)
+
+let test_eventq_ordering () =
+  let q = Eventq.create () in
+  Eventq.push q ~time:30 "c";
+  Eventq.push q ~time:10 "a";
+  Eventq.push q ~time:20 "b";
+  Alcotest.(check (option (pair int string))) "first" (Some (10, "a")) (Eventq.pop q);
+  Alcotest.(check (option (pair int string))) "second" (Some (20, "b")) (Eventq.pop q);
+  Alcotest.(check (option (pair int string))) "third" (Some (30, "c")) (Eventq.pop q);
+  Alcotest.(check (option (pair int string))) "empty" None (Eventq.pop q)
+
+let test_eventq_fifo_ties () =
+  let q = Eventq.create () in
+  List.iter (fun s -> Eventq.push q ~time:5 s) [ "1"; "2"; "3"; "4" ];
+  let order = List.init 4 (fun _ -> snd (Option.get (Eventq.pop q))) in
+  Alcotest.(check (list string)) "insertion order on equal times"
+    [ "1"; "2"; "3"; "4" ] order
+
+let test_eventq_growth () =
+  let q = Eventq.create () in
+  for i = 999 downto 0 do
+    Eventq.push q ~time:i i
+  done;
+  checki "length" 1000 (Eventq.length q);
+  let rec drain last n =
+    match Eventq.pop q with
+    | None -> n
+    | Some (t, v) ->
+        checkb "monotone" true (t >= last);
+        checki "payload matches time" t v;
+        drain t (n + 1)
+  in
+  checki "drained all" 1000 (drain (-1) 0)
+
+let test_eventq_negative_time () =
+  let q = Eventq.create () in
+  Alcotest.check_raises "negative time"
+    (Invalid_argument "Eventq.push: negative time") (fun () ->
+      Eventq.push q ~time:(-1) ())
+
+let test_eventq_clear () =
+  let q = Eventq.create () in
+  Eventq.push q ~time:1 ();
+  Eventq.push q ~time:2 ();
+  Eventq.clear q;
+  checkb "empty after clear" true (Eventq.is_empty q);
+  checki "peek gone" 0 (match Eventq.peek_time q with None -> 0 | Some _ -> 1)
+
+let test_eventq_peek () =
+  let q = Eventq.create () in
+  Alcotest.(check (option int)) "empty peek" None (Eventq.peek_time q);
+  Eventq.push q ~time:42 "x";
+  Alcotest.(check (option int)) "peek" (Some 42) (Eventq.peek_time q);
+  checki "peek does not pop" 1 (Eventq.length q)
+
+(* ---------- Engine ---------- *)
+
+let test_engine_advance () =
+  let e = Engine.create () in
+  checki "starts at 0" 0 (Engine.now e);
+  Engine.advance e 100;
+  checki "advanced" 100 (Engine.now e)
+
+let test_engine_events_fire_in_window () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  Engine.schedule e ~delay:50 (fun _ -> fired := 50 :: !fired);
+  Engine.schedule e ~delay:150 (fun _ -> fired := 150 :: !fired);
+  Engine.advance e 100;
+  Alcotest.(check (list int)) "only due events" [ 50 ] !fired;
+  Engine.advance e 100;
+  Alcotest.(check (list int)) "the rest" [ 150; 50 ] !fired
+
+let test_engine_event_clock () =
+  let e = Engine.create () in
+  let seen = ref (-1) in
+  Engine.schedule e ~delay:30 (fun e -> seen := Engine.now e);
+  Engine.advance e 100;
+  checki "event sees its own timestamp" 30 !seen;
+  checki "clock ends at horizon" 100 (Engine.now e)
+
+let test_engine_cascading_events () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:10 (fun e ->
+      log := ("a", Engine.now e) :: !log;
+      Engine.schedule e ~delay:5 (fun e -> log := ("b", Engine.now e) :: !log));
+  Engine.advance e 20;
+  Alcotest.(check (list (pair string int)))
+    "chained event fires inside the window"
+    [ ("b", 15); ("a", 10) ]
+    !log
+
+let test_engine_schedule_at () =
+  let e = Engine.create () in
+  Engine.advance e 50;
+  let fired = ref [] in
+  Engine.schedule_at e ~time:100 (fun e -> fired := Engine.now e :: !fired);
+  (* a time in the past clamps to now *)
+  Engine.schedule_at e ~time:10 (fun e -> fired := Engine.now e :: !fired);
+  Engine.run_until_idle e;
+  Alcotest.(check (list int)) "absolute + clamped" [ 100; 50 ] !fired
+
+let test_engine_run_until_idle () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec chain n _ =
+    incr count;
+    if n > 0 then Engine.schedule e ~delay:10 (chain (n - 1))
+  in
+  Engine.schedule e ~delay:10 (chain 4);
+  Engine.run_until_idle e;
+  checki "all fired" 5 !count;
+  checki "clock at last event" 50 (Engine.now e)
+
+let test_engine_wait_for () =
+  let e = Engine.create () in
+  let flag = ref false in
+  Engine.schedule e ~delay:1000 (fun _ -> flag := true);
+  let polls = Engine.wait_for e ~poll_cost:2 (fun () -> !flag) in
+  checkb "condition met" true !flag;
+  checkb "polled at least once" true (polls >= 1);
+  checkb "clock advanced to the event" true (Engine.now e >= 1000)
+
+let test_engine_wait_for_idle_failure () =
+  let e = Engine.create () in
+  Alcotest.check_raises "impossible condition"
+    (Failure "Engine.wait_for: condition can never become true (idle)")
+    (fun () -> ignore (Engine.wait_for e (fun () -> false)))
+
+let test_engine_time_conversion () =
+  let e = Engine.create ~mhz:100 () in
+  Alcotest.(check (float 0.001)) "10 ns per cycle at 100 MHz" 10.0
+    (Engine.ns_of_cycles e 1);
+  Alcotest.(check (float 0.001)) "us" 1.0 (Engine.us_of_cycles e 100)
+
+(* ---------- Stats ---------- *)
+
+let test_stats_counters () =
+  let s = Stats.create () in
+  Stats.incr s "a";
+  Stats.incr s "a";
+  Stats.add s "b" 10;
+  checki "a" 2 (Stats.get s "a");
+  checki "b" 10 (Stats.get s "b");
+  checki "absent" 0 (Stats.get s "zzz");
+  Alcotest.(check (list (pair string int)))
+    "sorted counters"
+    [ ("a", 2); ("b", 10) ]
+    (Stats.counters s)
+
+let test_stats_summary () =
+  let s = Stats.create () in
+  for i = 1 to 100 do
+    Stats.observe s "lat" (float_of_int i)
+  done;
+  match Stats.summarize s "lat" with
+  | None -> Alcotest.fail "expected summary"
+  | Some sum ->
+      checki "count" 100 sum.Stats.count;
+      Alcotest.(check (float 0.01)) "mean" 50.5 sum.Stats.mean;
+      Alcotest.(check (float 0.01)) "min" 1.0 sum.Stats.min;
+      Alcotest.(check (float 0.01)) "max" 100.0 sum.Stats.max;
+      Alcotest.(check (float 0.01)) "p50" 50.0 sum.Stats.p50;
+      Alcotest.(check (float 0.01)) "p95" 95.0 sum.Stats.p95;
+      Alcotest.(check (float 0.01)) "p99" 99.0 sum.Stats.p99
+
+let test_stats_empty_summary () =
+  let s = Stats.create () in
+  checkb "no data no summary" true (Stats.summarize s "none" = None)
+
+let test_stats_reset () =
+  let s = Stats.create () in
+  Stats.incr s "x";
+  Stats.observe s "y" 1.0;
+  Stats.reset s;
+  checki "counter gone" 0 (Stats.get s "x");
+  checkb "series gone" true (Stats.observations s "y" = [])
+
+(* ---------- Rng ---------- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  let sa = List.init 50 (fun _ -> Rng.int a 1000) in
+  let sb = List.init 50 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" sa sb
+
+let test_rng_bounds () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    checkb "in range" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 100 do
+    let f = Rng.float r 2.5 in
+    checkb "float in range" true (f >= 0.0 && f < 2.5)
+  done
+
+let test_rng_split_independence () =
+  let r = Rng.create 11 in
+  let r2 = Rng.split r in
+  let s1 = List.init 20 (fun _ -> Rng.int r 1_000_000) in
+  let s2 = List.init 20 (fun _ -> Rng.int r2 1_000_000) in
+  checkb "streams differ" true (s1 <> s2)
+
+let test_rng_shuffle_is_permutation () =
+  let r = Rng.create 5 in
+  let arr = Array.init 100 Fun.id in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 100 Fun.id) sorted
+
+let test_rng_pick () =
+  let r = Rng.create 1 in
+  let arr = [| 10; 20; 30 |] in
+  for _ = 1 to 50 do
+    checkb "picked element" true (Array.mem (Rng.pick r arr) arr)
+  done
+
+(* ---------- Trace ---------- *)
+
+let test_trace_basic () =
+  let t = Trace.create ~enabled:true () in
+  Trace.record t ~time:1 "hello";
+  Trace.recordf t ~time:2 "value=%d" 42;
+  Alcotest.(check (list (pair int string)))
+    "events in order"
+    [ (1, "hello"); (2, "value=42") ]
+    (Trace.events t)
+
+let test_trace_disabled () =
+  let t = Trace.create ~enabled:false () in
+  Trace.record t ~time:1 "x";
+  Trace.recordf t ~time:2 "y%d" 1;
+  checki "nothing recorded" 0 (List.length (Trace.events t))
+
+let test_trace_matching () =
+  let t = Trace.create ~enabled:true () in
+  Trace.record t ~time:1 "udma: start";
+  Trace.record t ~time:2 "sched: switch";
+  Trace.record t ~time:3 "udma: inval";
+  checki "matching" 2 (List.length (Trace.matching t "udma"));
+  checki "no match" 0 (List.length (Trace.matching t "zzz"))
+
+let test_trace_capacity () =
+  let t = Trace.create ~capacity:10 ~enabled:true () in
+  for i = 1 to 100 do
+    Trace.record t ~time:i "e"
+  done;
+  checkb "bounded" true (List.length (Trace.events t) <= 10)
+
+let () =
+  Alcotest.run "udma_sim"
+    [
+      ( "eventq",
+        [
+          Alcotest.test_case "ordering" `Quick test_eventq_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_eventq_fifo_ties;
+          Alcotest.test_case "growth + heap order" `Quick test_eventq_growth;
+          Alcotest.test_case "negative time" `Quick test_eventq_negative_time;
+          Alcotest.test_case "clear" `Quick test_eventq_clear;
+          Alcotest.test_case "peek" `Quick test_eventq_peek;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "advance" `Quick test_engine_advance;
+          Alcotest.test_case "window firing" `Quick test_engine_events_fire_in_window;
+          Alcotest.test_case "event timestamps" `Quick test_engine_event_clock;
+          Alcotest.test_case "cascading events" `Quick test_engine_cascading_events;
+          Alcotest.test_case "schedule_at" `Quick test_engine_schedule_at;
+          Alcotest.test_case "run until idle" `Quick test_engine_run_until_idle;
+          Alcotest.test_case "wait_for" `Quick test_engine_wait_for;
+          Alcotest.test_case "wait_for idle failure" `Quick
+            test_engine_wait_for_idle_failure;
+          Alcotest.test_case "time conversion" `Quick test_engine_time_conversion;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "counters" `Quick test_stats_counters;
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "empty summary" `Quick test_stats_empty_summary;
+          Alcotest.test_case "reset" `Quick test_stats_reset;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independence;
+          Alcotest.test_case "shuffle permutation" `Quick
+            test_rng_shuffle_is_permutation;
+          Alcotest.test_case "pick" `Quick test_rng_pick;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "basic" `Quick test_trace_basic;
+          Alcotest.test_case "disabled" `Quick test_trace_disabled;
+          Alcotest.test_case "matching" `Quick test_trace_matching;
+          Alcotest.test_case "capacity" `Quick test_trace_capacity;
+        ] );
+    ]
