@@ -157,6 +157,90 @@ let trace_cmd =
              and kernel event trace.")
     Term.(const run $ const ())
 
+let chaos_cmd =
+  let module Chaos = Udma_check.Chaos in
+  let module Oracle = Udma_check.Oracle in
+  let seeds =
+    Arg.(
+      value & opt int 256
+      & info [ "seeds" ] ~docv:"N" ~doc:"Number of seeds to sweep.")
+  in
+  let start =
+    Arg.(value & opt int 0 & info [ "start" ] ~docv:"SEED" ~doc:"First seed.")
+  in
+  let steps =
+    Arg.(
+      value & opt int 40
+      & info [ "steps" ] ~docv:"N" ~doc:"Actions per seed's schedule.")
+  in
+  let seed_opt =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Replay one seed and print its full schedule (and trace).")
+  in
+  let mutate =
+    let inv_conv =
+      Arg.enum [ ("i1", `I1); ("i2", `I2); ("i3", `I3); ("i4", `I4) ]
+    in
+    Arg.(
+      value
+      & opt (some inv_conv) None
+      & info [ "mutate" ] ~docv:"INVARIANT"
+          ~doc:
+            "Disable the kernel action maintaining this invariant \
+             (deliberate bug); the sweep is then expected to find \
+             violations, and the first is reported shrunk.")
+  in
+  let run seeds start steps seed_opt mutate =
+    let skip_invariant = mutate in
+    match seed_opt with
+    | Some seed -> (
+        let plan = Chaos.plan_of_seed ~steps seed in
+        Format.printf "replaying seed %d: %a@." seed Chaos.pp_setup plan.setup;
+        List.iteri
+          (fun i a -> Format.printf "  %2d. %a@." i Chaos.pp_action a)
+          plan.Chaos.actions;
+        match Chaos.run_plan ?skip_invariant plan with
+        | Chaos.Pass ->
+            Format.printf "no invariant violation.@.";
+            exit 0
+        | Chaos.Fail f ->
+            print_string (Chaos.report ?skip_invariant (Chaos.shrink ?skip_invariant f));
+            exit (if mutate = None then 1 else 0))
+    | None -> (
+        let failures =
+          Chaos.sweep ?skip_invariant ~steps ~start ~seeds ()
+        in
+        match (failures, mutate) with
+        | [], None ->
+            Format.printf
+              "chaos sweep: %d seeds x %d steps, no I1-I4 violation.@." seeds
+              steps
+        | [], Some inv ->
+            Format.printf
+              "chaos sweep with %a disabled found no violation in %d seeds — \
+               the oracles missed a planted bug!@."
+              Udma_os.Machine.pp_invariant inv seeds;
+            exit 1
+        | f :: _, _ ->
+            Format.printf "chaos sweep: %d of %d seeds violated an invariant%s@."
+              (List.length failures) seeds
+              (match mutate with
+              | Some _ -> " (expected: a kernel bug was planted)"
+              | None -> "");
+            print_string (Chaos.report ?skip_invariant (Chaos.shrink ?skip_invariant f));
+            if mutate = None then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Randomized fault-injection sweep checking the paper's OS \
+          invariants I1-I4 after every step; failing seeds are replayed \
+          deterministically and shrunk to a minimal schedule.")
+    Term.(const run $ seeds $ start $ steps $ seed_opt $ mutate)
+
 let all_cmd =
   let run () = Runner.run_all () in
   Cmd.v
@@ -185,5 +269,6 @@ let () =
             i3_cmd;
             updates_cmd;
             trace_cmd;
+            chaos_cmd;
             all_cmd;
           ]))

@@ -1,0 +1,518 @@
+module Engine = Udma_sim.Engine
+module Rng = Udma_sim.Rng
+module Trace = Udma_sim.Trace
+module Layout = Udma_mmu.Layout
+module Device = Udma_dma.Device
+module Udma_engine = Udma.Udma_engine
+module Initiator = Udma.Initiator
+module M = Udma_os.Machine
+module Proc = Udma_os.Proc
+module Kernel = Udma_os.Kernel
+module Scheduler = Udma_os.Scheduler
+module Syscall = Udma_os.Syscall
+module Vm = Udma_os.Vm
+module Frame_allocator = Udma_memory.Frame_allocator
+module Disk = Udma_devices.Disk
+
+type dir = Out | In
+
+type action =
+  | Xfer of { proc : int; page : int; dev_page : int; nbytes : int;
+              dir : dir; queued : bool }
+  | Raw_pair of { proc : int; page : int; dev_page : int; nbytes : int;
+                  dir : dir }
+  | Half_pair of { proc : int; page : int; dev_page : int; nbytes : int;
+                   dir : dir }
+  | Probe of { proc : int; dev_page : int }
+  | Wrong_space of { proc : int; page : int; nbytes : int }
+  | Unaligned of { proc : int; page : int }
+  | Inval_store of { proc : int }
+  | Burst of { proc : int; page : int; dev_page : int; count : int;
+               nbytes : int }
+  | Sys_enqueue of { proc : int; page : int; dev_page : int; nbytes : int }
+  | Touch of { proc : int; page : int; write : bool }
+  | Clean of { proc : int; page : int }
+  | Evict
+  | Grow of { proc : int }
+  | Flaky of bool
+  | Preempt_rate of { pct : int }
+  | Run_cycles of { cycles : int }
+  | Drain
+  | Disk_dma of { proc : int; page : int; nbytes : int; dir : dir;
+                  bounce : bool }
+
+type setup = {
+  seed : int;
+  mem_pages : int;
+  depth : int option;
+  write_upgrade : bool;
+  nprocs : int;
+  pages_per_proc : int;
+}
+
+type plan = { setup : setup; actions : action list }
+
+type failure = { plan : plan; step : int; violation : Oracle.violation }
+
+type outcome = Pass | Fail of failure
+
+(* ---------- pretty-printing ---------- *)
+
+let pp_dir ppf = function
+  | Out -> Format.pp_print_string ppf "out"
+  | In -> Format.pp_print_string ppf "in"
+
+let pp_action ppf = function
+  | Xfer x ->
+      Format.fprintf ppf "xfer%s proc=%d page=%d dev=%d nbytes=%d %a"
+        (if x.queued then "-queued" else "") x.proc x.page x.dev_page
+        x.nbytes pp_dir x.dir
+  | Raw_pair x ->
+      Format.fprintf ppf "raw-pair proc=%d page=%d dev=%d nbytes=%d %a"
+        x.proc x.page x.dev_page x.nbytes pp_dir x.dir
+  | Half_pair x ->
+      Format.fprintf ppf "half-pair proc=%d page=%d dev=%d nbytes=%d %a"
+        x.proc x.page x.dev_page x.nbytes pp_dir x.dir
+  | Probe x -> Format.fprintf ppf "probe proc=%d dev=%d" x.proc x.dev_page
+  | Wrong_space x ->
+      Format.fprintf ppf "wrong-space proc=%d page=%d nbytes=%d" x.proc
+        x.page x.nbytes
+  | Unaligned x -> Format.fprintf ppf "unaligned proc=%d page=%d" x.proc x.page
+  | Inval_store x -> Format.fprintf ppf "inval-store proc=%d" x.proc
+  | Burst x ->
+      Format.fprintf ppf "burst proc=%d page=%d dev=%d count=%d nbytes=%d"
+        x.proc x.page x.dev_page x.count x.nbytes
+  | Sys_enqueue x ->
+      Format.fprintf ppf "sys-enqueue proc=%d page=%d dev=%d nbytes=%d"
+        x.proc x.page x.dev_page x.nbytes
+  | Touch x ->
+      Format.fprintf ppf "touch-%s proc=%d page=%d"
+        (if x.write then "write" else "read") x.proc x.page
+  | Clean x -> Format.fprintf ppf "clean proc=%d page=%d" x.proc x.page
+  | Evict -> Format.pp_print_string ppf "evict"
+  | Grow x -> Format.fprintf ppf "grow proc=%d" x.proc
+  | Flaky b -> Format.fprintf ppf "flaky-device %b" b
+  | Preempt_rate x -> Format.fprintf ppf "preempt-rate %d%%" x.pct
+  | Run_cycles x -> Format.fprintf ppf "run %d cycles" x.cycles
+  | Drain -> Format.pp_print_string ppf "drain"
+  | Disk_dma x ->
+      Format.fprintf ppf "disk-dma proc=%d page=%d nbytes=%d %a %s" x.proc
+        x.page x.nbytes pp_dir x.dir
+        (if x.bounce then "bounce" else "pinned")
+
+let pp_setup ppf s =
+  Format.fprintf ppf
+    "seed=%d mem_pages=%d mode=%s i3=%s nprocs=%d pages/proc=%d" s.seed
+    s.mem_pages
+    (match s.depth with
+    | None -> "basic"
+    | Some d -> Printf.sprintf "queued(depth=%d)" d)
+    (if s.write_upgrade then "write-upgrade" else "proxy-dirty-union")
+    s.nprocs s.pages_per_proc
+
+(* ---------- plan generation ---------- *)
+
+let gen_nbytes rng =
+  match Rng.int rng 5 with
+  | 0 -> 4 * (1 + Rng.int rng 16)
+  | 1 | 2 -> 4 * (1 + Rng.int rng 256)
+  | 3 -> 4 * (1 + Rng.int rng 1024)
+  | _ -> 4096 + 4 * (1 + Rng.int rng 1024)
+
+let gen_action rng =
+  let proc () = Rng.int rng 8 in
+  let page () = Rng.int rng 16 in
+  let dev () = Rng.int rng 8 in
+  let dir () = if Rng.bool rng then Out else In in
+  match Rng.int rng 100 with
+  | n when n < 14 ->
+      Xfer { proc = proc (); page = page (); dev_page = dev ();
+             nbytes = gen_nbytes rng; dir = dir (); queued = Rng.bool rng }
+  | n when n < 26 ->
+      Raw_pair { proc = proc (); page = page (); dev_page = dev ();
+                 nbytes = 4 * (1 + Rng.int rng 1024); dir = dir () }
+  | n when n < 34 ->
+      Half_pair { proc = proc (); page = page (); dev_page = dev ();
+                  nbytes = 4 * (1 + Rng.int rng 1024); dir = dir () }
+  | n when n < 38 -> Probe { proc = proc (); dev_page = dev () }
+  | n when n < 41 ->
+      Wrong_space { proc = proc (); page = page ();
+                    nbytes = 4 * (1 + Rng.int rng 64) }
+  | n when n < 43 -> Unaligned { proc = proc (); page = page () }
+  | n when n < 45 -> Inval_store { proc = proc () }
+  | n when n < 52 ->
+      Burst { proc = proc (); page = page (); dev_page = dev ();
+              count = 2 + Rng.int rng 6; nbytes = 4 * (1 + Rng.int rng 512) }
+  | n when n < 57 ->
+      Sys_enqueue { proc = proc (); page = page (); dev_page = dev ();
+                    nbytes = 4 * (1 + Rng.int rng 512) }
+  | n when n < 67 ->
+      Touch { proc = proc (); page = page (); write = Rng.bool rng }
+  | n when n < 71 -> Clean { proc = proc (); page = page () }
+  | n when n < 76 -> Evict
+  | n when n < 80 -> Grow { proc = proc () }
+  | n when n < 82 -> Flaky (Rng.bool rng)
+  | n when n < 86 -> Preempt_rate { pct = 5 + Rng.int rng 36 }
+  | n when n < 92 -> Run_cycles { cycles = 100 + Rng.int rng 20_000 }
+  | n when n < 95 -> Drain
+  | _ ->
+      Disk_dma { proc = proc (); page = page ();
+                 nbytes = 4 * (1 + Rng.int rng 1024); dir = dir ();
+                 bounce = Rng.bool rng }
+
+let plan_of_seed ?(steps = 40) seed =
+  let rng = Rng.create seed in
+  let setup =
+    { seed;
+      mem_pages = 16 + Rng.int rng 16;
+      depth = (if Rng.bool rng then None else Some (1 + Rng.int rng 3));
+      write_upgrade = Rng.bool rng;
+      nprocs = 2 + Rng.int rng 2;
+      pages_per_proc = 3 + Rng.int rng 3;
+    }
+  in
+  { setup; actions = List.init steps (fun _ -> gen_action rng) }
+
+(* ---------- execution ---------- *)
+
+type ctx = {
+  m : M.t;
+  procs : Proc.t array;
+  bufs : int array ref array;  (* per-process buffer vaddrs, growable *)
+  disk : Disk.t;
+  flaky : bool ref;
+  preempt_pct : int ref;
+  mutable benign : int;        (* faults/errors absorbed as expected *)
+}
+
+let dev_slots = 8
+let max_pages_per_proc = 12
+
+let build ?skip_invariant ~trace setup =
+  let config =
+    { M.default_config with
+      M.mem_pages = setup.mem_pages;
+      virt_pages = 256;
+      tlb_entries = 8;
+      udma_mode =
+        Some
+          (match setup.depth with
+          | None -> Udma_engine.Basic
+          | Some depth -> Udma_engine.Queued { depth });
+      i3_policy =
+        (if setup.write_upgrade then M.Write_upgrade else M.Proxy_dirty_union);
+      trace_enabled = trace;
+    }
+  in
+  let m = M.create ~config ?skip_invariant () in
+  let udma = Option.get m.M.udma in
+  let flaky = ref false in
+  let port, _store = Device.buffer "chaos-dev" ~size:(dev_slots * 4096) in
+  Udma_engine.attach_device udma ~base_page:0 ~pages:dev_slots ~port
+    ~validate:(fun ~dev_addr:_ ~nbytes:_ -> if !flaky then 1 else 0)
+    ();
+  let disk =
+    Disk.create
+      ~geometry:
+        { Disk.blocks = 16; block_size = 4096; seek_base_cycles = 500;
+          seek_per_block_cycles = 10; transfer_cycles_per_block = 200 }
+      ()
+  in
+  let procs =
+    Array.init setup.nprocs (fun i ->
+        Scheduler.spawn m ~name:(Printf.sprintf "p%d" i))
+  in
+  Array.iter
+    (fun p ->
+      for i = 0 to dev_slots - 1 do
+        match
+          Syscall.map_device_proxy m p ~vdev_index:i ~pdev_index:i
+            ~writable:true
+        with
+        | Ok () -> ()
+        | Error _ -> assert false
+      done)
+    procs;
+  let bufs =
+    Array.map
+      (fun p ->
+        ref
+          (Array.init setup.pages_per_proc (fun _ ->
+               Kernel.alloc_buffer m p ~bytes:4096)))
+      procs
+  in
+  let preempt_pct = ref 0 in
+  let exec_rng = Rng.create (setup.seed lxor 0x5eed) in
+  Scheduler.set_preempt_hook m
+    (Some (fun _ -> !preempt_pct > 0 && Rng.int exec_rng 100 < !preempt_pct));
+  m.M.on_switch <-
+    Some
+      (fun m ->
+        match Oracle.post_switch m with
+        | Some v -> raise (Oracle.Violation v)
+        | None -> ());
+  { m; procs; bufs; disk; flaky; preempt_pct; benign = 0 }
+
+let proc_of ctx i = ctx.procs.(i mod Array.length ctx.procs)
+
+let vaddr_of ctx ~proc ~page =
+  let arr = !(ctx.bufs.(proc mod Array.length ctx.procs)) in
+  arr.(page mod Array.length arr)
+
+let dev_vaddr ctx i = Kernel.vdev_addr ctx.m ~index:(i mod dev_slots) ~offset:0
+
+let endpoints ctx ~proc ~page ~dev_page = function
+  | Out ->
+      ( Initiator.Memory (vaddr_of ctx ~proc ~page),
+        Initiator.Device (dev_vaddr ctx dev_page) )
+  | In ->
+      ( Initiator.Device (dev_vaddr ctx dev_page),
+        Initiator.Memory (vaddr_of ctx ~proc ~page) )
+
+(* Raw STORE/LOAD addresses: the count is stored to the DESTINATION
+   proxy, the initiating LOAD reads the SOURCE proxy. *)
+let raw_pair_addrs ctx ~proc ~page ~dev_page dir =
+  let mem_proxy =
+    Layout.proxy_of ctx.m.M.layout (vaddr_of ctx ~proc ~page)
+  in
+  let dev = dev_vaddr ctx dev_page in
+  match dir with
+  | Out -> (dev, mem_proxy) (* store to device dest, load memory src *)
+  | In -> (mem_proxy, dev)
+
+let apply ctx action =
+  let m = ctx.m in
+  match action with
+  | Xfer { proc; page; dev_page; nbytes; dir; queued } ->
+      let p = proc_of ctx proc in
+      let cpu = Kernel.user_cpu m p in
+      let src, dst = endpoints ctx ~proc ~page ~dev_page dir in
+      let xfer = if queued then Initiator.transfer_queued
+                 else Initiator.transfer in
+      ignore (xfer cpu ~layout:m.M.layout ~src ~dst ~nbytes ())
+  | Raw_pair { proc; page; dev_page; nbytes; dir } ->
+      let p = proc_of ctx proc in
+      let cpu = Kernel.user_cpu m p in
+      let store_to, load_from = raw_pair_addrs ctx ~proc ~page ~dev_page dir in
+      cpu.Initiator.store ~vaddr:store_to (Int32.of_int nbytes);
+      ignore (cpu.Initiator.load ~vaddr:load_from)
+  | Half_pair { proc; page; dev_page; nbytes; dir } ->
+      let p = proc_of ctx proc in
+      let cpu = Kernel.user_cpu m p in
+      let store_to, _ = raw_pair_addrs ctx ~proc ~page ~dev_page dir in
+      cpu.Initiator.store ~vaddr:store_to (Int32.of_int nbytes)
+  | Probe { proc; dev_page } ->
+      let p = proc_of ctx proc in
+      let cpu = Kernel.user_cpu m p in
+      ignore (cpu.Initiator.load ~vaddr:(dev_vaddr ctx dev_page))
+  | Wrong_space { proc; page; nbytes } ->
+      (* memory-to-memory: the hardware must refuse with BadLoad *)
+      let p = proc_of ctx proc in
+      let cpu = Kernel.user_cpu m p in
+      let proxy = Layout.proxy_of m.M.layout (vaddr_of ctx ~proc ~page) in
+      cpu.Initiator.store ~vaddr:proxy (Int32.of_int nbytes);
+      ignore (cpu.Initiator.load ~vaddr:proxy)
+  | Unaligned { proc; page } ->
+      let p = proc_of ctx proc in
+      let cpu = Kernel.user_cpu m p in
+      let proxy = Layout.proxy_of m.M.layout (vaddr_of ctx ~proc ~page) in
+      cpu.Initiator.store ~vaddr:(proxy + 2) 64l
+  | Inval_store { proc } ->
+      let p = proc_of ctx proc in
+      let cpu = Kernel.user_cpu m p in
+      let proxy = Layout.proxy_of m.M.layout (vaddr_of ctx ~proc ~page:0) in
+      cpu.Initiator.store ~vaddr:proxy (-1l)
+  | Burst { proc; page; dev_page; count; nbytes } ->
+      let p = proc_of ctx proc in
+      let cpu = Kernel.user_cpu m p in
+      for i = 0 to count - 1 do
+        let store_to, load_from =
+          raw_pair_addrs ctx ~proc ~page:(page + i) ~dev_page:(dev_page + i)
+            Out
+        in
+        cpu.Initiator.store ~vaddr:store_to (Int32.of_int nbytes);
+        ignore (cpu.Initiator.load ~vaddr:load_from)
+      done
+  | Sys_enqueue { proc; page; dev_page; nbytes } -> (
+      let p = proc_of ctx proc in
+      let vaddr = vaddr_of ctx ~proc ~page in
+      let vpn = Layout.page_of_addr m.M.layout vaddr in
+      match Vm.frame_of_vpn m p ~vpn with
+      | None -> ctx.benign <- ctx.benign + 1 (* not resident; skip *)
+      | Some frame ->
+          let src_proxy = Layout.proxy_of m.M.layout (frame * 4096) in
+          let dest_proxy =
+            Layout.dev_proxy_addr m.M.layout ~page:(dev_page mod dev_slots)
+              ~offset:0
+          in
+          ignore (Syscall.udma_enqueue_system m ~src_proxy ~dest_proxy ~nbytes))
+  | Touch { proc; page; write } ->
+      let p = proc_of ctx proc in
+      let cpu = Kernel.user_cpu m p in
+      let vaddr = vaddr_of ctx ~proc ~page in
+      if write then cpu.Initiator.store ~vaddr 0xC0DEl
+      else ignore (cpu.Initiator.load ~vaddr)
+  | Clean { proc; page } ->
+      let p = proc_of ctx proc in
+      let vpn = Layout.page_of_addr m.M.layout (vaddr_of ctx ~proc ~page) in
+      ignore (Vm.clean_page m p ~vpn)
+  | Evict ->
+      let frame = Vm.evict_one m in
+      Frame_allocator.free m.M.alloc frame
+  | Grow { proc } ->
+      let i = proc mod Array.length ctx.procs in
+      let arr = ctx.bufs.(i) in
+      if Array.length !arr < max_pages_per_proc then
+        let vaddr = Kernel.alloc_buffer m ctx.procs.(i) ~bytes:4096 in
+        arr := Array.append !arr [| vaddr |]
+  | Flaky b -> ctx.flaky := b
+  | Preempt_rate { pct } -> ctx.preempt_pct := pct
+  | Run_cycles { cycles } -> Engine.advance m.M.engine cycles
+  | Drain -> Engine.run_until_idle m.M.engine
+  | Disk_dma { proc; page; nbytes; dir; bounce } ->
+      let p = proc_of ctx proc in
+      let vaddr = vaddr_of ctx ~proc ~page in
+      let dir =
+        match dir with Out -> Syscall.To_device | In -> Syscall.From_device
+      in
+      let strategy =
+        if bounce then Syscall.Copy_through_buffer else Syscall.Pin_user_pages
+      in
+      ignore
+        (Syscall.dma_transfer m p ~dir ~vaddr ~nbytes ~port:(Disk.port ctx.disk)
+           ~dev_addr:((page mod 8) * 4096) ~strategy)
+
+(* Exceptions the chaos workload is expected to provoke: illegal
+   accesses, allocation failure under pressure, unaligned references,
+   kernel refusals (Failure). Oracle.Violation is never one of them. *)
+let benign_exn = function
+  | Vm.Segfault _ | Vm.Out_of_memory | Invalid_argument _ | Failure _ -> true
+  | _ -> false
+
+let execute ?skip_invariant ?(trace = false) plan =
+  let ctx = build ?skip_invariant ~trace plan.setup in
+  let check () =
+    match Oracle.check_now ctx.m with
+    | Some v -> raise (Oracle.Violation v)
+    | None -> ()
+  in
+  let rec go i = function
+    | [] -> (
+        (* final drain: leftover transfers must complete cleanly *)
+        match
+          (try Engine.run_until_idle ctx.m.M.engine; check (); None with
+          | Oracle.Violation v -> Some v)
+        with
+        | Some v -> (Error (i, v), ctx)
+        | None -> (Ok (), ctx))
+    | a :: rest -> (
+        match
+          (try apply ctx a; check (); None with
+          | Oracle.Violation v -> Some v
+          | e when benign_exn e ->
+              ctx.benign <- ctx.benign + 1;
+              (match (try check (); None with Oracle.Violation v -> Some v)
+               with
+              | Some v -> Some v
+              | None -> None))
+        with
+        | Some v -> (Error (i, v), ctx)
+        | None -> go (i + 1) rest)
+  in
+  go 0 plan.actions
+
+let run_plan ?skip_invariant ?trace plan =
+  match fst (execute ?skip_invariant ?trace plan) with
+  | Ok () -> Pass
+  | Error (step, violation) -> Fail { plan; step; violation }
+
+let run_seed ?skip_invariant ?steps seed =
+  run_plan ?skip_invariant (plan_of_seed ?steps seed)
+
+let sweep ?skip_invariant ?steps ?(start = 0) ~seeds () =
+  List.filter_map
+    (fun seed ->
+      match run_seed ?skip_invariant ?steps seed with
+      | Pass -> None
+      | Fail f -> Some f)
+    (List.init seeds (fun i -> start + i))
+
+let first_failure ?skip_invariant ?steps ?(start = 0) ~seeds () =
+  let rec go seed =
+    if seed >= start + seeds then None
+    else
+      match run_seed ?skip_invariant ?steps seed with
+      | Pass -> go (seed + 1)
+      | Fail f -> Some f
+  in
+  go start
+
+(* ---------- shrinking ---------- *)
+
+let prefix n l = List.filteri (fun i _ -> i < n) l
+
+let shrink ?skip_invariant (f : failure) =
+  let inv = f.violation.Oracle.invariant in
+  let fails actions =
+    match
+      fst (execute ?skip_invariant { f.plan with actions })
+    with
+    | Error (k, v) when v.Oracle.invariant = inv -> Some (k, v)
+    | Ok () | Error _ -> None
+  in
+  (* the failing prefix is a deterministic replay of the failure *)
+  let best = ref (prefix (f.step + 1) f.plan.actions) in
+  let bestv = ref f.violation in
+  (* greedy single-action deletion; on success keep only the (possibly
+     shorter) failing prefix of the candidate and rescan from the start *)
+  let rec del i =
+    let acts = !best in
+    let n = List.length acts in
+    if i < n - 1 then (
+      let candidate = List.filteri (fun j _ -> j <> i) acts in
+      match fails candidate with
+      | Some (k, v) ->
+          best := prefix (min (k + 1) (List.length candidate)) candidate;
+          bestv := v;
+          del i
+      | None -> del (i + 1))
+  in
+  del 0;
+  let actions = !best in
+  { plan = { f.plan with actions };
+    step = List.length actions - 1;
+    violation = !bestv }
+
+(* ---------- replay + report ---------- *)
+
+let replay_trace ?skip_invariant plan =
+  let _, ctx = execute ?skip_invariant ~trace:true plan in
+  Trace.events ctx.m.M.trace
+
+let last n l =
+  let len = List.length l in
+  if len <= n then l else List.filteri (fun i _ -> i >= len - n) l
+
+let report ?skip_invariant (f : failure) =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.fprintf ppf "chaos failure: seed %d, %d-step schedule@."
+    f.plan.setup.seed
+    (List.length f.plan.actions);
+  Format.fprintf ppf "  %a@." Oracle.pp_violation f.violation;
+  Format.fprintf ppf "  setup: %a@." pp_setup f.plan.setup;
+  Format.fprintf ppf "  schedule (deterministic replay):@.";
+  List.iteri
+    (fun i a ->
+      Format.fprintf ppf "    %2d. %a%s@." i pp_action a
+        (if i = f.step then "   <- violation detected here" else ""))
+    f.plan.actions;
+  let tail = last 12 (replay_trace ?skip_invariant f.plan) in
+  if tail <> [] then begin
+    Format.fprintf ppf "  trace tail of the replay:@.";
+    List.iter
+      (fun (t, msg) -> Format.fprintf ppf "    %8d  %s@." t msg)
+      tail
+  end;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf

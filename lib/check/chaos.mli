@@ -1,0 +1,119 @@
+(** Seeded chaos explorer for the UDMA/OS invariants.
+
+    One {e seed} deterministically derives a whole experiment: a
+    machine configuration (engine mode, installed memory, I3 policy),
+    a small multi-process population with mapped device proxies, and a
+    schedule of randomized actions — overlapping user transfers, raw
+    STORE/LOAD misuse (wrong-space pairs, unaligned references,
+    half-finished initiations), hardware-queue pressure, system-queue
+    enqueues, traditional disk DMA, paging pressure and forced
+    evictions — interleaved with injected faults (random preemption
+    between any two user references, device [validate] failures,
+    swap-outs mid-transfer).
+
+    After every action the {!Oracle} predicates for I2–I4 are
+    evaluated against the machine, and the I1 oracle runs inside every
+    context switch. Any violation stops the run and is reported with
+    the seed, the executed schedule prefix and the invariant broken.
+    Because everything derives from the seed, a failure replays
+    exactly; {!shrink} then greedily deletes actions to a minimal
+    still-failing schedule and {!report} formats the whole repro
+    recipe (with a traced replay) for humans. *)
+
+type dir = Out  (** memory → device *) | In  (** device → memory *)
+
+type action =
+  | Xfer of { proc : int; page : int; dev_page : int; nbytes : int;
+              dir : dir; queued : bool }
+      (** complete user-library transfer (drains before returning) *)
+  | Raw_pair of { proc : int; page : int; dev_page : int; nbytes : int;
+                  dir : dir }
+      (** raw STORE+LOAD pair; the transfer is left in flight *)
+  | Half_pair of { proc : int; page : int; dev_page : int; nbytes : int;
+                   dir : dir }
+      (** STORE only: a partial initiation for I1 to clean up *)
+  | Probe of { proc : int; dev_page : int }  (** status LOAD *)
+  | Wrong_space of { proc : int; page : int; nbytes : int }
+      (** memory-to-memory pair: must be refused as BadLoad *)
+  | Unaligned of { proc : int; page : int }  (** unaligned proxy STORE *)
+  | Inval_store of { proc : int }  (** deliberate negative-count STORE *)
+  | Burst of { proc : int; page : int; dev_page : int; count : int;
+               nbytes : int }
+      (** back-to-back raw pairs: queue-full pressure in [Queued] mode *)
+  | Sys_enqueue of { proc : int; page : int; dev_page : int; nbytes : int }
+      (** kernel system-queue transfer from a resident user frame *)
+  | Touch of { proc : int; page : int; write : bool }
+  | Clean of { proc : int; page : int }  (** pageout-daemon clean *)
+  | Evict  (** forced replacement (swap-out), possibly mid-transfer *)
+  | Grow of { proc : int }  (** map another page: memory pressure *)
+  | Flaky of bool  (** toggle device [validate] failures *)
+  | Preempt_rate of { pct : int }
+      (** preemption probability per user memory reference *)
+  | Run_cycles of { cycles : int }  (** advance simulated time only *)
+  | Drain  (** run the event queue dry *)
+  | Disk_dma of { proc : int; page : int; nbytes : int; dir : dir;
+                  bounce : bool }
+      (** traditional syscall DMA to the disk, pinned or bounce-buffer *)
+
+type setup = {
+  seed : int;
+  mem_pages : int;            (** installed physical frames *)
+  depth : int option;         (** [None] = basic engine, else queued *)
+  write_upgrade : bool;       (** I3 policy *)
+  nprocs : int;
+  pages_per_proc : int;
+}
+
+type plan = { setup : setup; actions : action list }
+
+type failure = {
+  plan : plan;        (** full generated plan *)
+  step : int;         (** index of the failing action *)
+  violation : Oracle.violation;
+}
+
+type outcome = Pass | Fail of failure
+
+val plan_of_seed : ?steps:int -> int -> plan
+(** [plan_of_seed seed] derives the full experiment ([steps] actions,
+    default 40) from one integer. *)
+
+val run_plan :
+  ?skip_invariant:Udma_os.Machine.invariant -> ?trace:bool -> plan -> outcome
+(** Execute a plan from scratch. Deterministic: the same plan (and
+    [skip_invariant]) always produces the same outcome. [trace]
+    (default false) builds the machine with tracing enabled. *)
+
+val run_seed :
+  ?skip_invariant:Udma_os.Machine.invariant -> ?steps:int -> int -> outcome
+
+val sweep :
+  ?skip_invariant:Udma_os.Machine.invariant ->
+  ?steps:int -> ?start:int -> seeds:int -> unit -> failure list
+(** Run seeds [start .. start+seeds-1] (default [start = 0]); collect
+    every failure. *)
+
+val first_failure :
+  ?skip_invariant:Udma_os.Machine.invariant ->
+  ?steps:int -> ?start:int -> seeds:int -> unit -> failure option
+(** Like {!sweep} but stops at the first failing seed. *)
+
+val shrink :
+  ?skip_invariant:Udma_os.Machine.invariant -> failure -> failure
+(** Truncate the schedule to the failing prefix, then greedily delete
+    earlier actions while the plan still fails with the {e same}
+    invariant. The result's plan is the minimized schedule. *)
+
+val replay_trace :
+  ?skip_invariant:Udma_os.Machine.invariant -> plan -> (int * string) list
+(** Re-run with the hardware/kernel trace enabled and return its
+    events (empty if the plan passes — trace of the full run). *)
+
+val report :
+  ?skip_invariant:Udma_os.Machine.invariant -> failure -> string
+(** Human-readable repro recipe: seed, violated invariant, machine
+    setup, the (ideally shrunk) schedule, and the tail of a traced
+    replay. *)
+
+val pp_action : Format.formatter -> action -> unit
+val pp_setup : Format.formatter -> setup -> unit

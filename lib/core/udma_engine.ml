@@ -266,6 +266,34 @@ let queued_len t = Queue.length t.user_queue + Queue.length t.system_queue
 
 let outstanding t = queued_len t + if t.active = None then 0 else 1
 
+(* ---------- oracle introspection ---------- *)
+
+type req_view = {
+  v_src : Dma_engine.endpoint;
+  v_dst : Dma_engine.endpoint;
+  v_nbytes : int;
+  v_priority : priority;
+}
+
+let outstanding_requests t =
+  let drain acc q = Queue.fold (fun acc r -> r :: acc) acc q in
+  let acc = match t.active with Some r -> [ r ] | None -> [] in
+  List.rev (drain (drain acc t.system_queue) t.user_queue)
+
+let outstanding_views t =
+  List.map
+    (fun r ->
+      { v_src = r.src_ep; v_dst = r.dst_ep; v_nbytes = r.nbytes;
+        v_priority = r.priority })
+    (outstanding_requests t)
+
+let outstanding_frames t =
+  List.concat_map (frames_of_request t) (outstanding_requests t)
+
+let refcounts_snapshot t =
+  List.sort compare
+    (Hashtbl.fold (fun f c acc -> (f, c) :: acc) t.refcounts [])
+
 (* ---------- match flag (associative query, §7) ---------- *)
 
 let request_matches proxy r = r.src_proxy = proxy || r.dest_proxy = proxy

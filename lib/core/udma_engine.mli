@@ -99,6 +99,30 @@ val enqueue_system :
 val outstanding : t -> int
 (** Transfers accepted but not yet completed (active + queued). *)
 
+(** {1 Oracle introspection}
+
+    Read-only views of the engine's registers and queues, used by the
+    invariant oracles in [Udma_check] to decide I3/I4 directly against
+    the hardware state. *)
+
+type req_view = {
+  v_src : Udma_dma.Dma_engine.endpoint;
+  v_dst : Udma_dma.Dma_engine.endpoint;
+  v_nbytes : int;
+  v_priority : priority;
+}
+
+val outstanding_views : t -> req_view list
+(** Resolved endpoints of the active transfer plus every queued
+    request, active first. *)
+
+val outstanding_frames : t -> int list
+(** Multiset of memory frames referenced by outstanding requests —
+    exactly what the per-frame reference counters must account for. *)
+
+val refcounts_snapshot : t -> (int * int) list
+(** All nonzero per-frame reference counters, sorted by frame. *)
+
 (** {1 Instrumentation} *)
 
 type counters = {

@@ -12,6 +12,16 @@ module Udma_engine = Udma.Udma_engine
 
 type i3_policy = Write_upgrade | Proxy_dirty_union
 
+type invariant = [ `I1 | `I2 | `I3 | `I4 ]
+
+let invariant_name = function
+  | `I1 -> "I1"
+  | `I2 -> "I2"
+  | `I3 -> "I3"
+  | `I4 -> "I4"
+
+let pp_invariant ppf inv = Format.pp_print_string ppf (invariant_name inv)
+
 type t = {
   engine : Engine.t;
   layout : Layout.t;
@@ -35,6 +45,8 @@ type t = {
   pinned : (int, int) Hashtbl.t;
   mutable clock_hand : int;
   mutable preempt_hook : (t -> bool) option;
+  mutable skip_invariant : invariant option;
+  mutable on_switch : (t -> unit) option;
 }
 
 type config = {
@@ -69,7 +81,7 @@ let default_config =
     shared_engine = None;
   }
 
-let create ?(config = default_config) () =
+let create ?(config = default_config) ?skip_invariant () =
   (* the virtual user region may exceed installed memory (demand
      paging); the layout describes the larger of the two and physical
      addresses beyond installed memory simply never get mapped *)
@@ -121,7 +133,11 @@ let create ?(config = default_config) () =
     pinned = Hashtbl.create 16;
     clock_hand = config.reserved_frames;
     preempt_hook = None;
+    skip_invariant;
+    on_switch = None;
   }
+
+let skips t inv = t.skip_invariant = Some (inv :> invariant)
 
 let find_proc t ~pid = List.find_opt (fun p -> p.Proc.pid = pid) t.procs
 

@@ -17,6 +17,15 @@ type i3_policy =
           it or its proxy page is dirty — "conceptually simpler, but
           requires more changes to the paging code" *)
 
+(** The paper's four OS invariants (§6), named so the fault-injection
+    harness can disable the kernel action maintaining each one and so
+    oracles can report which invariant a state violates. *)
+type invariant = [ `I1 | `I2 | `I3 | `I4 ]
+
+val invariant_name : invariant -> string
+
+val pp_invariant : Format.formatter -> invariant -> unit
+
 type t = {
   engine : Udma_sim.Engine.t;
   layout : Udma_mmu.Layout.t;
@@ -45,6 +54,14 @@ type t = {
   mutable preempt_hook : (t -> bool) option;
       (** consulted before every user reference; returning [true]
           forces a context switch (failure injection for I1 tests) *)
+  mutable skip_invariant : invariant option;
+      (** debug hook: the kernel/VM action maintaining this invariant
+          is skipped — a deliberate OS bug used to prove the chaos
+          oracles actually detect each class of violation *)
+  mutable on_switch : (t -> unit) option;
+      (** observer called at the end of every real context switch,
+          after the I1 Inval; the chaos harness installs its I1 oracle
+          here *)
 }
 
 type config = {
@@ -71,7 +88,14 @@ val default_config : config
     2 reserved frames, 64 TLB entries, basic UDMA, default costs and
     timing, no trace. *)
 
-val create : ?config:config -> unit -> t
+val create : ?config:config -> ?skip_invariant:invariant -> unit -> t
+(** [skip_invariant] installs the deliberate-bug debug hook: the
+    kernel action maintaining that invariant is omitted (see
+    {!skips}). Intended only for oracle-soundness tests. *)
+
+val skips : t -> invariant -> bool
+(** [skips m inv] is [true] when the kernel was built with
+    [~skip_invariant:inv]; the maintenance paths consult this. *)
 
 val find_proc : t -> pid:int -> Proc.t option
 

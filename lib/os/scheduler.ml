@@ -27,8 +27,8 @@ let switch_to m proc =
       (* I1: invalidate any partially initiated UDMA sequence with a
          single STORE of a negative count to a proxy address *)
       (match m.M.udma with
-      | Some u -> Udma_engine.invalidate u
-      | None -> ());
+      | Some u when not (M.skips m `I1) -> Udma_engine.invalidate u
+      | Some _ | None -> ());
       Mmu.flush_tlb m.M.mmu;
       (match cur with
       | Some c when c.Proc.state = Proc.Running -> c.Proc.state <- Proc.Ready
@@ -36,7 +36,8 @@ let switch_to m proc =
       proc.Proc.state <- Proc.Running;
       m.M.current <- Some proc;
       Trace.recordf m.M.trace ~time:(Engine.now m.M.engine)
-        "sched: switch to pid %d" proc.Proc.pid
+        "sched: switch to pid %d" proc.Proc.pid;
+      (match m.M.on_switch with Some f -> f m | None -> ())
 
 let ready m =
   List.filter (fun p -> p.Proc.state <> Proc.Exited) m.M.runq

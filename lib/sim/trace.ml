@@ -13,8 +13,9 @@ let enabled t = t.enabled
 
 let trim t =
   if t.count > t.capacity then begin
-    (* Drop the oldest half; amortises the O(n) rebuild. *)
-    let keep = t.capacity / 2 in
+    (* Drop the oldest half; amortises the O(n) rebuild. At capacity 1
+       half would be 0 and silently discard even the newest record. *)
+    let keep = max 1 (t.capacity / 2) in
     t.items <- List.filteri (fun i _ -> i < keep) t.items;
     t.count <- keep
   end

@@ -1,0 +1,98 @@
+(* The chaos harness as a test: a clean sweep over many seeds must
+   find no I1–I4 violation, and — the soundness half — each deliberate
+   kernel bug planted with [~skip_invariant] must be detected by some
+   seed, replay deterministically, shrink, and be reported under the
+   right invariant's name. *)
+
+module M = Udma_os.Machine
+module Oracle = Udma_check.Oracle
+module Chaos = Udma_check.Chaos
+
+let sweep_seeds = 512
+let mutation_seeds = 256
+
+(* ---------- the sweep itself: no violations in a correct kernel ---------- *)
+
+let test_clean_sweep () =
+  match Chaos.sweep ~seeds:sweep_seeds () with
+  | [] -> ()
+  | f :: _ as failures ->
+      Alcotest.failf "%d of %d seeds violated an invariant; first:\n%s"
+        (List.length failures) sweep_seeds
+        (Chaos.report (Chaos.shrink f))
+
+(* A failing run must replay identically: same step, same invariant,
+   same detail. Exercised through the mutated kernels below. *)
+let check_replay ~skip_invariant (f : Chaos.failure) =
+  match Chaos.run_plan ~skip_invariant f.Chaos.plan with
+  | Chaos.Pass ->
+      Alcotest.failf "seed %d failed once but replayed clean"
+        f.Chaos.plan.Chaos.setup.Chaos.seed
+  | Chaos.Fail f' ->
+      Alcotest.(check int) "replay stops at the same step" f.Chaos.step
+        f'.Chaos.step;
+      Alcotest.(check string) "replay reports the same violation"
+        f.Chaos.violation.Oracle.detail f'.Chaos.violation.Oracle.detail
+
+(* ---------- mutation self-test: the oracles catch planted bugs ---------- *)
+
+let test_mutation inv () =
+  match Chaos.first_failure ~skip_invariant:inv ~seeds:mutation_seeds () with
+  | None ->
+      Alcotest.failf
+        "kernel built without the %s maintenance action survived %d chaos \
+         seeds — the %s oracle is not sound"
+        (M.invariant_name inv) mutation_seeds (M.invariant_name inv)
+  | Some f ->
+      Alcotest.(check string)
+        "the violated invariant is the one whose maintenance was disabled"
+        (M.invariant_name inv)
+        (M.invariant_name f.Chaos.violation.Oracle.invariant);
+      check_replay ~skip_invariant:inv f;
+      let s = Chaos.shrink ~skip_invariant:inv f in
+      Alcotest.(check string) "shrinking preserves the invariant"
+        (M.invariant_name inv)
+        (M.invariant_name s.Chaos.violation.Oracle.invariant);
+      if List.length s.Chaos.plan.Chaos.actions
+         > List.length f.Chaos.plan.Chaos.actions
+      then Alcotest.fail "shrinking grew the schedule";
+      (* the printed repro recipe names the invariant *)
+      let report = Chaos.report ~skip_invariant:inv s in
+      let name = M.invariant_name inv ^ " violated" in
+      let contains hay needle =
+        let nl = String.length needle and hl = String.length hay in
+        let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+        go 0
+      in
+      if not (contains report name) then
+        Alcotest.failf "report does not name %s:\n%s" (M.invariant_name inv)
+          report
+
+(* ---------- determinism of the generator ---------- *)
+
+let test_plan_deterministic () =
+  for seed = 0 to 63 do
+    let a = Chaos.plan_of_seed seed and b = Chaos.plan_of_seed seed in
+    if a <> b then Alcotest.failf "plan_of_seed %d is not deterministic" seed
+  done
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "chaos",
+        [
+          Alcotest.test_case "plan generation is deterministic" `Quick
+            test_plan_deterministic;
+          Alcotest.test_case
+            (Printf.sprintf "%d-seed sweep: no I1-I4 violation" sweep_seeds)
+            `Quick test_clean_sweep;
+          Alcotest.test_case "mutation: skipping I1 is detected" `Quick
+            (test_mutation `I1);
+          Alcotest.test_case "mutation: skipping I2 is detected" `Quick
+            (test_mutation `I2);
+          Alcotest.test_case "mutation: skipping I3 is detected" `Quick
+            (test_mutation `I3);
+          Alcotest.test_case "mutation: skipping I4 is detected" `Quick
+            (test_mutation `I4);
+        ] );
+    ]

@@ -306,6 +306,107 @@ let prop_queued_random_exact =
              = 0
       | Error _ -> false)
 
+(* ---------- queued refcounts drain to zero ---------- *)
+
+(* Any mix of accepted and rejected initiations — valid pairs in both
+   directions, wrong-space pairs the hardware refuses, half pairs the
+   kernel invalidates — leaves every per-frame reference counter at
+   zero once the engine drains (the I4 bookkeeping never leaks). *)
+let prop_queued_refcounts_drain =
+  qtest ~count:40 "queued per-frame refcounts return to zero after a drain"
+    QCheck.(triple (int_range 1 4) (small_list (int_bound 99)) (int_bound 1000))
+    (fun (depth, ops, salt) ->
+      let m, udma, proc, _store = queued_rig depth in
+      let buf = Kernel.alloc_buffer m proc ~bytes:(4 * 4096) in
+      let cpu = Kernel.user_cpu m proc in
+      let layout = m.M.layout in
+      let mem_proxy i = Udma_mmu.Layout.proxy_of layout (buf + 4096 * (i mod 4)) in
+      let dev i = Kernel.vdev_addr m ~index:(i mod 16) ~offset:0 in
+      List.iteri
+        (fun i op ->
+          let nbytes = 4 * (1 + ((op * 37 + salt) mod 1024)) in
+          match op mod 5 with
+          | 0 ->
+              (* mem -> dev raw pair *)
+              cpu.Initiator.store ~vaddr:(dev i) (Int32.of_int nbytes);
+              ignore (cpu.Initiator.load ~vaddr:(mem_proxy i))
+          | 1 ->
+              (* dev -> mem raw pair *)
+              cpu.Initiator.store ~vaddr:(mem_proxy i) (Int32.of_int nbytes);
+              ignore (cpu.Initiator.load ~vaddr:(dev i))
+          | 2 ->
+              (* wrong-space pair: refused with BadLoad *)
+              cpu.Initiator.store ~vaddr:(mem_proxy i) (Int32.of_int nbytes);
+              ignore (cpu.Initiator.load ~vaddr:(mem_proxy (i + 1)))
+          | 3 ->
+              (* half pair, then the kernel's I1 Inval *)
+              cpu.Initiator.store ~vaddr:(dev i) (Int32.of_int nbytes);
+              Udma_engine.invalidate udma
+          | _ ->
+              (* status probe *)
+              ignore (cpu.Initiator.load ~vaddr:(dev i)))
+        ops;
+      Engine.run_until_idle m.M.engine;
+      Udma_engine.outstanding udma = 0
+      && Udma_engine.refcounts_snapshot udma = [])
+
+(* ---------- Trace: ring wraparound keeps the newest records ---------- *)
+
+let prop_trace_wraparound =
+  qtest ~count:200 "trace at capacity keeps a suffix ending in the newest"
+    QCheck.(pair (int_range 1 64) (int_bound 300))
+    (fun (capacity, n) ->
+      let t = Udma_sim.Trace.create ~capacity ~enabled:true () in
+      for i = 0 to n - 1 do
+        Udma_sim.Trace.record t ~time:i (string_of_int i)
+      done;
+      let evs = Udma_sim.Trace.events t in
+      let len = List.length evs in
+      (* the exact retained length depends on trim points; the contract
+         is: bounded by capacity, a consecutive suffix, newest last *)
+      len <= capacity
+      && (n = 0 || len > 0)
+      && (n = 0
+         || List.nth evs (len - 1) = (n - 1, string_of_int (n - 1)))
+      && (evs = []
+         || fst
+              (List.fold_left
+                 (fun (ok, prev) (time, msg) ->
+                   ((ok && time = prev + 1 && msg = string_of_int time), time))
+                 (true, fst (List.hd evs) - 1)
+                 evs)))
+
+(* ---------- TLB: LRU eviction order matches a model ---------- *)
+
+let prop_tlb_lru_model =
+  qtest ~count:200 "TLB hits/misses match a reference LRU model"
+    QCheck.(pair (int_range 1 8)
+              (small_list (pair bool (int_bound 12))))
+    (fun (capacity, ops) ->
+      let tlb = Udma_mmu.Tlb.create ~capacity in
+      (* model: vpns most-recently-used first *)
+      let model = ref [] in
+      List.for_all
+        (fun (is_insert, vpn) ->
+          if is_insert then begin
+            let without = List.filter (( <> ) vpn) !model in
+            let without =
+              if List.length without >= capacity then
+                (* drop the least recently used *)
+                List.filteri (fun i _ -> i < capacity - 1) without
+              else without
+            in
+            model := vpn :: without;
+            Udma_mmu.Tlb.insert tlb vpn (Udma_mmu.Pte.make ~ppage:vpn ());
+            true
+          end
+          else
+            let model_hit = List.mem vpn !model in
+            if model_hit then model := vpn :: List.filter (( <> ) vpn) !model;
+            let tlb_hit = Udma_mmu.Tlb.lookup tlb vpn <> None in
+            tlb_hit = model_hit)
+        ops)
+
 (* ---------- I3 policies agree on observable behaviour ---------- *)
 
 let incoming_rig policy =
@@ -537,6 +638,8 @@ let () =
           prop_status_roundtrip;
           prop_layout_proxy_bijection;
           prop_rng_in_bounds;
+          prop_trace_wraparound;
+          prop_tlb_lru_model;
         ] );
       ( "state-machine",
         [ prop_sm_transferring_only_via_start; prop_sm_inval_resets ] );
@@ -547,6 +650,7 @@ let () =
           prop_paging_preserves_data;
           prop_i1_random_preemption;
           prop_queued_random_exact;
+          prop_queued_refcounts_drain;
           prop_router_in_order;
           prop_i3_policies_equivalent_data;
           prop_auto_update_complete;
