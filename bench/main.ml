@@ -1,10 +1,16 @@
 (* The benchmark binary regenerates every table and figure of the
-   paper's evaluation (the E1–E8 index in DESIGN.md §4), printing the
-   same series the paper reports, and then runs one Bechamel
+   paper's evaluation (the E1–E10 index in DESIGN.md §4). By default it
+   prints the paper-style series and then runs one Bechamel
    micro-benchmark per experiment measuring the wall-clock cost of the
-   corresponding simulation harness. *)
+   corresponding simulation harness. With --json it instead writes the
+   whole run as one udma-bench/1 document (BENCH_udma.json), and with
+   --check FILE it diffs the paper anchors (E1 %-of-max at 512 B and
+   4 KB, E2 initiation cycles) against a previously committed baseline,
+   failing on >±2 % drift — that is the CI regression gate. *)
 
 module Runner = Udma_workloads.Runner
+module Report = Udma_obs.Report
+module Json = Udma_obs.Json
 
 open Bechamel
 open Toolkit
@@ -70,13 +76,222 @@ let run_bechamel () =
     (fun (name, ns) -> Printf.printf "%-28s %16.0f\n" name ns)
     rows
 
+(* ------------------------------------------------------------------ *)
+(* anchors: the quantitative claims CI guards against drift            *)
+(* ------------------------------------------------------------------ *)
+
+let report_value reports ~id pick =
+  match List.find_opt (fun (r : Report.t) -> r.Report.id = id) reports with
+  | None -> None
+  | Some r -> pick r.Report.rows
+
+let row_num field row =
+  match List.assoc_opt field row with
+  | Some (Report.Int i) -> Some (float_of_int i)
+  | Some (Report.Float f) -> Some f
+  | _ -> None
+
+let row_where field value rows pick_field =
+  List.find_map
+    (fun row ->
+      match row_num field row with
+      | Some v when v = value -> row_num pick_field row
+      | _ -> None)
+    rows
+
+let row_labelled label rows pick_field =
+  List.find_map
+    (fun row ->
+      match List.assoc_opt "label" row with
+      | Some (Report.Str l) when l = label -> row_num pick_field row
+      | _ -> None)
+    rows
+
+(* (name, value) for the three checked anchors: the paper's 51 % of
+   peak at 512 B, 96 % at 4 KB (Figure 8) and the ~200-cycle
+   two-reference initiation (§8). *)
+let anchors_of_reports reports =
+  let e1 pick =
+    report_value reports ~id:"e1_figure8" (fun rows ->
+        row_where "size" pick rows "pct_of_max")
+  in
+  let e2 =
+    report_value reports ~id:"e2_initiation" (fun rows ->
+        row_labelled "UDMA initiation (2 refs + check)" rows "cycles")
+  in
+  [
+    ("e1.pct_of_max@512B", e1 512.0);
+    ("e1.pct_of_max@4KB", e1 4096.0);
+    ("e2.initiation_cycles", e2);
+  ]
+
+let json_rows_of_experiment doc ~id =
+  match Json.member "experiments" doc with
+  | Some exps ->
+      List.find_map
+        (fun exp ->
+          match Json.member "id" exp with
+          | Some (Json.Str i) when i = id -> Some (Json.to_list (Option.value ~default:Json.Null (Json.member "rows" exp)))
+          | _ -> None)
+        (Json.to_list exps)
+  | None -> None
+
+let json_row_num field row =
+  Option.bind (Json.member field row) Json.number
+
+let anchors_of_baseline doc =
+  let e1 pick =
+    Option.bind (json_rows_of_experiment doc ~id:"e1_figure8") (fun rows ->
+        List.find_map
+          (fun row ->
+            match json_row_num "size" row with
+            | Some v when v = pick -> json_row_num "pct_of_max" row
+            | _ -> None)
+          rows)
+  in
+  let e2 =
+    Option.bind (json_rows_of_experiment doc ~id:"e2_initiation") (fun rows ->
+        List.find_map
+          (fun row ->
+            match Option.bind (Json.member "label" row) Json.string_ with
+            | Some l when l = "UDMA initiation (2 refs + check)" ->
+                json_row_num "cycles" row
+            | _ -> None)
+          rows)
+  in
+  [
+    ("e1.pct_of_max@512B", e1 512.0);
+    ("e1.pct_of_max@4KB", e1 4096.0);
+    ("e2.initiation_cycles", e2);
+  ]
+
+let check_anchors reports ~baseline_file =
+  let doc =
+    let ic = open_in baseline_file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    match Json.parse s with
+    | Ok doc -> doc
+    | Error msg ->
+        Printf.eprintf "check: cannot parse %s: %s\n" baseline_file msg;
+        exit 2
+  in
+  let current = anchors_of_reports reports in
+  let baseline = anchors_of_baseline doc in
+  let tolerance = 0.02 in
+  Printf.printf "\n=== anchor check vs %s (tolerance +/-%.0f%%) ===\n"
+    baseline_file (100.0 *. tolerance);
+  let failed = ref false in
+  List.iter
+    (fun (name, cur) ->
+      match (cur, List.assoc_opt name baseline) with
+      | Some cur, Some (Some base) ->
+          let drift =
+            if base = 0.0 then Float.abs cur
+            else Float.abs (cur -. base) /. Float.abs base
+          in
+          let ok = drift <= tolerance in
+          if not ok then failed := true;
+          Printf.printf "%-24s baseline %10.2f  current %10.2f  drift %5.1f%%  %s\n"
+            name base cur (100.0 *. drift)
+            (if ok then "ok" else "DRIFT")
+      | _, (None | Some None) ->
+          failed := true;
+          Printf.printf "%-24s missing from baseline file\n" name
+      | None, _ ->
+          failed := true;
+          Printf.printf "%-24s missing from current run\n" name)
+    current;
+  if !failed then begin
+    Printf.printf
+      "anchor check FAILED: regenerate the baseline (see EXPERIMENTS.md) if \
+       the change is intended.\n";
+    exit 1
+  end
+  else Printf.printf "anchor check passed.\n"
+
+(* ------------------------------------------------------------------ *)
+(* driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let run json out quick seed check =
+  let reports = Runner.all_reports ~quick ~seed () in
+  if json then begin
+    let path = Option.value out ~default:"BENCH_udma.json" in
+    let doc =
+      Report.bench_json
+        ~meta:
+          [
+            ("generator", Report.Str "bench");
+            ("quick", Report.Bool quick);
+            ("seed", Report.Int seed);
+          ]
+        reports
+    in
+    let oc = open_out path in
+    output_string oc (Json.to_string ~indent:2 doc);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s (%d experiments)\n" path (List.length reports)
+  end
+  else begin
+    Printf.printf
+      "Reproduction of: Blumrich, Dubnicki, Felten, Li — \"Protected, \
+       User-Level DMA for the SHRIMP Network Interface\" (HPCA 1996)\n";
+    Printf.printf
+      "Every series below corresponds to a table/figure or quantitative \
+       claim of the paper; see DESIGN.md section 4 and EXPERIMENTS.md.\n";
+    List.iter Report.print reports
+  end;
+  (match check with
+  | Some baseline_file -> check_anchors reports ~baseline_file
+  | None -> ());
+  (* the wall-clock micro-benchmarks only make sense in the default
+     full table mode *)
+  if (not json) && (not quick) && check = None then begin
+    run_bechamel ();
+    Printf.printf "\nDone.\n"
+  end
+
 let () =
-  Printf.printf
-    "Reproduction of: Blumrich, Dubnicki, Felten, Li — \"Protected, \
-     User-Level DMA for the SHRIMP Network Interface\" (HPCA 1996)\n";
-  Printf.printf
-    "Every series below corresponds to a table/figure or quantitative \
-     claim of the paper; see DESIGN.md section 4 and EXPERIMENTS.md.\n";
-  Runner.run_all ();
-  run_bechamel ();
-  Printf.printf "\nDone.\n"
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Write the whole run as one udma-bench/1 JSON document \
+                (default BENCH_udma.json) instead of printing tables.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Destination for --json output.")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"Small deterministic parameter set (what CI uses for the \
+                committed BENCH_baseline.json).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N" ~doc:"Seed for the randomized experiments.")
+  in
+  let check =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "check" ] ~docv:"FILE"
+          ~doc:"Diff the E1/E2 anchors of this run against the baseline \
+                document $(docv); exit 1 on >±2% drift.")
+  in
+  let info =
+    Cmd.info "bench" ~version:"1.0.0"
+      ~doc:"Regenerate the paper's evaluation; emit/check JSON reports."
+  in
+  exit (Cmd.eval (Cmd.v info Term.(const run $ json $ out $ quick $ seed $ check)))

@@ -1,77 +1,165 @@
 (* Command-line driver: run any single experiment from the paper's
-   evaluation with parameter overrides, or all of them. *)
+   evaluation with parameter overrides, or all of them. Every
+   experiment subcommand takes the same observability flags: --json
+   (udma-bench/1 document, the exact schema bench/main.exe --json
+   writes), --out FILE, --trace (typed JSON-lines event stream on
+   stderr) and --seed. *)
 
 module Runner = Udma_workloads.Runner
+module Report = Udma_obs.Report
+module Json = Udma_obs.Json
+module Event = Udma_obs.Event
+module Metrics = Udma_obs.Metrics
+module Trace = Udma_sim.Trace
 open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* common flags                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type common = { json : bool; out : string option; trace : bool; seed : int }
+
+let common_term =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the result as a udma-bench/1 JSON document instead of the \
+             paper-style table.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the output to $(docv) instead of stdout.")
+  in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Stream every typed trace event (proxy references, state-machine \
+             transitions, DMA bursts, packets, faults...) as JSON lines on \
+             stderr while the experiment runs.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N" ~doc:"Seed for the randomized experiments.")
+  in
+  Term.(
+    const (fun json out trace seed -> { json; out; trace; seed })
+    $ json $ out $ trace $ seed)
+
+let with_out c f =
+  match c.out with
+  | None -> f stdout
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let doc_meta c =
+  [ ("generator", Report.Str "shrimp_sim"); ("seed", Report.Int c.seed) ]
+
+(* Run [mk] (which builds the reports) with the global trace sink
+   installed when asked, then render: one schema for --json, the
+   derived table otherwise. *)
+let emit_reports c mk =
+  if c.trace then Trace.set_global_sink (Some (Event.jsonl_sink stderr));
+  let reports = mk () in
+  Trace.set_global_sink None;
+  if c.json then
+    with_out c (fun oc ->
+        output_string oc
+          (Json.to_string ~indent:2 (Report.bench_json ~meta:(doc_meta c) reports));
+        output_char oc '\n')
+  else with_out c (fun oc -> List.iter (Report.print ~oc) reports)
+
+(* Each experiment registers under its paper-section name and an
+   eN alias, so `shrimp_sim e1 --json` works as EXPERIMENTS.md
+   documents. *)
+let cmd_pair ~name ~alias ~doc term =
+  [
+    Cmd.v (Cmd.info name ~doc) term;
+    Cmd.v (Cmd.info alias ~doc:(Printf.sprintf "Alias for $(b,%s): %s" name doc)) term;
+  ]
 
 let sizes_arg ~doc default =
   Arg.(value & opt (list int) default & info [ "sizes" ] ~docv:"BYTES,..." ~doc)
 
-let figure8_cmd =
+(* ------------------------------------------------------------------ *)
+(* experiment subcommands                                              *)
+(* ------------------------------------------------------------------ *)
+
+let figure8_cmds =
   let messages =
     Arg.(
       value & opt int 32
       & info [ "messages" ] ~docv:"N" ~doc:"Messages per size point.")
   in
-  let run sizes messages =
-    Runner.print_figure8 (Runner.figure8 ~sizes ~messages ())
+  let queued =
+    Arg.(
+      value & flag
+      & info [ "queued" ] ~doc:"Use the section-7 queued hardware instead.")
   in
-  Cmd.v
-    (Cmd.info "figure8"
-       ~doc:"E1: deliberate-update bandwidth vs message size (Figure 8).")
+  let run c sizes messages queued =
+    emit_reports c (fun () -> [ Runner.report_figure8 ~sizes ~messages ~queued () ])
+  in
+  cmd_pair ~name:"figure8" ~alias:"e1"
+    ~doc:"E1: deliberate-update bandwidth vs message size (Figure 8)."
     Term.(
-      const run
+      const run $ common_term
       $ sizes_arg ~doc:"Message sizes to sweep." Udma_workloads.Sizes.figure8
-      $ messages)
+      $ messages $ queued)
 
-let initiation_cmd =
-  let run () = Runner.print_costs (Runner.initiation_costs ()) in
-  Cmd.v
-    (Cmd.info "initiation"
-       ~doc:"E2: UDMA vs traditional transfer-initiation cost (the 2.8us).")
-    Term.(const run $ const ())
+let initiation_cmds =
+  let run c = emit_reports c (fun () -> [ Runner.report_costs () ]) in
+  cmd_pair ~name:"initiation" ~alias:"e2"
+    ~doc:"E2: UDMA vs traditional transfer-initiation cost (the 2.8us)."
+    Term.(const run $ common_term)
 
-let hippi_cmd =
-  let run blocks = Runner.print_hippi (Runner.hippi_motivation ~blocks ()) in
-  Cmd.v
-    (Cmd.info "hippi"
-       ~doc:"E3: kernel DMA bandwidth vs block size on a HIPPI profile.")
+let hippi_cmds =
+  let run c blocks = emit_reports c (fun () -> [ Runner.report_hippi ~blocks () ]) in
+  cmd_pair ~name:"hippi" ~alias:"e3"
+    ~doc:"E3: kernel DMA bandwidth vs block size on a HIPPI profile."
     Term.(
-      const run
+      const run $ common_term
       $ sizes_arg ~doc:"Block sizes to sweep." Udma_workloads.Sizes.hippi_blocks)
 
-let crossover_cmd =
+let crossover_cmds =
   let trials =
     Arg.(value & opt int 8 & info [ "trials" ] ~docv:"N" ~doc:"Trials per size.")
   in
-  let run sizes trials =
-    Runner.print_crossover (Runner.pio_crossover ~sizes ~trials ())
+  let run c sizes trials =
+    emit_reports c (fun () -> [ Runner.report_crossover ~sizes ~trials () ])
   in
-  Cmd.v
-    (Cmd.info "crossover" ~doc:"E4: UDMA vs memory-mapped FIFO latency.")
+  cmd_pair ~name:"crossover" ~alias:"e4"
+    ~doc:"E4: UDMA vs memory-mapped FIFO latency."
     Term.(
-      const run
+      const run $ common_term
       $ sizes_arg ~doc:"Message sizes." Udma_workloads.Sizes.crossover
       $ trials)
 
-let queueing_cmd =
+let queueing_cmds =
   let depths =
     Arg.(
       value
       & opt (list int) [ 2; 4; 8; 16 ]
       & info [ "depths" ] ~docv:"D,..." ~doc:"Hardware queue depths.")
   in
-  let run sizes depths =
-    Runner.print_queueing (Runner.queueing ~total_sizes:sizes ~depths ())
+  let run c sizes depths =
+    emit_reports c (fun () ->
+        [ Runner.report_queueing ~total_sizes:sizes ~depths () ])
   in
-  Cmd.v
-    (Cmd.info "queueing" ~doc:"E5: basic vs queued UDMA for multi-page transfers.")
+  cmd_pair ~name:"queueing" ~alias:"e5"
+    ~doc:"E5: basic vs queued UDMA for multi-page transfers."
     Term.(
-      const run
+      const run $ common_term
       $ sizes_arg ~doc:"Total transfer sizes." [ 8192; 16384; 32768; 65536 ]
       $ depths)
 
-let atomicity_cmd =
+let atomicity_cmds =
   let probs =
     Arg.(
       value
@@ -83,45 +171,67 @@ let atomicity_cmd =
       value & opt int 200
       & info [ "transfers" ] ~docv:"N" ~doc:"Transfers per probability point.")
   in
-  let run probs transfers =
-    Runner.print_atomicity (Runner.atomicity ~probs_pct:probs ~transfers ())
+  let run c probs transfers =
+    emit_reports c (fun () ->
+        [ Runner.report_atomicity ~probs_pct:probs ~transfers ~seed:c.seed () ])
+  in
+  cmd_pair ~name:"atomicity" ~alias:"e6"
+    ~doc:"E6: I1 retries under forced preemption."
+    Term.(const run $ common_term $ probs $ transfers)
+
+let pinning_cmds =
+  let run c = emit_reports c (fun () -> [ Runner.report_pinning () ]) in
+  cmd_pair ~name:"pinning" ~alias:"e7"
+    ~doc:"E7: page pinning vs the I4 remap check."
+    Term.(const run $ common_term)
+
+let proxyfault_cmds =
+  let run c = emit_reports c (fun () -> [ Runner.report_proxy_faults () ]) in
+  cmd_pair ~name:"proxyfault" ~alias:"e8"
+    ~doc:"E8: demand proxy-mapping fault costs."
+    Term.(const run $ common_term)
+
+let i3_cmds =
+  let run c = emit_reports c (fun () -> [ Runner.report_i3 () ]) in
+  cmd_pair ~name:"i3policy" ~alias:"e9"
+    ~doc:"E9: the two I3 content-consistency methods."
+    Term.(const run $ common_term)
+
+let updates_cmds =
+  let run c = emit_reports c (fun () -> [ Runner.report_updates () ]) in
+  cmd_pair ~name:"updates" ~alias:"e10"
+    ~doc:"E10: deliberate vs automatic update."
+    Term.(const run $ common_term)
+
+let all_cmd =
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"Small deterministic parameters (what CI diffs against the \
+                committed BENCH_baseline.json).")
+  in
+  let run c quick =
+    emit_reports c (fun () -> Runner.all_reports ~quick ~seed:c.seed ())
   in
   Cmd.v
-    (Cmd.info "atomicity" ~doc:"E6: I1 retries under forced preemption.")
-    Term.(const run $ probs $ transfers)
+    (Cmd.info "all"
+       ~doc:"Run every experiment (same series as bench/main.exe).")
+    Term.(const run $ common_term $ quick)
 
-let pinning_cmd =
-  let run () = Runner.print_pinning (Runner.pinning_vs_i4 ()) in
-  Cmd.v
-    (Cmd.info "pinning" ~doc:"E7: page pinning vs the I4 remap check.")
-    Term.(const run $ const ())
-
-let proxyfault_cmd =
-  let run () = Runner.print_proxy_faults (Runner.proxy_fault_costs ()) in
-  Cmd.v
-    (Cmd.info "proxyfault" ~doc:"E8: demand proxy-mapping fault costs.")
-    Term.(const run $ const ())
-
-let i3_cmd =
-  let run () = Runner.print_i3 (Runner.i3_policies ()) in
-  Cmd.v
-    (Cmd.info "i3policy" ~doc:"E9: the two I3 content-consistency methods.")
-    Term.(const run $ const ())
-
-let updates_cmd =
-  let run () = Runner.print_updates (Runner.update_strategies ()) in
-  Cmd.v
-    (Cmd.info "updates" ~doc:"E10: deliberate vs automatic update.")
-    Term.(const run $ const ())
+(* ------------------------------------------------------------------ *)
+(* trace walkthrough                                                   *)
+(* ------------------------------------------------------------------ *)
 
 let trace_cmd =
-  let run () =
+  let run c =
     (* one traced deliberate-update send on a 2-node system *)
     let module System = Udma_shrimp.System in
     let module Messaging = Udma_shrimp.Messaging in
     let module M = Udma_os.Machine in
     let module Scheduler = Udma_os.Scheduler in
     let module Kernel = Udma_os.Kernel in
+    if c.trace then Trace.set_global_sink (Some (Event.jsonl_sink stderr));
     let config =
       { System.default_config with
         System.machine = { M.default_config with M.trace_enabled = true } }
@@ -142,24 +252,47 @@ let trace_cmd =
         | Error msg -> prerr_endline msg)
     | Error e -> Format.eprintf "%a@." Messaging.pp_send_error e);
     System.run_until_idle sys;
-    Printf.printf "--- sender-node trace (256 B deliberate-update send) ---\n";
-    List.iter
-      (fun (t, msg) -> Printf.printf "%8d  %s\n" t msg)
-      (Udma_sim.Trace.events snd.System.machine.M.trace);
-    Printf.printf "--- sender-node kernel counters ---\n";
-    List.iter
-      (fun (name, v) -> Printf.printf "%-28s %d\n" name v)
-      (Udma_sim.Stats.counters snd.System.machine.M.stats)
+    Trace.set_global_sink None;
+    let events = Trace.events snd.System.machine.M.trace in
+    let counters = Metrics.counters snd.System.machine.M.metrics in
+    if c.json then
+      with_out c (fun oc ->
+          let doc =
+            Json.Obj
+              [
+                ("schema", Json.Str "udma-trace/1");
+                ("events", Json.List (List.map Event.to_json events));
+                ( "counters",
+                  Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) counters) );
+              ]
+          in
+          output_string oc (Json.to_string ~indent:2 doc);
+          output_char oc '\n')
+    else
+      with_out c (fun oc ->
+          Printf.fprintf oc
+            "--- sender-node trace (256 B deliberate-update send) ---\n";
+          List.iter
+            (fun ev ->
+              Printf.fprintf oc "%8d  %s\n" ev.Event.time (Event.render ev))
+            events;
+          Printf.fprintf oc "--- sender-node kernel counters ---\n";
+          List.iter
+            (fun (name, v) -> Printf.fprintf oc "%-28s %d\n" name v)
+            counters)
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Run one traced deliberate-update send and dump the hardware \
              and kernel event trace.")
-    Term.(const run $ const ())
+    Term.(const run $ common_term)
+
+(* ------------------------------------------------------------------ *)
+(* chaos                                                               *)
+(* ------------------------------------------------------------------ *)
 
 let chaos_cmd =
   let module Chaos = Udma_check.Chaos in
-  let module Oracle = Udma_check.Oracle in
   let seeds =
     Arg.(
       value & opt int 256
@@ -173,11 +306,11 @@ let chaos_cmd =
       value & opt int 40
       & info [ "steps" ] ~docv:"N" ~doc:"Actions per seed's schedule.")
   in
-  let seed_opt =
+  let replay =
     Arg.(
       value
       & opt (some int) None
-      & info [ "seed" ] ~docv:"SEED"
+      & info [ "replay" ] ~docv:"SEED"
           ~doc:"Replay one seed and print its full schedule (and trace).")
   in
   let mutate =
@@ -193,45 +326,56 @@ let chaos_cmd =
              (deliberate bug); the sweep is then expected to find \
              violations, and the first is reported shrunk.")
   in
-  let run seeds start steps seed_opt mutate =
+  let run c seeds start steps replay mutate =
+    if c.trace then Trace.set_global_sink (Some (Event.jsonl_sink stderr));
     let skip_invariant = mutate in
-    match seed_opt with
-    | Some seed -> (
-        let plan = Chaos.plan_of_seed ~steps seed in
-        Format.printf "replaying seed %d: %a@." seed Chaos.pp_setup plan.setup;
-        List.iteri
-          (fun i a -> Format.printf "  %2d. %a@." i Chaos.pp_action a)
-          plan.Chaos.actions;
-        match Chaos.run_plan ?skip_invariant plan with
-        | Chaos.Pass ->
-            Format.printf "no invariant violation.@.";
-            exit 0
-        | Chaos.Fail f ->
-            print_string (Chaos.report ?skip_invariant (Chaos.shrink ?skip_invariant f));
-            exit (if mutate = None then 1 else 0))
-    | None -> (
-        let failures =
-          Chaos.sweep ?skip_invariant ~steps ~start ~seeds ()
-        in
-        match (failures, mutate) with
-        | [], None ->
-            Format.printf
-              "chaos sweep: %d seeds x %d steps, no I1-I4 violation.@." seeds
-              steps
-        | [], Some inv ->
-            Format.printf
-              "chaos sweep with %a disabled found no violation in %d seeds — \
-               the oracles missed a planted bug!@."
-              Udma_os.Machine.pp_invariant inv seeds;
-            exit 1
-        | f :: _, _ ->
-            Format.printf "chaos sweep: %d of %d seeds violated an invariant%s@."
-              (List.length failures) seeds
-              (match mutate with
-              | Some _ -> " (expected: a kernel bug was planted)"
-              | None -> "");
-            print_string (Chaos.report ?skip_invariant (Chaos.shrink ?skip_invariant f));
-            if mutate = None then exit 1)
+    let finish () = Trace.set_global_sink None in
+    with_out c (fun oc ->
+        let ppf = Format.formatter_of_out_channel oc in
+        match replay with
+        | Some seed -> (
+            let plan = Chaos.plan_of_seed ~steps seed in
+            Format.fprintf ppf "replaying seed %d: %a@." seed Chaos.pp_setup
+              plan.setup;
+            List.iteri
+              (fun i a -> Format.fprintf ppf "  %2d. %a@." i Chaos.pp_action a)
+              plan.Chaos.actions;
+            match Chaos.run_plan ?skip_invariant plan with
+            | Chaos.Pass ->
+                Format.fprintf ppf "no invariant violation.@.";
+                finish ();
+                exit 0
+            | Chaos.Fail f ->
+                output_string oc
+                  (Chaos.report ?skip_invariant (Chaos.shrink ?skip_invariant f));
+                finish ();
+                exit (if mutate = None then 1 else 0))
+        | None -> (
+            let failures = Chaos.sweep ?skip_invariant ~steps ~start ~seeds () in
+            match (failures, mutate) with
+            | [], None ->
+                Format.fprintf ppf
+                  "chaos sweep: %d seeds x %d steps, no I1-I4 violation.@."
+                  seeds steps;
+                finish ()
+            | [], Some inv ->
+                Format.fprintf ppf
+                  "chaos sweep with %a disabled found no violation in %d \
+                   seeds — the oracles missed a planted bug!@."
+                  Udma_os.Machine.pp_invariant inv seeds;
+                finish ();
+                exit 1
+            | f :: _, _ ->
+                Format.fprintf ppf
+                  "chaos sweep: %d of %d seeds violated an invariant%s@."
+                  (List.length failures) seeds
+                  (match mutate with
+                  | Some _ -> " (expected: a kernel bug was planted)"
+                  | None -> "");
+                output_string oc
+                  (Chaos.report ?skip_invariant (Chaos.shrink ?skip_invariant f));
+                finish ();
+                if mutate = None then exit 1))
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -239,13 +383,7 @@ let chaos_cmd =
          "Randomized fault-injection sweep checking the paper's OS \
           invariants I1-I4 after every step; failing seeds are replayed \
           deterministically and shrunk to a minimal schedule.")
-    Term.(const run $ seeds $ start $ steps $ seed_opt $ mutate)
-
-let all_cmd =
-  let run () = Runner.run_all () in
-  Cmd.v
-    (Cmd.info "all" ~doc:"Run every experiment (same as bench/main.exe's series).")
-    Term.(const run $ const ())
+    Term.(const run $ common_term $ seeds $ start $ steps $ replay $ mutate)
 
 let () =
   let info =
@@ -257,18 +395,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [
-            figure8_cmd;
-            initiation_cmd;
-            hippi_cmd;
-            crossover_cmd;
-            queueing_cmd;
-            atomicity_cmd;
-            pinning_cmd;
-            proxyfault_cmd;
-            i3_cmd;
-            updates_cmd;
-            trace_cmd;
-            chaos_cmd;
-            all_cmd;
-          ]))
+          (figure8_cmds @ initiation_cmds @ hippi_cmds @ crossover_cmds
+          @ queueing_cmds @ atomicity_cmds @ pinning_cmds @ proxyfault_cmds
+          @ i3_cmds @ updates_cmds
+          @ [ trace_cmd; chaos_cmd; all_cmd ])))

@@ -487,7 +487,13 @@ let shrink ?skip_invariant (f : failure) =
 
 let replay_trace ?skip_invariant plan =
   let _, ctx = execute ?skip_invariant ~trace:true plan in
-  Trace.events ctx.m.M.trace
+  (* Keep the invariant-relevant subsystems: UDMA engine activity, VM
+     faults and context switches; drop bus noise like queue traffic. *)
+  Trace.matching ctx.m.M.trace (fun ev ->
+      match ev.Trace.Event.subsystem with
+      | Trace.Event.Udma | Trace.Event.Vm | Trace.Event.Sched -> true
+      | Trace.Event.Dma | Trace.Event.Ni | Trace.Event.Dev
+      | Trace.Event.Kernel | Trace.Event.Sim -> false)
 
 let last n l =
   let len = List.length l in
@@ -511,7 +517,9 @@ let report ?skip_invariant (f : failure) =
   if tail <> [] then begin
     Format.fprintf ppf "  trace tail of the replay:@.";
     List.iter
-      (fun (t, msg) -> Format.fprintf ppf "    %8d  %s@." t msg)
+      (fun ev ->
+        Format.fprintf ppf "    %8d  %s@." ev.Trace.Event.time
+          (Trace.Event.render ev))
       tail
   end;
   Format.pp_print_flush ppf ();

@@ -105,8 +105,10 @@ val shrink :
     invariant. The result's plan is the minimized schedule. *)
 
 val replay_trace :
-  ?skip_invariant:Udma_os.Machine.invariant -> plan -> (int * string) list
-(** Re-run with the hardware/kernel trace enabled and return its
+  ?skip_invariant:Udma_os.Machine.invariant ->
+  plan ->
+  Udma_obs.Event.t list
+(** Re-run with the hardware/kernel trace enabled and return its typed
     events (empty if the plan passes — trace of the full run). *)
 
 val report :

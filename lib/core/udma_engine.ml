@@ -1,5 +1,7 @@
 module Engine = Udma_sim.Engine
 module Trace = Udma_sim.Trace
+module Event = Udma_obs.Event
+module Metrics = Udma_obs.Metrics
 module Layout = Udma_mmu.Layout
 module Bus = Udma_dma.Bus
 module Device = Udma_dma.Device
@@ -25,6 +27,7 @@ type request = {
   src_ep : Dma_engine.endpoint;
   dst_ep : Dma_engine.endpoint;
   priority : priority;
+  accepted_at : int; (* cycle the engine took the request *)
 }
 
 type counters = {
@@ -46,6 +49,7 @@ type t = {
   dma_engine : Dma_engine.t;
   mode : mode;
   trace : Trace.t;
+  metrics : Metrics.t;
   mutable sm : Sm.state;
   mutable bindings : binding list;
   mutable active : request option;
@@ -68,6 +72,16 @@ type t = {
 let mode t = t.mode
 let state t = t.sm
 let dma t = t.dma_engine
+
+let sm_name s = Format.asprintf "%a" Sm.pp_state s
+
+(* Every state-machine assignment funnels through here so the typed
+   transition event can never drift from the actual state. *)
+let set_sm t ~cause sm =
+  if sm <> t.sm && Trace.active t.trace then
+    Trace.record t.trace ~time:(Engine.now t.engine) Event.Udma
+      (Event.Sm_transition { from_ = sm_name t.sm; to_ = sm_name sm; cause });
+  t.sm <- sm
 
 (* ---------- reference counting (I4 support, §7) ---------- *)
 
@@ -150,12 +164,14 @@ let resolve t proxy space =
 
 let record_started t r =
   t.c_initiations <- t.c_initiations + 1;
+  Metrics.incr t.metrics "udma.initiations";
   (match t.start_hook with
   | Some hook ->
       hook ~src_proxy:r.src_proxy ~dest_proxy:r.dest_proxy ~nbytes:r.nbytes
   | None -> ());
-  Trace.recordf t.trace ~time:(Engine.now t.engine)
-    "udma: start %#x -> %#x (%d bytes)" r.src_proxy r.dest_proxy r.nbytes
+  Trace.record t.trace ~time:(Engine.now t.engine) Event.Udma
+    (Event.Udma_start
+       { src = r.src_proxy; dst = r.dest_proxy; nbytes = r.nbytes })
 
 let rec start_on_dma t r =
   match
@@ -164,17 +180,20 @@ let rec start_on_dma t r =
   with
   | Ok () -> Ok ()
   | Error e ->
-      Trace.recordf t.trace ~time:(Engine.now t.engine)
-        "udma: dma refused (%a)" Dma_engine.pp_error e;
+      Trace.note t.trace ~time:(Engine.now t.engine) Event.Udma
+        (Format.asprintf "dma refused (%a)" Dma_engine.pp_error e);
       Error err_refused
 
 and on_dma_complete t r =
   ref_decr t r;
   t.c_completions <- t.c_completions + 1;
+  Metrics.incr t.metrics "udma.completions";
+  Metrics.observe t.metrics "udma.transfer_cycles"
+    (Engine.now t.engine - r.accepted_at);
   (match t.mode with
   | Basic ->
       let sm, action = Sm.step t.sm Done in
-      t.sm <- sm;
+      set_sm t ~cause:"done" sm;
       (match action with
       | Sm.Completed -> ()
       | Sm.No_action | Sm.Latch_dest | Sm.Invalidated | Sm.Start _
@@ -186,9 +205,17 @@ and on_dma_complete t r =
 
 and dispatch_next t =
   if not (Dma_engine.busy t.dma_engine) then begin
+    let pop name q =
+      let r = Queue.pop q in
+      Trace.record t.trace ~time:(Engine.now t.engine) Event.Udma
+        (Event.Queue_pop { queue = name; depth = Queue.length q });
+      r
+    in
     let next =
-      if not (Queue.is_empty t.system_queue) then Some (Queue.pop t.system_queue)
-      else if not (Queue.is_empty t.user_queue) then Some (Queue.pop t.user_queue)
+      if not (Queue.is_empty t.system_queue) then
+        Some (pop "system" t.system_queue)
+      else if not (Queue.is_empty t.user_queue) then
+        Some (pop "user" t.user_queue)
       else None
     in
     match next with
@@ -211,7 +238,10 @@ let build_request t ~src_proxy ~src_space ~dest ~priority =
   let clamped =
     min dest.Sm.nbytes (min (room src_proxy) (room dest.Sm.dest_proxy))
   in
-  if clamped < dest.Sm.nbytes then t.c_clamped <- t.c_clamped + 1;
+  if clamped < dest.Sm.nbytes then begin
+    t.c_clamped <- t.c_clamped + 1;
+    Metrics.incr t.metrics "udma.clamped"
+  end;
   match resolve t src_proxy src_space with
   | Error e -> Error e
   | Ok src -> (
@@ -238,6 +268,7 @@ let build_request t ~src_proxy ~src_space ~dest ~priority =
                 src_ep = src.endpoint;
                 dst_ep = dst.endpoint;
                 priority;
+                accepted_at = Engine.now t.engine;
               }))
 
 (* Accept a request: start immediately or queue it. Returns the status
@@ -246,9 +277,14 @@ let accept t r =
   ref_incr t r;
   record_started t r;
   if Dma_engine.busy t.dma_engine then begin
-    (match r.priority with
-    | System -> Queue.push r t.system_queue
-    | User -> Queue.push r t.user_queue);
+    let name, q =
+      match r.priority with
+      | System -> ("system", t.system_queue)
+      | User -> ("user", t.user_queue)
+    in
+    Queue.push r q;
+    Trace.record t.trace ~time:(Engine.now t.engine) Event.Udma
+      (Event.Queue_push { queue = name; depth = Queue.length q });
     Ok `Queued
   end
   else begin
@@ -259,6 +295,7 @@ let accept t r =
         ref_decr t r;
         t.active <- None;
         t.c_initiations <- t.c_initiations - 1;
+        Metrics.add t.metrics "udma.initiations" (-1);
         Error e
   end
 
@@ -336,13 +373,18 @@ let handle_store t ~paddr value =
         (Printf.sprintf "Udma_engine.handle_store: %#x not proxy space" paddr)
   | Some space ->
       let value = Int32.to_int value in
+      Trace.record t.trace ~time:(Engine.now t.engine) Event.Udma
+        (Event.Proxy_store { proxy = paddr; value });
       let sm, action = Sm.step t.sm (Store { proxy = paddr; space; value }) in
-      t.sm <- sm;
+      let cause =
+        match action with Sm.Invalidated -> "inval" | _ -> "store"
+      in
+      set_sm t ~cause sm;
       (match action with
       | Sm.Latch_dest -> ()
       | Sm.Invalidated ->
           t.c_invals <- t.c_invals + 1;
-          Trace.recordf t.trace ~time:(Engine.now t.engine) "udma: inval"
+          Metrics.incr t.metrics "udma.invals"
       | Sm.No_action -> ()
       | Sm.Start _ | Sm.Bad_load | Sm.Status_probe | Sm.Completed ->
           (* stores never produce these *)
@@ -354,22 +396,27 @@ let handle_load t ~paddr =
       invalid_arg
         (Printf.sprintf "Udma_engine.handle_load: %#x not proxy space" paddr)
   | Some space -> (
+      Trace.record t.trace ~time:(Engine.now t.engine) Event.Udma
+        (Event.Proxy_load { proxy = paddr });
       let sm, action = Sm.step t.sm (Load { proxy = paddr; space }) in
       match action with
       | Sm.Status_probe ->
-          t.sm <- sm;
+          set_sm t ~cause:"probe" sm;
           t.c_probes <- t.c_probes + 1;
+          Metrics.incr t.metrics "udma.probes";
           probe_status t paddr
       | Sm.Bad_load ->
-          t.sm <- sm;
+          set_sm t ~cause:"bad-load" sm;
           t.c_bad_loads <- t.c_bad_loads + 1;
+          Metrics.incr t.metrics "udma.bad_loads";
           Status.make ~wrong_space:true ~invalid:true
             ~transferring:(Dma_engine.busy t.dma_engine) ()
       | Sm.Start { src_proxy; src_space; dest } -> (
           match build_request t ~src_proxy ~src_space ~dest ~priority:User with
           | Error bits ->
-              t.sm <- Sm.Idle;
+              set_sm t ~cause:"device-error" Sm.Idle;
               t.c_device_errors <- t.c_device_errors + 1;
+              Metrics.incr t.metrics "udma.device_errors";
               Status.make ~invalid:true ~device_error:(bits land 0xf)
                 ~transferring:(Dma_engine.busy t.dma_engine) ()
           | Ok r -> (
@@ -378,15 +425,16 @@ let handle_load t ~paddr =
                   (* the machine is Transferring iff the DMA is busy *)
                   match accept t r with
                   | Ok `Started ->
-                      t.sm <- sm;
+                      set_sm t ~cause:"start" sm;
                       Status.make ~started:true ~transferring:true ~matches:true
                         ~remaining_bytes:r.nbytes ()
                   | Ok `Queued ->
                       (* cannot happen: basic mode implies dma idle here *)
                       assert false
                   | Error bits ->
-                      t.sm <- Sm.Idle;
+                      set_sm t ~cause:"device-error" Sm.Idle;
                       t.c_device_errors <- t.c_device_errors + 1;
+                      Metrics.incr t.metrics "udma.device_errors";
                       Status.make ~invalid:true ~device_error:(bits land 0xf) ())
               | Queued { depth } ->
                   if Dma_engine.busy t.dma_engine && queued_len t >= depth then begin
@@ -394,20 +442,22 @@ let handle_load t ~paddr =
                        LOAD alone (§7: refused only when the queue is
                        full) *)
                     t.c_refused_full <- t.c_refused_full + 1;
+                    Metrics.incr t.metrics "udma.refused_full";
                     Status.make ~transferring:true ~queue_full:true
                       ~remaining_bytes:dest.Sm.nbytes ()
                   end
                   else
                     (match accept t r with
                     | Ok (`Started | `Queued) ->
-                        t.sm <- Sm.Idle;
+                        set_sm t ~cause:"start" Sm.Idle;
                         Status.make ~started:true
                           ~transferring:(Dma_engine.busy t.dma_engine)
                           ~invalid:true ~matches:true ~remaining_bytes:r.nbytes
                           ()
                     | Error bits ->
-                        t.sm <- Sm.Idle;
+                        set_sm t ~cause:"device-error" Sm.Idle;
                         t.c_device_errors <- t.c_device_errors + 1;
+                        Metrics.incr t.metrics "udma.device_errors";
                         Status.make ~invalid:true
                           ~device_error:(bits land 0xf) ())))
       | Sm.No_action | Sm.Latch_dest | Sm.Invalidated | Sm.Completed ->
@@ -424,10 +474,15 @@ let abort_active t =
       ref_decr t r;
       t.active <- None;
       t.c_aborts <- t.c_aborts + 1;
-      Trace.recordf t.trace ~time:(Engine.now t.engine) "udma: abort %#x -> %#x"
-        r.src_proxy r.dest_proxy;
+      Metrics.incr t.metrics "udma.aborts";
+      Trace.record t.trace ~time:(Engine.now t.engine) Event.Udma
+        (Event.Udma_abort
+           {
+             reason =
+               Printf.sprintf "%#x -> %#x" r.src_proxy r.dest_proxy;
+           });
       (match t.mode with
-      | Basic -> t.sm <- Sm.Idle
+      | Basic -> set_sm t ~cause:"abort" Sm.Idle
       | Queued _ -> ());
       dispatch_next t;
       true
@@ -479,10 +534,10 @@ let enqueue_system t ~src_proxy ~dest_proxy ~nbytes =
               | Basic ->
                   (* mirror the hardware: a running transfer holds the
                      machine in Transferring until Done *)
-                  t.sm <-
-                    Sm.Transferring
-                      { src_proxy; src_space;
-                        dest = { dest with Sm.nbytes = r.nbytes } }
+                  set_sm t ~cause:"system-enqueue"
+                    (Sm.Transferring
+                       { src_proxy; src_space;
+                         dest = { dest with Sm.nbytes = r.nbytes } })
               | Queued _ -> ());
               Ok ()
           | Error _ -> Error `Rejected)
@@ -505,7 +560,8 @@ let counters t =
 let set_start_hook t hook = t.start_hook <- Some hook
 
 let create ~engine ~layout ~bus ~dma ?(mode = Basic)
-    ?(trace = Trace.create ~enabled:false ()) () =
+    ?(trace = Trace.create ~enabled:false ())
+    ?(metrics = Metrics.create ()) () =
   (match mode with
   | Queued { depth } when depth < 1 ->
       invalid_arg "Udma_engine.create: queue depth must be >= 1"
@@ -518,6 +574,7 @@ let create ~engine ~layout ~bus ~dma ?(mode = Basic)
       dma_engine = dma;
       mode;
       trace;
+      metrics;
       sm = Sm.Idle;
       bindings = [];
       active = None;

@@ -32,11 +32,15 @@ val create :
   dma:Udma_dma.Dma_engine.t ->
   ?mode:mode ->
   ?trace:Udma_sim.Trace.t ->
+  ?metrics:Udma_obs.Metrics.t ->
   unit ->
   t
 (** Creates the engine and registers its I/O ranges (the whole memory
     proxy region and the whole device proxy region) on [bus]. [mode]
-    defaults to [Basic]. *)
+    defaults to [Basic]. [trace] receives typed events (proxy
+    references, state-machine transitions, queue traffic); [metrics]
+    mirrors the {!counters} record under [udma.*] names and records
+    the [udma.transfer_cycles] histogram. *)
 
 val mode : t -> mode
 val state : t -> State_machine.state

@@ -1,4 +1,7 @@
 module Engine = Udma_sim.Engine
+module Trace = Udma_sim.Trace
+module Event = Udma_obs.Event
+module Metrics = Udma_obs.Metrics
 module Phys_mem = Udma_memory.Phys_mem
 
 type endpoint = Mem of int | Dev of Device.port * int
@@ -28,16 +31,21 @@ type transfer = {
 type t = {
   engine : Engine.t;
   bus : Bus.t;
+  trace : Trace.t;
+  metrics : Metrics.t;
   mutable current : transfer option;
   mutable next_id : int;
   mutable transfers_completed : int;
   mutable bytes_moved : int;
 }
 
-let create ~engine ~bus =
+let create ~engine ~bus ?(trace = Trace.create ~enabled:false ())
+    ?(metrics = Metrics.create ()) () =
   {
     engine;
     bus;
+    trace;
+    metrics;
     current = None;
     next_id = 0;
     transfers_completed = 0;
@@ -101,7 +109,14 @@ let start t ~src ~dst ~nbytes ~on_complete =
             }
           in
           t.current <- Some xfer;
-          Engine.schedule t.engine ~delay:duration (fun _ ->
+          let addr_of = function Mem a -> a | Dev (_, a) -> a in
+          Trace.record t.trace ~time:xfer.started_at Event.Dma
+            (Event.Dma_burst
+               { src = addr_of src; dst = addr_of dst; nbytes; duration });
+          (* The cycles the clock jumps to reach the completion are the
+             burst itself: attribute them to the Dma category. *)
+          Engine.schedule t.engine ~cat:Engine.Profiler.Dma ~delay:duration
+            (fun _ ->
               (* An abort may have retired this transfer already. *)
               match t.current with
               | Some cur when cur.id = id ->
@@ -109,6 +124,8 @@ let start t ~src ~dst ~nbytes ~on_complete =
                   t.current <- None;
                   t.transfers_completed <- t.transfers_completed + 1;
                   t.bytes_moved <- t.bytes_moved + cur.nbytes;
+                  Metrics.incr t.metrics "dma.transfers";
+                  Metrics.add t.metrics "dma.bytes_moved" cur.nbytes;
                   cur.on_complete ()
               | Some _ | None -> ());
           Ok ()

@@ -26,7 +26,17 @@ val pp_error : Format.formatter -> error -> unit
 
 type t
 
-val create : engine:Udma_sim.Engine.t -> bus:Bus.t -> t
+val create :
+  engine:Udma_sim.Engine.t ->
+  bus:Bus.t ->
+  ?trace:Udma_sim.Trace.t ->
+  ?metrics:Udma_obs.Metrics.t ->
+  unit ->
+  t
+(** [trace] receives a typed [Dma_burst] event per transfer; [metrics]
+    receives the [dma.transfers] / [dma.bytes_moved] counters. Both
+    default to throwaway instances (standalone engines in unit
+    tests). *)
 
 val busy : t -> bool
 

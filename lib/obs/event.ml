@@ -1,0 +1,118 @@
+type subsystem = Udma | Dma | Vm | Sched | Ni | Dev | Kernel | Sim
+
+let subsystem_name = function
+  | Udma -> "udma"
+  | Dma -> "dma"
+  | Vm -> "vm"
+  | Sched -> "sched"
+  | Ni -> "ni"
+  | Dev -> "dev"
+  | Kernel -> "kernel"
+  | Sim -> "sim"
+
+type payload =
+  | Proxy_store of { proxy : int; value : int }
+  | Proxy_load of { proxy : int }
+  | Sm_transition of { from_ : string; to_ : string; cause : string }
+  | Dma_burst of { src : int; dst : int; nbytes : int; duration : int }
+  | Packetize of { dst_node : int; nbytes : int }
+  | Fault of { vaddr : int; kind : string }
+  | Context_switch of { pid : int }
+  | Queue_push of { queue : string; depth : int }
+  | Queue_pop of { queue : string; depth : int }
+  | Udma_start of { src : int; dst : int; nbytes : int }
+  | Udma_abort of { reason : string }
+  | Note of string
+
+type t = { time : int; subsystem : subsystem; payload : payload }
+
+let make ~time subsystem payload = { time; subsystem; payload }
+
+let render { subsystem; payload; _ } =
+  let pre = subsystem_name subsystem in
+  match payload with
+  | Proxy_store { proxy; value } ->
+      Printf.sprintf "%s: store %#x <- %d" pre proxy value
+  | Proxy_load { proxy } -> Printf.sprintf "%s: load %#x" pre proxy
+  | Sm_transition { from_; to_; cause } ->
+      Printf.sprintf "%s: %s -> %s (%s)" pre from_ to_ cause
+  | Dma_burst { src; dst; nbytes; duration } ->
+      Printf.sprintf "%s: burst %#x -> %#x (%d bytes, %d cycles)" pre src dst
+        nbytes duration
+  | Packetize { dst_node; nbytes } ->
+      Printf.sprintf "%s: packet to node %d (%d bytes)" pre dst_node nbytes
+  | Fault { vaddr; kind } -> Printf.sprintf "%s: %s fault %#x" pre kind vaddr
+  | Context_switch { pid } -> Printf.sprintf "%s: switch to pid %d" pre pid
+  | Queue_push { queue; depth } ->
+      Printf.sprintf "%s: push %s (depth %d)" pre queue depth
+  | Queue_pop { queue; depth } ->
+      Printf.sprintf "%s: pop %s (depth %d)" pre queue depth
+  | Udma_start { src; dst; nbytes } ->
+      Printf.sprintf "%s: start %#x -> %#x (%d bytes)" pre src dst nbytes
+  | Udma_abort { reason } -> Printf.sprintf "%s: abort (%s)" pre reason
+  | Note msg -> Printf.sprintf "%s: %s" pre msg
+
+let kind_name = function
+  | Proxy_store _ -> "proxy_store"
+  | Proxy_load _ -> "proxy_load"
+  | Sm_transition _ -> "sm_transition"
+  | Dma_burst _ -> "dma_burst"
+  | Packetize _ -> "packetize"
+  | Fault _ -> "fault"
+  | Context_switch _ -> "context_switch"
+  | Queue_push _ -> "queue_push"
+  | Queue_pop _ -> "queue_pop"
+  | Udma_start _ -> "udma_start"
+  | Udma_abort _ -> "udma_abort"
+  | Note _ -> "note"
+
+let to_json { time; subsystem; payload } =
+  let fields =
+    match payload with
+    | Proxy_store { proxy; value } ->
+        [ ("proxy", Json.Int proxy); ("value", Json.Int value) ]
+    | Proxy_load { proxy } -> [ ("proxy", Json.Int proxy) ]
+    | Sm_transition { from_; to_; cause } ->
+        [
+          ("from", Json.Str from_);
+          ("to", Json.Str to_);
+          ("cause", Json.Str cause);
+        ]
+    | Dma_burst { src; dst; nbytes; duration } ->
+        [
+          ("src", Json.Int src);
+          ("dst", Json.Int dst);
+          ("nbytes", Json.Int nbytes);
+          ("duration", Json.Int duration);
+        ]
+    | Packetize { dst_node; nbytes } ->
+        [ ("dst_node", Json.Int dst_node); ("nbytes", Json.Int nbytes) ]
+    | Fault { vaddr; kind } ->
+        [ ("vaddr", Json.Int vaddr); ("fault_kind", Json.Str kind) ]
+    | Context_switch { pid } -> [ ("pid", Json.Int pid) ]
+    | Queue_push { queue; depth } | Queue_pop { queue; depth } ->
+        [ ("queue", Json.Str queue); ("depth", Json.Int depth) ]
+    | Udma_start { src; dst; nbytes } ->
+        [
+          ("src", Json.Int src);
+          ("dst", Json.Int dst);
+          ("nbytes", Json.Int nbytes);
+        ]
+    | Udma_abort { reason } -> [ ("reason", Json.Str reason) ]
+    | Note msg -> [ ("msg", Json.Str msg) ]
+  in
+  Json.Obj
+    ([
+       ("t", Json.Int time);
+       ("sub", Json.Str (subsystem_name subsystem));
+       ("kind", Json.Str (kind_name payload));
+     ]
+    @ fields)
+
+type sink = t -> unit
+
+let counting_sink () =
+  let n = ref 0 in
+  ((fun _ -> incr n), fun () -> !n)
+
+let jsonl_sink oc ev = Printf.fprintf oc "%s\n" (Json.to_string (to_json ev))

@@ -1,0 +1,55 @@
+(** Experiment reports: typed rows + metadata + cycle breakdown.
+
+    Every experiment produces one [Report.t]; the paper-style table
+    ({!print}) and the machine-readable JSON ({!to_json}) derive from
+    the same value, so they can never drift. A list of reports wraps
+    into the [BENCH_udma.json] document with {!bench_json} — the same
+    schema whether it comes from [bench/main.exe --json] or from
+    [shrimp_sim <exp> --json]. *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+val json_of_value : value -> Json.t
+
+type row = (string * value) list
+(** Field name -> value; fields appear in the table in [columns]
+    order. Rows may carry extra fields that are JSON-only. *)
+
+type t = {
+  id : string;  (** Stable identifier, e.g. ["e1_figure8"]. *)
+  title : string;  (** Human heading, e.g. ["E1 / Figure 8 — ..."]. *)
+  meta : (string * value) list;
+      (** Experiment parameters (sizes, trials, seed, mhz...). *)
+  columns : (string * string) list;
+      (** (field, header) in display order; the table shows exactly
+          these. *)
+  rows : row list;
+  breakdown : Profiler.totals option;
+      (** Cycle attribution over the whole experiment; its sum equals
+          the total simulated cycles across the experiment's
+          engines. *)
+}
+
+val make :
+  id:string ->
+  title:string ->
+  ?meta:(string * value) list ->
+  columns:(string * string) list ->
+  ?breakdown:Profiler.totals ->
+  row list ->
+  t
+
+val print : ?oc:out_channel -> t -> unit
+(** Render the paper-style table: title, column headers, one line per
+    row (numbers right-aligned), then the cycle breakdown when
+    present. *)
+
+val to_json : t -> Json.t
+(** [{"id", "title", "meta", "rows": [...], "breakdown": {...}}]. *)
+
+val bench_json :
+  ?meta:(string * value) list -> t list -> Json.t
+(** The full benchmark document:
+    [{"schema": "udma-bench/1", "meta": {...}, "experiments": [...]}]. *)
+
+val schema_version : string

@@ -42,7 +42,8 @@ let user_access m proc access vaddr k =
           let cost =
             if tr.Mmu.tlb_hit then base else base + costs.Cost_model.tlb_miss
           in
-          Machine.charge m cost;
+          Engine.with_category m.M.engine Engine.Profiler.User_ref (fun () ->
+              Machine.charge m cost);
           k tr.Mmu.paddr
       | exception Mmu.Fault _ ->
           Vm.handle_fault m proc access ~vaddr;
@@ -67,7 +68,8 @@ let user_cpu m proc =
           (match m.M.current with
           | Some cur when cur == proc -> ()
           | Some _ | None -> Scheduler.switch_to m proc);
-          Machine.charge m cycles);
+          Engine.with_category m.M.engine Engine.Profiler.User_ref (fun () ->
+              Machine.charge m cycles));
       now = (fun () -> Engine.now m.M.engine);
     }
 

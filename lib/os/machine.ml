@@ -1,6 +1,7 @@
 module Engine = Udma_sim.Engine
-module Stats = Udma_sim.Stats
 module Trace = Udma_sim.Trace
+module Metrics = Udma_obs.Metrics
+module Profiler = Udma_obs.Profiler
 module Layout = Udma_mmu.Layout
 module Mmu = Udma_mmu.Mmu
 module Phys_mem = Udma_memory.Phys_mem
@@ -34,7 +35,7 @@ type t = {
   udma : Udma_engine.t option;
   costs : Cost_model.t;
   i3_policy : i3_policy;
-  stats : Stats.t;
+  metrics : Metrics.t;
   trace : Trace.t;
   mutable procs : Proc.t list;
   mutable runq : Proc.t list;
@@ -100,13 +101,16 @@ let create ?(config = default_config) ?skip_invariant () =
   in
   let bus = Bus.create ~timing:config.bus_timing mem in
   let mmu = Mmu.create ~layout ~tlb_capacity:config.tlb_entries in
-  let dma = Dma_engine.create ~engine ~bus in
   let trace = Trace.create ~enabled:config.trace_enabled () in
+  let metrics = Metrics.create () in
+  let dma = Dma_engine.create ~engine ~bus ~trace ~metrics () in
   let udma =
     match config.udma_mode with
     | None -> None
     | Some mode ->
-        Some (Udma_engine.create ~engine ~layout ~bus ~dma ~mode ~trace ())
+        Some
+          (Udma_engine.create ~engine ~layout ~bus ~dma ~mode ~trace ~metrics
+             ())
   in
   {
     engine;
@@ -122,7 +126,7 @@ let create ?(config = default_config) ?skip_invariant () =
     udma;
     costs = config.costs;
     i3_policy = config.i3_policy;
-    stats = Stats.create ();
+    metrics;
     trace;
     procs = [];
     runq = [];
@@ -142,7 +146,12 @@ let skips t inv = t.skip_invariant = Some (inv :> invariant)
 let find_proc t ~pid = List.find_opt (fun p -> p.Proc.pid = pid) t.procs
 
 let charge t cycles =
-  Engine.advance t.engine cycles;
+  (* Uncategorized machine work is kernel work; user references set
+     User_ref before reaching here and keep their attribution. *)
+  (if Profiler.current (Engine.profiler t.engine) = Profiler.Idle then
+     Engine.with_category t.engine Profiler.Kernel (fun () ->
+         Engine.advance t.engine cycles)
+   else Engine.advance t.engine cycles);
   match t.current with
   | Some p -> p.Proc.cpu_cycles <- p.Proc.cpu_cycles + cycles
   | None -> ()

@@ -39,7 +39,9 @@ type t = {
       (** [None] builds a traditional-DMA-only machine (baselines) *)
   costs : Cost_model.t;
   i3_policy : i3_policy;
-  stats : Udma_sim.Stats.t;
+  metrics : Udma_obs.Metrics.t;
+      (** machine-wide registry: [vm.*], [sched.*], [syscall.*] plus
+          the [udma.*] / [dma.*] counters the hardware mirrors in *)
   trace : Udma_sim.Trace.t;
   mutable procs : Proc.t list;
   mutable runq : Proc.t list;        (** round-robin ready queue *)
@@ -101,7 +103,9 @@ val find_proc : t -> pid:int -> Proc.t option
 
 val charge : t -> int -> unit
 (** [charge m cycles] advances the simulation clock by [cycles] and
-    attributes them to the current process. *)
+    attributes them to the current process. Cycles are charged to the
+    profiler's current category, or to [Kernel] when no category is
+    set (uncategorized machine work is kernel work by definition). *)
 
 val proxy_vpn : t -> int -> int
 (** [proxy_vpn m vpn] is the virtual page number of [PROXY] of virtual

@@ -1,4 +1,4 @@
-module Stats = Udma_sim.Stats
+module Metrics = Udma_obs.Metrics
 module Trace = Udma_sim.Trace
 module Engine = Udma_sim.Engine
 module Mmu = Udma_mmu.Mmu
@@ -22,8 +22,11 @@ let switch_to m proc =
   match m.M.current with
   | Some cur when cur == proc -> ()
   | cur ->
-      Machine.charge m m.M.costs.Cost_model.context_switch;
-      Stats.incr m.M.stats "sched.switches";
+      (* A switch is kernel work even when triggered mid-user-reference
+         by preemption. *)
+      Engine.with_category m.M.engine Engine.Profiler.Kernel (fun () ->
+          Machine.charge m m.M.costs.Cost_model.context_switch);
+      Metrics.incr m.M.metrics "sched.switches";
       (* I1: invalidate any partially initiated UDMA sequence with a
          single STORE of a negative count to a proxy address *)
       (match m.M.udma with
@@ -35,8 +38,9 @@ let switch_to m proc =
       | Some _ | None -> ());
       proc.Proc.state <- Proc.Running;
       m.M.current <- Some proc;
-      Trace.recordf m.M.trace ~time:(Engine.now m.M.engine)
-        "sched: switch to pid %d" proc.Proc.pid;
+      Trace.record m.M.trace ~time:(Engine.now m.M.engine)
+        Udma_obs.Event.Sched
+        (Udma_obs.Event.Context_switch { pid = proc.Proc.pid });
       (match m.M.on_switch with Some f -> f m | None -> ())
 
 let ready m =

@@ -1,5 +1,5 @@
 module Engine = Udma_sim.Engine
-module Stats = Udma_sim.Stats
+module Metrics = Udma_obs.Metrics
 module Layout = Udma_mmu.Layout
 module Page_table = Udma_mmu.Page_table
 module Pte = Udma_mmu.Pte
@@ -194,7 +194,7 @@ let dma_transfer m proc ~dir ~vaddr ~nbytes ~port ~dev_addr ~strategy =
     let start = Engine.now m.M.engine in
     (* step 1: the system call itself *)
     Machine.charge m m.M.costs.Cost_model.syscall;
-    Stats.incr m.M.stats "syscall.dma";
+    Metrics.incr m.M.metrics "syscall.dma";
     let result =
       match strategy with
       | Pin_user_pages ->
@@ -209,7 +209,7 @@ let dma_transfer m proc ~dir ~vaddr ~nbytes ~port ~dev_addr ~strategy =
 
 let map_device_proxy m proc ~vdev_index ~pdev_index ~writable =
   Machine.charge m m.M.costs.Cost_model.syscall;
-  Stats.incr m.M.stats "syscall.map_device_proxy";
+  Metrics.incr m.M.metrics "syscall.map_device_proxy";
   match Vm.map_device_proxy m proc ~vdev_index ~pdev_index ~writable with
   | () -> Ok ()
   | exception Invalid_argument _ -> Error Bad_address

@@ -1,4 +1,7 @@
 module Engine = Udma_sim.Engine
+module Trace = Udma_sim.Trace
+module Event = Udma_obs.Event
+module Metrics = Udma_obs.Metrics
 module Layout = Udma_mmu.Layout
 module Page_table = Udma_mmu.Page_table
 module Pte = Udma_mmu.Pte
@@ -93,15 +96,23 @@ let launch t pkt =
         let words = (Packet.size_bytes pkt + 3) / 4 in
         let start = max now t.out_busy_until in
         t.out_busy_until <- start + (words * t.config.link_word_cycles);
-        Engine.schedule engine ~delay:(t.out_busy_until - now) (fun _ ->
+        (* Link serialisation is wire time. *)
+        Engine.schedule engine ~cat:Engine.Profiler.Wire
+          ~delay:(t.out_busy_until - now) (fun _ ->
             match Fifo.pop t.out_fifo with
             | Some pkt ->
                 t.packets_sent <- t.packets_sent + 1;
                 t.bytes_sent <- t.bytes_sent + Bytes.length pkt.Packet.payload;
+                Metrics.incr t.machine.M.metrics "ni.packets_sent";
+                Metrics.add t.machine.M.metrics "ni.bytes_sent"
+                  (Bytes.length pkt.Packet.payload);
                 Router.send router pkt
             | None -> ())
       end
-      else t.send_drops <- t.send_drops + 1
+      else begin
+        t.send_drops <- t.send_drops + 1;
+        Metrics.incr t.machine.M.metrics "ni.send_drops"
+      end
 
 (* The DMA engine hands over a whole transfer's data at once. *)
 let dev_write t ~addr data =
@@ -114,6 +125,9 @@ let dev_write t ~addr data =
   | Some { Nipt.dst_node; dst_frame } ->
       let seq = t.next_seq in
       t.next_seq <- seq + 1;
+      Trace.record t.machine.M.trace
+        ~time:(Engine.now t.machine.M.engine) Event.Ni
+        (Event.Packetize { dst_node; nbytes = Bytes.length data });
       launch t
         {
           Packet.src_node = t.id;
@@ -138,12 +152,16 @@ let deposit t pkt =
   let mem = t.machine.M.mem in
   let paddr = pkt.Packet.dst_paddr in
   let len = Bytes.length pkt.Packet.payload in
-  if paddr < 0 || paddr + len > Phys_mem.size mem then
-    t.delivery_errors <- t.delivery_errors + 1
+  if paddr < 0 || paddr + len > Phys_mem.size mem then begin
+    t.delivery_errors <- t.delivery_errors + 1;
+    Metrics.incr t.machine.M.metrics "ni.delivery_errors"
+  end
   else begin
     Phys_mem.write_bytes mem ~addr:paddr pkt.Packet.payload;
     t.packets_received <- t.packets_received + 1;
     t.bytes_received <- t.bytes_received + len;
+    Metrics.incr t.machine.M.metrics "ni.packets_received";
+    Metrics.add t.machine.M.metrics "ni.bytes_received" len;
     let frame = paddr / Layout.page_size t.machine.M.layout in
     match Hashtbl.find_opt t.machine.M.frame_owner frame with
     | Some (pid, vpn) -> (
@@ -165,12 +183,17 @@ let receive t pkt =
     in
     let start = max now t.in_busy_until in
     t.in_busy_until <- start + dma_cycles;
-    Engine.schedule engine ~delay:(t.in_busy_until - now) (fun _ ->
+    (* The receive-side deposit is the NI device writing memory. *)
+    Engine.schedule engine ~cat:Engine.Profiler.Device
+      ~delay:(t.in_busy_until - now) (fun _ ->
         match Fifo.pop t.in_fifo with
         | Some pkt -> deposit t pkt
         | None -> ())
   end
-  else t.receive_drops <- t.receive_drops + 1
+  else begin
+    t.receive_drops <- t.receive_drops + 1;
+    Metrics.incr t.machine.M.metrics "ni.receive_drops"
+  end
 
 let port t =
   Device.

@@ -1,36 +1,77 @@
-type t = { mutable clock : int; mhz : int; queue : event Eventq.t }
+module Profiler = Udma_obs.Profiler
+module Metrics = Udma_obs.Metrics
+
+type t = {
+  mutable clock : int;
+  mhz : int;
+  queue : (event * Profiler.category option) Eventq.t;
+  profiler : Profiler.t;
+  metrics : Metrics.t;
+}
+
 and event = t -> unit
 
 let create ?(mhz = 120) () =
   if mhz <= 0 then invalid_arg "Engine.create: mhz must be positive";
-  { clock = 0; mhz; queue = Eventq.create () }
+  {
+    clock = 0;
+    mhz;
+    queue = Eventq.create ();
+    profiler = Profiler.create ();
+    metrics = Metrics.create ();
+  }
 
 let now t = t.clock
 
 let mhz t = t.mhz
 
+let profiler t = t.profiler
+
+let profile t = Profiler.snapshot t.profiler
+
+let metrics t = t.metrics
+
 let ns_of_cycles t c = float_of_int c *. 1000.0 /. float_of_int t.mhz
 
 let us_of_cycles t c = ns_of_cycles t c /. 1000.0
 
-let schedule t ~delay ev =
-  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
-  Eventq.push t.queue ~time:(t.clock + delay) ev
+(* Every clock mutation funnels through here, charging the elapsed
+   cycles to [cat] (or the profiler's current category). This is what
+   makes "category totals sum to Engine.now" hold by construction. *)
+let tick t ?cat time =
+  if time > t.clock then begin
+    Profiler.charge t.profiler ?cat (time - t.clock);
+    t.clock <- time
+  end
 
-let schedule_at t ~time ev =
+let schedule t ?cat ~delay ev =
+  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
+  Metrics.incr t.metrics "engine.scheduled";
+  Eventq.push t.queue ~time:(t.clock + delay) (ev, cat)
+
+let schedule_at t ?cat ~time ev =
   let time = max time t.clock in
-  Eventq.push t.queue ~time ev
+  Metrics.incr t.metrics "engine.scheduled";
+  Eventq.push t.queue ~time (ev, cat)
+
+let with_category t cat f =
+  let prev = Profiler.current t.profiler in
+  Profiler.set_current t.profiler cat;
+  Fun.protect ~finally:(fun () -> Profiler.set_current t.profiler prev) f
 
 (* Fire every event due at or before [horizon], letting fired events
    schedule more work inside the window. The clock tracks each event's
-   own timestamp while events run. *)
+   own timestamp while events run; the gap up to an event is charged to
+   the event's category when it carries one (a DMA burst completing
+   attributes the burst cycles to Dma, not to whoever was polling). *)
 let pump t horizon =
   let rec loop () =
     match Eventq.peek_time t.queue with
     | Some time when time <= horizon -> (
         match Eventq.pop t.queue with
-        | Some (time, ev) ->
-            if time > t.clock then t.clock <- time;
+        | Some (time, (ev, cat)) ->
+            tick t ?cat time;
+            Metrics.incr t.metrics "engine.events_fired";
             ev t;
             loop ()
         | None -> ())
@@ -41,7 +82,7 @@ let pump t horizon =
 let run_until t time =
   if time > t.clock then begin
     pump t time;
-    t.clock <- time
+    tick t time
   end
 
 let advance t cost =
@@ -51,8 +92,9 @@ let advance t cost =
 let run_until_idle t =
   let rec loop () =
     match Eventq.pop t.queue with
-    | Some (time, ev) ->
-        if time > t.clock then t.clock <- time;
+    | Some (time, (ev, cat)) ->
+        tick t ?cat time;
+        Metrics.incr t.metrics "engine.events_fired";
         ev t;
         loop ()
     | None -> ()

@@ -12,6 +12,8 @@ type t
 type event = t -> unit
 (** An event receives the engine so it can schedule follow-up events. *)
 
+module Profiler = Udma_obs.Profiler
+
 val create : ?mhz:int -> unit -> t
 (** [create ?mhz ()] is a fresh engine at cycle 0. [mhz] (default 120)
     is the modelled clock frequency, used only to convert cycles to
@@ -29,13 +31,16 @@ val ns_of_cycles : t -> int -> float
 val us_of_cycles : t -> int -> float
 (** [us_of_cycles t c] converts a cycle count to microseconds. *)
 
-val schedule : t -> delay:int -> event -> unit
+val schedule : t -> ?cat:Profiler.category -> delay:int -> event -> unit
 (** [schedule t ~delay ev] fires [ev] [delay] cycles from now.
-    Raises [Invalid_argument] if [delay < 0]. *)
+    Raises [Invalid_argument] if [delay < 0]. When [cat] is given, the
+    cycles the clock jumps to reach the event are charged to that
+    profiler category (a DMA completion attributes its burst to [Dma],
+    not to whoever happened to be polling). *)
 
-val schedule_at : t -> time:int -> event -> unit
+val schedule_at : t -> ?cat:Profiler.category -> time:int -> event -> unit
 (** [schedule_at t ~time ev] fires [ev] at absolute cycle [time]
-    (clamped to [now] if in the past). *)
+    (clamped to [now] if in the past). [cat] as in {!schedule}. *)
 
 val advance : t -> int -> unit
 (** [advance t cost] charges [cost] cycles of CPU work: runs every event
@@ -60,3 +65,24 @@ val wait_for : t -> ?poll_cost:int -> ?max_polls:int -> (unit -> bool) -> int
 
 val pending_events : t -> int
 (** Number of scheduled, not-yet-fired events. *)
+
+(** {1 Observability}
+
+    The engine owns a {!Udma_obs.Profiler.t} that every clock mutation
+    is charged through, so category totals always sum to {!now}, and a
+    {!Udma_obs.Metrics.t} it publishes scheduling counters into
+    ([engine.scheduled], [engine.events_fired]). *)
+
+val profiler : t -> Profiler.t
+
+val profile : t -> Profiler.totals
+(** Snapshot of the cycle-attribution totals so far. *)
+
+val metrics : t -> Udma_obs.Metrics.t
+
+val with_category : t -> Profiler.category -> (unit -> 'a) -> 'a
+(** [with_category t cat f] runs [f] with the profiler's current
+    category set to [cat], restoring the previous category afterwards
+    (exception-safe). Cycles charged by [f] — including polls inside
+    {!wait_for} — attribute to [cat] unless an event's own category
+    overrides them. *)

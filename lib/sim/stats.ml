@@ -88,6 +88,36 @@ let pp_summary ppf s =
     "n=%d mean=%.2f min=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f" s.count
     s.mean s.min s.p50 s.p95 s.p99 s.max
 
+let dump t =
+  let module J = Udma_obs.Json in
+  let counter_fields = List.map (fun (k, v) -> (k, J.Int v)) (counters t) in
+  let series_names =
+    Hashtbl.fold (fun name _ acc -> name :: acc) t.series []
+    |> List.sort String.compare
+  in
+  let series_fields =
+    List.filter_map
+      (fun name ->
+        match summarize t name with
+        | None -> None
+        | Some s ->
+            Some
+              ( name,
+                J.Obj
+                  [
+                    ("count", J.Int s.count);
+                    ("mean", J.Float s.mean);
+                    ("min", J.Float s.min);
+                    ("max", J.Float s.max);
+                    ("p50", J.Float s.p50);
+                    ("p95", J.Float s.p95);
+                    ("p99", J.Float s.p99);
+                  ] ))
+      series_names
+  in
+  J.to_string
+    (J.Obj [ ("counters", J.Obj counter_fields); ("series", J.Obj series_fields) ])
+
 let reset t =
   Hashtbl.reset t.counters;
   Hashtbl.reset t.series

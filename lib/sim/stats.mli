@@ -46,5 +46,14 @@ val summarize : t -> string -> summary option
 
 val pp_summary : Format.formatter -> summary -> unit
 
+val dump : t -> string
+(** Compact JSON rendering of every counter and series summary —
+    [{"counters": {...}, "series": {name: {count, mean, ...}}}].
+    Hand-rolled via {!Udma_obs.Json}; no Yojson dependency. *)
+
 val reset : t -> unit
-(** Drop every counter and series. *)
+(** Drop every counter and series.
+
+    Note: new code should prefer the machine-wide
+    {!Udma_obs.Metrics.t} registry (counters + fixed-bucket
+    histograms); [Stats] remains for standalone float series. *)

@@ -1,15 +1,26 @@
+module Event = Udma_obs.Event
+
 type t = {
   enabled : bool;
   capacity : int;
-  mutable items : (int * string) list; (* newest first, length <= capacity *)
+  mutable items : Event.t list; (* newest first, length <= capacity *)
   mutable count : int;
+  mutable sinks : Event.sink list;
 }
+
+let global_sink : Event.sink option ref = ref None
+
+let set_global_sink s = global_sink := s
 
 let create ?(capacity = 4096) ~enabled () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
-  { enabled; capacity; items = []; count = 0 }
+  { enabled; capacity; items = []; count = 0; sinks = [] }
 
 let enabled t = t.enabled
+
+let active t = t.enabled || t.sinks <> [] || !global_sink <> None
+
+let add_sink t sink = t.sinks <- sink :: t.sinks
 
 let trim t =
   if t.count > t.capacity then begin
@@ -20,34 +31,23 @@ let trim t =
     t.count <- keep
   end
 
-let record t ~time msg =
-  if t.enabled then begin
-    t.items <- (time, msg) :: t.items;
-    t.count <- t.count + 1;
-    trim t
+let record t ~time subsystem payload =
+  if active t then begin
+    let ev = Event.make ~time subsystem payload in
+    if t.enabled then begin
+      t.items <- ev :: t.items;
+      t.count <- t.count + 1;
+      trim t
+    end;
+    List.iter (fun sink -> sink ev) t.sinks;
+    match !global_sink with Some sink -> sink ev | None -> ()
   end
 
-let recordf t ~time fmt =
-  if t.enabled then
-    Format.kasprintf (fun msg -> record t ~time msg) fmt
-  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+let note t ~time subsystem msg = record t ~time subsystem (Event.Note msg)
 
 let events t = List.rev t.items
 
-let contains_substring hay needle =
-  let hl = String.length hay and nl = String.length needle in
-  if nl = 0 then true
-  else begin
-    let rec at i =
-      if i + nl > hl then false
-      else if String.sub hay i nl = needle then true
-      else at (i + 1)
-    in
-    at 0
-  end
-
-let matching t sub =
-  List.filter (fun (_, msg) -> contains_substring msg sub) (events t)
+let matching t pred = List.filter pred (events t)
 
 let clear t =
   t.items <- [];

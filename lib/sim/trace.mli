@@ -1,28 +1,49 @@
-(** Lightweight event tracing.
+(** Typed event tracing.
 
-    A trace is a bounded ring of timestamped strings; tests assert on
-    it and the CLI can dump it. Disabled traces cost one branch. *)
+    A trace is a bounded ring of {!Udma_obs.Event.t} values plus an
+    optional list of sinks. Recording allocates one constructor and
+    never formats a string; rendering happens only when a human or a
+    JSON sink asks. Disabled traces with no sinks cost one branch.
+
+    A process-wide {e global sink} supports [--trace] on CLI
+    subcommands whose machines are constructed internally: installing
+    it makes every trace in the process stream events to it, even
+    traces created with [~enabled:false]. *)
+
+module Event = Udma_obs.Event
 
 type t
 
 val create : ?capacity:int -> enabled:bool -> unit -> t
 (** [create ~enabled ()] keeps the last [capacity] (default 4096)
-    records when [enabled]; otherwise records nothing. *)
+    events in the ring when [enabled]; otherwise the ring stays empty
+    (sinks still fire). *)
 
 val enabled : t -> bool
+(** Ring-buffer recording is on. *)
 
-val record : t -> time:int -> string -> unit
-(** [record t ~time msg] appends a record (no-op when disabled). *)
+val active : t -> bool
+(** Something will consume a record: the ring is enabled, a sink is
+    attached, or the global sink is installed. Emitters may use this
+    to skip building event payloads. *)
 
-val recordf :
-  t -> time:int -> ('a, Format.formatter, unit, unit) format4 -> 'a
-(** Formatted variant; the format arguments are not evaluated when the
-    trace is disabled. *)
+val record : t -> time:int -> Event.subsystem -> Event.payload -> unit
+(** Append an event (no-op when {!active} is false). *)
 
-val events : t -> (int * string) list
-(** Recorded events, oldest first (at most [capacity]). *)
+val note : t -> time:int -> Event.subsystem -> string -> unit
+(** Convenience for free-form [Note] events. *)
 
-val matching : t -> string -> (int * string) list
-(** [matching t sub] keeps events whose text contains [sub]. *)
+val add_sink : t -> Event.sink -> unit
+(** Attach a sink; it sees every subsequent event on this trace. *)
+
+val set_global_sink : Event.sink option -> unit
+(** Install (or clear) the process-wide sink fed by {e all} traces. *)
+
+val events : t -> Event.t list
+(** Ring contents, oldest first (at most [capacity]). *)
+
+val matching : t -> (Event.t -> bool) -> Event.t list
+(** [matching t pred] keeps ring events satisfying [pred], oldest
+    first. *)
 
 val clear : t -> unit

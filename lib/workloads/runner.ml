@@ -1,6 +1,8 @@
 module Engine = Udma_sim.Engine
 module Rng = Udma_sim.Rng
-module Stats = Udma_sim.Stats
+module Metrics = Udma_obs.Metrics
+module Profiler = Udma_obs.Profiler
+module Report = Udma_obs.Report
 module Layout = Udma_mmu.Layout
 module Bus = Udma_dma.Bus
 module Device = Udma_dma.Device
@@ -25,6 +27,31 @@ let fail_syscall e = failwith (Format.asprintf "syscall: %a" Syscall.pp_error e)
 let fail_send e = failwith (Format.asprintf "send: %a" Messaging.pp_send_error e)
 
 (* ------------------------------------------------------------------ *)
+(* engine probe: cycle attribution across a whole experiment           *)
+(* ------------------------------------------------------------------ *)
+
+(* Several experiments build a fresh machine (and engine) per data
+   point; the probe collects every engine so the report's cycle
+   breakdown spans the whole experiment, not just the last engine. *)
+type probe = { mutable engines : Engine.t list }
+
+let probe () = { engines = [] }
+
+let watch p engine =
+  if not (List.memq engine p.engines) then p.engines <- engine :: p.engines
+
+let breakdown p =
+  List.fold_left
+    (fun acc e -> Profiler.add_totals acc (Engine.profile e))
+    Profiler.zero p.engines
+
+(* Report.value shorthands *)
+let vi n = Report.Int n
+let vf x = Report.Float x
+let vs x = Report.Str x
+let vb x = Report.Bool x
+
+(* ------------------------------------------------------------------ *)
 (* E1 / Figure 8                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -35,7 +62,7 @@ type bw_point = {
   pct_of_max : float;
 }
 
-let figure8 ?(sizes = Sizes.figure8) ?(messages = 32) ?(queued = false) () =
+let figure8_core ~sizes ~messages ~queued p =
   let sys =
     if queued then
       System.create
@@ -47,6 +74,7 @@ let figure8 ?(sizes = Sizes.figure8) ?(messages = 32) ?(queued = false) () =
         ~nodes:2 ()
     else System.create ~nodes:2 ()
   in
+  watch p (System.engine sys);
   let snd = System.node sys 0 and rcv = System.node sys 1 in
   let sender = Scheduler.spawn snd.System.machine ~name:"sender" in
   let receiver = Scheduler.spawn rcv.System.machine ~name:"receiver" in
@@ -100,17 +128,38 @@ let figure8 ?(sizes = Sizes.figure8) ?(messages = 32) ?(queued = false) () =
       })
     raw
 
-let print_figure8 points =
-  Printf.printf
-    "\n=== E1 / Figure 8: deliberate-update UDMA bandwidth vs message size ===\n";
-  Printf.printf "%8s %14s %12s %8s  %s\n" "size" "cycles/msg" "bytes/cyc"
-    "%max" "";
-  List.iter
-    (fun p ->
-      let bar = String.make (int_of_float (p.pct_of_max /. 2.5)) '#' in
-      Printf.printf "%8s %14.1f %12.4f %7.1f%%  %s\n" (Sizes.pretty p.size)
-        p.cycles_per_msg p.bytes_per_cycle p.pct_of_max bar)
-    points
+let figure8 ?(sizes = Sizes.figure8) ?(messages = 32) ?(queued = false) () =
+  figure8_core ~sizes ~messages ~queued (probe ())
+
+let report_figure8 ?(sizes = Sizes.figure8) ?(messages = 32)
+    ?(queued = false) () =
+  let p = probe () in
+  let rows = figure8_core ~sizes ~messages ~queued p in
+  Report.make
+    ~id:(if queued then "e1_figure8_queued" else "e1_figure8")
+    ~title:
+      (if queued then
+         "E1 / Figure 8: UDMA bandwidth vs message size (queued section-7 \
+          hardware)"
+       else "E1 / Figure 8: deliberate-update UDMA bandwidth vs message size")
+    ~meta:[ ("messages", vi messages); ("queued", vb queued) ]
+    ~columns:
+      [
+        ("size", "size");
+        ("cycles_per_msg", "cycles/msg");
+        ("bytes_per_cycle", "bytes/cyc");
+        ("pct_of_max", "%max");
+      ]
+    ~breakdown:(breakdown p)
+    (List.map
+       (fun pt ->
+         [
+           ("size", vi pt.size);
+           ("cycles_per_msg", vf pt.cycles_per_msg);
+           ("bytes_per_cycle", vf pt.bytes_per_cycle);
+           ("pct_of_max", vf pt.pct_of_max);
+         ])
+       rows)
 
 (* ------------------------------------------------------------------ *)
 (* shared single-node rig: machine + UDMA + one buffer device          *)
@@ -144,8 +193,17 @@ type cost_row = { label : string; cycles : int; us : float }
 let row costs label cycles =
   { label; cycles; us = Cost_model.us_of_cycles costs cycles }
 
-let initiation_costs () =
+let cost_rows rows =
+  List.map
+    (fun (r : cost_row) ->
+      [ ("label", vs r.label); ("cycles", vi r.cycles); ("us", vf r.us) ])
+    rows
+
+let cost_columns = [ ("label", "path"); ("cycles", "cycles"); ("us", "us") ]
+
+let initiation_costs_core p =
   let m, _udma, port, _ = buffer_rig () in
+  watch p m.M.engine;
   let proc = Scheduler.spawn m ~name:"p" in
   grant_dev m proc ~pages:2;
   let buf = Kernel.alloc_buffer m proc ~bytes:8192 in
@@ -200,13 +258,14 @@ let initiation_costs () =
     row costs "traditional 4 KB transfer (copy)" trad_copy_4k;
   ]
 
-let print_costs rows =
-  Printf.printf "\n=== E2: transfer-initiation cost (the paper's 2.8 us) ===\n";
-  Printf.printf "%-42s %10s %10s\n" "path" "cycles" "us";
-  List.iter
-    (fun (r : cost_row) ->
-      Printf.printf "%-42s %10d %10.2f\n" r.label r.cycles r.us)
-    rows
+let initiation_costs () = initiation_costs_core (probe ())
+
+let report_costs () =
+  let p = probe () in
+  let rows = initiation_costs_core p in
+  Report.make ~id:"e2_initiation"
+    ~title:"E2: transfer-initiation cost (the paper's 2.8 us)"
+    ~columns:cost_columns ~breakdown:(breakdown p) (cost_rows rows)
 
 (* ------------------------------------------------------------------ *)
 (* E3: HIPPI motivation                                                *)
@@ -214,7 +273,7 @@ let print_costs rows =
 
 type hippi_row = { block : int; mbytes_per_s : float; pct_of_channel : float }
 
-let hippi_motivation ?(blocks = Sizes.hippi_blocks) () =
+let hippi_core ~blocks p =
   let config =
     {
       M.default_config with
@@ -225,6 +284,7 @@ let hippi_motivation ?(blocks = Sizes.hippi_blocks) () =
     }
   in
   let m = M.create ~config () in
+  watch p m.M.engine;
   let proc = Scheduler.spawn m ~name:"p" in
   let port = Device.null "hippi" in
   let max_block = List.fold_left max 4096 blocks in
@@ -249,15 +309,29 @@ let hippi_motivation ?(blocks = Sizes.hippi_blocks) () =
       { block; mbytes_per_s = mbps; pct_of_channel = 100.0 *. mbps /. channel_mbps })
     blocks
 
-let print_hippi rows =
-  Printf.printf
-    "\n=== E3: kernel-initiated DMA on a HIPPI-class channel (paper section 1) ===\n";
-  Printf.printf "%8s %12s %10s\n" "block" "MB/s" "%channel";
-  List.iter
-    (fun r ->
-      Printf.printf "%8s %12.2f %9.1f%%\n" (Sizes.pretty r.block) r.mbytes_per_s
-        r.pct_of_channel)
-    rows
+let hippi_motivation ?(blocks = Sizes.hippi_blocks) () =
+  hippi_core ~blocks (probe ())
+
+let report_hippi ?(blocks = Sizes.hippi_blocks) () =
+  let p = probe () in
+  let rows = hippi_core ~blocks p in
+  Report.make ~id:"e3_hippi"
+    ~title:"E3: kernel-initiated DMA on a HIPPI-class channel (section 1)"
+    ~columns:
+      [
+        ("block", "block");
+        ("mbytes_per_s", "MB/s");
+        ("pct_of_channel", "%channel");
+      ]
+    ~breakdown:(breakdown p)
+    (List.map
+       (fun r ->
+         [
+           ("block", vi r.block);
+           ("mbytes_per_s", vf r.mbytes_per_s);
+           ("pct_of_channel", vf r.pct_of_channel);
+         ])
+       rows)
 
 (* ------------------------------------------------------------------ *)
 (* E4: PIO-FIFO crossover                                              *)
@@ -300,8 +374,9 @@ let pio_pair () =
   install mb fb;
   (engine, ma, mb, fa, fb)
 
-let pio_latency ~size ~trials =
+let pio_latency p ~size ~trials =
   let engine, ma, mb, _fa, _fb = pio_pair () in
+  watch p engine;
   let pa = Scheduler.spawn ma ~name:"pio-snd" in
   let pb = Scheduler.spawn mb ~name:"pio-rcv" in
   (match Syscall.map_device_proxy ma pa ~vdev_index:0 ~pdev_index:0 ~writable:true with
@@ -342,9 +417,10 @@ let pio_latency ~size ~trials =
   done;
   float_of_int !total /. float_of_int trials
 
-let pio_crossover ?(sizes = Sizes.crossover) ?(trials = 8) () =
+let crossover_core ~sizes ~trials p =
   (* UDMA side: one 2-node system reused across sizes *)
   let sys = System.create ~nodes:2 () in
+  watch p (System.engine sys);
   let snd = System.node sys 0 and rcv = System.node sys 1 in
   let sender = Scheduler.spawn snd.System.machine ~name:"s" in
   let receiver = Scheduler.spawn rcv.System.machine ~name:"r" in
@@ -373,20 +449,36 @@ let pio_crossover ?(sizes = Sizes.crossover) ?(trials = 8) () =
       {
         xsize = size;
         udma_cycles = udma_latency sys ch cpu_snd cpu_rcv ~buf ~size ~trials;
-        pio_cycles = pio_latency ~size ~trials;
+        pio_cycles = pio_latency p ~size ~trials;
       })
     sizes
 
-let print_crossover rows =
-  Printf.printf
-    "\n=== E4: one-way latency, UDMA vs memory-mapped FIFO (paper section 9) ===\n";
-  Printf.printf "%8s %14s %14s %10s\n" "size" "UDMA cycles" "PIO cycles" "winner";
-  List.iter
-    (fun r ->
-      Printf.printf "%8s %14.0f %14.0f %10s\n" (Sizes.pretty r.xsize)
-        r.udma_cycles r.pio_cycles
-        (if r.pio_cycles < r.udma_cycles then "PIO" else "UDMA"))
-    rows
+let pio_crossover ?(sizes = Sizes.crossover) ?(trials = 8) () =
+  crossover_core ~sizes ~trials (probe ())
+
+let report_crossover ?(sizes = Sizes.crossover) ?(trials = 8) () =
+  let p = probe () in
+  let rows = crossover_core ~sizes ~trials p in
+  Report.make ~id:"e4_crossover"
+    ~title:"E4: one-way latency, UDMA vs memory-mapped FIFO (section 9)"
+    ~meta:[ ("trials", vi trials) ]
+    ~columns:
+      [
+        ("size", "size");
+        ("udma_cycles", "UDMA cycles");
+        ("pio_cycles", "PIO cycles");
+        ("winner", "winner");
+      ]
+    ~breakdown:(breakdown p)
+    (List.map
+       (fun r ->
+         [
+           ("size", vi r.xsize);
+           ("udma_cycles", vf r.udma_cycles);
+           ("pio_cycles", vf r.pio_cycles);
+           ("winner", vs (if r.pio_cycles < r.udma_cycles then "PIO" else "UDMA"));
+         ])
+       rows)
 
 (* ------------------------------------------------------------------ *)
 (* E5: queueing ablation                                               *)
@@ -398,8 +490,9 @@ type queueing_row = {
   queued_cycles : (int * int) list;
 }
 
-let one_big_transfer ~mode ~total =
+let one_big_transfer ~mode ~total p =
   let m, _udma, _, _ = buffer_rig ~mode () in
+  watch p m.M.engine;
   let proc = Scheduler.spawn m ~name:"p" in
   let page_size = Layout.page_size m.M.layout in
   let pages = (total + page_size - 1) / page_size in
@@ -429,35 +522,40 @@ let one_big_transfer ~mode ~total =
   | Ok s -> s.Initiator.cycles
   | Error e -> fail_transfer e
 
-let queueing ?(total_sizes = [ 8192; 16384; 32768; 65536 ])
-    ?(depths = [ 2; 4; 8; 16 ]) () =
+let queueing_core ~total_sizes ~depths p =
   List.map
     (fun total ->
       {
         total_bytes = total;
-        basic_cycles = one_big_transfer ~mode:Udma_engine.Basic ~total;
+        basic_cycles = one_big_transfer ~mode:Udma_engine.Basic ~total p;
         queued_cycles =
           List.map
             (fun depth ->
-              (depth, one_big_transfer ~mode:(Udma_engine.Queued { depth }) ~total))
+              (depth, one_big_transfer ~mode:(Udma_engine.Queued { depth }) ~total p))
             depths;
       })
     total_sizes
 
-let print_queueing rows =
-  Printf.printf "\n=== E5: multi-page transfers, basic vs queued UDMA (section 7) ===\n";
-  (match rows with
-  | [] -> ()
-  | r :: _ ->
-      Printf.printf "%8s %12s" "total" "basic";
-      List.iter (fun (d, _) -> Printf.printf " %10s" (Printf.sprintf "depth=%d" d)) r.queued_cycles;
-      Printf.printf "\n");
-  List.iter
-    (fun r ->
-      Printf.printf "%8s %12d" (Sizes.pretty r.total_bytes) r.basic_cycles;
-      List.iter (fun (_, c) -> Printf.printf " %10d" c) r.queued_cycles;
-      Printf.printf "\n")
-    rows
+let queueing ?(total_sizes = [ 8192; 16384; 32768; 65536 ])
+    ?(depths = [ 2; 4; 8; 16 ]) () =
+  queueing_core ~total_sizes ~depths (probe ())
+
+let report_queueing ?(total_sizes = [ 8192; 16384; 32768; 65536 ])
+    ?(depths = [ 2; 4; 8; 16 ]) () =
+  let p = probe () in
+  let rows = queueing_core ~total_sizes ~depths p in
+  let depth_field d = Printf.sprintf "depth_%d" d in
+  Report.make ~id:"e5_queueing"
+    ~title:"E5: multi-page transfers, basic vs queued UDMA (section 7)"
+    ~columns:
+      ([ ("total_bytes", "total"); ("basic_cycles", "basic") ]
+      @ List.map (fun d -> (depth_field d, Printf.sprintf "depth=%d" d)) depths)
+    ~breakdown:(breakdown p)
+    (List.map
+       (fun r ->
+         [ ("total_bytes", vi r.total_bytes); ("basic_cycles", vi r.basic_cycles) ]
+         @ List.map (fun (d, c) -> (depth_field d, vi c)) r.queued_cycles)
+       rows)
 
 (* ------------------------------------------------------------------ *)
 (* E6: I1 atomicity under preemption                                   *)
@@ -471,10 +569,11 @@ type atomicity_row = {
   violations : int;
 }
 
-let atomicity ?(probs_pct = [ 0; 5; 10; 20; 30; 50 ]) ?(transfers = 200) () =
+let atomicity_core ~probs_pct ~transfers ~seed p =
   List.map
     (fun pct ->
       let m, udma, _, _ = buffer_rig () in
+      watch p m.M.engine;
       let p1 = Scheduler.spawn m ~name:"p1" in
       let p2 = Scheduler.spawn m ~name:"p2" in
       grant_dev m p1 ~pages:1;
@@ -511,7 +610,7 @@ let atomicity ?(probs_pct = [ 0; 5; 10; 20; 30; 50 ]) ?(transfers = 200) () =
             || (src_proxy = phys_src b2 p2 && dest_proxy = dev1)
           in
           if not legal then incr violations);
-      let rng = Rng.create (42 + pct) in
+      let rng = Rng.create (seed + pct) in
       Scheduler.set_preempt_hook m
         (Some (fun _ -> pct > 0 && Rng.int rng 100 < pct));
       let retries = ref 0 and cycles = ref 0 in
@@ -537,16 +636,36 @@ let atomicity ?(probs_pct = [ 0; 5; 10; 20; 30; 50 ]) ?(transfers = 200) () =
       })
     probs_pct
 
-let print_atomicity rows =
-  Printf.printf
-    "\n=== E6: two-reference atomicity under preemption (invariant I1) ===\n";
-  Printf.printf "%10s %10s %10s %12s %11s\n" "preempt%" "transfers" "retries"
-    "avg cycles" "violations";
-  List.iter
-    (fun r ->
-      Printf.printf "%9d%% %10d %10d %12.1f %11d\n" r.preempt_pct r.transfers
-        r.retries r.avg_cycles r.violations)
-    rows
+let atomicity ?(probs_pct = [ 0; 5; 10; 20; 30; 50 ]) ?(transfers = 200)
+    ?(seed = 42) () =
+  atomicity_core ~probs_pct ~transfers ~seed (probe ())
+
+let report_atomicity ?(probs_pct = [ 0; 5; 10; 20; 30; 50 ])
+    ?(transfers = 200) ?(seed = 42) () =
+  let p = probe () in
+  let rows = atomicity_core ~probs_pct ~transfers ~seed p in
+  Report.make ~id:"e6_atomicity"
+    ~title:"E6: two-reference atomicity under preemption (invariant I1)"
+    ~meta:[ ("transfers", vi transfers); ("seed", vi seed) ]
+    ~columns:
+      [
+        ("preempt_pct", "preempt%");
+        ("transfers", "transfers");
+        ("retries", "retries");
+        ("avg_cycles", "avg cycles");
+        ("violations", "violations");
+      ]
+    ~breakdown:(breakdown p)
+    (List.map
+       (fun r ->
+         [
+           ("preempt_pct", vi r.preempt_pct);
+           ("transfers", vi r.transfers);
+           ("retries", vi r.retries);
+           ("avg_cycles", vf r.avg_cycles);
+           ("violations", vi r.violations);
+         ])
+       rows)
 
 (* ------------------------------------------------------------------ *)
 (* E7: I4 vs pinning                                                   *)
@@ -554,7 +673,7 @@ let print_atomicity rows =
 
 type pinning_row = { label : string; value : float; unit_ : string }
 
-let pinning_vs_i4 () =
+let pinning_core p =
   let costs = Cost_model.default in
   let static =
     [
@@ -572,6 +691,7 @@ let pinning_vs_i4 () =
   in
   (* dynamic: paging pressure while transfers are in flight *)
   let m, _udma, _, _ = buffer_rig ~mem_pages:24 () in
+  watch p m.M.engine;
   let p1 = Scheduler.spawn m ~name:"streamer" in
   let hog = Scheduler.spawn m ~name:"hog" in
   grant_dev m p1 ~pages:1;
@@ -593,7 +713,7 @@ let pinning_vs_i4 () =
     Scheduler.switch_to m p1;
     Engine.run_until_idle m.M.engine
   done;
-  let s name = float_of_int (Stats.get m.M.stats name) in
+  let s name = float_of_int (Metrics.get m.M.metrics name) in
   static
   @ [
       { label = "dynamic run: transfers completed"; value = float_of_int transfers; unit_ = "" };
@@ -602,18 +722,27 @@ let pinning_vs_i4 () =
       { label = "dynamic run: deferred cleans"; value = s "vm.clean_deferred"; unit_ = "" };
     ]
 
-let print_pinning rows =
-  Printf.printf "\n=== E7: page pinning vs the I4 check (section 6) ===\n";
-  List.iter
-    (fun r -> Printf.printf "%-56s %10.0f %s\n" r.label r.value r.unit_)
-    rows
+let pinning_vs_i4 () = pinning_core (probe ())
+
+let report_pinning () =
+  let p = probe () in
+  let rows = pinning_core p in
+  Report.make ~id:"e7_pinning"
+    ~title:"E7: page pinning vs the I4 check (section 6)"
+    ~columns:[ ("label", "case"); ("value", "value"); ("unit", "unit") ]
+    ~breakdown:(breakdown p)
+    (List.map
+       (fun r ->
+         [ ("label", vs r.label); ("value", vf r.value); ("unit", vs r.unit_) ])
+       rows)
 
 (* ------------------------------------------------------------------ *)
 (* E8: proxy fault costs                                               *)
 (* ------------------------------------------------------------------ *)
 
-let proxy_fault_costs () =
+let proxy_fault_core p =
   let m, udma, _, _ = buffer_rig ~mem_pages:16 () in
+  watch p m.M.engine;
   let proc = Scheduler.spawn m ~name:"p" in
   grant_dev m proc ~pages:1;
   let costs = m.M.costs in
@@ -667,13 +796,14 @@ let proxy_fault_costs () =
       0;
   ]
 
-let print_proxy_faults rows =
-  Printf.printf "\n=== E8: demand proxy-mapping costs (section 6) ===\n";
-  Printf.printf "%-52s %10s %10s\n" "case" "cycles" "us";
-  List.iter
-    (fun (r : cost_row) ->
-      Printf.printf "%-52s %10d %10.2f\n" r.label r.cycles r.us)
-    rows
+let proxy_fault_costs () = proxy_fault_core (probe ())
+
+let report_proxy_faults () =
+  let p = probe () in
+  let rows = proxy_fault_core p in
+  Report.make ~id:"e8_proxy_faults"
+    ~title:"E8: demand proxy-mapping costs (section 6)" ~columns:cost_columns
+    ~breakdown:(breakdown p) (cost_rows rows)
 
 (* ------------------------------------------------------------------ *)
 (* E9: I3 policy ablation                                              *)
@@ -688,7 +818,7 @@ type i3_row = {
   cleans : int;
 }
 
-let i3_run ~policy ~transfers ~pages =
+let i3_run ~policy ~transfers ~pages p =
   let config =
     { M.default_config with
       M.udma_mode = Some Udma_engine.Basic;
@@ -696,6 +826,7 @@ let i3_run ~policy ~transfers ~pages =
       i3_policy = policy }
   in
   let m = M.create ~config () in
+  watch p m.M.engine;
   let udma = Option.get m.M.udma in
   let page_size = Layout.page_size m.M.layout in
   let port, store = Device.buffer "dev" ~size:(8 * page_size) in
@@ -733,27 +864,47 @@ let i3_run ~policy ~transfers ~pages =
       | M.Proxy_dirty_union -> "proxy-dirty union (alternative)");
     transfers_done = transfers;
     total_cycles = Engine.now m.M.engine - t0;
-    proxy_faults = Stats.get m.M.stats "vm.proxy_faults";
-    upgrades = Stats.get m.M.stats "vm.dirty_upgrades";
-    cleans = Stats.get m.M.stats "vm.cleans";
+    proxy_faults = Metrics.get m.M.metrics "vm.proxy_faults";
+    upgrades = Metrics.get m.M.metrics "vm.dirty_upgrades";
+    cleans = Metrics.get m.M.metrics "vm.cleans";
   }
 
-let i3_policies ?(transfers = 64) ?(pages = 4) () =
+let i3_core ~transfers ~pages p =
   [
-    i3_run ~policy:M.Write_upgrade ~transfers ~pages;
-    i3_run ~policy:M.Proxy_dirty_union ~transfers ~pages;
+    i3_run ~policy:M.Write_upgrade ~transfers ~pages p;
+    i3_run ~policy:M.Proxy_dirty_union ~transfers ~pages p;
   ]
 
-let print_i3 rows =
-  Printf.printf
-    "\n=== E9: the two I3 content-consistency methods (section 6) ===\n";
-  Printf.printf "%-34s %10s %10s %8s %8s %8s\n" "policy" "transfers" "cycles"
-    "faults" "upgrades" "cleans";
-  List.iter
-    (fun r ->
-      Printf.printf "%-34s %10d %10d %8d %8d %8d\n" r.policy r.transfers_done
-        r.total_cycles r.proxy_faults r.upgrades r.cleans)
-    rows
+let i3_policies ?(transfers = 64) ?(pages = 4) () =
+  i3_core ~transfers ~pages (probe ())
+
+let report_i3 ?(transfers = 64) ?(pages = 4) () =
+  let p = probe () in
+  let rows = i3_core ~transfers ~pages p in
+  Report.make ~id:"e9_i3_policies"
+    ~title:"E9: the two I3 content-consistency methods (section 6)"
+    ~meta:[ ("transfers", vi transfers); ("pages", vi pages) ]
+    ~columns:
+      [
+        ("policy", "policy");
+        ("transfers", "transfers");
+        ("cycles", "cycles");
+        ("proxy_faults", "faults");
+        ("upgrades", "upgrades");
+        ("cleans", "cleans");
+      ]
+    ~breakdown:(breakdown p)
+    (List.map
+       (fun r ->
+         [
+           ("policy", vs r.policy);
+           ("transfers", vi r.transfers_done);
+           ("cycles", vi r.total_cycles);
+           ("proxy_faults", vi r.proxy_faults);
+           ("upgrades", vi r.upgrades);
+           ("cleans", vi r.cleans);
+         ])
+       rows)
 
 (* ------------------------------------------------------------------ *)
 (* E10: deliberate vs automatic update                                 *)
@@ -767,8 +918,9 @@ type update_row = {
   automatic_packets : int;
 }
 
-let update_rig () =
+let update_rig p =
   let sys = System.create ~nodes:2 () in
+  watch p (System.engine sys);
   let snd = System.node sys 0 in
   let sp = Scheduler.spawn snd.Udma_shrimp.System.machine ~name:"s" in
   let rp =
@@ -777,8 +929,8 @@ let update_rig () =
   (sys, snd, sp, rp)
 
 (* deliberate: one UDMA transfer per update *)
-let deliberate_updates ~offsets ~len =
-  let sys, snd, sp, rp = update_rig () in
+let deliberate_updates ~offsets ~len p =
+  let sys, snd, sp, rp = update_rig p in
   let m = snd.Udma_shrimp.System.machine in
   let export = System.export_buffer sys ~node:1 ~proc:rp ~pages:1 in
   System.import_export sys ~node:0 ~proc:sp ~first_index:0 export;
@@ -813,8 +965,8 @@ let deliberate_updates ~offsets ~len =
    Udma_shrimp.Network_interface.packets_sent snd.Udma_shrimp.System.ni - sent0)
 
 (* automatic: plain stores to a bound page *)
-let automatic_updates ~offsets ~len =
-  let sys, snd, sp, rp = update_rig () in
+let automatic_updates ~offsets ~len p =
+  let sys, snd, sp, rp = update_rig p in
   let m = snd.Udma_shrimp.System.machine in
   let export = System.export_buffer sys ~node:1 ~proc:rp ~pages:1 in
   let buf = Kernel.alloc_buffer m sp ~bytes:4096 in
@@ -836,16 +988,16 @@ let automatic_updates ~offsets ~len =
   (cycles,
    Udma_shrimp.Network_interface.packets_sent snd.Udma_shrimp.System.ni - sent0)
 
-let update_strategies () =
+let update_core p =
   let scattered =
     (* 32 single-word updates scattered across the page *)
     List.init 32 (fun i -> (i * 41 * 4) mod 4000 land lnot 3)
   in
-  let d_c, d_p = deliberate_updates ~offsets:scattered ~len:4 in
-  let a_c, a_p = automatic_updates ~offsets:scattered ~len:4 in
+  let d_c, d_p = deliberate_updates ~offsets:scattered ~len:4 p in
+  let a_c, a_p = automatic_updates ~offsets:scattered ~len:4 p in
   let bulk = [ 0 ] in
-  let bd_c, bd_p = deliberate_updates ~offsets:bulk ~len:4096 in
-  let ba_c, ba_p = automatic_updates ~offsets:bulk ~len:4096 in
+  let bd_c, bd_p = deliberate_updates ~offsets:bulk ~len:4096 p in
+  let ba_c, ba_p = automatic_updates ~offsets:bulk ~len:4096 p in
   [
     {
       workload = "32 scattered single-word updates";
@@ -863,29 +1015,66 @@ let update_strategies () =
     };
   ]
 
-let print_updates rows =
-  Printf.printf
-    "\n=== E10: deliberate vs automatic update (section 9) ===\n";
-  Printf.printf "%-36s %12s %12s %8s %8s\n" "workload" "delib cyc" "auto cyc"
-    "delib pk" "auto pk";
-  List.iter
-    (fun r ->
-      Printf.printf "%-36s %12d %12d %8d %8d\n" r.workload r.deliberate_cycles
-        r.automatic_cycles r.deliberate_packets r.automatic_packets)
-    rows
+let update_strategies () = update_core (probe ())
+
+let report_updates () =
+  let p = probe () in
+  let rows = update_core p in
+  Report.make ~id:"e10_updates"
+    ~title:"E10: deliberate vs automatic update (section 9)"
+    ~columns:
+      [
+        ("workload", "workload");
+        ("deliberate_cycles", "delib cyc");
+        ("automatic_cycles", "auto cyc");
+        ("deliberate_packets", "delib pk");
+        ("automatic_packets", "auto pk");
+      ]
+    ~breakdown:(breakdown p)
+    (List.map
+       (fun r ->
+         [
+           ("workload", vs r.workload);
+           ("deliberate_cycles", vi r.deliberate_cycles);
+           ("automatic_cycles", vi r.automatic_cycles);
+           ("deliberate_packets", vi r.deliberate_packets);
+           ("automatic_packets", vi r.automatic_packets);
+         ])
+       rows)
 
 (* ------------------------------------------------------------------ *)
+(* drivers                                                             *)
+(* ------------------------------------------------------------------ *)
 
-let run_all () =
-  print_figure8 (figure8 ());
-  Printf.printf "\n--- same sweep on the queued (section 7) hardware ---\n";
-  print_figure8 (figure8 ~queued:true ());
-  print_costs (initiation_costs ());
-  print_hippi (hippi_motivation ());
-  print_crossover (pio_crossover ());
-  print_queueing (queueing ());
-  print_atomicity (atomicity ());
-  print_pinning (pinning_vs_i4 ());
-  print_proxy_faults (proxy_fault_costs ());
-  print_i3 (i3_policies ());
-  print_updates (update_strategies ())
+let all_reports ?(quick = false) ?(seed = 42) () =
+  if quick then
+    [
+      report_figure8 ~sizes:[ 512; 1024; 4096; 16384 ] ~messages:8 ();
+      report_figure8 ~sizes:[ 512; 1024; 4096; 16384 ] ~messages:8
+        ~queued:true ();
+      report_costs ();
+      report_hippi ~blocks:[ 1024; 4096; 65536; 262144 ] ();
+      report_crossover ~sizes:[ 64; 512; 4096 ] ~trials:2 ();
+      report_queueing ~total_sizes:[ 16384; 65536 ] ~depths:[ 4; 8 ] ();
+      report_atomicity ~probs_pct:[ 0; 20 ] ~transfers:40 ~seed ();
+      report_pinning ();
+      report_proxy_faults ();
+      report_i3 ~transfers:16 ~pages:4 ();
+      report_updates ();
+    ]
+  else
+    [
+      report_figure8 ();
+      report_figure8 ~queued:true ();
+      report_costs ();
+      report_hippi ();
+      report_crossover ();
+      report_queueing ();
+      report_atomicity ~seed ();
+      report_pinning ();
+      report_proxy_faults ();
+      report_i3 ();
+      report_updates ();
+    ]
+
+let run_all () = List.iter Report.print (all_reports ())

@@ -1,7 +1,13 @@
 (** Experiment harnesses — one per paper table/figure (see DESIGN.md §4
-    for the index). Each returns typed rows; [print_*] renders the
-    series the way the paper reports them. Both `bench/main.exe` and
-    `bin/shrimp_sim.exe` drive these. *)
+    for the index). Each experiment has two entry points: the typed-row
+    function (kept stable for tests) and a [report_*] builder that runs
+    the same harness and packages rows, parameters and a cycle
+    breakdown into a {!Udma_obs.Report.t}. The paper-style table and
+    the JSON document both derive from that one value
+    ([Udma_obs.Report.print] / [Udma_obs.Report.to_json]), so
+    `bench/main.exe` and `bin/shrimp_sim.exe` can never drift. *)
+
+module Report = Udma_obs.Report
 
 (** {1 E1 — Figure 8: deliberate-update bandwidth vs. message size} *)
 
@@ -20,7 +26,8 @@ val figure8 :
     swaps in the §7 queued hardware and the pipelined initiator as an
     ablation. *)
 
-val print_figure8 : bw_point list -> unit
+val report_figure8 :
+  ?sizes:int list -> ?messages:int -> ?queued:bool -> unit -> Report.t
 
 (** {1 E2 — initiation cost (the §8 "2.8 µs" and §1/§2 contrast)} *)
 
@@ -30,7 +37,7 @@ val initiation_costs : unit -> cost_row list
 (** UDMA two-reference initiation vs. the traditional kernel paths
     (pin and copy strategies, 4 B and 4 KB), on the default profile. *)
 
-val print_costs : cost_row list -> unit
+val report_costs : unit -> Report.t
 
 (** {1 E3 — §1 HIPPI motivation: kernel DMA bandwidth vs. block size} *)
 
@@ -45,7 +52,7 @@ val hippi_motivation : ?blocks:int list -> unit -> hippi_row list
     channel; reproduces "2.7 MB/s at 1 KB" and the large-block
     requirement for 80 % utilisation. *)
 
-val print_hippi : hippi_row list -> unit
+val report_hippi : ?blocks:int list -> unit -> Report.t
 
 (** {1 E4 — §9 PIO-FIFO vs. UDMA crossover} *)
 
@@ -57,7 +64,7 @@ type crossover_row = {
 
 val pio_crossover : ?sizes:int list -> ?trials:int -> unit -> crossover_row list
 
-val print_crossover : crossover_row list -> unit
+val report_crossover : ?sizes:int list -> ?trials:int -> unit -> Report.t
 
 (** {1 E5 — §7 queueing ablation} *)
 
@@ -69,7 +76,8 @@ type queueing_row = {
 
 val queueing : ?total_sizes:int list -> ?depths:int list -> unit -> queueing_row list
 
-val print_queueing : queueing_row list -> unit
+val report_queueing :
+  ?total_sizes:int list -> ?depths:int list -> unit -> Report.t
 
 (** {1 E6 — I1 atomicity under preemption} *)
 
@@ -81,9 +89,14 @@ type atomicity_row = {
   violations : int;       (** cross-process pairings observed (must be 0) *)
 }
 
-val atomicity : ?probs_pct:int list -> ?transfers:int -> unit -> atomicity_row list
+val atomicity :
+  ?probs_pct:int list -> ?transfers:int -> ?seed:int -> unit ->
+  atomicity_row list
+(** [seed] (default 42) drives the preemption coin flips; the per-point
+    RNG is seeded with [seed + pct] so runs replay exactly. *)
 
-val print_atomicity : atomicity_row list -> unit
+val report_atomicity :
+  ?probs_pct:int list -> ?transfers:int -> ?seed:int -> unit -> Report.t
 
 (** {1 E7 — I4 remap-check vs. pinning} *)
 
@@ -93,7 +106,7 @@ val pinning_vs_i4 : unit -> pinning_row list
 (** Static per-page costs plus a dynamic paging-under-transfers run
     reporting I4 skips and deferred cleans. *)
 
-val print_pinning : pinning_row list -> unit
+val report_pinning : unit -> Report.t
 
 (** {1 E8 — §6 proxy-fault costs} *)
 
@@ -101,7 +114,7 @@ val proxy_fault_costs : unit -> cost_row list
 (** Cold (fault + mapping) vs. warm proxy references; the in-core,
     paged-out and illegal cases. *)
 
-val print_proxy_faults : cost_row list -> unit
+val report_proxy_faults : unit -> Report.t
 
 (** {1 E9 — I3 policy ablation (§6's two content-consistency methods)} *)
 
@@ -120,7 +133,7 @@ val i3_policies : ?transfers:int -> ?pages:int -> unit -> i3_row list
     and [Proxy_dirty_union]. The union policy trades upgrade faults
     for paging-code complexity, as §6 predicts. *)
 
-val print_i3 : i3_row list -> unit
+val report_i3 : ?transfers:int -> ?pages:int -> unit -> Report.t
 
 (** {1 E10 — deliberate vs automatic update (§9)} *)
 
@@ -138,9 +151,17 @@ val update_strategies : unit -> update_row list
     update. Automatic update should win fine-grain scattered writes;
     deliberate update should win bulk. *)
 
-val print_updates : update_row list -> unit
+val report_updates : unit -> Report.t
 
 (** {1 Driver} *)
+
+val all_reports : ?quick:bool -> ?seed:int -> unit -> Report.t list
+(** Every experiment (E1 basic + queued, E2..E10) as reports, in
+    order. [quick] (default false) substitutes the small deterministic
+    parameter set CI uses for the committed [BENCH_baseline.json];
+    [seed] feeds the randomized experiments (E6). Each report carries
+    its own cycle breakdown; the breakdown's sum equals the total
+    simulated cycles across every engine that experiment created. *)
 
 val run_all : unit -> unit
 (** Run and print every experiment (what [bench/main.exe] calls). *)

@@ -184,7 +184,7 @@ let rig ?(mode = Udma_engine.Basic) () =
   let mem = Phys_mem.create ~frames:16 ~page_size:4096 in
   let engine = Engine.create () in
   let bus = Bus.create mem in
-  let dma = Dma_engine.create ~engine ~bus in
+  let dma = Dma_engine.create ~engine ~bus () in
   let udma = Udma_engine.create ~engine ~layout ~bus ~dma ~mode () in
   let port, store = Device.buffer "dev" ~size:(8 * 4096) in
   Udma_engine.attach_device udma ~base_page:0 ~pages:8 ~port ();
@@ -265,7 +265,7 @@ let test_engine_unbound_device_page () =
   let mem = Phys_mem.create ~frames:16 ~page_size:4096 in
   let engine = Engine.create () in
   let bus = Bus.create mem in
-  let dma = Dma_engine.create ~engine ~bus in
+  let dma = Dma_engine.create ~engine ~bus () in
   let udma2 = Udma_engine.create ~engine ~layout:layout2 ~bus ~dma () in
   let port, _ = Device.buffer "d" ~size:(4 * 4096) in
   Udma_engine.attach_device udma2 ~base_page:0 ~pages:4 ~port ();
@@ -280,7 +280,7 @@ let test_engine_validate_hook () =
   let mem = Phys_mem.create ~frames:16 ~page_size:4096 in
   let engine = Engine.create () in
   let bus = Bus.create mem in
-  let dma = Dma_engine.create ~engine ~bus in
+  let dma = Dma_engine.create ~engine ~bus () in
   let udma = Udma_engine.create ~engine ~layout ~bus ~dma () in
   let port, _ = Device.buffer "d" ~size:(8 * 4096) in
   (* a device that requires 4-byte alignment, like SHRIMP (§8) *)

@@ -14,7 +14,7 @@ let rig () =
   let mem = Phys_mem.create ~frames:8 ~page_size:4096 in
   let engine = Engine.create () in
   let bus = Bus.create mem in
-  let dma = Dma_engine.create ~engine ~bus in
+  let dma = Dma_engine.create ~engine ~bus () in
   (engine, mem, bus, dma)
 
 (* ---------- Bus ---------- *)

@@ -279,7 +279,7 @@ let test_messaging_under_memory_pressure () =
       (Bytes.sub (Messaging.read_payload ch ~len:1024) 0 1024)
   done;
   checkb "paging actually happened" true
-    (Udma_sim.Stats.get snd.System.machine.M.stats "vm.evictions" > 0)
+    (Udma_obs.Metrics.get snd.System.machine.M.metrics "vm.evictions" > 0)
 
 let test_concurrent_channels_interleave () =
   (* two senders on one node share the UDMA engine; the basic hardware

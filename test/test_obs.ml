@@ -1,0 +1,306 @@
+(* Unit + property tests for the observability layer (lib/obs): JSON
+   emitter/parser, metrics histograms, the report schema, and the
+   profiler invariant sum(categories) = Engine.now. *)
+
+module Json = Udma_obs.Json
+module Event = Udma_obs.Event
+module Metrics = Udma_obs.Metrics
+module Profiler = Udma_obs.Profiler
+module Report = Udma_obs.Report
+module Engine = Udma_sim.Engine
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+let checks = Alcotest.check Alcotest.string
+
+(* ---------- Json ---------- *)
+
+let test_json_emit () =
+  let doc =
+    Json.Obj
+      [
+        ("a", Json.Int 1);
+        ("b", Json.List [ Json.Str "x"; Json.Bool true; Json.Null ]);
+        ("c", Json.Float 1.5);
+      ]
+  in
+  checks "compact" {|{"a":1,"b":["x",true,null],"c":1.5}|} (Json.to_string doc)
+
+let test_json_escapes () =
+  checks "escaped" {|"a\"b\\c\nd"|} (Json.to_string (Json.Str "a\"b\\c\nd"))
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Str "udma-bench/1");
+        ("n", Json.Int (-42));
+        ("x", Json.Float 0.25);
+        ("flags", Json.List [ Json.Bool false; Json.Null ]);
+        ("nested", Json.Obj [ ("deep", Json.List [ Json.Int 1; Json.Int 2 ]) ]);
+        ("text", Json.Str "line1\nline2 \"quoted\" \\slash");
+      ]
+  in
+  (* emit (indented and compact), reparse, compare structurally *)
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok doc' -> checkb "roundtrip" true (doc = doc')
+      | Error msg -> Alcotest.failf "parse failed: %s" msg)
+    [ Json.to_string doc; Json.to_string ~indent:2 doc ]
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "accepted invalid JSON: %s" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "\"unterminated"; "1 2" ]
+
+let test_json_accessors () =
+  let doc =
+    Json.Obj
+      [ ("outer", Json.Obj [ ("inner", Json.List [ Json.Int 7 ]) ]) ]
+  in
+  (match Json.path [ "outer"; "inner" ] doc with
+  | Some (Json.List [ Json.Int 7 ]) -> ()
+  | _ -> Alcotest.fail "path lookup");
+  checkb "number of int" true (Json.number (Json.Int 3) = Some 3.0);
+  checkb "string_" true (Json.string_ (Json.Str "s") = Some "s")
+
+(* ---------- Metrics histograms ---------- *)
+
+let test_histogram_edges () =
+  let m = Metrics.create () in
+  (* default buckets are powers of two 1..65536; a value lands in the
+     first bucket whose edge is >= the value *)
+  Metrics.observe m "h" 1;
+  Metrics.observe m "h" 2;
+  Metrics.observe m "h" 3;
+  (* 3 -> bucket le_4 *)
+  Metrics.observe m "h" 65536;
+  Metrics.observe m "h" 65537;
+  (* -> overflow *)
+  Metrics.observe m "h" 0;
+  (* 0 <= 1 -> first bucket *)
+  match Metrics.histogram m "h" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+      checki "count" 6 h.Metrics.count;
+      checki "sum" (1 + 2 + 3 + 65536 + 65537 + 0) h.Metrics.sum;
+      checki "overflow" 1 h.Metrics.overflow;
+      let bucket edge = List.assoc edge h.Metrics.buckets in
+      checki "le_1 holds 0 and 1" 2 (bucket 1);
+      checki "le_2 holds 2" 1 (bucket 2);
+      checki "le_4 holds 3" 1 (bucket 4);
+      checki "le_65536 holds 65536" 1 (bucket 65536)
+
+let test_histogram_custom_buckets () =
+  let m = Metrics.create () in
+  Metrics.observe m ~buckets:[ 10; 100 ] "h" 5;
+  Metrics.observe m ~buckets:[ 10; 100 ] "h" 10;
+  Metrics.observe m ~buckets:[ 10; 100 ] "h" 11;
+  Metrics.observe m ~buckets:[ 10; 100 ] "h" 1000;
+  (match Metrics.histogram m "h" with
+  | Some h ->
+      checki "le_10" 2 (List.assoc 10 h.Metrics.buckets);
+      checki "le_100" 1 (List.assoc 100 h.Metrics.buckets);
+      checki "overflow" 1 h.Metrics.overflow
+  | None -> Alcotest.fail "histogram missing");
+  (* non-increasing edges are a programming error *)
+  checkb "bad buckets rejected" true
+    (match Metrics.observe m ~buckets:[ 10; 10 ] "h2" 1 with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_counters_and_gauges () =
+  let m = Metrics.create () in
+  Metrics.incr m "c";
+  Metrics.add m "c" 4;
+  checki "counter" 5 (Metrics.get m "c");
+  checki "absent counter" 0 (Metrics.get m "zzz");
+  Metrics.set_gauge m "g" 2.5;
+  checkb "gauge" true (Metrics.gauge m "g" = Some 2.5)
+
+(* ---------- Report: the golden schema ---------- *)
+
+let test_report_golden_json () =
+  let profiler = Profiler.create () in
+  Profiler.charge profiler ~cat:Profiler.Kernel 10;
+  Profiler.charge profiler ~cat:Profiler.Dma 30;
+  let report =
+    Report.make ~id:"e0_golden" ~title:"golden"
+      ~meta:[ ("trials", Report.Int 2) ]
+      ~columns:[ ("size", "size"); ("pct", "%") ]
+      ~breakdown:(Profiler.snapshot profiler)
+      [
+        [ ("size", Report.Int 512); ("pct", Report.Float 51.0) ];
+        [ ("size", Report.Int 4096); ("pct", Report.Float 96.0) ];
+      ]
+  in
+  let doc = Report.bench_json ~meta:[ ("seed", Report.Int 42) ] [ report ] in
+  let golden =
+    {|{"schema":"udma-bench/1","meta":{"seed":42},"experiments":[{"id":"e0_golden","title":"golden","meta":{"trials":2},"rows":[{"size":512,"pct":51.0},{"size":4096,"pct":96.0}],"breakdown":{"user_ref":0,"kernel":10,"dma":30,"wire":0,"device":0,"idle":0,"total":40}}]}|}
+  in
+  checks "bench_json golden" golden (Json.to_string doc);
+  (* and it must reparse *)
+  match Json.parse (Json.to_string ~indent:2 doc) with
+  | Ok doc' -> checkb "reparses" true (doc = doc')
+  | Error msg -> Alcotest.failf "golden does not reparse: %s" msg
+
+let test_report_schema_fields () =
+  (* every experiment report carries id/title/rows, and the breakdown
+     sums match the declared total *)
+  let reports =
+    [
+      Udma_workloads.Runner.report_costs ();
+      Udma_workloads.Runner.report_proxy_faults ();
+    ]
+  in
+  List.iter
+    (fun (r : Report.t) ->
+      let doc = Report.to_json r in
+      checkb "has id" true (Json.member "id" doc <> None);
+      checkb "has rows" true
+        (match Json.member "rows" doc with
+        | Some (Json.List (_ :: _)) -> true
+        | _ -> false);
+      match Json.path [ "breakdown"; "total" ] doc with
+      | Some (Json.Int total) ->
+          let parts =
+            List.fold_left
+              (fun acc cat ->
+                match
+                  Json.path [ "breakdown"; Profiler.category_name cat ] doc
+                with
+                | Some (Json.Int n) -> acc + n
+                | _ -> acc)
+              0 Profiler.categories
+          in
+          checki "breakdown sums to total" total parts;
+          checkb "experiment consumed cycles" true (total > 0)
+      | _ -> Alcotest.fail "missing breakdown.total")
+    reports
+
+(* ---------- Events ---------- *)
+
+let test_event_json () =
+  let ev =
+    Event.make ~time:7 Event.Udma
+      (Event.Sm_transition { from_ = "Idle"; to_ = "SrcReady"; cause = "store" })
+  in
+  let doc = Event.to_json ev in
+  checkb "time field" true (Json.member "t" doc = Some (Json.Int 7));
+  checkb "sub field" true (Json.member "sub" doc = Some (Json.Str "udma"));
+  checkb "kind field" true
+    (Json.member "kind" doc = Some (Json.Str "sm_transition"))
+
+let test_jsonl_sink () =
+  let path = Filename.temp_file "udma_obs" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let sink = Event.jsonl_sink oc in
+      sink
+        (Event.make ~time:1 Event.Dma
+           (Event.Dma_burst { src = 0; dst = 0x1000; nbytes = 64; duration = 16 }));
+      sink (Event.make ~time:2 Event.Sim (Event.Note "done"));
+      close_out oc;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      let lines = List.rev !lines in
+      checki "one line per event" 2 (List.length lines);
+      List.iter
+        (fun line ->
+          match Json.parse line with
+          | Ok _ -> ()
+          | Error msg -> Alcotest.failf "bad JSON line %s: %s" line msg)
+        lines)
+
+(* ---------- Profiler: the sum invariant, as a qcheck property ---------- *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* random program against the engine: advances, scheduled events (with
+   and without a category), nested with_category sections *)
+let prop_profiler_sums_to_now =
+  let gen =
+    QCheck.(
+      list_of_size Gen.(int_range 1 40)
+        (triple (int_bound 5) (int_bound 200) (int_bound 50)))
+  in
+  QCheck.Test.make ~count:200
+    ~name:"profiler category totals always sum to Engine.now" gen (fun ops ->
+      let engine = Engine.create () in
+      List.iter
+        (fun (kind, a, b) ->
+          match kind with
+          | 0 -> Engine.advance engine a
+          | 1 ->
+              Engine.with_category engine Engine.Profiler.User_ref (fun () ->
+                  Engine.advance engine b)
+          | 2 ->
+              Engine.schedule engine ~delay:a (fun e -> Engine.advance e (b / 2))
+          | 3 ->
+              Engine.schedule engine ~cat:Engine.Profiler.Dma ~delay:a
+                (fun _ -> ())
+          | 4 ->
+              Engine.with_category engine Engine.Profiler.Kernel (fun () ->
+                  Engine.advance engine a;
+                  Engine.with_category engine Engine.Profiler.Wire (fun () ->
+                      Engine.advance engine b))
+          | _ -> Engine.run_until engine (Engine.now engine + a))
+        ops;
+      Engine.run_until_idle engine;
+      Profiler.sum (Engine.profile engine) = Engine.now engine)
+  |> qtest
+
+(* the same invariant over a real workload harness: every engine a
+   report tracked ends with totals summing to its elapsed cycles *)
+let test_report_breakdown_matches_engines () =
+  let r = Udma_workloads.Runner.report_costs () in
+  match r.Report.breakdown with
+  | None -> Alcotest.fail "report has no breakdown"
+  | Some totals -> checkb "non-empty" true (Profiler.sum totals > 0)
+
+let () =
+  Alcotest.run "udma_obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "emit" `Quick test_json_emit;
+          Alcotest.test_case "escapes" `Quick test_json_escapes;
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram edges" `Quick test_histogram_edges;
+          Alcotest.test_case "custom buckets" `Quick
+            test_histogram_custom_buckets;
+          Alcotest.test_case "counters and gauges" `Quick
+            test_counters_and_gauges;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "golden bench_json" `Quick test_report_golden_json;
+          Alcotest.test_case "schema fields + breakdown sum" `Quick
+            test_report_schema_fields;
+          Alcotest.test_case "breakdown present" `Quick
+            test_report_breakdown_matches_engines;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "event json" `Quick test_event_json;
+          Alcotest.test_case "jsonl sink" `Quick test_jsonl_sink;
+        ] );
+      ("profiler", [ prop_profiler_sums_to_now ]);
+    ]

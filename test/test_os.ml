@@ -411,7 +411,7 @@ let test_union_no_upgrade_fault () =
   | Ok _ -> ()
   | Error e -> Alcotest.failf "transfer failed: %a" Initiator.pp_error e);
   Engine.run_until_idle m.M.engine;
-  checki "no upgrade faults" 0 (Udma_sim.Stats.get m.M.stats "vm.dirty_upgrades");
+  checki "no upgrade faults" 0 (Udma_obs.Metrics.get m.M.metrics "vm.dirty_upgrades");
   check Alcotest.bytes "data landed" (fill_pattern 128 3)
     (Kernel.read_user m proc ~vaddr:buf ~len:128);
   (* the proxy page, not the real page, carries the dirty bit *)
@@ -511,7 +511,7 @@ let test_demand_paging_preserves_data () =
         (Kernel.read_user m p1 ~vaddr:v ~len:4096))
     bufs;
   checkb "evictions happened" true
-    (Udma_sim.Stats.get m.M.stats "vm.evictions" > 0)
+    (Udma_obs.Metrics.get m.M.metrics "vm.evictions" > 0)
 
 (* ---------- traditional DMA baseline ---------- *)
 
@@ -639,7 +639,7 @@ let test_scheduler_round_robin () =
   checkb "rotated to p3" true (Scheduler.current m = Some p3);
   Scheduler.preempt m;
   checkb "wrapped to p1" true (Scheduler.current m = Some p1);
-  checki "switches counted" 3 (Udma_sim.Stats.get m.M.stats "sched.switches")
+  checki "switches counted" 3 (Udma_obs.Metrics.get m.M.metrics "sched.switches")
 
 let test_scheduler_exit () =
   let m, _udma, _, _ = machine_with_buffer () in
@@ -783,7 +783,7 @@ let test_clean_deferred_during_transfer () =
   in
   checkb "started" true st.Status.started;
   checkb "clean deferred while DMA in flight" false (Vm.clean_page m proc ~vpn);
-  checki "deferral counted" 1 (Udma_sim.Stats.get m.M.stats "vm.clean_deferred");
+  checki "deferral counted" 1 (Udma_obs.Metrics.get m.M.metrics "vm.clean_deferred");
   Engine.run_until_idle m.M.engine;
   checkb "clean succeeds after completion" true (Vm.clean_page m proc ~vpn)
 

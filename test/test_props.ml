@@ -356,24 +356,27 @@ let prop_trace_wraparound =
   qtest ~count:200 "trace at capacity keeps a suffix ending in the newest"
     QCheck.(pair (int_range 1 64) (int_bound 300))
     (fun (capacity, n) ->
+      let module Event = Udma_obs.Event in
       let t = Udma_sim.Trace.create ~capacity ~enabled:true () in
       for i = 0 to n - 1 do
-        Udma_sim.Trace.record t ~time:i (string_of_int i)
+        Udma_sim.Trace.note t ~time:i Event.Sim (string_of_int i)
       done;
       let evs = Udma_sim.Trace.events t in
       let len = List.length evs in
+      let is_seq i (ev : Event.t) =
+        ev.Event.time = i && ev.Event.payload = Event.Note (string_of_int i)
+      in
       (* the exact retained length depends on trim points; the contract
          is: bounded by capacity, a consecutive suffix, newest last *)
       len <= capacity
       && (n = 0 || len > 0)
-      && (n = 0
-         || List.nth evs (len - 1) = (n - 1, string_of_int (n - 1)))
+      && (n = 0 || is_seq (n - 1) (List.nth evs (len - 1)))
       && (evs = []
          || fst
               (List.fold_left
-                 (fun (ok, prev) (time, msg) ->
-                   ((ok && time = prev + 1 && msg = string_of_int time), time))
-                 (true, fst (List.hd evs) - 1)
+                 (fun (ok, prev) (ev : Event.t) ->
+                   ((ok && is_seq (prev + 1) ev), ev.Event.time))
+                 (true, (List.hd evs).Event.time - 1)
                  evs)))
 
 (* ---------- TLB: LRU eviction order matches a model ---------- *)

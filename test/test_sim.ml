@@ -181,6 +181,23 @@ let test_stats_empty_summary () =
   let s = Stats.create () in
   checkb "no data no summary" true (Stats.summarize s "none" = None)
 
+let test_stats_dump () =
+  let s = Stats.create () in
+  Stats.incr s "hits";
+  Stats.observe s "lat" 4.0;
+  Stats.observe s "lat" 8.0;
+  let dump = Stats.dump s in
+  (* the dump is standalone JSON (parsed with the obs parser) *)
+  match Udma_obs.Json.parse dump with
+  | Error msg -> Alcotest.failf "dump is not JSON (%s): %s" msg dump
+  | Ok doc ->
+      checkb "hits counter" true
+        (Udma_obs.Json.path [ "counters"; "hits" ] doc
+        = Some (Udma_obs.Json.Int 1));
+      checkb "series count" true
+        (Udma_obs.Json.path [ "series"; "lat"; "count" ] doc
+        = Some (Udma_obs.Json.Int 2))
+
 let test_stats_reset () =
   let s = Stats.create () in
   Stats.incr s "x";
@@ -234,33 +251,56 @@ let test_rng_pick () =
 
 let test_trace_basic () =
   let t = Trace.create ~enabled:true () in
-  Trace.record t ~time:1 "hello";
-  Trace.recordf t ~time:2 "value=%d" 42;
-  Alcotest.(check (list (pair int string)))
-    "events in order"
-    [ (1, "hello"); (2, "value=42") ]
-    (Trace.events t)
+  Trace.note t ~time:1 Trace.Event.Sim "hello";
+  Trace.record t ~time:2 Trace.Event.Udma
+    (Trace.Event.Udma_start { src = 0x100; dst = 0x200; nbytes = 64 });
+  match Trace.events t with
+  | [ e1; e2 ] ->
+      checki "first time" 1 e1.Trace.Event.time;
+      checkb "note payload" true
+        (e1.Trace.Event.payload = Trace.Event.Note "hello");
+      checki "second time" 2 e2.Trace.Event.time;
+      checkb "typed payload" true
+        (match e2.Trace.Event.payload with
+        | Trace.Event.Udma_start { nbytes; _ } -> nbytes = 64
+        | _ -> false)
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
 
 let test_trace_disabled () =
   let t = Trace.create ~enabled:false () in
-  Trace.record t ~time:1 "x";
-  Trace.recordf t ~time:2 "y%d" 1;
+  Trace.note t ~time:1 Trace.Event.Sim "x";
+  Trace.record t ~time:2 Trace.Event.Vm
+    (Trace.Event.Fault { vaddr = 0x1000; kind = "page" });
   checki "nothing recorded" 0 (List.length (Trace.events t))
 
 let test_trace_matching () =
   let t = Trace.create ~enabled:true () in
-  Trace.record t ~time:1 "udma: start";
-  Trace.record t ~time:2 "sched: switch";
-  Trace.record t ~time:3 "udma: inval";
-  checki "matching" 2 (List.length (Trace.matching t "udma"));
-  checki "no match" 0 (List.length (Trace.matching t "zzz"))
+  Trace.note t ~time:1 Trace.Event.Udma "start";
+  Trace.note t ~time:2 Trace.Event.Sched "switch";
+  Trace.note t ~time:3 Trace.Event.Udma "inval";
+  checki "matching" 2
+    (List.length
+       (Trace.matching t (fun e -> e.Trace.Event.subsystem = Trace.Event.Udma)));
+  checki "no match" 0
+    (List.length
+       (Trace.matching t (fun e -> e.Trace.Event.subsystem = Trace.Event.Ni)))
 
 let test_trace_capacity () =
   let t = Trace.create ~capacity:10 ~enabled:true () in
   for i = 1 to 100 do
-    Trace.record t ~time:i "e"
+    Trace.note t ~time:i Trace.Event.Sim "e"
   done;
   checkb "bounded" true (List.length (Trace.events t) <= 10)
+
+let test_trace_sinks () =
+  (* sinks fire even when the ring is disabled *)
+  let t = Trace.create ~enabled:false () in
+  let sink, count = Trace.Event.counting_sink () in
+  Trace.add_sink t sink;
+  Trace.note t ~time:1 Trace.Event.Sim "a";
+  Trace.note t ~time:2 Trace.Event.Sim "b";
+  checki "sink saw both" 2 (count ());
+  checki "ring still empty" 0 (List.length (Trace.events t))
 
 let () =
   Alcotest.run "udma_sim"
@@ -292,6 +332,7 @@ let () =
           Alcotest.test_case "counters" `Quick test_stats_counters;
           Alcotest.test_case "summary" `Quick test_stats_summary;
           Alcotest.test_case "empty summary" `Quick test_stats_empty_summary;
+          Alcotest.test_case "json dump" `Quick test_stats_dump;
           Alcotest.test_case "reset" `Quick test_stats_reset;
         ] );
       ( "rng",
@@ -309,5 +350,6 @@ let () =
           Alcotest.test_case "disabled" `Quick test_trace_disabled;
           Alcotest.test_case "matching" `Quick test_trace_matching;
           Alcotest.test_case "capacity" `Quick test_trace_capacity;
+          Alcotest.test_case "sinks" `Quick test_trace_sinks;
         ] );
     ]
