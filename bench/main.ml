@@ -5,8 +5,9 @@
    corresponding simulation harness. With --json it instead writes the
    whole run as one udma-bench/1 document (BENCH_udma.json), and with
    --check FILE it diffs the paper anchors (E1 %-of-max at 512 B and
-   4 KB, E2 initiation cycles) against a previously committed baseline,
-   failing on >±2 % drift — that is the CI regression gate. *)
+   4 KB, E2 initiation cycles, E11 saturation knee) against a
+   previously committed baseline, failing on >±2 % drift — that is the
+   CI regression gate. *)
 
 module Runner = Udma_workloads.Runner
 module Report = Udma_obs.Report
@@ -45,6 +46,11 @@ let bech_tests =
            ignore (Runner.i3_policies ~transfers:8 ~pages:2 ())));
     Test.make ~name:"e10_updates"
       (Staged.stage (fun () -> ignore (Runner.update_strategies ())));
+    Test.make ~name:"e11_traffic_point"
+      (Staged.stage (fun () ->
+           ignore
+             (Runner.report_saturation ~loads:[ 0.5 ] ~nodes:4
+                ~warmup_cycles:500 ~window_cycles:4_000 ())));
   ]
 
 let run_bechamel () =
@@ -107,9 +113,15 @@ let row_labelled label rows pick_field =
       | _ -> None)
     rows
 
-(* (name, value) for the three checked anchors: the paper's 51 % of
-   peak at 512 B, 96 % at 4 KB (Figure 8) and the ~200-cycle
-   two-reference initiation (§8). *)
+let report_meta_num reports ~id field =
+  match List.find_opt (fun (r : Report.t) -> r.Report.id = id) reports with
+  | None -> None
+  | Some r -> row_num field r.Report.meta
+
+(* (name, value) for the checked anchors: the paper's 51 % of peak at
+   512 B, 96 % at 4 KB (Figure 8), the ~200-cycle two-reference
+   initiation (§8), and the traffic sweep's saturation knee + its
+   lightest-load mean latency (E11, guards the contention model). *)
 let anchors_of_reports reports =
   let e1 pick =
     report_value reports ~id:"e1_figure8" (fun rows ->
@@ -119,10 +131,16 @@ let anchors_of_reports reports =
     report_value reports ~id:"e2_initiation" (fun rows ->
         row_labelled "UDMA initiation (2 refs + check)" rows "cycles")
   in
+  let e11_base =
+    report_value reports ~id:"e11_saturation" (fun rows ->
+        row_where "load" 0.2 rows "mean_latency")
+  in
   [
     ("e1.pct_of_max@512B", e1 512.0);
     ("e1.pct_of_max@4KB", e1 4096.0);
     ("e2.initiation_cycles", e2);
+    ("e11.knee_load", report_meta_num reports ~id:"e11_saturation" "knee_load");
+    ("e11.mean_latency@0.2", e11_base);
   ]
 
 let json_rows_of_experiment doc ~id =
@@ -138,6 +156,19 @@ let json_rows_of_experiment doc ~id =
 
 let json_row_num field row =
   Option.bind (Json.member field row) Json.number
+
+let json_meta_num doc ~id field =
+  match Json.member "experiments" doc with
+  | Some exps ->
+      List.find_map
+        (fun exp ->
+          match Json.member "id" exp with
+          | Some (Json.Str i) when i = id ->
+              Option.bind (Json.member "meta" exp) (fun meta ->
+                  Option.bind (Json.member field meta) Json.number)
+          | _ -> None)
+        (Json.to_list exps)
+  | None -> None
 
 let anchors_of_baseline doc =
   let e1 pick =
@@ -159,10 +190,21 @@ let anchors_of_baseline doc =
             | _ -> None)
           rows)
   in
+  let e11_base =
+    Option.bind (json_rows_of_experiment doc ~id:"e11_saturation") (fun rows ->
+        List.find_map
+          (fun row ->
+            match json_row_num "load" row with
+            | Some v when v = 0.2 -> json_row_num "mean_latency" row
+            | _ -> None)
+          rows)
+  in
   [
     ("e1.pct_of_max@512B", e1 512.0);
     ("e1.pct_of_max@4KB", e1 4096.0);
     ("e2.initiation_cycles", e2);
+    ("e11.knee_load", json_meta_num doc ~id:"e11_saturation" "knee_load");
+    ("e11.mean_latency@0.2", e11_base);
   ]
 
 let check_anchors reports ~baseline_file =
@@ -287,7 +329,7 @@ let () =
       value
       & opt (some string) None
       & info [ "check" ] ~docv:"FILE"
-          ~doc:"Diff the E1/E2 anchors of this run against the baseline \
+          ~doc:"Diff the E1/E2/E11 anchors of this run against the baseline \
                 document $(docv); exit 1 on >±2% drift.")
   in
   let info =

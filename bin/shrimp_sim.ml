@@ -76,23 +76,20 @@ let emit_reports c mk =
         output_char oc '\n')
   else with_out c (fun oc -> List.iter (Report.print ~oc) reports)
 
-(* Each experiment registers under its paper-section name and an
-   eN alias, so `shrimp_sim e1 --json` works as EXPERIMENTS.md
-   documents. *)
-let cmd_pair ~name ~alias ~doc term =
-  [
-    Cmd.v (Cmd.info name ~doc) term;
-    Cmd.v (Cmd.info alias ~doc:(Printf.sprintf "Alias for $(b,%s): %s" name doc)) term;
-  ]
-
 let sizes_arg ~doc default =
   Arg.(value & opt (list int) default & info [ "sizes" ] ~docv:"BYTES,..." ~doc)
 
 (* ------------------------------------------------------------------ *)
 (* experiment subcommands                                              *)
+(*                                                                     *)
+(* The set of experiments comes from Runner.experiments — adding an    *)
+(* entry there is enough to get a name + eN alias command here. An     *)
+(* experiment with interesting parameters can register a richer term   *)
+(* in [custom_terms]; everything else gets the generic one (common     *)
+(* flags plus --quick).                                                *)
 (* ------------------------------------------------------------------ *)
 
-let figure8_cmds =
+let figure8_term =
   let messages =
     Arg.(
       value & opt int 32
@@ -106,42 +103,30 @@ let figure8_cmds =
   let run c sizes messages queued =
     emit_reports c (fun () -> [ Runner.report_figure8 ~sizes ~messages ~queued () ])
   in
-  cmd_pair ~name:"figure8" ~alias:"e1"
-    ~doc:"E1: deliberate-update bandwidth vs message size (Figure 8)."
-    Term.(
-      const run $ common_term
-      $ sizes_arg ~doc:"Message sizes to sweep." Udma_workloads.Sizes.figure8
-      $ messages $ queued)
+  Term.(
+    const run $ common_term
+    $ sizes_arg ~doc:"Message sizes to sweep." Udma_workloads.Sizes.figure8
+    $ messages $ queued)
 
-let initiation_cmds =
-  let run c = emit_reports c (fun () -> [ Runner.report_costs () ]) in
-  cmd_pair ~name:"initiation" ~alias:"e2"
-    ~doc:"E2: UDMA vs traditional transfer-initiation cost (the 2.8us)."
-    Term.(const run $ common_term)
-
-let hippi_cmds =
+let hippi_term =
   let run c blocks = emit_reports c (fun () -> [ Runner.report_hippi ~blocks () ]) in
-  cmd_pair ~name:"hippi" ~alias:"e3"
-    ~doc:"E3: kernel DMA bandwidth vs block size on a HIPPI profile."
-    Term.(
-      const run $ common_term
-      $ sizes_arg ~doc:"Block sizes to sweep." Udma_workloads.Sizes.hippi_blocks)
+  Term.(
+    const run $ common_term
+    $ sizes_arg ~doc:"Block sizes to sweep." Udma_workloads.Sizes.hippi_blocks)
 
-let crossover_cmds =
+let crossover_term =
   let trials =
     Arg.(value & opt int 8 & info [ "trials" ] ~docv:"N" ~doc:"Trials per size.")
   in
   let run c sizes trials =
     emit_reports c (fun () -> [ Runner.report_crossover ~sizes ~trials () ])
   in
-  cmd_pair ~name:"crossover" ~alias:"e4"
-    ~doc:"E4: UDMA vs memory-mapped FIFO latency."
-    Term.(
-      const run $ common_term
-      $ sizes_arg ~doc:"Message sizes." Udma_workloads.Sizes.crossover
-      $ trials)
+  Term.(
+    const run $ common_term
+    $ sizes_arg ~doc:"Message sizes." Udma_workloads.Sizes.crossover
+    $ trials)
 
-let queueing_cmds =
+let queueing_term =
   let depths =
     Arg.(
       value
@@ -152,14 +137,12 @@ let queueing_cmds =
     emit_reports c (fun () ->
         [ Runner.report_queueing ~total_sizes:sizes ~depths () ])
   in
-  cmd_pair ~name:"queueing" ~alias:"e5"
-    ~doc:"E5: basic vs queued UDMA for multi-page transfers."
-    Term.(
-      const run $ common_term
-      $ sizes_arg ~doc:"Total transfer sizes." [ 8192; 16384; 32768; 65536 ]
-      $ depths)
+  Term.(
+    const run $ common_term
+    $ sizes_arg ~doc:"Total transfer sizes." [ 8192; 16384; 32768; 65536 ]
+    $ depths)
 
-let atomicity_cmds =
+let atomicity_term =
   let probs =
     Arg.(
       value
@@ -175,33 +158,117 @@ let atomicity_cmds =
     emit_reports c (fun () ->
         [ Runner.report_atomicity ~probs_pct:probs ~transfers ~seed:c.seed () ])
   in
-  cmd_pair ~name:"atomicity" ~alias:"e6"
-    ~doc:"E6: I1 retries under forced preemption."
-    Term.(const run $ common_term $ probs $ transfers)
+  Term.(const run $ common_term $ probs $ transfers)
 
-let pinning_cmds =
-  let run c = emit_reports c (fun () -> [ Runner.report_pinning () ]) in
-  cmd_pair ~name:"pinning" ~alias:"e7"
-    ~doc:"E7: page pinning vs the I4 remap check."
-    Term.(const run $ common_term)
+let traffic_term =
+  let module Pattern = Udma_traffic.Pattern in
+  let module Sweep = Udma_traffic.Sweep in
+  let pattern_conv =
+    Arg.conv
+      ( (fun s -> Pattern.parse s |> Result.map_error (fun e -> `Msg e)),
+        fun ppf p -> Format.pp_print_string ppf (Pattern.to_string p) )
+  in
+  let nodes =
+    Arg.(
+      value & opt int 16
+      & info [ "nodes" ] ~docv:"N"
+          ~doc:"Mesh size, 2..64 (laid out as the squarest covering mesh).")
+  in
+  let pattern =
+    Arg.(
+      value
+      & opt pattern_conv Pattern.Uniform
+      & info [ "pattern" ] ~docv:"PATTERN"
+          ~doc:
+            "Spatial pattern: $(b,uniform), $(b,transpose), $(b,neighbor) or \
+             $(b,hotspot)[:PCT].")
+  in
+  let msg_bytes =
+    Arg.(
+      value & opt int 256
+      & info [ "msg-bytes" ] ~docv:"BYTES"
+          ~doc:"Message size; a 4-byte multiple up to 4092 (one packet).")
+  in
+  let loads =
+    Arg.(
+      value
+      & opt (list float) Sweep.default_loads
+      & info [ "loads" ] ~docv:"L,..."
+          ~doc:
+            "Offered loads to sweep, as fractions of one source's calibrated \
+             initiation capacity.")
+  in
+  let window =
+    Arg.(
+      value & opt int 50_000
+      & info [ "window" ] ~docv:"CYCLES" ~doc:"Measurement window per point.")
+  in
+  let warmup =
+    Arg.(
+      value & opt int 2_000
+      & info [ "warmup" ] ~docv:"CYCLES" ~doc:"Run-in before measurement.")
+  in
+  let no_contention =
+    Arg.(
+      value & flag
+      & info [ "no-contention" ]
+          ~doc:
+            "Disable the router's per-link FIFO model (contention-free \
+             latency, the pre-traffic behaviour).")
+  in
+  let run c nodes pattern msg_bytes loads window warmup no_contention =
+    emit_reports c (fun () ->
+        [
+          Runner.report_saturation ~loads ~nodes ~pattern ~msg_bytes
+            ~warmup_cycles:warmup ~window_cycles:window
+            ~link_contention:(not no_contention) ~seed:c.seed ();
+        ])
+  in
+  Term.(
+    const run $ common_term $ nodes $ pattern $ msg_bytes $ loads $ window
+    $ warmup $ no_contention)
 
-let proxyfault_cmds =
-  let run c = emit_reports c (fun () -> [ Runner.report_proxy_faults () ]) in
-  cmd_pair ~name:"proxyfault" ~alias:"e8"
-    ~doc:"E8: demand proxy-mapping fault costs."
-    Term.(const run $ common_term)
+let custom_terms =
+  [
+    ("figure8", figure8_term);
+    ("hippi", hippi_term);
+    ("crossover", crossover_term);
+    ("queueing", queueing_term);
+    ("atomicity", atomicity_term);
+    ("traffic", traffic_term);
+  ]
 
-let i3_cmds =
-  let run c = emit_reports c (fun () -> [ Runner.report_i3 () ]) in
-  cmd_pair ~name:"i3policy" ~alias:"e9"
-    ~doc:"E9: the two I3 content-consistency methods."
-    Term.(const run $ common_term)
+let generic_term (e : Runner.experiment) =
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Use the small deterministic CI parameter set.")
+  in
+  let run c quick =
+    emit_reports c (fun () -> e.Runner.exp_run ~quick ~seed:c.seed)
+  in
+  Term.(const run $ common_term $ quick)
 
-let updates_cmds =
-  let run c = emit_reports c (fun () -> [ Runner.report_updates () ]) in
-  cmd_pair ~name:"updates" ~alias:"e10"
-    ~doc:"E10: deliberate vs automatic update."
-    Term.(const run $ common_term)
+(* Each experiment registers under its paper-section name and an
+   eN alias, so `shrimp_sim e1 --json` works as EXPERIMENTS.md
+   documents. *)
+let experiment_cmds =
+  List.concat_map
+    (fun (e : Runner.experiment) ->
+      let term =
+        match List.assoc_opt e.Runner.exp_name custom_terms with
+        | Some t -> t
+        | None -> generic_term e
+      in
+      let doc = e.Runner.exp_doc in
+      [
+        Cmd.v (Cmd.info e.Runner.exp_name ~doc) term;
+        Cmd.v
+          (Cmd.info e.Runner.exp_alias
+             ~doc:(Printf.sprintf "Alias for $(b,%s): %s" e.Runner.exp_name doc))
+          term;
+      ])
+    Runner.experiments
 
 let all_cmd =
   let quick =
@@ -394,8 +461,4 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info
-          (figure8_cmds @ initiation_cmds @ hippi_cmds @ crossover_cmds
-          @ queueing_cmds @ atomicity_cmds @ pinning_cmds @ proxyfault_cmds
-          @ i3_cmds @ updates_cmds
-          @ [ trace_cmd; chaos_cmd; all_cmd ])))
+       (Cmd.group info (experiment_cmds @ [ trace_cmd; chaos_cmd; all_cmd ])))

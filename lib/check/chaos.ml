@@ -499,6 +499,273 @@ let last n l =
   let len = List.length l in
   if len <= n then l else List.filteri (fun i _ -> i >= len - n) l
 
+(* ---------- mesh traffic scenario ---------- *)
+
+module System = Udma_shrimp.System
+module Router = Udma_shrimp.Router
+module Messaging = Udma_shrimp.Messaging
+
+type mesh_action =
+  | M_send of { src : int; dst : int; nbytes : int; pipelined : bool }
+  | M_burst of { src : int; dst : int; count : int; nbytes : int }
+  | M_touch of { node : int; page : int; write : bool }
+  | M_clean of { node : int; page : int }
+  | M_evict of { node : int }
+  | M_preempt of { node : int; pct : int }
+  | M_run of { cycles : int }
+  | M_drain
+
+type mesh_setup = {
+  mesh_seed : int;
+  mesh_nodes : int;
+  contention : bool;
+  mesh_pages : int;
+}
+
+type mesh_plan = { mesh_setup : mesh_setup; mesh_actions : mesh_action list }
+
+type mesh_failure = {
+  mesh_plan : mesh_plan;
+  mesh_step : int;
+  mesh_violation : Oracle.violation;  (* detail names the node *)
+}
+
+type mesh_outcome = Mesh_pass | Mesh_fail of mesh_failure
+
+let pp_mesh_action ppf = function
+  | M_send x ->
+      Format.fprintf ppf "send%s %d->%d nbytes=%d"
+        (if x.pipelined then "-pipelined" else "") x.src x.dst x.nbytes
+  | M_burst x ->
+      Format.fprintf ppf "burst %d->%d count=%d nbytes=%d" x.src x.dst
+        x.count x.nbytes
+  | M_touch x ->
+      Format.fprintf ppf "touch-%s node=%d page=%d"
+        (if x.write then "write" else "read") x.node x.page
+  | M_clean x -> Format.fprintf ppf "clean node=%d page=%d" x.node x.page
+  | M_evict x -> Format.fprintf ppf "evict node=%d" x.node
+  | M_preempt x -> Format.fprintf ppf "preempt node=%d %d%%" x.node x.pct
+  | M_run x -> Format.fprintf ppf "run %d cycles" x.cycles
+  | M_drain -> Format.pp_print_string ppf "drain"
+
+let pp_mesh_setup ppf s =
+  Format.fprintf ppf "seed=%d nodes=%d contention=%b pages/node=%d"
+    s.mesh_seed s.mesh_nodes s.contention s.mesh_pages
+
+let gen_mesh_action rng ~nodes =
+  let node () = Rng.int rng nodes in
+  let pair () =
+    let s = node () in
+    (s, (s + 1 + Rng.int rng (nodes - 1)) mod nodes)
+  in
+  match Rng.int rng 100 with
+  | n when n < 32 ->
+      let src, dst = pair () in
+      M_send { src; dst; nbytes = 4 * (1 + Rng.int rng 256);
+               pipelined = Rng.bool rng }
+  | n when n < 52 ->
+      let src, dst = pair () in
+      M_burst { src; dst; count = 1 + Rng.int rng 4;
+                nbytes = 4 * (1 + Rng.int rng 128) }
+  | n when n < 62 ->
+      M_touch { node = node (); page = Rng.int rng 4; write = Rng.bool rng }
+  | n when n < 69 -> M_clean { node = node (); page = Rng.int rng 4 }
+  | n when n < 75 -> M_evict { node = node () }
+  | n when n < 81 -> M_preempt { node = node (); pct = 5 + Rng.int rng 30 }
+  | n when n < 93 -> M_run { cycles = 100 + Rng.int rng 10_000 }
+  | _ -> M_drain
+
+let mesh_plan_of_seed ?(steps = 40) seed =
+  let rng = Rng.create (seed lxor 0x6e57) in
+  let mesh_setup =
+    { mesh_seed = seed;
+      mesh_nodes = 4 + Rng.int rng 3;
+      (* contention on for 3 of 4 seeds: the point of the scenario *)
+      contention = Rng.int rng 4 > 0;
+      mesh_pages = 2 + Rng.int rng 2;
+    }
+  in
+  { mesh_setup;
+    mesh_actions =
+      List.init steps (fun _ -> gen_mesh_action rng ~nodes:mesh_setup.mesh_nodes) }
+
+type mesh_ctx = {
+  sys : System.t;
+  mesh_procs : Proc.t array;
+  mesh_chans : Messaging.channel option array array;
+  mesh_bufs : int array array; (* per node: mesh_pages buffer vaddrs *)
+  preempt : int array;
+  mesh_rng : Rng.t;
+  mutable mesh_benign : int;
+}
+
+let at_node violation i =
+  { violation with
+    Oracle.detail =
+      Printf.sprintf "node %d: %s" i violation.Oracle.detail }
+
+let mesh_build ?skip_invariant setup =
+  let config =
+    { System.default_config with
+      System.router =
+        { Router.default_config with
+          Router.link_contention = setup.contention } }
+  in
+  let sys = System.create ~config ?skip_invariant ~nodes:setup.mesh_nodes () in
+  let nodes = setup.mesh_nodes in
+  let mesh_procs =
+    Array.init nodes (fun i ->
+        Scheduler.spawn (System.node sys i).System.machine
+          ~name:(Printf.sprintf "mesh%d" i))
+  in
+  (* all-pairs channels, sequential import slots per sender *)
+  let mesh_chans = Array.make_matrix nodes nodes None in
+  for src = 0 to nodes - 1 do
+    let idx = ref 0 in
+    for dst = 0 to nodes - 1 do
+      if dst <> src then begin
+        mesh_chans.(src).(dst) <-
+          Some
+            (Messaging.connect sys ~sender:(src, mesh_procs.(src))
+               ~receiver:(dst, mesh_procs.(dst)) ~first_index:!idx ~pages:1 ());
+        incr idx
+      end
+    done
+  done;
+  let mesh_bufs =
+    Array.init nodes (fun i ->
+        let m = (System.node sys i).System.machine in
+        Array.init setup.mesh_pages (fun _ ->
+            Kernel.alloc_buffer m mesh_procs.(i) ~bytes:4096))
+  in
+  let preempt = Array.make nodes 0 in
+  let mesh_rng = Rng.create (setup.mesh_seed lxor 0x5eed) in
+  Array.iteri
+    (fun i _ ->
+      let m = (System.node sys i).System.machine in
+      Scheduler.set_preempt_hook m
+        (Some (fun _ -> preempt.(i) > 0 && Rng.int mesh_rng 100 < preempt.(i)));
+      m.M.on_switch <-
+        Some
+          (fun m ->
+            match Oracle.post_switch m with
+            | Some v -> raise (Oracle.Violation (at_node v i))
+            | None -> ()))
+    mesh_procs;
+  { sys; mesh_procs; mesh_chans; mesh_bufs; preempt; mesh_rng;
+    mesh_benign = 0 }
+
+let mesh_apply ctx action =
+  let machine i = (System.node ctx.sys i).System.machine in
+  let chan src dst = Option.get ctx.mesh_chans.(src).(dst) in
+  match action with
+  | M_send { src; dst; nbytes; pipelined } -> (
+      let m = machine src in
+      let cpu = Kernel.user_cpu m ctx.mesh_procs.(src) in
+      let buf = ctx.mesh_bufs.(src).(0) in
+      let ch = chan src dst in
+      let nbytes = min nbytes (Messaging.capacity ch) in
+      match Messaging.send_nowait ch cpu ~src_vaddr:buf ~nbytes ~pipelined ()
+      with
+      | Ok () -> ()
+      | Error _ -> ctx.mesh_benign <- ctx.mesh_benign + 1)
+  | M_burst { src; dst; count; nbytes } ->
+      let ch = chan src dst in
+      let payload = Bytes.make (min nbytes (Messaging.capacity ch)) '\xAB' in
+      for _ = 1 to count do
+        Messaging.inject ch payload
+      done
+  | M_touch { node; page; write } ->
+      let m = machine node in
+      let cpu = Kernel.user_cpu m ctx.mesh_procs.(node) in
+      let bufs = ctx.mesh_bufs.(node) in
+      let vaddr = bufs.(page mod Array.length bufs) in
+      if write then cpu.Initiator.store ~vaddr 0xC0DEl
+      else ignore (cpu.Initiator.load ~vaddr)
+  | M_clean { node; page } ->
+      let m = machine node in
+      let bufs = ctx.mesh_bufs.(node) in
+      let vpn =
+        Layout.page_of_addr m.M.layout bufs.(page mod Array.length bufs)
+      in
+      ignore (Vm.clean_page m ctx.mesh_procs.(node) ~vpn)
+  | M_evict { node } ->
+      (* a storm, not one reclaim: the first passes only clear
+         second-chance referenced bits on the node's few user pages *)
+      let m = machine node in
+      for _ = 1 to 4 do
+        let frame = Vm.evict_one m in
+        Frame_allocator.free m.M.alloc frame
+      done
+  | M_preempt { node; pct } -> ctx.preempt.(node) <- pct
+  | M_run { cycles } -> Engine.advance (System.engine ctx.sys) cycles
+  | M_drain -> System.run_until_idle ctx.sys
+
+let mesh_execute ?skip_invariant plan =
+  let ctx = mesh_build ?skip_invariant plan.mesh_setup in
+  let check () =
+    for i = 0 to System.node_count ctx.sys - 1 do
+      match Oracle.check_now (System.node ctx.sys i).System.machine with
+      | Some v -> raise (Oracle.Violation (at_node v i))
+      | None -> ()
+    done
+  in
+  let rec go i = function
+    | [] -> (
+        match
+          (try System.run_until_idle ctx.sys; check (); None with
+          | Oracle.Violation v -> Some v)
+        with
+        | Some v -> (Error (i, v), ctx)
+        | None -> (Ok (), ctx))
+    | a :: rest -> (
+        match
+          (try mesh_apply ctx a; check (); None with
+          | Oracle.Violation v -> Some v
+          | e when benign_exn e ->
+              ctx.mesh_benign <- ctx.mesh_benign + 1;
+              (try check (); None with Oracle.Violation v -> Some v))
+        with
+        | Some v -> (Error (i, v), ctx)
+        | None -> go (i + 1) rest)
+  in
+  go 0 plan.mesh_actions
+
+let run_mesh_plan ?skip_invariant plan =
+  match fst (mesh_execute ?skip_invariant plan) with
+  | Ok () -> Mesh_pass
+  | Error (step, violation) ->
+      Mesh_fail { mesh_plan = plan; mesh_step = step;
+                  mesh_violation = violation }
+
+let run_mesh_seed ?skip_invariant ?steps seed =
+  run_mesh_plan ?skip_invariant (mesh_plan_of_seed ?steps seed)
+
+let mesh_sweep ?skip_invariant ?steps ?(start = 0) ~seeds () =
+  List.filter_map
+    (fun seed ->
+      match run_mesh_seed ?skip_invariant ?steps seed with
+      | Mesh_pass -> None
+      | Mesh_fail f -> Some f)
+    (List.init seeds (fun i -> start + i))
+
+let mesh_report (f : mesh_failure) =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.fprintf ppf "mesh chaos failure: seed %d, %d-step schedule@."
+    f.mesh_plan.mesh_setup.mesh_seed
+    (List.length f.mesh_plan.mesh_actions);
+  Format.fprintf ppf "  %a@." Oracle.pp_violation f.mesh_violation;
+  Format.fprintf ppf "  setup: %a@." pp_mesh_setup f.mesh_plan.mesh_setup;
+  Format.fprintf ppf "  schedule (deterministic replay):@.";
+  List.iteri
+    (fun i a ->
+      Format.fprintf ppf "    %2d. %a%s@." i pp_mesh_action a
+        (if i = f.mesh_step then "   <- violation detected here" else ""))
+    f.mesh_plan.mesh_actions;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
 let report ?skip_invariant (f : failure) =
   let buf = Buffer.create 1024 in
   let ppf = Format.formatter_of_buffer buf in

@@ -119,3 +119,65 @@ val report :
 
 val pp_action : Format.formatter -> action -> unit
 val pp_setup : Format.formatter -> setup -> unit
+
+(** {1 Mesh traffic scenario}
+
+    The single-node schedules above never exercise the network. The
+    mesh scenario derives a whole SHRIMP {!Udma_shrimp.System} from
+    the seed — 4..6 nodes with all-pairs messaging channels, the
+    router's link-contention model usually enabled — and interleaves
+    user-level sends and hardware-level injection bursts with the same
+    paging pressure, forced evictions and random preemption as the
+    single-node plans. After every action the I2–I4 oracles run on
+    {e every} node's machine, and each machine checks I1 at its
+    context switches; the violation detail names the failing node. *)
+
+type mesh_action =
+  | M_send of { src : int; dst : int; nbytes : int; pipelined : bool }
+      (** user-level [send_nowait] on the (src,dst) channel *)
+  | M_burst of { src : int; dst : int; count : int; nbytes : int }
+      (** hardware-level {!Udma_shrimp.Messaging.inject} burst *)
+  | M_touch of { node : int; page : int; write : bool }
+  | M_clean of { node : int; page : int }
+  | M_evict of { node : int }
+      (** forced-replacement storm (several reclaims) on one node *)
+  | M_preempt of { node : int; pct : int }
+  | M_run of { cycles : int }
+  | M_drain
+
+type mesh_setup = {
+  mesh_seed : int;
+  mesh_nodes : int;   (** 4..6 *)
+  contention : bool;  (** router per-link FIFO model *)
+  mesh_pages : int;   (** extra user buffers per node *)
+}
+
+type mesh_plan = { mesh_setup : mesh_setup; mesh_actions : mesh_action list }
+
+type mesh_failure = {
+  mesh_plan : mesh_plan;
+  mesh_step : int;
+  mesh_violation : Oracle.violation;  (** detail names the node *)
+}
+
+type mesh_outcome = Mesh_pass | Mesh_fail of mesh_failure
+
+val mesh_plan_of_seed : ?steps:int -> int -> mesh_plan
+
+val run_mesh_plan :
+  ?skip_invariant:Udma_os.Machine.invariant -> mesh_plan -> mesh_outcome
+(** Deterministic, like {!run_plan}. *)
+
+val run_mesh_seed :
+  ?skip_invariant:Udma_os.Machine.invariant -> ?steps:int -> int ->
+  mesh_outcome
+
+val mesh_sweep :
+  ?skip_invariant:Udma_os.Machine.invariant ->
+  ?steps:int -> ?start:int -> seeds:int -> unit -> mesh_failure list
+
+val mesh_report : mesh_failure -> string
+(** Seed, violated invariant (with the node), setup and schedule. *)
+
+val pp_mesh_action : Format.formatter -> mesh_action -> unit
+val pp_mesh_setup : Format.formatter -> mesh_setup -> unit

@@ -22,6 +22,7 @@ type payload =
   | Queue_pop of { queue : string; depth : int }
   | Udma_start of { src : int; dst : int; nbytes : int }
   | Udma_abort of { reason : string }
+  | Link_wait of { from_node : int; to_node : int; wait : int; depth : int }
   | Note of string
 
 type t = { time : int; subsystem : subsystem; payload : payload }
@@ -50,6 +51,9 @@ let render { subsystem; payload; _ } =
   | Udma_start { src; dst; nbytes } ->
       Printf.sprintf "%s: start %#x -> %#x (%d bytes)" pre src dst nbytes
   | Udma_abort { reason } -> Printf.sprintf "%s: abort (%s)" pre reason
+  | Link_wait { from_node; to_node; wait; depth } ->
+      Printf.sprintf "%s: link %d->%d blocked %d cycles (depth %d)" pre
+        from_node to_node wait depth
   | Note msg -> Printf.sprintf "%s: %s" pre msg
 
 let kind_name = function
@@ -64,6 +68,7 @@ let kind_name = function
   | Queue_pop _ -> "queue_pop"
   | Udma_start _ -> "udma_start"
   | Udma_abort _ -> "udma_abort"
+  | Link_wait _ -> "link_wait"
   | Note _ -> "note"
 
 let to_json { time; subsystem; payload } =
@@ -99,6 +104,13 @@ let to_json { time; subsystem; payload } =
           ("nbytes", Json.Int nbytes);
         ]
     | Udma_abort { reason } -> [ ("reason", Json.Str reason) ]
+    | Link_wait { from_node; to_node; wait; depth } ->
+        [
+          ("from", Json.Int from_node);
+          ("to", Json.Int to_node);
+          ("wait", Json.Int wait);
+          ("depth", Json.Int depth);
+        ]
     | Note msg -> [ ("msg", Json.Str msg) ]
   in
   Json.Obj

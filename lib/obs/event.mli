@@ -32,6 +32,8 @@ type payload =
   | Udma_start of { src : int; dst : int; nbytes : int }
       (** Transfer accepted by the UDMA engine. *)
   | Udma_abort of { reason : string }
+  | Link_wait of { from_node : int; to_node : int; wait : int; depth : int }
+      (** Packet head-of-line blocked on a busy mesh link. *)
   | Note of string  (** Free-form message; escape hatch, avoid. *)
 
 type t = { time : int; subsystem : subsystem; payload : payload }

@@ -112,6 +112,27 @@ let snapshot_hist h =
 let histogram t name =
   Option.map snapshot_hist (Hashtbl.find_opt t.hists name)
 
+let percentile (h : histogram) p =
+  if p <= 0.0 || p > 100.0 then
+    invalid_arg "Metrics.percentile: p must be in (0, 100]";
+  if h.count = 0 then None
+  else
+    (* smallest upper edge covering p% of the observations; an
+       overflow-bucket hit reports one past the last edge *)
+    let need =
+      int_of_float (ceil (p /. 100.0 *. float_of_int h.count))
+    in
+    let rec go acc = function
+      | (edge, c) :: rest ->
+          let acc = acc + c in
+          if acc >= need then Some edge else go acc rest
+      | [] -> (
+          match List.rev h.buckets with
+          | (last, _) :: _ -> Some (last + 1)
+          | [] -> None)
+    in
+    go 0 h.buckets
+
 let histograms t =
   Hashtbl.fold (fun name h acc -> (name, snapshot_hist h) :: acc) t.hists []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)

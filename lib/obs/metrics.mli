@@ -59,6 +59,13 @@ type histogram = {
 
 val histogram : t -> string -> histogram option
 
+val percentile : histogram -> float -> int option
+(** [percentile h p] is the smallest bucket upper edge covering [p]
+    percent of the observations ([None] for an empty histogram; one
+    past the last edge if the percentile falls in the overflow
+    bucket). An upper-bound estimate — resolution is the bucket
+    ladder. Raises [Invalid_argument] unless [0 < p <= 100]. *)
+
 val histograms : t -> (string * histogram) list
 
 (** {1 Export} *)

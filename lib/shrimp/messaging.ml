@@ -23,6 +23,9 @@ let capacity ch = flag_offset ch
 
 let recv_vaddr ch = ch.export.System.vaddr
 
+let sender_node ch = ch.snd_node
+let receiver_node ch = ch.rcv_node
+
 let connect system ~sender:(snd_node, snd_proc) ~receiver:(rcv_node, rcv_proc)
     ?(first_index = 0) ~pages () =
   if pages <= 0 then invalid_arg "Messaging.connect: pages must be positive";
@@ -117,6 +120,30 @@ let send_pipelined ch cpu ~src_vaddr ~nbytes ?config () =
     (fun cpu ~layout ?config ~src ~dst ~nbytes () ->
       Initiator.transfer_queued cpu ~layout ?config ~src ~dst ~nbytes ())
     ch cpu ~src_vaddr ~nbytes ?config ()
+
+(* Hardware-level enqueue: hand the payload straight to the sending
+   node's network interface, addressed by the channel's pinned export
+   frames — the same destination physical address the NIPT path
+   computes. The packet still crosses the NI outgoing FIFO, the wire
+   serialisation, the router (with contention when enabled) and the
+   receive-side DMA deposit; only the sender's CPU/UDMA initiation is
+   skipped. Load generators charge that initiation cost separately (a
+   calibrated per-message occupancy), which lets many nodes inject
+   concurrently on the one shared clock. *)
+let inject ch ?(offset = 0) data =
+  let len = Bytes.length data in
+  if len <= 0 || offset < 0 || offset + len > capacity ch then
+    invalid_arg
+      (Printf.sprintf "Messaging.inject: %d bytes at offset %d (capacity %d)"
+         len offset (capacity ch));
+  let page = offset / ch.page_size and poff = offset mod ch.page_size in
+  if poff + len > ch.page_size then
+    invalid_arg "Messaging.inject: payload must fit one page (one packet)";
+  let frame = List.nth ch.export.System.frames page in
+  let ni = (System.node ch.system ch.snd_node).System.ni in
+  Network_interface.send_raw ni ~dst_node:ch.rcv_node
+    ~dst_paddr:((frame * ch.page_size) + poff)
+    data
 
 let recv_poll ch cpu =
   let flag_vaddr = recv_vaddr ch + flag_offset ch in

@@ -17,6 +17,9 @@ val capacity : channel -> int
 val recv_vaddr : channel -> int
 (** Receiver's virtual address of the payload. *)
 
+val sender_node : channel -> int
+val receiver_node : channel -> int
+
 val connect :
   System.t ->
   sender:int * Udma_os.Proc.t ->
@@ -72,6 +75,17 @@ val send_nowait :
 (** Payload only, no flag — the streaming-bandwidth primitive used by
     the Figure 8 measurement. [pipelined] (default false) issues the
     pages through the §7 queue. *)
+
+val inject : channel -> ?offset:int -> bytes -> unit
+(** Hardware-level enqueue of one payload packet onto the channel,
+    bypassing the sender's CPU/UDMA initiation (which costs no
+    simulated cycles here): the bytes enter the sending NI's outgoing
+    FIFO addressed at the export's pinned frames, then cross the wire,
+    the router and the receive-side DMA deposit as usual. The payload
+    must lie within one page so it forms a single packet; no flag word
+    is sent. Load generators use this to model many concurrently
+    initiating senders on the one shared clock, charging the
+    calibrated initiation cost out of band. *)
 
 val recv_poll : channel -> Udma.Initiator.cpu -> int
 (** Current value of the flag word (the last delivered sequence

@@ -1,12 +1,42 @@
 module Engine = Udma_sim.Engine
+module Trace = Udma_sim.Trace
+module Metrics = Udma_obs.Metrics
+module Event = Udma_obs.Event
 
 type config = {
   base_cycles : int;
   per_hop_cycles : int;
   per_word_cycles : int;
+  link_contention : bool;
 }
 
-let default_config = { base_cycles = 20; per_hop_cycles = 8; per_word_cycles = 1 }
+let default_config =
+  { base_cycles = 20; per_hop_cycles = 8; per_word_cycles = 1;
+    link_contention = false }
+
+(* One directed mesh link. [busy_until] is the cycle at which the wire
+   finishes the last packet that reserved it; [inflight] counts packets
+   that have claimed the link and whose tails have not yet cleared it
+   (the FIFO depth a head-of-line packet sees). *)
+type link = {
+  l_src : int;
+  l_dst : int;
+  mutable busy_until : int;
+  mutable inflight : int;
+  mutable l_max_depth : int;
+  mutable l_xmits : int;
+  mutable l_busy_cycles : int;
+  mutable l_wait_cycles : int;
+}
+
+type link_stat = {
+  from_node : int;
+  to_node : int;
+  xmits : int;
+  busy_cycles : int;
+  wait_cycles : int;
+  max_depth : int;
+}
 
 type t = {
   engine : Engine.t;
@@ -16,7 +46,10 @@ type t = {
   sinks : (Packet.t -> unit) option array;
   last_arrival : (int * int, int) Hashtbl.t;
       (* dimension-order routing uses one fixed path per (src, dst), so
-         packets between a pair of nodes are delivered in order *)
+         packets between a pair of nodes are delivered in order (see
+         test_props: the property holds with contention enabled too) *)
+  links : (int * int, link) Hashtbl.t;
+  trace : Trace.t;
   mutable packets_routed : int;
   mutable bytes_routed : int;
 }
@@ -34,11 +67,14 @@ let create ~engine ~nodes ?(config = default_config) () =
     width;
     sinks = Array.make nodes None;
     last_arrival = Hashtbl.create 16;
+    links = Hashtbl.create 64;
+    trace = Trace.create ~enabled:false ();
     packets_routed = 0;
     bytes_routed = 0;
   }
 
 let nodes t = t.node_count
+let width t = t.width
 
 let check_node t id what =
   if id < 0 || id >= t.node_count then
@@ -48,9 +84,38 @@ let coords t id =
   check_node t id "coords";
   (id mod t.width, id / t.width)
 
+let node_id t ~x ~y = x + (y * t.width)
+
 let hops t ~src ~dst =
   let sx, sy = coords t src and dx, dy = coords t dst in
   abs (sx - dx) + abs (sy - dy)
+
+(* The dimension-order path as directed (from, to) node pairs: walk x
+   to the destination column, then y to the destination row. *)
+let path t ~src ~dst =
+  let sx, sy = coords t src and dx, dy = coords t dst in
+  let step v goal = if v < goal then v + 1 else v - 1 in
+  let rec go x y acc =
+    if x <> dx then
+      let x' = step x dx in
+      go x' y ((node_id t ~x ~y, node_id t ~x:x' ~y) :: acc)
+    else if y <> dy then
+      let y' = step y dy in
+      go x y' ((node_id t ~x ~y, node_id t ~x ~y:y') :: acc)
+    else List.rev acc
+  in
+  go sx sy []
+
+let link_of t a b =
+  match Hashtbl.find_opt t.links (a, b) with
+  | Some l -> l
+  | None ->
+      let l =
+        { l_src = a; l_dst = b; busy_until = 0; inflight = 0;
+          l_max_depth = 0; l_xmits = 0; l_busy_cycles = 0; l_wait_cycles = 0 }
+      in
+      Hashtbl.add t.links (a, b) l;
+      l
 
 let register t ~node_id sink =
   check_node t node_id "register";
@@ -62,6 +127,43 @@ let latency_cycles t ~src ~dst ~bytes =
   + (hops t ~src ~dst * t.config.per_hop_cycles)
   + (words * t.config.per_word_cycles)
 
+(* Wormhole walk over the packet's path: the header claims each link as
+   soon as the wire is free, each claim holds the link for the packet's
+   full wire occupancy, and the tail crosses the final wire after the
+   header ejects. With idle links this telescopes to exactly the
+   closed-form [base + hops·per_hop + words·per_word]. *)
+let contended_arrival t ~now ~src ~dst ~words =
+  let em = Engine.metrics t.engine in
+  let occ = words * t.config.per_word_cycles in
+  let head = ref (now + t.config.base_cycles) in
+  List.iter
+    (fun (a, b) ->
+      let l = link_of t a b in
+      let start = max !head l.busy_until in
+      let wait = start - !head in
+      if wait > 0 then begin
+        l.l_wait_cycles <- l.l_wait_cycles + wait;
+        Metrics.add em "net.link.wait_cycles" wait;
+        Metrics.incr em "net.link.queued";
+        if Trace.active t.trace then
+          Trace.record t.trace ~time:now Event.Ni
+            (Event.Link_wait
+               { from_node = a; to_node = b; wait; depth = l.inflight })
+      end;
+      l.inflight <- l.inflight + 1;
+      if l.inflight > l.l_max_depth then l.l_max_depth <- l.inflight;
+      Metrics.observe em "net.link.depth" l.inflight;
+      l.busy_until <- start + occ;
+      l.l_xmits <- l.l_xmits + 1;
+      l.l_busy_cycles <- l.l_busy_cycles + occ;
+      Metrics.incr em "net.link.xmits";
+      Metrics.add em "net.link.busy_cycles" occ;
+      Engine.schedule_at t.engine ~time:(start + occ) (fun _ ->
+          l.inflight <- l.inflight - 1);
+      head := start + t.config.per_hop_cycles)
+    (path t ~src ~dst);
+  !head + occ
+
 let send t pkt =
   check_node t pkt.Packet.src_node "send";
   check_node t pkt.Packet.dst_node "send";
@@ -71,22 +173,51 @@ let send t pkt =
         (Printf.sprintf "Router.send: node %d has no sink" pkt.Packet.dst_node)
   | Some sink ->
       let bytes = Packet.size_bytes pkt in
-      let latency =
-        latency_cycles t ~src:pkt.Packet.src_node ~dst:pkt.Packet.dst_node
-          ~bytes
+      let src = pkt.Packet.src_node and dst = pkt.Packet.dst_node in
+      let now = Engine.now t.engine in
+      let uncontended = now + latency_cycles t ~src ~dst ~bytes in
+      let nominal =
+        if t.config.link_contention then
+          contended_arrival t ~now ~src ~dst ~words:((bytes + 3) / 4)
+        else uncontended
       in
-      let key = (pkt.Packet.src_node, pkt.Packet.dst_node) in
+      let key = (src, dst) in
       let earliest =
         match Hashtbl.find_opt t.last_arrival key with
         | Some last -> last + 1
         | None -> 0
       in
-      let arrival = max (Engine.now t.engine + latency) earliest in
+      let arrival = max nominal earliest in
       Hashtbl.replace t.last_arrival key arrival;
       t.packets_routed <- t.packets_routed + 1;
       t.bytes_routed <- t.bytes_routed + bytes;
-      Engine.schedule t.engine ~delay:(arrival - Engine.now t.engine) (fun _ ->
-          sink pkt)
+      Engine.schedule t.engine ~delay:(arrival - now) (fun _ -> sink pkt)
+
+let link_stats t =
+  Hashtbl.fold
+    (fun _ l acc ->
+      {
+        from_node = l.l_src;
+        to_node = l.l_dst;
+        xmits = l.l_xmits;
+        busy_cycles = l.l_busy_cycles;
+        wait_cycles = l.l_wait_cycles;
+        max_depth = l.l_max_depth;
+      }
+      :: acc)
+    t.links []
+  |> List.sort (fun a b -> compare (a.from_node, a.to_node) (b.from_node, b.to_node))
+
+let publish_link_gauges t =
+  let em = Engine.metrics t.engine in
+  let now = Engine.now t.engine in
+  if now > 0 then
+    List.iter
+      (fun s ->
+        Metrics.set_gauge em
+          (Printf.sprintf "net.link.util.%d-%d" s.from_node s.to_node)
+          (float_of_int s.busy_cycles /. float_of_int now))
+      (link_stats t)
 
 let packets_routed t = t.packets_routed
 let bytes_routed t = t.bytes_routed

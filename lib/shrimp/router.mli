@@ -1,21 +1,35 @@
 (** The interconnect: a 2-D mesh with dimension-order routing, standing
     in for the Intel Paragon routing backplane (paper §8).
 
-    Packet latency is [base + hops·per_hop + words·per_word]; each
-    link is cut-through so only total occupancy matters for the shapes
-    the evaluation measures. Dimension-order routing uses one fixed
-    path per (src, dst) pair, so delivery between a pair of nodes is
-    in order — a small packet never overtakes a large one sent before
-    it (SHRIMP's flag-after-payload notification depends on this). *)
+    With [link_contention] off (the default), packet latency is the
+    closed form [base + hops·per_hop + words·per_word]; each link is
+    cut-through so only total occupancy matters for the shapes the
+    evaluation measures. With it on, every directed mesh link is a
+    FIFO wire: the header claims each link along the dimension-order
+    path as the wire frees, each claim holds the link for the packet's
+    full word occupancy, and queueing delay accumulates hop by hop —
+    on idle links this telescopes to exactly the closed form, so the
+    option changes nothing until the network is actually loaded. Link
+    utilisation and queue depth are published as [net.link.*] metrics
+    into the engine's registry.
+
+    Dimension-order routing uses one fixed path per (src, dst) pair
+    and each link serves in FIFO order, so delivery between a pair of
+    nodes is in order — a small packet never overtakes a large one
+    sent before it (SHRIMP's flag-after-payload notification depends
+    on this; test_props checks it under contention with interleaved
+    multi-flow traffic). *)
 
 type config = {
   base_cycles : int;       (** injection + ejection *)
   per_hop_cycles : int;
   per_word_cycles : int;   (** wire occupancy per 32-bit word *)
+  link_contention : bool;
+      (** model per-link FIFO queueing (default off: closed form) *)
 }
 
 val default_config : config
-(** 20 / 8 / 1 cycles. *)
+(** 20 / 8 / 1 cycles, contention off. *)
 
 type t
 
@@ -25,11 +39,18 @@ val create :
 
 val nodes : t -> int
 
+val width : t -> int
+(** Mesh width (ids are row-major: [id = x + y·width]). *)
+
 val coords : t -> int -> int * int
 (** Mesh coordinates of a node id. *)
 
 val hops : t -> src:int -> dst:int -> int
 (** Dimension-order hop count ([0] for self). *)
+
+val path : t -> src:int -> dst:int -> (int * int) list
+(** The directed (from, to) links the packet traverses, x first then
+    y; empty for [src = dst]. *)
 
 val register : t -> node_id:int -> (Packet.t -> unit) -> unit
 (** Install node [node_id]'s delivery sink. *)
@@ -39,6 +60,26 @@ val send : t -> Packet.t -> unit
     [Invalid_argument] for an unregistered destination. *)
 
 val latency_cycles : t -> src:int -> dst:int -> bytes:int -> int
+(** The contention-free closed form (a lower bound when
+    [link_contention] is on). *)
+
+(** {1 Link statistics} (all zero unless [link_contention]) *)
+
+type link_stat = {
+  from_node : int;
+  to_node : int;
+  xmits : int;          (** packets that crossed this link *)
+  busy_cycles : int;    (** cycles the wire was occupied *)
+  wait_cycles : int;    (** head-of-line blocking accumulated here *)
+  max_depth : int;      (** deepest FIFO occupancy observed *)
+}
+
+val link_stats : t -> link_stat list
+(** Every link that carried at least one packet, sorted by (from, to). *)
+
+val publish_link_gauges : t -> unit
+(** Publish per-link utilisation ([busy_cycles / now]) as
+    [net.link.util.A-B] gauges into the engine's metrics registry. *)
 
 val packets_routed : t -> int
 val bytes_routed : t -> int

@@ -27,7 +27,7 @@ type t = {
   nodes : node array;
 }
 
-let create ?(config = default_config) ~nodes () =
+let create ?(config = default_config) ?skip_invariant ~nodes () =
   if nodes <= 0 then invalid_arg "System.create: nodes must be positive";
   (match config.machine.M.udma_mode with
   | None -> invalid_arg "System.create: nodes need a UDMA engine"
@@ -40,7 +40,7 @@ let create ?(config = default_config) ~nodes () =
     let machine =
       M.create
         ~config:{ config.machine with M.shared_engine = Some engine }
-        ()
+        ?skip_invariant ()
     in
     let ni = Network_interface.create ~id ~machine ~config:config.ni () in
     Network_interface.set_router ni router;

@@ -1,0 +1,79 @@
+module Rng = Udma_sim.Rng
+
+type t =
+  | Uniform
+  | Transpose
+  | Neighbor
+  | Hotspot of { node : int; pct : int }
+
+let default_hotspot = Hotspot { node = 0; pct = 25 }
+
+let to_string = function
+  | Uniform -> "uniform"
+  | Transpose -> "transpose"
+  | Neighbor -> "neighbor"
+  | Hotspot { node; pct } -> Printf.sprintf "hotspot(node %d, %d%%)" node pct
+
+let parse s =
+  match String.lowercase_ascii (String.trim s) with
+  | "uniform" | "random" -> Ok Uniform
+  | "transpose" -> Ok Transpose
+  | "neighbor" | "neighbour" | "nearest-neighbor" -> Ok Neighbor
+  | "hotspot" -> Ok default_hotspot
+  | s when String.length s > 8 && String.sub s 0 8 = "hotspot:" -> (
+      match int_of_string_opt (String.sub s 8 (String.length s - 8)) with
+      | Some pct when pct > 0 && pct <= 100 ->
+          Ok (Hotspot { node = 0; pct })
+      | _ -> Error (Printf.sprintf "bad hotspot percentage in %S" s))
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unknown pattern %S (uniform | transpose | neighbor | hotspot[:PCT])"
+           s)
+
+let coords ~width id = (id mod width, id / width)
+
+let transpose_dest ~width ~nodes src =
+  let x, y = coords ~width src in
+  let d = y + (x * width) in
+  if d < nodes && d <> src then Some d else None
+
+let neighbors ~width ~nodes src =
+  let x, y = coords ~width src in
+  List.filter_map
+    (fun (nx, ny) ->
+      if nx >= 0 && nx < width && ny >= 0 then
+        let id = nx + (ny * width) in
+        if id < nodes then Some id else None
+      else None)
+    [ (x - 1, y); (x + 1, y); (x, y - 1); (x, y + 1) ]
+
+(* Destinations this source can ever pick — the channels the load
+   generator must set up. *)
+let support t ~width ~nodes ~src =
+  let others = List.filter (fun d -> d <> src) (List.init nodes Fun.id) in
+  match t with
+  | Uniform | Hotspot _ -> others
+  | Transpose -> (
+      match transpose_dest ~width ~nodes src with
+      | Some d -> [ d ]
+      | None -> [])
+  | Neighbor -> neighbors ~width ~nodes src
+
+let uniform_other rng ~nodes ~src =
+  let d = Rng.int rng (nodes - 1) in
+  if d >= src then d + 1 else d
+
+let dest t rng ~width ~nodes ~src =
+  if nodes < 2 then None
+  else
+    match t with
+    | Uniform -> Some (uniform_other rng ~nodes ~src)
+    | Transpose -> transpose_dest ~width ~nodes src
+    | Neighbor -> (
+        match neighbors ~width ~nodes src with
+        | [] -> None
+        | ns -> Some (List.nth ns (Rng.int rng (List.length ns))))
+    | Hotspot { node; pct } ->
+        if src <> node && Rng.int rng 100 < pct then Some node
+        else Some (uniform_other rng ~nodes ~src)

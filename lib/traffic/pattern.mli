@@ -1,0 +1,25 @@
+(** Spatial traffic patterns: who sends to whom on a [width]-wide 2-D
+    mesh of [nodes] nodes (ids row-major, as {!Udma_shrimp.Router}). *)
+
+type t =
+  | Uniform  (** each message to a uniformly random other node *)
+  | Transpose  (** (x,y) sends to (y,x); diagonal nodes are silent *)
+  | Neighbor  (** a uniformly random mesh neighbour *)
+  | Hotspot of { node : int; pct : int }
+      (** [pct]% of messages to [node], the rest uniform *)
+
+val default_hotspot : t
+(** Node 0, 25%. *)
+
+val parse : string -> (t, string) result
+(** ["uniform" | "transpose" | "neighbor" | "hotspot" | "hotspot:PCT"]. *)
+
+val to_string : t -> string
+
+val support : t -> width:int -> nodes:int -> src:int -> int list
+(** Every destination [src] can ever pick (the channels a load
+    generator must pre-establish); empty when the source is silent. *)
+
+val dest : t -> Udma_sim.Rng.t -> width:int -> nodes:int -> src:int -> int option
+(** Pick the next destination ([None] = this source is silent, e.g. a
+    transpose diagonal). Never returns [src] itself. *)

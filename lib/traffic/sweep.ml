@@ -1,0 +1,74 @@
+type point = { load : float; result : Load_gen.result }
+
+type outcome = {
+  send_cycles : int;
+  points : point list;
+  knee_index : int option;
+  knee_load : float option;
+}
+
+let default_loads = [ 0.2; 0.4; 0.6; 0.8; 0.9; 1.0; 1.1 ]
+
+(* Saturation knee: the first point whose mean latency exceeds
+   [latency_factor] x the lightest point's mean, or that delivers less
+   than [min_efficiency] of what was offered. Deterministic given the
+   sweep's seed. *)
+let latency_factor = 2.0
+let min_efficiency = 0.9
+
+let detect_knee points =
+  match points with
+  | [] -> None
+  | first :: _ ->
+      let base = first.result.Load_gen.mean_latency in
+      let saturated p =
+        let r = p.result in
+        (r.Load_gen.delivered = 0 && r.Load_gen.injected > 0)
+        || (base > 0.0 && r.Load_gen.mean_latency >= latency_factor *. base)
+        || r.Load_gen.injected > 0
+           && float_of_int r.Load_gen.delivered
+              < min_efficiency *. float_of_int r.Load_gen.injected
+      in
+      let rec go i = function
+        | [] -> None
+        | p :: rest -> if saturated p then Some i else go (i + 1) rest
+      in
+      go 0 points
+
+let run ?(loads = default_loads) ?probe ?(nodes = 16)
+    ?(pattern = Pattern.Uniform) ?(msg_bytes = 256) ?(warmup_cycles = 2_000)
+    ?(window_cycles = 50_000) ?(link_contention = true) ?(seed = 42) () =
+  if loads = [] then invalid_arg "Sweep.run: empty load list";
+  List.iter
+    (fun l -> if not (l > 0.0) then invalid_arg "Sweep.run: loads must be > 0")
+    loads;
+  (* per-source capacity: one initiation every [send_cycles]; a load
+     fraction maps to that share of the capacity rate *)
+  let send_cycles = Load_gen.calibrate ~msg_bytes () in
+  let points =
+    List.map
+      (fun load ->
+        let per_kcycle = load *. 1000.0 /. float_of_int send_cycles in
+        let cfg =
+          {
+            Load_gen.nodes;
+            pattern;
+            arrival = Arrival.Poisson { per_kcycle };
+            msg_bytes;
+            warmup_cycles;
+            window_cycles;
+            link_contention;
+            seed;
+          }
+        in
+        { load; result = Load_gen.run ?probe cfg })
+      loads
+  in
+  let knee_index = detect_knee points in
+  {
+    send_cycles;
+    points;
+    knee_index;
+    knee_load =
+      Option.map (fun i -> (List.nth points i).load) knee_index;
+  }

@@ -1,0 +1,45 @@
+(** Saturation sweep: step offered load, run one {!Load_gen} mesh per
+    point, and find the knee of the latency-vs-offered-load curve.
+
+    Offered load is expressed as a fraction of one source's initiation
+    capacity (a calibrated real user-level send every [send_cycles]
+    cycles = load 1.0), so the x-axis is stable across message sizes
+    and cost-model changes. *)
+
+type point = { load : float; result : Load_gen.result }
+
+type outcome = {
+  send_cycles : int;  (** calibrated per-message initiation cost *)
+  points : point list;  (** one per requested load, in order *)
+  knee_index : int option;
+  knee_load : float option;
+}
+
+val default_loads : float list
+
+val latency_factor : float
+(** Knee rule 1: mean latency at least this multiple of the lightest
+    point's mean. *)
+
+val min_efficiency : float
+(** Knee rule 2: delivered/offered below this fraction. *)
+
+val detect_knee : point list -> int option
+(** Index of the first saturated point under the two rules above
+    (relative to the first point as the zero-load reference). *)
+
+val run :
+  ?loads:float list ->
+  ?probe:(Udma_sim.Engine.t -> unit) ->
+  ?nodes:int ->
+  ?pattern:Pattern.t ->
+  ?msg_bytes:int ->
+  ?warmup_cycles:int ->
+  ?window_cycles:int ->
+  ?link_contention:bool ->
+  ?seed:int ->
+  unit ->
+  outcome
+(** Deterministic under [seed]: equal arguments give equal outcomes,
+    byte for byte. [probe] observes each point's fresh engine (cycle
+    attribution across the whole sweep). *)

@@ -1043,38 +1043,205 @@ let report_updates () =
        rows)
 
 (* ------------------------------------------------------------------ *)
+(* E11: traffic saturation sweep                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Pattern = Udma_traffic.Pattern
+module Load_gen = Udma_traffic.Load_gen
+module Sweep = Udma_traffic.Sweep
+
+let report_saturation ?loads ?(nodes = 16) ?(pattern = Pattern.Uniform)
+    ?(msg_bytes = 256) ?(warmup_cycles = 2_000) ?(window_cycles = 50_000)
+    ?(link_contention = true) ?(seed = 42) () =
+  let p = probe () in
+  let outcome =
+    Sweep.run ?loads ~probe:(watch p) ~nodes ~pattern ~msg_bytes
+      ~warmup_cycles ~window_cycles ~link_contention ~seed ()
+  in
+  let width =
+    match outcome.Sweep.points with
+    | { result; _ } :: _ -> result.Load_gen.width
+    | [] -> 0
+  in
+  Report.make ~id:"e11_saturation"
+    ~title:
+      (Printf.sprintf
+         "E11: latency vs offered load, %d-node mesh, %s traffic%s" nodes
+         (Pattern.to_string pattern)
+         (if link_contention then "" else " (contention off)"))
+    ~meta:
+      [
+        ("nodes", vi nodes);
+        ("width", vi width);
+        ("pattern", vs (Pattern.to_string pattern));
+        ("msg_bytes", vi msg_bytes);
+        ("send_cycles", vi outcome.Sweep.send_cycles);
+        ("warmup_cycles", vi warmup_cycles);
+        ("window_cycles", vi window_cycles);
+        ("link_contention", vb link_contention);
+        ("seed", vi seed);
+        ( "knee_load",
+          match outcome.Sweep.knee_load with
+          | Some l -> vf l
+          | None -> vs "none" );
+        ( "knee_index",
+          match outcome.Sweep.knee_index with
+          | Some i -> vi i
+          | None -> vs "none" );
+      ]
+    ~columns:
+      [
+        ("load", "load");
+        ("offered_kcyc", "off/kcyc");
+        ("delivered_kcyc", "del/kcyc");
+        ("mean_latency", "mean cyc");
+        ("p95_latency", "p95");
+        ("p99_latency", "p99");
+        ("link_wait", "link wait");
+        ("knee", "knee");
+      ]
+    ~breakdown:(breakdown p)
+    (List.mapi
+       (fun i { Sweep.load; result = r } ->
+         [
+           ("load", vf load);
+           ("offered_kcyc", vf r.Load_gen.offered_per_kcycle);
+           ("delivered_kcyc", vf r.Load_gen.delivered_per_kcycle);
+           ("injected", vi r.Load_gen.injected);
+           ("delivered", vi r.Load_gen.delivered);
+           ("mean_latency", vf r.Load_gen.mean_latency);
+           ("p50_latency", vi r.Load_gen.p50_latency);
+           ("p95_latency", vi r.Load_gen.p95_latency);
+           ("p99_latency", vi r.Load_gen.p99_latency);
+           ("max_latency", vi r.Load_gen.max_latency);
+           ("link_wait", vi r.Load_gen.link_wait_cycles);
+           ("link_max_depth", vi r.Load_gen.link_max_depth);
+           ("knee", vb (outcome.Sweep.knee_index = Some i));
+         ])
+       outcome.Sweep.points)
+
+(* ------------------------------------------------------------------ *)
 (* drivers                                                             *)
 (* ------------------------------------------------------------------ *)
 
+type experiment = {
+  exp_name : string;
+  exp_alias : string;
+  exp_doc : string;
+  exp_run : quick:bool -> seed:int -> Report.t list;
+}
+
+(* The one registry every frontend derives from: [all_reports] (hence
+   bench/main.exe and the committed baselines) concatenates the
+   registry in order, and bin/shrimp_sim.ml generates a name + eN
+   alias command pair per entry — adding an experiment here is the
+   whole registration. *)
+let experiments =
+  [
+    {
+      exp_name = "figure8";
+      exp_alias = "e1";
+      exp_doc = "E1: deliberate-update bandwidth vs message size (Figure 8).";
+      exp_run =
+        (fun ~quick ~seed:_ ->
+          if quick then
+            [
+              report_figure8 ~sizes:[ 512; 1024; 4096; 16384 ] ~messages:8 ();
+              report_figure8 ~sizes:[ 512; 1024; 4096; 16384 ] ~messages:8
+                ~queued:true ();
+            ]
+          else [ report_figure8 (); report_figure8 ~queued:true () ]);
+    };
+    {
+      exp_name = "initiation";
+      exp_alias = "e2";
+      exp_doc = "E2: UDMA vs traditional transfer-initiation cost (the 2.8us).";
+      exp_run = (fun ~quick:_ ~seed:_ -> [ report_costs () ]);
+    };
+    {
+      exp_name = "hippi";
+      exp_alias = "e3";
+      exp_doc = "E3: kernel DMA bandwidth vs block size on a HIPPI profile.";
+      exp_run =
+        (fun ~quick ~seed:_ ->
+          if quick then
+            [ report_hippi ~blocks:[ 1024; 4096; 65536; 262144 ] () ]
+          else [ report_hippi () ]);
+    };
+    {
+      exp_name = "crossover";
+      exp_alias = "e4";
+      exp_doc = "E4: UDMA vs memory-mapped FIFO latency.";
+      exp_run =
+        (fun ~quick ~seed:_ ->
+          if quick then [ report_crossover ~sizes:[ 64; 512; 4096 ] ~trials:2 () ]
+          else [ report_crossover () ]);
+    };
+    {
+      exp_name = "queueing";
+      exp_alias = "e5";
+      exp_doc = "E5: basic vs queued UDMA for multi-page transfers.";
+      exp_run =
+        (fun ~quick ~seed:_ ->
+          if quick then
+            [ report_queueing ~total_sizes:[ 16384; 65536 ] ~depths:[ 4; 8 ] () ]
+          else [ report_queueing () ]);
+    };
+    {
+      exp_name = "atomicity";
+      exp_alias = "e6";
+      exp_doc = "E6: I1 retries under forced preemption.";
+      exp_run =
+        (fun ~quick ~seed ->
+          if quick then
+            [ report_atomicity ~probs_pct:[ 0; 20 ] ~transfers:40 ~seed () ]
+          else [ report_atomicity ~seed () ]);
+    };
+    {
+      exp_name = "pinning";
+      exp_alias = "e7";
+      exp_doc = "E7: page pinning vs the I4 remap check.";
+      exp_run = (fun ~quick:_ ~seed:_ -> [ report_pinning () ]);
+    };
+    {
+      exp_name = "proxyfault";
+      exp_alias = "e8";
+      exp_doc = "E8: demand proxy-mapping fault costs.";
+      exp_run = (fun ~quick:_ ~seed:_ -> [ report_proxy_faults () ]);
+    };
+    {
+      exp_name = "i3policy";
+      exp_alias = "e9";
+      exp_doc = "E9: the two I3 content-consistency methods.";
+      exp_run =
+        (fun ~quick ~seed:_ ->
+          if quick then [ report_i3 ~transfers:16 ~pages:4 () ]
+          else [ report_i3 () ]);
+    };
+    {
+      exp_name = "updates";
+      exp_alias = "e10";
+      exp_doc = "E10: deliberate vs automatic update.";
+      exp_run = (fun ~quick:_ ~seed:_ -> [ report_updates () ]);
+    };
+    {
+      exp_name = "traffic";
+      exp_alias = "e11";
+      exp_doc =
+        "E11: mesh saturation — latency vs offered load under multi-node \
+         traffic with link contention.";
+      exp_run =
+        (fun ~quick ~seed ->
+          if quick then
+            [
+              report_saturation ~loads:[ 0.2; 0.6; 0.9; 1.1 ]
+                ~window_cycles:20_000 ~seed ();
+            ]
+          else [ report_saturation ~seed () ]);
+    };
+  ]
+
 let all_reports ?(quick = false) ?(seed = 42) () =
-  if quick then
-    [
-      report_figure8 ~sizes:[ 512; 1024; 4096; 16384 ] ~messages:8 ();
-      report_figure8 ~sizes:[ 512; 1024; 4096; 16384 ] ~messages:8
-        ~queued:true ();
-      report_costs ();
-      report_hippi ~blocks:[ 1024; 4096; 65536; 262144 ] ();
-      report_crossover ~sizes:[ 64; 512; 4096 ] ~trials:2 ();
-      report_queueing ~total_sizes:[ 16384; 65536 ] ~depths:[ 4; 8 ] ();
-      report_atomicity ~probs_pct:[ 0; 20 ] ~transfers:40 ~seed ();
-      report_pinning ();
-      report_proxy_faults ();
-      report_i3 ~transfers:16 ~pages:4 ();
-      report_updates ();
-    ]
-  else
-    [
-      report_figure8 ();
-      report_figure8 ~queued:true ();
-      report_costs ();
-      report_hippi ();
-      report_crossover ();
-      report_queueing ();
-      report_atomicity ~seed ();
-      report_pinning ();
-      report_proxy_faults ();
-      report_i3 ();
-      report_updates ();
-    ]
+  List.concat_map (fun e -> e.exp_run ~quick ~seed) experiments
 
 let run_all () = List.iter Report.print (all_reports ())

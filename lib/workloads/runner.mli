@@ -153,15 +153,48 @@ val update_strategies : unit -> update_row list
 
 val report_updates : unit -> Report.t
 
+(** {1 E11 — traffic saturation (lib/traffic)} *)
+
+val report_saturation :
+  ?loads:float list ->
+  ?nodes:int ->
+  ?pattern:Udma_traffic.Pattern.t ->
+  ?msg_bytes:int ->
+  ?warmup_cycles:int ->
+  ?window_cycles:int ->
+  ?link_contention:bool ->
+  ?seed:int ->
+  unit ->
+  Report.t
+(** Latency vs offered load on an up-to-8x8 mesh driven by
+    {!Udma_traffic.Sweep}: one row per load point (offered/delivered
+    throughput, latency percentiles, head-of-line blocking), with the
+    detected saturation knee flagged in the rows and recorded in the
+    meta as [knee_load] (or the string ["none"]). Deterministic under
+    [seed]. *)
+
 (** {1 Driver} *)
 
+type experiment = {
+  exp_name : string;  (** CLI subcommand name, e.g. ["figure8"] *)
+  exp_alias : string;  (** short alias, e.g. ["e1"] *)
+  exp_doc : string;  (** one-line description *)
+  exp_run : quick:bool -> seed:int -> Report.t list;
+}
+
+val experiments : experiment list
+(** The experiment registry, in E1..E11 order. [all_reports] and the
+    [shrimp_sim] command set are both derived from it, so a new
+    experiment registers exactly once here. *)
+
 val all_reports : ?quick:bool -> ?seed:int -> unit -> Report.t list
-(** Every experiment (E1 basic + queued, E2..E10) as reports, in
-    order. [quick] (default false) substitutes the small deterministic
-    parameter set CI uses for the committed [BENCH_baseline.json];
-    [seed] feeds the randomized experiments (E6). Each report carries
-    its own cycle breakdown; the breakdown's sum equals the total
-    simulated cycles across every engine that experiment created. *)
+(** Every experiment (E1 basic + queued, E2..E11) as reports, in
+    registry order. [quick] (default false) substitutes the small
+    deterministic parameter set CI uses for the committed
+    [BENCH_baseline.json]; [seed] feeds the randomized experiments
+    (E6) and the traffic sweep (E11). Each report carries its own
+    cycle breakdown; the breakdown's sum equals the total simulated
+    cycles across every engine that experiment created. *)
 
 val run_all : unit -> unit
 (** Run and print every experiment (what [bench/main.exe] calls). *)

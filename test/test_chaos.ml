@@ -10,6 +10,7 @@ module Chaos = Udma_check.Chaos
 
 let sweep_seeds = 512
 let mutation_seeds = 256
+let mesh_seeds = 64
 
 (* ---------- the sweep itself: no violations in a correct kernel ---------- *)
 
@@ -68,12 +69,54 @@ let test_mutation inv () =
         Alcotest.failf "report does not name %s:\n%s" (M.invariant_name inv)
           report
 
+(* ---------- mesh scenario: oracles under multi-node traffic ---------- *)
+
+let test_mesh_sweep () =
+  match Chaos.mesh_sweep ~seeds:mesh_seeds () with
+  | [] -> ()
+  | f :: _ as failures ->
+      Alcotest.failf "%d of %d mesh seeds violated an invariant; first:\n%s"
+        (List.length failures) mesh_seeds (Chaos.mesh_report f)
+
+(* A mesh failure must also replay identically, checked through a
+   planted I2 bug (mapping consistency breaks under paging pressure
+   regardless of the network, so some mesh seed must find it). *)
+let test_mesh_mutation () =
+  let rec first seed =
+    if seed >= mesh_seeds then None
+    else
+      match Chaos.run_mesh_seed ~skip_invariant:`I2 seed with
+      | Chaos.Mesh_pass -> first (seed + 1)
+      | Chaos.Mesh_fail f -> Some f
+  in
+  match first 0 with
+  | None ->
+      Alcotest.failf
+        "mesh kernels built without the I2 maintenance action survived %d \
+         seeds"
+        mesh_seeds
+  | Some f -> (
+      match Chaos.run_mesh_plan ~skip_invariant:`I2 f.Chaos.mesh_plan with
+      | Chaos.Mesh_pass ->
+          Alcotest.failf "mesh seed %d failed once but replayed clean"
+            f.Chaos.mesh_plan.Chaos.mesh_setup.Chaos.mesh_seed
+      | Chaos.Mesh_fail f' ->
+          Alcotest.(check int) "mesh replay stops at the same step"
+            f.Chaos.mesh_step f'.Chaos.mesh_step;
+          Alcotest.(check string) "mesh replay reports the same violation"
+            f.Chaos.mesh_violation.Oracle.detail
+            f'.Chaos.mesh_violation.Oracle.detail)
+
 (* ---------- determinism of the generator ---------- *)
 
 let test_plan_deterministic () =
   for seed = 0 to 63 do
     let a = Chaos.plan_of_seed seed and b = Chaos.plan_of_seed seed in
-    if a <> b then Alcotest.failf "plan_of_seed %d is not deterministic" seed
+    if a <> b then Alcotest.failf "plan_of_seed %d is not deterministic" seed;
+    let ma = Chaos.mesh_plan_of_seed seed
+    and mb = Chaos.mesh_plan_of_seed seed in
+    if ma <> mb then
+      Alcotest.failf "mesh_plan_of_seed %d is not deterministic" seed
   done
 
 let () =
@@ -94,5 +137,12 @@ let () =
             (test_mutation `I3);
           Alcotest.test_case "mutation: skipping I4 is detected" `Quick
             (test_mutation `I4);
+          Alcotest.test_case
+            (Printf.sprintf
+               "%d-seed mesh traffic sweep: no I1-I4 violation" mesh_seeds)
+            `Quick test_mesh_sweep;
+          Alcotest.test_case
+            "mesh mutation: skipping I2 is detected and replays" `Quick
+            test_mesh_mutation;
         ] );
     ]

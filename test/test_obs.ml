@@ -113,6 +113,31 @@ let test_histogram_custom_buckets () =
     | () -> false
     | exception Invalid_argument _ -> true)
 
+let test_histogram_percentile () =
+  let m = Metrics.create () in
+  (* 100 samples in bucket <=10, 10 in <=100, 1 overflow *)
+  for _ = 1 to 100 do Metrics.observe m ~buckets:[ 10; 100 ] "h" 5 done;
+  for _ = 1 to 10 do Metrics.observe m ~buckets:[ 10; 100 ] "h" 50 done;
+  Metrics.observe m ~buckets:[ 10; 100 ] "h" 1000;
+  (match Metrics.histogram m "h" with
+  | Some h ->
+      checkb "p50 in first bucket" true (Metrics.percentile h 50.0 = Some 10);
+      checkb "p95 in second bucket" true (Metrics.percentile h 95.0 = Some 100);
+      checkb "p100 lands in overflow (edge+1)" true
+        (Metrics.percentile h 100.0 = Some 101);
+      checkb "p out of range rejected" true
+        (match Metrics.percentile h 0.0 with
+        | _ -> false
+        | exception Invalid_argument _ -> true)
+  | None -> Alcotest.fail "histogram missing");
+  (* empty histogram has no percentile *)
+  Metrics.observe m "h2" 1;
+  (match Metrics.histogram m "h2" with
+  | Some h2 ->
+      let empty = { h2 with Metrics.count = 0; buckets = []; overflow = 0 } in
+      checkb "empty histogram" true (Metrics.percentile empty 50.0 = None)
+  | None -> Alcotest.fail "histogram missing")
+
 let test_counters_and_gauges () =
   let m = Metrics.create () in
   Metrics.incr m "c";
@@ -286,6 +311,7 @@ let () =
           Alcotest.test_case "histogram edges" `Quick test_histogram_edges;
           Alcotest.test_case "custom buckets" `Quick
             test_histogram_custom_buckets;
+          Alcotest.test_case "percentile" `Quick test_histogram_percentile;
           Alcotest.test_case "counters and gauges" `Quick
             test_counters_and_gauges;
         ] );

@@ -94,6 +94,68 @@ let test_router_unregistered_sink () =
   checkb "raises" true
     (try Router.send r (pkt 1); false with Invalid_argument _ -> true)
 
+(* With contention enabled but no competing traffic the per-link walk
+   must telescope to exactly the closed-form latency. *)
+let contended_router nodes =
+  let engine = Engine.create () in
+  let r =
+    Router.create ~engine ~nodes
+      ~config:{ Router.default_config with Router.link_contention = true }
+      ()
+  in
+  (engine, r)
+
+let test_router_contention_idle_closed_form () =
+  let engine, r = contended_router 9 in
+  let arrivals = ref [] in
+  for d = 1 to 8 do
+    Router.register r ~node_id:d (fun p ->
+        arrivals := (p.Packet.dst_node, Engine.now engine) :: !arrivals)
+  done;
+  (* one at a time, drained between sends: links are always idle *)
+  for d = 1 to 8 do
+    let p = { (pkt d) with Packet.dst_node = d } in
+    let t0 = Engine.now engine in
+    Router.send r p;
+    Engine.run_until_idle engine;
+    match List.assoc_opt d !arrivals with
+    | Some at ->
+        checki
+          (Printf.sprintf "closed form to node %d" d)
+          (t0 + Router.latency_cycles r ~src:0 ~dst:d
+                  ~bytes:(Packet.size_bytes p))
+          at
+    | None -> Alcotest.fail "no delivery"
+  done;
+  (* idle links never made anyone wait *)
+  checki "no wait cycles" 0
+    (List.fold_left
+       (fun a (l : Router.link_stat) -> a + l.Router.wait_cycles)
+       0 (Router.link_stats r))
+
+let test_router_contention_queues_shared_link () =
+  (* two packets, same source, back to back: the second must queue
+     behind the first's wire occupancy with contention on, and must
+     not without *)
+  let arrival contention =
+    let engine = Engine.create () in
+    let r =
+      Router.create ~engine ~nodes:4
+        ~config:{ Router.default_config with Router.link_contention = contention }
+        ()
+    in
+    let last = ref 0 in
+    Router.register r ~node_id:1 (fun _ -> last := Engine.now engine);
+    Router.send r { (pkt ~len:1000 0) with Packet.dst_node = 1 };
+    Router.send r { (pkt ~len:1000 1) with Packet.dst_node = 1 };
+    Engine.run_until_idle engine;
+    !last
+  in
+  let free = arrival false and contended = arrival true in
+  checkb "second packet delayed by link occupancy" true (contended > free);
+  (* and the delay is at least the first packet's wire occupancy *)
+  checkb "delay covers serialisation" true (contended - free >= 250)
+
 (* ---------- System + NI end to end ---------- *)
 
 let two_nodes () =
@@ -614,6 +676,10 @@ let () =
           Alcotest.test_case "delivery + latency" `Quick
             test_router_delivery_and_latency;
           Alcotest.test_case "unregistered sink" `Quick test_router_unregistered_sink;
+          Alcotest.test_case "contention on idle links = closed form" `Quick
+            test_router_contention_idle_closed_form;
+          Alcotest.test_case "contention queues a shared link" `Quick
+            test_router_contention_queues_shared_link;
         ] );
       ( "system",
         [

@@ -1,0 +1,253 @@
+(* Unit tests for lib/traffic: arrival processes, spatial patterns,
+   the load generator and the saturation sweep. Everything here must
+   be deterministic under a fixed seed — the sweep determinism test is
+   the same guarantee `shrimp_sim traffic --seed N` documents. *)
+
+module Rng = Udma_sim.Rng
+module Arrival = Udma_traffic.Arrival
+module Pattern = Udma_traffic.Pattern
+module Load_gen = Udma_traffic.Load_gen
+module Sweep = Udma_traffic.Sweep
+module Router = Udma_shrimp.Router
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ---------- arrivals ---------- *)
+
+let test_arrival_gaps () =
+  let rng = Rng.create 1 in
+  (* periodic: exact reciprocal of the rate *)
+  for _ = 1 to 10 do
+    checki "periodic gap" 250
+      (Arrival.next_gap (Arrival.Periodic { per_kcycle = 4.0 }) rng)
+  done;
+  (* poisson: positive gaps, sample mean near 1000/rate *)
+  let p = Arrival.Poisson { per_kcycle = 4.0 } in
+  let n = 10_000 in
+  let total = ref 0 in
+  for _ = 1 to n do
+    let g = Arrival.next_gap p rng in
+    checkb "gap positive" true (g >= 1);
+    total := !total + g
+  done;
+  let mean = float_of_int !total /. float_of_int n in
+  checkb
+    (Printf.sprintf "poisson mean %.1f within 10%% of 250" mean)
+    true
+    (mean > 225.0 && mean < 275.0);
+  checkb "closed has no open-loop gap" true
+    (try
+       ignore
+         (Arrival.next_gap (Arrival.Closed { clients = 2; think_cycles = 100 })
+            rng);
+       false
+     with Invalid_argument _ -> true)
+
+let test_arrival_deterministic () =
+  let gaps seed =
+    let rng = Rng.create seed in
+    List.init 200 (fun _ ->
+        Arrival.next_gap (Arrival.Poisson { per_kcycle = 2.0 }) rng)
+  in
+  checkb "same seed, same gaps" true (gaps 9 = gaps 9);
+  checkb "different seed, different gaps" true (gaps 9 <> gaps 10)
+
+(* ---------- patterns ---------- *)
+
+let test_pattern_dest_in_support () =
+  let rng = Rng.create 3 in
+  let nodes = 12 and width = 4 in
+  List.iter
+    (fun pat ->
+      for src = 0 to nodes - 1 do
+        let support = Pattern.support pat ~width ~nodes ~src in
+        for _ = 1 to 50 do
+          match Pattern.dest pat rng ~width ~nodes ~src with
+          | None ->
+              checkb "silent source has empty support" true (support = [])
+          | Some d ->
+              checkb "never self" true (d <> src);
+              checkb "dest within declared support" true (List.mem d support)
+        done
+      done)
+    [ Pattern.Uniform; Pattern.Transpose; Pattern.Neighbor;
+      Pattern.default_hotspot ]
+
+let test_pattern_transpose () =
+  let rng = Rng.create 4 in
+  (* 3x3: (x,y) -> (y,x); the diagonal is silent *)
+  checkb "diagonal silent" true
+    (Pattern.dest Pattern.Transpose rng ~width:3 ~nodes:9 ~src:4 = None);
+  checkb "corner swaps" true
+    (Pattern.dest Pattern.Transpose rng ~width:3 ~nodes:9 ~src:1 = Some 3)
+
+let test_pattern_hotspot () =
+  let rng = Rng.create 5 in
+  let pat = Pattern.Hotspot { node = 0; pct = 50 } in
+  let hits = ref 0 and n = 2000 in
+  for _ = 1 to n do
+    match Pattern.dest pat rng ~width:4 ~nodes:16 ~src:5 with
+    | Some 0 -> incr hits
+    | Some _ -> ()
+    | None -> Alcotest.fail "hotspot source silent"
+  done;
+  let frac = float_of_int !hits /. float_of_int n in
+  (* 50% direct + uniform share of the rest *)
+  checkb (Printf.sprintf "hotspot fraction %.2f" frac) true
+    (frac > 0.45 && frac < 0.62)
+
+let test_pattern_parse () =
+  checkb "uniform" true (Pattern.parse "uniform" = Ok Pattern.Uniform);
+  checkb "hotspot pct" true
+    (Pattern.parse "hotspot:40" = Ok (Pattern.Hotspot { node = 0; pct = 40 }));
+  checkb "junk rejected" true
+    (match Pattern.parse "zipf" with Error _ -> true | Ok _ -> false)
+
+(* ---------- load generator ---------- *)
+
+let small_cfg =
+  { Load_gen.default_config with
+    Load_gen.nodes = 4;
+    arrival = Arrival.Poisson { per_kcycle = 1.0 };
+    msg_bytes = 128;
+    warmup_cycles = 500;
+    window_cycles = 5_000;
+    seed = 7 }
+
+let test_load_gen_smoke () =
+  let r = Load_gen.run small_cfg in
+  checki "nodes" 4 r.Load_gen.nodes;
+  checki "width" 2 r.Load_gen.width;
+  checkb "calibration found a positive cost" true (r.Load_gen.send_cycles > 0);
+  checkb "traffic flowed" true (r.Load_gen.delivered > 0);
+  checkb "no invention: delivered <= injected" true
+    (r.Load_gen.delivered <= r.Load_gen.injected);
+  checkb "latencies sorted" true
+    (let l = r.Load_gen.latencies in
+     Array.for_all Fun.id (Array.mapi (fun i v -> i = 0 || l.(i - 1) <= v) l));
+  checkb "mean positive" true (r.Load_gen.mean_latency > 0.0);
+  checkb "percentiles ordered" true
+    (r.Load_gen.p50_latency <= r.Load_gen.p95_latency
+    && r.Load_gen.p95_latency <= r.Load_gen.p99_latency
+    && r.Load_gen.p99_latency <= r.Load_gen.max_latency)
+
+let test_load_gen_deterministic () =
+  let a = Load_gen.run small_cfg and b = Load_gen.run small_cfg in
+  checkb "same seed, identical results" true (a = b);
+  let c = Load_gen.run { small_cfg with Load_gen.seed = 8 } in
+  checkb "different seed, different traffic" true
+    (a.Load_gen.latencies <> c.Load_gen.latencies)
+
+let test_load_gen_closed_loop () =
+  let r =
+    Load_gen.run
+      { small_cfg with
+        Load_gen.arrival = Arrival.Closed { clients = 8; think_cycles = 2_000 }
+      }
+  in
+  checkb "closed-loop traffic flowed" true (r.Load_gen.delivered > 0)
+
+let test_load_gen_contention_metrics () =
+  (* drive a 4-node mesh hard enough that some link queues *)
+  let r =
+    Load_gen.run
+      { small_cfg with
+        Load_gen.arrival = Arrival.Poisson { per_kcycle = 3.0 } }
+  in
+  checkb "link stats present" true (r.Load_gen.links <> []);
+  checkb "every link stat counts xmits" true
+    (List.for_all (fun (l : Router.link_stat) -> l.Router.xmits >= 0)
+       r.Load_gen.links)
+
+let test_load_gen_validation () =
+  let bad cfg = try ignore (Load_gen.run cfg); false
+                with Invalid_argument _ -> true in
+  checkb "1 node rejected" true (bad { small_cfg with Load_gen.nodes = 1 });
+  checkb "unaligned size rejected" true
+    (bad { small_cfg with Load_gen.msg_bytes = 130 });
+  checkb "oversized message rejected" true
+    (bad { small_cfg with Load_gen.msg_bytes = 4096 })
+
+(* ---------- sweep + knee ---------- *)
+
+let mk_point ?(injected = 100) ?(delivered = 100) load mean =
+  { Sweep.load;
+    result =
+      { Load_gen.nodes = 4; width = 2; send_cycles = 600;
+        window_cycles = 10_000; injected; launched = delivered; delivered;
+        offered_per_kcycle = 0.0; delivered_per_kcycle = 0.0;
+        latencies = [||]; mean_latency = mean; p50_latency = 0;
+        p95_latency = 0; p99_latency = 0; max_latency = 0;
+        link_wait_cycles = 0; link_max_depth = 0; links = [] } }
+
+let test_knee_detection () =
+  checkb "no knee on a flat curve" true
+    (Sweep.detect_knee
+       [ mk_point 0.2 100.0; mk_point 0.5 150.0; mk_point 0.8 190.0 ]
+    = None);
+  checkb "latency blow-up detected" true
+    (Sweep.detect_knee
+       [ mk_point 0.2 100.0; mk_point 0.5 150.0; mk_point 0.8 250.0 ]
+    = Some 2);
+  checkb "lost throughput detected" true
+    (Sweep.detect_knee
+       [ mk_point 0.2 100.0; mk_point 0.5 120.0;
+         mk_point ~delivered:80 0.8 130.0 ]
+    = Some 2);
+  checkb "empty curve" true (Sweep.detect_knee [] = None)
+
+let test_sweep_deterministic () =
+  let run () =
+    Sweep.run ~loads:[ 0.3; 1.2 ] ~nodes:4 ~msg_bytes:128 ~warmup_cycles:500
+      ~window_cycles:4_000 ~seed:11 ()
+  in
+  let a = run () and b = run () in
+  checkb "sweep identical under one seed" true (a = b);
+  checki "one point per load" 2 (List.length a.Sweep.points);
+  (match a.Sweep.knee_index with
+  | Some i ->
+      checkb "knee_load is the knee point's load" true
+        (a.Sweep.knee_load = Some (List.nth a.Sweep.points i).Sweep.load)
+  | None -> checkb "no knee, no load" true (a.Sweep.knee_load = None));
+  checkb "monotone offered load" true
+    (match a.Sweep.points with
+    | [ p1; p2 ] ->
+        p1.Sweep.result.Load_gen.injected
+        < p2.Sweep.result.Load_gen.injected
+    | _ -> false)
+
+let () =
+  Alcotest.run "udma_traffic"
+    [
+      ( "arrival",
+        [
+          Alcotest.test_case "gap statistics" `Quick test_arrival_gaps;
+          Alcotest.test_case "deterministic" `Quick test_arrival_deterministic;
+        ] );
+      ( "pattern",
+        [
+          Alcotest.test_case "dest within support, never self" `Quick
+            test_pattern_dest_in_support;
+          Alcotest.test_case "transpose" `Quick test_pattern_transpose;
+          Alcotest.test_case "hotspot bias" `Quick test_pattern_hotspot;
+          Alcotest.test_case "parse" `Quick test_pattern_parse;
+        ] );
+      ( "load_gen",
+        [
+          Alcotest.test_case "smoke on a 2x2 mesh" `Quick test_load_gen_smoke;
+          Alcotest.test_case "deterministic under seed" `Quick
+            test_load_gen_deterministic;
+          Alcotest.test_case "closed loop" `Quick test_load_gen_closed_loop;
+          Alcotest.test_case "contention link stats" `Quick
+            test_load_gen_contention_metrics;
+          Alcotest.test_case "config validation" `Quick
+            test_load_gen_validation;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "knee detection rules" `Quick test_knee_detection;
+          Alcotest.test_case "deterministic, consistent knee" `Quick
+            test_sweep_deterministic;
+        ] );
+    ]
