@@ -5,9 +5,9 @@
    corresponding simulation harness. With --json it instead writes the
    whole run as one udma-bench/1 document (BENCH_udma.json), and with
    --check FILE it diffs the paper anchors (E1 %-of-max at 512 B and
-   4 KB, E2 initiation cycles, E11 saturation knee) against a
-   previously committed baseline, failing on >±2 % drift — that is the
-   CI regression gate. *)
+   4 KB, E2 initiation cycles, E11 saturation knee, E12 per-policy
+   transpose knees) against a previously committed baseline, failing
+   on >±2 % drift — that is the CI regression gate. *)
 
 module Runner = Udma_workloads.Runner
 module Report = Udma_obs.Report
@@ -50,6 +50,12 @@ let bech_tests =
       (Staged.stage (fun () ->
            ignore
              (Runner.report_saturation ~loads:[ 0.5 ] ~nodes:4
+                ~warmup_cycles:500 ~window_cycles:4_000 ())));
+    Test.make ~name:"e12_adaptive_point"
+      (Staged.stage (fun () ->
+           ignore
+             (Runner.report_adaptive ~loads:[ 0.5 ] ~nodes:4
+                ~patterns:[ Udma_traffic.Pattern.Transpose ]
                 ~warmup_cycles:500 ~window_cycles:4_000 ())));
   ]
 
@@ -118,10 +124,19 @@ let report_meta_num reports ~id field =
   | None -> None
   | Some r -> row_num field r.Report.meta
 
+let row_with_str field value rows pick_field =
+  List.find_map
+    (fun row ->
+      match List.assoc_opt field row with
+      | Some (Report.Str l) when l = value -> row_num pick_field row
+      | _ -> None)
+    rows
+
 (* (name, value) for the checked anchors: the paper's 51 % of peak at
    512 B, 96 % at 4 KB (Figure 8), the ~200-cycle two-reference
-   initiation (§8), and the traffic sweep's saturation knee + its
-   lightest-load mean latency (E11, guards the contention model). *)
+   initiation (§8), the traffic sweep's saturation knee + its
+   lightest-load mean latency (E11, guards the contention model), and
+   the per-policy transpose knees (E12, guards adaptive routing). *)
 let anchors_of_reports reports =
   let e1 pick =
     report_value reports ~id:"e1_figure8" (fun rows ->
@@ -135,12 +150,18 @@ let anchors_of_reports reports =
     report_value reports ~id:"e11_saturation" (fun rows ->
         row_where "load" 0.2 rows "mean_latency")
   in
+  let e12 field =
+    report_value reports ~id:"e12_adaptive" (fun rows ->
+        row_with_str "pattern" "transpose" rows field)
+  in
   [
     ("e1.pct_of_max@512B", e1 512.0);
     ("e1.pct_of_max@4KB", e1 4096.0);
     ("e2.initiation_cycles", e2);
     ("e11.knee_load", report_meta_num reports ~id:"e11_saturation" "knee_load");
     ("e11.mean_latency@0.2", e11_base);
+    ("e12.knee_dim@transpose", e12 "knee_dim");
+    ("e12.knee_adaptive@transpose", e12 "knee_adaptive");
   ]
 
 let json_rows_of_experiment doc ~id =
@@ -199,12 +220,23 @@ let anchors_of_baseline doc =
             | _ -> None)
           rows)
   in
+  let e12 field =
+    Option.bind (json_rows_of_experiment doc ~id:"e12_adaptive") (fun rows ->
+        List.find_map
+          (fun row ->
+            match Option.bind (Json.member "pattern" row) Json.string_ with
+            | Some "transpose" -> json_row_num field row
+            | _ -> None)
+          rows)
+  in
   [
     ("e1.pct_of_max@512B", e1 512.0);
     ("e1.pct_of_max@4KB", e1 4096.0);
     ("e2.initiation_cycles", e2);
     ("e11.knee_load", json_meta_num doc ~id:"e11_saturation" "knee_load");
     ("e11.mean_latency@0.2", e11_base);
+    ("e12.knee_dim@transpose", e12 "knee_dim");
+    ("e12.knee_adaptive@transpose", e12 "knee_adaptive");
   ]
 
 let check_anchors reports ~baseline_file =
@@ -329,8 +361,8 @@ let () =
       value
       & opt (some string) None
       & info [ "check" ] ~docv:"FILE"
-          ~doc:"Diff the E1/E2/E11 anchors of this run against the baseline \
-                document $(docv); exit 1 on >±2% drift.")
+          ~doc:"Diff the E1/E2/E11/E12 anchors of this run against the \
+                baseline document $(docv); exit 1 on >±2% drift.")
   in
   let info =
     Cmd.info "bench" ~version:"1.0.0"

@@ -172,7 +172,9 @@ let traffic_term =
     Arg.(
       value & opt int 16
       & info [ "nodes" ] ~docv:"N"
-          ~doc:"Mesh size, 2..64 (laid out as the squarest covering mesh).")
+          ~doc:
+            "Mesh size, 2..64, filling complete rows of the squarest \
+             covering mesh (4, 6, 9, 12, 16, ...).")
   in
   let pattern =
     Arg.(
@@ -216,17 +218,41 @@ let traffic_term =
             "Disable the router's per-link FIFO model (contention-free \
              latency, the pre-traffic behaviour).")
   in
-  let run c nodes pattern msg_bytes loads window warmup no_contention =
+  let routing =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("dimension", `Dimension_order); ("adaptive", `Minimal_adaptive) ])
+          `Dimension_order
+      & info [ "routing" ] ~docv:"POLICY"
+          ~doc:
+            "Router path policy: $(b,dimension) (X then Y, the default) or \
+             $(b,adaptive) (minimal-adaptive: the less-busy productive link \
+             at every hop; needs the contention model).")
+  in
+  let link_per_word =
+    Arg.(
+      value & opt int 1
+      & info [ "link-per-word" ] ~docv:"CYCLES"
+          ~doc:
+            "Router cycles per 4-byte word on a mesh link (default 1). \
+             Raising it slows the links relative to the send-initiation \
+             cost, moving the bottleneck onto the network (the E12 regime).")
+  in
+  let run c nodes pattern msg_bytes loads window warmup no_contention routing
+      link_per_word =
     emit_reports c (fun () ->
         [
           Runner.report_saturation ~loads ~nodes ~pattern ~msg_bytes
             ~warmup_cycles:warmup ~window_cycles:window
-            ~link_contention:(not no_contention) ~seed:c.seed ();
+            ~link_contention:(not no_contention) ~routing ~link_per_word
+            ~seed:c.seed ();
         ])
   in
   Term.(
     const run $ common_term $ nodes $ pattern $ msg_bytes $ loads $ window
-    $ warmup $ no_contention)
+    $ warmup $ no_contention $ routing $ link_per_word)
 
 let custom_terms =
   [

@@ -512,6 +512,7 @@ type mesh_action =
   | M_clean of { node : int; page : int }
   | M_evict of { node : int }
   | M_preempt of { node : int; pct : int }
+  | M_link_fault of { from_node : int; to_node : int; fault : Router.fault }
   | M_run of { cycles : int }
   | M_drain
 
@@ -519,6 +520,7 @@ type mesh_setup = {
   mesh_seed : int;
   mesh_nodes : int;
   contention : bool;
+  adaptive : bool;
   mesh_pages : int;
 }
 
@@ -545,12 +547,40 @@ let pp_mesh_action ppf = function
   | M_clean x -> Format.fprintf ppf "clean node=%d page=%d" x.node x.page
   | M_evict x -> Format.fprintf ppf "evict node=%d" x.node
   | M_preempt x -> Format.fprintf ppf "preempt node=%d %d%%" x.node x.pct
+  | M_link_fault x ->
+      Format.fprintf ppf "link-%s %d->%d"
+        (match x.fault with
+        | Router.Link_dead -> "dead"
+        | Router.Link_slow k -> Printf.sprintf "slow(x%d)" k
+        | Router.Link_ok -> "heal")
+        x.from_node x.to_node
   | M_run x -> Format.fprintf ppf "run %d cycles" x.cycles
   | M_drain -> Format.pp_print_string ppf "drain"
 
 let pp_mesh_setup ppf s =
-  Format.fprintf ppf "seed=%d nodes=%d contention=%b pages/node=%d"
-    s.mesh_seed s.mesh_nodes s.contention s.mesh_pages
+  Format.fprintf ppf "seed=%d nodes=%d contention=%b routing=%s pages/node=%d"
+    s.mesh_seed s.mesh_nodes s.contention
+    (if s.adaptive then "adaptive" else "dimension-order")
+    s.mesh_pages
+
+(* A random directed mesh link: a node and one of its in-mesh
+   neighbours (the node counts below all tile complete rectangles, so
+   every neighbour id is real). *)
+let gen_mesh_link rng ~nodes =
+  let w = Router.mesh_width nodes in
+  let height = nodes / w in
+  let a = Rng.int rng nodes in
+  let x = a mod w and y = a / w in
+  let neighbours =
+    List.filter_map Fun.id
+      [
+        (if x > 0 then Some (a - 1) else None);
+        (if x < w - 1 then Some (a + 1) else None);
+        (if y > 0 then Some (a - w) else None);
+        (if y < height - 1 then Some (a + w) else None);
+      ]
+  in
+  (a, List.nth neighbours (Rng.int rng (List.length neighbours)))
 
 let gen_mesh_action rng ~nodes =
   let node () = Rng.int rng nodes in
@@ -559,29 +589,45 @@ let gen_mesh_action rng ~nodes =
     (s, (s + 1 + Rng.int rng (nodes - 1)) mod nodes)
   in
   match Rng.int rng 100 with
-  | n when n < 32 ->
+  | n when n < 30 ->
       let src, dst = pair () in
       M_send { src; dst; nbytes = 4 * (1 + Rng.int rng 256);
                pipelined = Rng.bool rng }
-  | n when n < 52 ->
+  | n when n < 48 ->
       let src, dst = pair () in
       M_burst { src; dst; count = 1 + Rng.int rng 4;
                 nbytes = 4 * (1 + Rng.int rng 128) }
-  | n when n < 62 ->
+  | n when n < 58 ->
       M_touch { node = node (); page = Rng.int rng 4; write = Rng.bool rng }
-  | n when n < 69 -> M_clean { node = node (); page = Rng.int rng 4 }
-  | n when n < 75 -> M_evict { node = node () }
-  | n when n < 81 -> M_preempt { node = node (); pct = 5 + Rng.int rng 30 }
-  | n when n < 93 -> M_run { cycles = 100 + Rng.int rng 10_000 }
+  | n when n < 64 -> M_clean { node = node (); page = Rng.int rng 4 }
+  | n when n < 70 -> M_evict { node = node () }
+  | n when n < 76 -> M_preempt { node = node (); pct = 5 + Rng.int rng 30 }
+  | n when n < 84 ->
+      let from_node, to_node = gen_mesh_link rng ~nodes in
+      let fault =
+        match Rng.int rng 5 with
+        | 0 | 1 -> Router.Link_dead
+        | 2 | 3 -> Router.Link_slow (2 + Rng.int rng 7)
+        | _ -> Router.Link_ok
+      in
+      M_link_fault { from_node; to_node; fault }
+  | n when n < 94 -> M_run { cycles = 100 + Rng.int rng 10_000 }
   | _ -> M_drain
+
+(* Node counts must tile complete mesh rows (Router.valid_nodes): a
+   2x2, 3x2 or 3x3 mesh, all with real adaptive path choice. *)
+let mesh_node_choices = [| 4; 6; 9 |]
 
 let mesh_plan_of_seed ?(steps = 40) seed =
   let rng = Rng.create (seed lxor 0x6e57) in
   let mesh_setup =
     { mesh_seed = seed;
-      mesh_nodes = 4 + Rng.int rng 3;
+      mesh_nodes = mesh_node_choices.(Rng.int rng 3);
       (* contention on for 3 of 4 seeds: the point of the scenario *)
       contention = Rng.int rng 4 > 0;
+      (* adaptive for 3 of 4 seeds: link faults are routed around;
+         the rest cross dead links on the recovery path *)
+      adaptive = Rng.int rng 4 > 0;
       mesh_pages = 2 + Rng.int rng 2;
     }
   in
@@ -609,7 +655,9 @@ let mesh_build ?skip_invariant setup =
     { System.default_config with
       System.router =
         { Router.default_config with
-          Router.link_contention = setup.contention } }
+          Router.link_contention = setup.contention;
+          Router.routing =
+            (if setup.adaptive then `Minimal_adaptive else `Dimension_order) } }
   in
   let sys = System.create ~config ?skip_invariant ~nodes:setup.mesh_nodes () in
   let nodes = setup.mesh_nodes in
@@ -698,6 +746,8 @@ let mesh_apply ctx action =
         Frame_allocator.free m.M.alloc frame
       done
   | M_preempt { node; pct } -> ctx.preempt.(node) <- pct
+  | M_link_fault { from_node; to_node; fault } ->
+      Router.set_link_fault (System.router ctx.sys) ~from_node ~to_node fault
   | M_run { cycles } -> Engine.advance (System.engine ctx.sys) cycles
   | M_drain -> System.run_until_idle ctx.sys
 

@@ -124,13 +124,17 @@ val pp_setup : Format.formatter -> setup -> unit
 
     The single-node schedules above never exercise the network. The
     mesh scenario derives a whole SHRIMP {!Udma_shrimp.System} from
-    the seed — 4..6 nodes with all-pairs messaging channels, the
-    router's link-contention model usually enabled — and interleaves
-    user-level sends and hardware-level injection bursts with the same
-    paging pressure, forced evictions and random preemption as the
-    single-node plans. After every action the I2–I4 oracles run on
-    {e every} node's machine, and each machine checks I1 at its
-    context switches; the violation detail names the failing node. *)
+    the seed — a 2x2, 3x2 or 3x3 mesh with all-pairs messaging
+    channels, the router's link-contention model and minimal-adaptive
+    routing each usually enabled — and interleaves user-level sends
+    and hardware-level injection bursts with the same paging pressure,
+    forced evictions and random preemption as the single-node plans,
+    plus link faults: killing, slowing or healing a directed mesh link
+    under traffic (the adaptive router routes around a dead link; the
+    dimension-order router crosses it on the slow recovery path).
+    After every action the I2–I4 oracles run on {e every} node's
+    machine, and each machine checks I1 at its context switches; the
+    violation detail names the failing node. *)
 
 type mesh_action =
   | M_send of { src : int; dst : int; nbytes : int; pipelined : bool }
@@ -142,13 +146,18 @@ type mesh_action =
   | M_evict of { node : int }
       (** forced-replacement storm (several reclaims) on one node *)
   | M_preempt of { node : int; pct : int }
+  | M_link_fault of
+      { from_node : int; to_node : int; fault : Udma_shrimp.Router.fault }
+      (** kill ([Link_dead]), slow ([Link_slow]) or heal ([Link_ok])
+          one directed mesh link *)
   | M_run of { cycles : int }
   | M_drain
 
 type mesh_setup = {
   mesh_seed : int;
-  mesh_nodes : int;   (** 4..6 *)
+  mesh_nodes : int;   (** 4, 6 or 9 (complete mesh rows) *)
   contention : bool;  (** router per-link FIFO model *)
+  adaptive : bool;    (** minimal-adaptive routing (else dimension-order) *)
   mesh_pages : int;   (** extra user buffers per node *)
 }
 

@@ -3,16 +3,26 @@ module Trace = Udma_sim.Trace
 module Metrics = Udma_obs.Metrics
 module Event = Udma_obs.Event
 
+type routing = [ `Dimension_order | `Minimal_adaptive ]
+
 type config = {
   base_cycles : int;
   per_hop_cycles : int;
   per_word_cycles : int;
   link_contention : bool;
+  routing : routing;
 }
 
 let default_config =
   { base_cycles = 20; per_hop_cycles = 8; per_word_cycles = 1;
-    link_contention = false }
+    link_contention = false; routing = `Dimension_order }
+
+type fault = Link_ok | Link_slow of int | Link_dead
+
+(* A dead link is crossed only when it is the sole productive link left
+   (the recovery/retransmit path); the crossing holds the wire this
+   many times the normal occupancy. *)
+let dead_crossing_factor = 64
 
 (* One directed mesh link. [busy_until] is the cycle at which the wire
    finishes the last packet that reserved it; [inflight] counts packets
@@ -27,6 +37,7 @@ type link = {
   mutable l_xmits : int;
   mutable l_busy_cycles : int;
   mutable l_wait_cycles : int;
+  mutable l_fault : fault;
 }
 
 type link_stat = {
@@ -45,21 +56,39 @@ type t = {
   width : int;
   sinks : (Packet.t -> unit) option array;
   last_arrival : (int * int, int) Hashtbl.t;
-      (* dimension-order routing uses one fixed path per (src, dst), so
-         packets between a pair of nodes are delivered in order (see
-         test_props: the property holds with contention enabled too) *)
+      (* the in-order guarantee: [send] clamps every arrival to after
+         the pair's previous one. Under dimension-order the fixed path
+         plus FIFO links already deliver in order and the clamp is a
+         no-op; under minimal-adaptive, packets of one pair may take
+         different paths, so the clamp is what keeps the guarantee
+         (see test_props: checked under contention for both policies) *)
   links : (int * int, link) Hashtbl.t;
   trace : Trace.t;
   mutable packets_routed : int;
   mutable bytes_routed : int;
 }
 
+(* Width of the squarest mesh covering [nodes]. *)
+let mesh_width nodes =
+  let rec go w = if w * w >= nodes then w else go (w + 1) in
+  go 1
+
+(* A node count is routable only when it fills complete rows of that
+   mesh: a partial top row would put ids >= nodes on dimension-order
+   paths (the phantom-node bug — e.g. 5 nodes in a 3-wide mesh route
+   4 -> 2 through the nonexistent node 5). *)
+let valid_nodes nodes = nodes > 0 && nodes mod mesh_width nodes = 0
+
 let create ~engine ~nodes ?(config = default_config) () =
   if nodes <= 0 then invalid_arg "Router.create: nodes must be positive";
-  let width =
-    let rec go w = if w * w >= nodes then w else go (w + 1) in
-    go 1
-  in
+  let width = mesh_width nodes in
+  if nodes mod width <> 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Router.create: %d nodes leaves a partial row in the %d-wide mesh \
+          (paths would cross phantom nodes); use a count that fills complete \
+          rows, e.g. 2, 4, 6, 9, 12, 16, 25, 36, 64"
+         nodes width);
   {
     engine;
     config;
@@ -112,10 +141,71 @@ let link_of t a b =
   | None ->
       let l =
         { l_src = a; l_dst = b; busy_until = 0; inflight = 0;
-          l_max_depth = 0; l_xmits = 0; l_busy_cycles = 0; l_wait_cycles = 0 }
+          l_max_depth = 0; l_xmits = 0; l_busy_cycles = 0; l_wait_cycles = 0;
+          l_fault = Link_ok }
       in
       Hashtbl.add t.links (a, b) l;
       l
+
+let set_link_fault t ~from_node ~to_node fault =
+  check_node t from_node "set_link_fault";
+  check_node t to_node "set_link_fault";
+  if hops t ~src:from_node ~dst:to_node <> 1 then
+    invalid_arg
+      (Printf.sprintf "Router.set_link_fault: %d-%d is not a mesh link"
+         from_node to_node);
+  (match fault with
+  | Link_slow k when k < 1 ->
+      invalid_arg "Router.set_link_fault: slow factor must be >= 1"
+  | Link_ok | Link_slow _ | Link_dead -> ());
+  (link_of t from_node to_node).l_fault <- fault
+
+let link_fault t ~from_node ~to_node =
+  check_node t from_node "link_fault";
+  check_node t to_node "link_fault";
+  match Hashtbl.find_opt t.links (from_node, to_node) with
+  | Some l -> l.l_fault
+  | None -> Link_ok
+
+let occupancy_factor = function
+  | Link_ok -> 1
+  | Link_slow k -> k
+  | Link_dead -> dead_crossing_factor
+
+(* One productive step from (x, y) toward (dx, dy). Dimension-order
+   always exhausts X first; minimal-adaptive picks, among the (at most
+   two) productive links, a live one over a dead one and then the one
+   with the smaller [busy_until], taking the X link on ties so an idle
+   mesh reproduces the dimension-order path exactly. *)
+let next_coord t ~x ~y ~dx ~dy =
+  let step v goal = if v < goal then v + 1 else v - 1 in
+  let xc = if x <> dx then Some (step x dx, y) else None in
+  let yc = if y <> dy then Some (x, step y dy) else None in
+  match (t.config.routing, xc, yc) with
+  | _, Some c, None | _, None, Some c -> c
+  | `Dimension_order, Some c, Some _ -> c
+  | `Minimal_adaptive, Some cx, Some cy ->
+      let a = node_id t ~x ~y in
+      let cost (cx', cy') =
+        let l = link_of t a (node_id t ~x:cx' ~y:cy') in
+        ((match l.l_fault with Link_dead -> 1 | Link_ok | Link_slow _ -> 0),
+         l.busy_until)
+      in
+      if cost cy < cost cx then cy else cx
+  | _, None, None -> invalid_arg "Router.next_coord: already at destination"
+
+(* The links the configured policy would pick right now, against the
+   current link state, without claiming anything. Under
+   [`Dimension_order] this equals [path]. *)
+let route t ~src ~dst =
+  let sx, sy = coords t src and dx, dy = coords t dst in
+  let rec go x y acc =
+    if x = dx && y = dy then List.rev acc
+    else
+      let x', y' = next_coord t ~x ~y ~dx ~dy in
+      go x' y' ((node_id t ~x ~y, node_id t ~x:x' ~y:y') :: acc)
+  in
+  go sx sy []
 
 let register t ~node_id sink =
   check_node t node_id "register";
@@ -127,42 +217,60 @@ let latency_cycles t ~src ~dst ~bytes =
   + (hops t ~src ~dst * t.config.per_hop_cycles)
   + (words * t.config.per_word_cycles)
 
-(* Wormhole walk over the packet's path: the header claims each link as
+(* Wormhole walk toward the destination: the header claims each link as
    soon as the wire is free, each claim holds the link for the packet's
    full wire occupancy, and the tail crosses the final wire after the
-   header ejects. With idle links this telescopes to exactly the
-   closed-form [base + hops·per_hop + words·per_word]. *)
+   header ejects. With idle, healthy links this telescopes to exactly
+   the closed-form [base + hops·per_hop + words·per_word]. The link
+   choice happens here, hop by hop, so minimal-adaptive sees the busy
+   state left by every earlier claim — including this packet's own. *)
 let contended_arrival t ~now ~src ~dst ~words =
   let em = Engine.metrics t.engine in
   let occ = words * t.config.per_word_cycles in
   let head = ref (now + t.config.base_cycles) in
-  List.iter
-    (fun (a, b) ->
-      let l = link_of t a b in
-      let start = max !head l.busy_until in
-      let wait = start - !head in
-      if wait > 0 then begin
-        l.l_wait_cycles <- l.l_wait_cycles + wait;
-        Metrics.add em "net.link.wait_cycles" wait;
-        Metrics.incr em "net.link.queued";
-        if Trace.active t.trace then
-          Trace.record t.trace ~time:now Event.Ni
-            (Event.Link_wait
-               { from_node = a; to_node = b; wait; depth = l.inflight })
-      end;
-      l.inflight <- l.inflight + 1;
-      if l.inflight > l.l_max_depth then l.l_max_depth <- l.inflight;
-      Metrics.observe em "net.link.depth" l.inflight;
-      l.busy_until <- start + occ;
-      l.l_xmits <- l.l_xmits + 1;
-      l.l_busy_cycles <- l.l_busy_cycles + occ;
-      Metrics.incr em "net.link.xmits";
-      Metrics.add em "net.link.busy_cycles" occ;
-      Engine.schedule_at t.engine ~time:(start + occ) (fun _ ->
-          l.inflight <- l.inflight - 1);
-      head := start + t.config.per_hop_cycles)
-    (path t ~src ~dst);
-  !head + occ
+  (* the packet's own tail cannot clear a link faster than that link's
+     (fault-scaled) occupancy; on healthy links this is always beaten
+     by the head+occ term below, so it only matters on slow/dead links *)
+  let tail = ref 0 in
+  let dx, dy = coords t dst in
+  let x = ref (fst (coords t src)) and y = ref (snd (coords t src)) in
+  while !x <> dx || !y <> dy do
+    let a = node_id t ~x:!x ~y:!y in
+    let x', y' = next_coord t ~x:!x ~y:!y ~dx ~dy in
+    if !x <> dx && !y <> dy && y' <> !y then
+      (* adaptive took the Y link although X was productive too *)
+      Metrics.incr em "net.router.adaptive_turns";
+    let b = node_id t ~x:x' ~y:y' in
+    let l = link_of t a b in
+    let locc = occ * occupancy_factor l.l_fault in
+    if l.l_fault = Link_dead then Metrics.incr em "net.link.dead_crossings";
+    let start = max !head l.busy_until in
+    let wait = start - !head in
+    l.inflight <- l.inflight + 1;
+    if l.inflight > l.l_max_depth then l.l_max_depth <- l.inflight;
+    if wait > 0 then begin
+      l.l_wait_cycles <- l.l_wait_cycles + wait;
+      Metrics.add em "net.link.wait_cycles" wait;
+      Metrics.incr em "net.link.queued";
+      if Trace.active t.trace then
+        Trace.record t.trace ~time:now Event.Ni
+          (Event.Link_wait
+             { from_node = a; to_node = b; wait; depth = l.inflight })
+    end;
+    Metrics.observe em "net.link.depth" l.inflight;
+    l.busy_until <- start + locc;
+    if start + locc > !tail then tail := start + locc;
+    l.l_xmits <- l.l_xmits + 1;
+    l.l_busy_cycles <- l.l_busy_cycles + locc;
+    Metrics.incr em "net.link.xmits";
+    Metrics.add em "net.link.busy_cycles" locc;
+    Engine.schedule_at t.engine ~time:(start + locc) (fun _ ->
+        l.inflight <- l.inflight - 1);
+    head := start + t.config.per_hop_cycles;
+    x := x';
+    y := y'
+  done;
+  max (!head + occ) !tail
 
 let send t pkt =
   check_node t pkt.Packet.src_node "send";

@@ -1,24 +1,40 @@
-(** The interconnect: a 2-D mesh with dimension-order routing, standing
-    in for the Intel Paragon routing backplane (paper §8).
+(** The interconnect: a 2-D mesh router standing in for the Intel
+    Paragon routing backplane (paper §8), with a choice of wormhole
+    routing policy.
 
     With [link_contention] off (the default), packet latency is the
     closed form [base + hops·per_hop + words·per_word]; each link is
     cut-through so only total occupancy matters for the shapes the
     evaluation measures. With it on, every directed mesh link is a
-    FIFO wire: the header claims each link along the dimension-order
-    path as the wire frees, each claim holds the link for the packet's
-    full word occupancy, and queueing delay accumulates hop by hop —
-    on idle links this telescopes to exactly the closed form, so the
-    option changes nothing until the network is actually loaded. Link
+    FIFO wire: the header claims each link along the path as the wire
+    frees, each claim holds the link for the packet's full word
+    occupancy, and queueing delay accumulates hop by hop — on idle
+    links this telescopes to exactly the closed form, so the option
+    changes nothing until the network is actually loaded. Link
     utilisation and queue depth are published as [net.link.*] metrics
     into the engine's registry.
 
-    Dimension-order routing uses one fixed path per (src, dst) pair
-    and each link serves in FIFO order, so delivery between a pair of
-    nodes is in order — a small packet never overtakes a large one
-    sent before it (SHRIMP's flag-after-payload notification depends
-    on this; test_props checks it under contention with interleaved
-    multi-flow traffic). *)
+    {b Routing policies.} [`Dimension_order] (the default) walks X to
+    the destination column, then Y — one fixed path per (src, dst).
+    [`Minimal_adaptive] chooses at every hop, among the (at most two)
+    productive links — those reducing the remaining X or Y distance —
+    the one with the smaller [busy_until], preferring live links over
+    dead ones and the X link on ties, so an idle mesh reproduces the
+    dimension-order path exactly. Both policies are minimal: every
+    packet crosses exactly [hops] links. Adaptive choice needs the
+    per-link busy state, so it only differs from dimension order when
+    [link_contention] is on.
+
+    {b In-order delivery.} Delivery between a pair of nodes is in
+    order — a small packet never overtakes a large one sent before it
+    (SHRIMP's flag-after-payload notification depends on this). Under
+    dimension-order the fixed path plus FIFO links give this for free;
+    under minimal-adaptive, packets of one pair can take different
+    paths, so [send] additionally clamps every arrival to after the
+    pair's previous arrival. test_props checks the guarantee under
+    contention for both policies with interleaved multi-flow traffic. *)
+
+type routing = [ `Dimension_order | `Minimal_adaptive ]
 
 type config = {
   base_cycles : int;       (** injection + ejection *)
@@ -26,16 +42,28 @@ type config = {
   per_word_cycles : int;   (** wire occupancy per 32-bit word *)
   link_contention : bool;
       (** model per-link FIFO queueing (default off: closed form) *)
+  routing : routing;
+      (** path policy; [`Minimal_adaptive] needs [link_contention] to
+          have any effect (default [`Dimension_order]) *)
 }
 
 val default_config : config
-(** 20 / 8 / 1 cycles, contention off. *)
+(** 20 / 8 / 1 cycles, contention off, dimension-order. *)
 
 type t
 
+val mesh_width : int -> int
+(** Width of the squarest mesh covering a node count. *)
+
+val valid_nodes : int -> bool
+(** A node count is routable iff it fills complete rows of the
+    {!mesh_width} mesh (2, 4, 6, 9, 12, 16, 20, 25, ...); a partial
+    top row would put phantom ids [>= nodes] on routes. *)
+
 val create :
   engine:Udma_sim.Engine.t -> nodes:int -> ?config:config -> unit -> t
-(** A mesh of the squarest shape covering [nodes]. *)
+(** A mesh of the squarest shape covering [nodes]. Raises
+    [Invalid_argument] unless {!valid_nodes}[ nodes]. *)
 
 val nodes : t -> int
 
@@ -46,11 +74,16 @@ val coords : t -> int -> int * int
 (** Mesh coordinates of a node id. *)
 
 val hops : t -> src:int -> dst:int -> int
-(** Dimension-order hop count ([0] for self). *)
+(** Minimal hop count ([0] for self; both policies are minimal). *)
 
 val path : t -> src:int -> dst:int -> (int * int) list
-(** The directed (from, to) links the packet traverses, x first then
-    y; empty for [src = dst]. *)
+(** The dimension-order (from, to) links, x first then y; empty for
+    [src = dst]. *)
+
+val route : t -> src:int -> dst:int -> (int * int) list
+(** The links the configured policy would pick {e right now}, against
+    the current link busy/fault state, without claiming anything.
+    Equals {!path} under [`Dimension_order]. *)
 
 val register : t -> node_id:int -> (Packet.t -> unit) -> unit
 (** Install node [node_id]'s delivery sink. *)
@@ -62,6 +95,30 @@ val send : t -> Packet.t -> unit
 val latency_cycles : t -> src:int -> dst:int -> bytes:int -> int
 (** The contention-free closed form (a lower bound when
     [link_contention] is on). *)
+
+(** {1 Link faults}
+
+    Faults live in the contended link model: with [link_contention]
+    off packets never touch per-link state and faults change nothing.
+    A [Link_slow k] link holds the wire [k]× the normal occupancy per
+    crossing. A [Link_dead] link is avoided by [`Minimal_adaptive]
+    whenever another productive link exists; when it is the only
+    productive link (or the policy is dimension-order), the packet
+    still crosses — at {!dead_crossing_factor}× occupancy, modelling
+    the recovery/retransmit path — and [net.link.dead_crossings]
+    counts it. Delivery therefore always completes and the in-order
+    clamp keeps its guarantee under any fault mix. *)
+
+type fault = Link_ok | Link_slow of int | Link_dead
+
+val dead_crossing_factor : int
+
+val set_link_fault : t -> from_node:int -> to_node:int -> fault -> unit
+(** Set the fault state of one directed mesh link. Raises
+    [Invalid_argument] unless the nodes are mesh neighbours (and, for
+    [Link_slow k], [k >= 1]). [Link_ok] heals the link. *)
+
+val link_fault : t -> from_node:int -> to_node:int -> fault
 
 (** {1 Link statistics} (all zero unless [link_contention]) *)
 

@@ -18,6 +18,8 @@ type config = {
   warmup_cycles : int;
   window_cycles : int;
   link_contention : bool;
+  routing : Router.routing;
+  link_per_word : int;
   seed : int;
 }
 
@@ -30,6 +32,8 @@ let default_config =
     warmup_cycles = 2_000;
     window_cycles = 50_000;
     link_contention = true;
+    routing = `Dimension_order;
+    link_per_word = Router.default_config.Router.per_word_cycles;
     seed = 42;
   }
 
@@ -65,9 +69,15 @@ let percentile_sorted arr p =
 let validate (cfg : config) =
   if cfg.nodes < 2 || cfg.nodes > 64 then
     invalid_arg "Load_gen: nodes must be in 2..64";
+  if not (Router.valid_nodes cfg.nodes) then
+    invalid_arg
+      "Load_gen: nodes must fill complete mesh rows (2, 4, 6, 9, 12, 16, 20, \
+       25, 30, 36, 42, 49, 56 or 64)";
   if cfg.msg_bytes <= 0 || cfg.msg_bytes land 3 <> 0 || cfg.msg_bytes > 4092
   then
     invalid_arg "Load_gen: msg_bytes must be a positive 4-byte multiple <= 4092";
+  if cfg.link_per_word < 1 then
+    invalid_arg "Load_gen: link_per_word must be >= 1";
   if cfg.window_cycles <= 0 then
     invalid_arg "Load_gen: window_cycles must be positive";
   if cfg.warmup_cycles < 0 then
@@ -79,7 +89,9 @@ let make_system (cfg : config) =
       { System.default_config with
         System.router =
           { Router.default_config with
-            Router.link_contention = cfg.link_contention } }
+            Router.link_contention = cfg.link_contention;
+            Router.routing = cfg.routing;
+            Router.per_word_cycles = cfg.link_per_word } }
     ~nodes:cfg.nodes ()
 
 (* One real user-level send (STORE count / LOAD source, blocking until
@@ -194,7 +206,8 @@ let run ?probe (cfg : config) =
   let em = Engine.metrics engine in
   (* delivery bookkeeping: per-(src,dst) FIFO of in-flight messages.
      Sound because each message is one packet and the router delivers
-     in order per pair. *)
+     in order per pair — under both routing policies (adaptive paths
+     vary, but the router clamps per-pair arrivals to send order). *)
   let inflight = Hashtbl.create 64 in
   let inflight_q key =
     match Hashtbl.find_opt inflight key with

@@ -18,19 +18,28 @@
     saturation. *)
 
 type config = {
-  nodes : int;  (** 2..64; the mesh is the squarest shape covering it *)
+  nodes : int;
+      (** 2..64, filling complete rows of the squarest covering mesh
+          ({!Udma_shrimp.Router.valid_nodes}): 4, 6, 9, 12, 16, ... *)
   pattern : Pattern.t;
   arrival : Arrival.t;
   msg_bytes : int;  (** positive 4-byte multiple <= 4092 (one packet) *)
   warmup_cycles : int;  (** run-in before measurement starts *)
   window_cycles : int;  (** measurement window *)
   link_contention : bool;  (** router per-link FIFO model on/off *)
+  routing : Udma_shrimp.Router.routing;  (** router path policy *)
+  link_per_word : int;
+      (** router cycles per 4-byte word on a link (>= 1); the default
+          matches {!Udma_shrimp.Router.default_config}. Raising it
+          models a slower mesh relative to the fixed send-initiation
+          cost, which moves the bottleneck from the sources onto the
+          contended links (the E12 regime). *)
   seed : int;
 }
 
 val default_config : config
 (** 16 nodes, uniform, Poisson 1 msg/kcycle/node, 256 B, 2k warmup,
-    50k window, contention on, seed 42. *)
+    50k window, contention on, dimension-order routing, seed 42. *)
 
 type result = {
   nodes : int;

@@ -16,28 +16,42 @@ let default_loads = [ 0.2; 0.4; 0.6; 0.8; 0.9; 1.0; 1.1 ]
 let latency_factor = 2.0
 let min_efficiency = 0.9
 
+(* Saturated independently of any latency baseline: nothing (or too
+   little) of what was offered got through. *)
+let inefficient (r : Load_gen.result) =
+  (r.Load_gen.delivered = 0 && r.Load_gen.injected > 0)
+  || r.Load_gen.injected > 0
+     && float_of_int r.Load_gen.delivered
+        < min_efficiency *. float_of_int r.Load_gen.injected
+
 let detect_knee points =
   match points with
   | [] -> None
-  | first :: _ ->
-      let base = first.result.Load_gen.mean_latency in
-      let saturated p =
-        let r = p.result in
-        (r.Load_gen.delivered = 0 && r.Load_gen.injected > 0)
-        || (base > 0.0 && r.Load_gen.mean_latency >= latency_factor *. base)
-        || r.Load_gen.injected > 0
-           && float_of_int r.Load_gen.delivered
-              < min_efficiency *. float_of_int r.Load_gen.injected
-      in
-      let rec go i = function
-        | [] -> None
-        | p :: rest -> if saturated p then Some i else go (i + 1) rest
-      in
-      go 0 points
+  | first :: rest ->
+      (* the lightest point anchors the latency baseline, so it must
+         itself be healthy: if it already fails the efficiency test the
+         whole curve starts saturated — report the knee there rather
+         than comparing later points against a saturated baseline *)
+      if inefficient first.result then Some 0
+      else
+        let base = first.result.Load_gen.mean_latency in
+        let saturated p =
+          let r = p.result in
+          inefficient r
+          || (base > 0.0 && r.Load_gen.mean_latency >= latency_factor *. base)
+        in
+        let rec go i = function
+          | [] -> None
+          | p :: rest -> if saturated p then Some i else go (i + 1) rest
+        in
+        go 1 rest
 
 let run ?(loads = default_loads) ?probe ?(nodes = 16)
     ?(pattern = Pattern.Uniform) ?(msg_bytes = 256) ?(warmup_cycles = 2_000)
-    ?(window_cycles = 50_000) ?(link_contention = true) ?(seed = 42) () =
+    ?(window_cycles = 50_000) ?(link_contention = true)
+    ?(routing = `Dimension_order)
+    ?(link_per_word = Load_gen.default_config.Load_gen.link_per_word)
+    ?(seed = 42) () =
   if loads = [] then invalid_arg "Sweep.run: empty load list";
   List.iter
     (fun l -> if not (l > 0.0) then invalid_arg "Sweep.run: loads must be > 0")
@@ -58,6 +72,8 @@ let run ?(loads = default_loads) ?probe ?(nodes = 16)
             warmup_cycles;
             window_cycles;
             link_contention;
+            routing;
+            link_per_word;
             seed;
           }
         in

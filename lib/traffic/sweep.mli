@@ -25,8 +25,11 @@ val min_efficiency : float
 (** Knee rule 2: delivered/offered below this fraction. *)
 
 val detect_knee : point list -> int option
-(** Index of the first saturated point under the two rules above
-    (relative to the first point as the zero-load reference). *)
+(** Index of the first saturated point. The lightest point anchors the
+    latency baseline, so it must itself pass the efficiency test: if
+    it does not, the whole curve starts saturated and the knee is
+    [Some 0] (no later point is compared against the saturated
+    baseline). Later points saturate under either rule above. *)
 
 val run :
   ?loads:float list ->
@@ -37,6 +40,8 @@ val run :
   ?warmup_cycles:int ->
   ?window_cycles:int ->
   ?link_contention:bool ->
+  ?routing:Udma_shrimp.Router.routing ->
+  ?link_per_word:int ->
   ?seed:int ->
   unit ->
   outcome

@@ -1052,11 +1052,14 @@ module Sweep = Udma_traffic.Sweep
 
 let report_saturation ?loads ?(nodes = 16) ?(pattern = Pattern.Uniform)
     ?(msg_bytes = 256) ?(warmup_cycles = 2_000) ?(window_cycles = 50_000)
-    ?(link_contention = true) ?(seed = 42) () =
+    ?(link_contention = true) ?(routing = `Dimension_order)
+    ?(link_per_word = Udma_traffic.Load_gen.default_config.Udma_traffic.Load_gen.link_per_word)
+    ?(seed = 42) () =
   let p = probe () in
   let outcome =
     Sweep.run ?loads ~probe:(watch p) ~nodes ~pattern ~msg_bytes
-      ~warmup_cycles ~window_cycles ~link_contention ~seed ()
+      ~warmup_cycles ~window_cycles ~link_contention ~routing ~link_per_word
+      ~seed ()
   in
   let width =
     match outcome.Sweep.points with
@@ -1119,6 +1122,84 @@ let report_saturation ?loads ?(nodes = 16) ?(pattern = Pattern.Uniform)
            ("knee", vb (outcome.Sweep.knee_index = Some i));
          ])
        outcome.Sweep.points)
+
+(* E12: the same sweep per pattern under both routing policies. The
+   interesting output is the knee shift: minimal-adaptive spreads
+   transpose/hotspot flows over both productive directions, so their
+   knees move to a strictly higher load while uniform barely moves.
+
+   The defaults deliberately pick a link-bound regime: 2 KB messages
+   keep the per-message link occupancy large, and [link_per_word = 2]
+   halves the mesh bandwidth relative to the fixed send-initiation
+   cost. At the stock [link_per_word = 1] the 4x4 sources saturate
+   before any link does (occupancy/initiation ~ 0.26 per flow, and
+   transpose concentrates only ~3 flows on its worst link), so both
+   policies would knee together at source saturation and the routing
+   policy could not matter. *)
+let report_adaptive ?loads ?(nodes = 16)
+    ?(patterns = [ Pattern.Uniform; Pattern.Transpose; Pattern.default_hotspot ])
+    ?(msg_bytes = 2048) ?(warmup_cycles = 2_000) ?(window_cycles = 100_000)
+    ?(link_per_word = 2) ?(seed = 42) () =
+  let p = probe () in
+  let sweep pattern routing =
+    Sweep.run ?loads ~probe:(watch p) ~nodes ~pattern ~msg_bytes
+      ~warmup_cycles ~window_cycles ~link_contention:true ~routing
+      ~link_per_word ~seed ()
+  in
+  let send_cycles = ref 0 in
+  let rows =
+    List.map
+      (fun pattern ->
+        let dim = sweep pattern `Dimension_order in
+        let ada = sweep pattern `Minimal_adaptive in
+        send_cycles := dim.Sweep.send_cycles;
+        let v_knee = function Some l -> vf l | None -> vs "none" in
+        let wait_at_heaviest o =
+          match List.rev o.Sweep.points with
+          | { Sweep.result; _ } :: _ -> result.Load_gen.link_wait_cycles
+          | [] -> 0
+        in
+        [
+          ("pattern", vs (Pattern.to_string pattern));
+          ("knee_dim", v_knee dim.Sweep.knee_load);
+          ("knee_adaptive", v_knee ada.Sweep.knee_load);
+          ( "knee_shift",
+            match (dim.Sweep.knee_load, ada.Sweep.knee_load) with
+            | Some d, Some a -> vf (a -. d)
+            | _ -> vs "n/a" );
+          ("wait_dim", vi (wait_at_heaviest dim));
+          ("wait_adaptive", vi (wait_at_heaviest ada));
+        ])
+      patterns
+  in
+  let width = Udma_shrimp.Router.mesh_width nodes in
+  Report.make ~id:"e12_adaptive"
+    ~title:
+      (Printf.sprintf
+         "E12: dimension-order vs minimal-adaptive routing, %d-node mesh \
+          (saturation knee per pattern)"
+         nodes)
+    ~meta:
+      [
+        ("nodes", vi nodes);
+        ("width", vi width);
+        ("msg_bytes", vi msg_bytes);
+        ("link_per_word", vi link_per_word);
+        ("send_cycles", vi !send_cycles);
+        ("warmup_cycles", vi warmup_cycles);
+        ("window_cycles", vi window_cycles);
+        ("seed", vi seed);
+      ]
+    ~columns:
+      [
+        ("pattern", "pattern");
+        ("knee_dim", "knee dim");
+        ("knee_adaptive", "knee adapt");
+        ("knee_shift", "shift");
+        ("wait_dim", "wait dim");
+        ("wait_adaptive", "wait adapt");
+      ]
+    ~breakdown:(breakdown p) rows
 
 (* ------------------------------------------------------------------ *)
 (* drivers                                                             *)
@@ -1238,6 +1319,26 @@ let experiments =
                 ~window_cycles:20_000 ~seed ();
             ]
           else [ report_saturation ~seed () ]);
+    };
+    {
+      exp_name = "adaptive";
+      exp_alias = "e12";
+      exp_doc =
+        "E12: dimension-order vs minimal-adaptive routing — per-pattern \
+         saturation knee shift.";
+      exp_run =
+        (fun ~quick ~seed ->
+          if quick then
+            [
+              (* same link-bound regime as the full sweep, on the four
+                 loads that bracket both policies' knees with margin *)
+              report_adaptive ~loads:[ 0.2; 0.6; 0.8; 1.0 ]
+                ~patterns:
+                  [ Udma_traffic.Pattern.Transpose;
+                    Udma_traffic.Pattern.default_hotspot ]
+                ~seed ();
+            ]
+          else [ report_adaptive ~seed () ]);
     };
   ]
 

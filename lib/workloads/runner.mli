@@ -163,6 +163,8 @@ val report_saturation :
   ?warmup_cycles:int ->
   ?window_cycles:int ->
   ?link_contention:bool ->
+  ?routing:Udma_shrimp.Router.routing ->
+  ?link_per_word:int ->
   ?seed:int ->
   unit ->
   Report.t
@@ -172,6 +174,28 @@ val report_saturation :
     detected saturation knee flagged in the rows and recorded in the
     meta as [knee_load] (or the string ["none"]). Deterministic under
     [seed]. *)
+
+(** {1 E12 — routing policy comparison (lib/shrimp router)} *)
+
+val report_adaptive :
+  ?loads:float list ->
+  ?nodes:int ->
+  ?patterns:Udma_traffic.Pattern.t list ->
+  ?msg_bytes:int ->
+  ?warmup_cycles:int ->
+  ?window_cycles:int ->
+  ?link_per_word:int ->
+  ?seed:int ->
+  unit ->
+  Report.t
+(** The E11 sweep re-run per pattern under both routing policies
+    (contention on): one row per pattern with the saturation knee
+    under dimension-order ([knee_dim]) and minimal-adaptive
+    ([knee_adaptive]), the knee shift, and the heaviest point's
+    head-of-line blocking under each. The defaults (2 KB messages,
+    [link_per_word = 2]) put the bottleneck on the contended links
+    rather than the send initiation path, so the policy choice is
+    visible in the knee. Deterministic under [seed]. *)
 
 (** {1 Driver} *)
 

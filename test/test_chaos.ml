@@ -107,6 +107,37 @@ let test_mesh_mutation () =
             f.Chaos.mesh_violation.Oracle.detail
             f'.Chaos.mesh_violation.Oracle.detail)
 
+(* The mesh generator must actually exercise the new failure surface:
+   across the sweep's seeds there have to be link-fault actions (dead,
+   slowed and healed links), setups under both routing policies, and
+   only routable node counts. *)
+let test_mesh_generator_coverage () =
+  let dead = ref 0 and slow = ref 0 and heal = ref 0 in
+  let adaptive = ref 0 in
+  for seed = 0 to mesh_seeds - 1 do
+    let p = Chaos.mesh_plan_of_seed seed in
+    let setup = p.Chaos.mesh_setup in
+    if not (Udma_shrimp.Router.valid_nodes setup.Chaos.mesh_nodes) then
+      Alcotest.failf "seed %d generated unroutable node count %d" seed
+        setup.Chaos.mesh_nodes;
+    if setup.Chaos.adaptive then incr adaptive;
+    List.iter
+      (function
+        | Chaos.M_link_fault { fault = Udma_shrimp.Router.Link_dead; _ } ->
+            incr dead
+        | Chaos.M_link_fault { fault = Udma_shrimp.Router.Link_slow _; _ } ->
+            incr slow
+        | Chaos.M_link_fault { fault = Udma_shrimp.Router.Link_ok; _ } ->
+            incr heal
+        | _ -> ())
+      p.Chaos.mesh_actions
+  done;
+  Alcotest.(check bool) "dead links injected" true (!dead > 0);
+  Alcotest.(check bool) "slowed links injected" true (!slow > 0);
+  Alcotest.(check bool) "links healed" true (!heal > 0);
+  Alcotest.(check bool) "both routing policies exercised" true
+    (!adaptive > 0 && !adaptive < mesh_seeds)
+
 (* ---------- determinism of the generator ---------- *)
 
 let test_plan_deterministic () =
@@ -144,5 +175,7 @@ let () =
           Alcotest.test_case
             "mesh mutation: skipping I2 is detected and replays" `Quick
             test_mesh_mutation;
+          Alcotest.test_case "mesh generator covers faults + policies" `Quick
+            test_mesh_generator_coverage;
         ] );
     ]

@@ -147,6 +147,48 @@ let test_counters_and_gauges () =
   Metrics.set_gauge m "g" 2.5;
   checkb "gauge" true (Metrics.gauge m "g" = Some 2.5)
 
+(* The router reports its FIFO depth through two channels: the typed
+   [Link_wait] trace event and the [net.link.depth] histogram. Both
+   must describe the same thing — the post-claim depth, i.e. including
+   the packet that just claimed the link. Two back-to-back packets on
+   one link: the histogram sees depths 1 then 2, and the one Link_wait
+   event (only waiters are traced) carries depth 2. *)
+let test_link_wait_depth_matches_metric () =
+  let module Router = Udma_shrimp.Router in
+  let module Packet = Udma_shrimp.Packet in
+  let seen = ref [] in
+  Udma_sim.Trace.set_global_sink
+    (Some
+       (fun (e : Event.t) ->
+         match e.Event.payload with
+         | Event.Link_wait { depth; _ } -> seen := depth :: !seen
+         | _ -> ()));
+  Fun.protect
+    ~finally:(fun () -> Udma_sim.Trace.set_global_sink None)
+    (fun () ->
+      let engine = Engine.create () in
+      let r =
+        Router.create ~engine ~nodes:4
+          ~config:{ Router.default_config with Router.link_contention = true }
+          ()
+      in
+      Router.register r ~node_id:1 (fun _ -> ());
+      let pkt seq =
+        { Packet.src_node = 0; dst_node = 1; dst_paddr = 0;
+          payload = Bytes.make 400 'x'; seq }
+      in
+      Router.send r (pkt 0);
+      Router.send r (pkt 1);
+      Engine.run_until_idle engine;
+      checkb "one waiter traced" true (!seen = [ 2 ]);
+      match Metrics.histogram (Engine.metrics engine) "net.link.depth" with
+      | None -> Alcotest.fail "net.link.depth histogram missing"
+      | Some h ->
+          checki "one observation per claim" 2 h.Metrics.count;
+          (* depths 1 then 2: the trace's depth=2 is the histogram's
+             second sample, not a pre-claim depth=1 *)
+          checki "sum of post-claim depths" 3 h.Metrics.sum)
+
 (* ---------- Report: the golden schema ---------- *)
 
 let test_report_golden_json () =
@@ -314,6 +356,8 @@ let () =
           Alcotest.test_case "percentile" `Quick test_histogram_percentile;
           Alcotest.test_case "counters and gauges" `Quick
             test_counters_and_gauges;
+          Alcotest.test_case "link wait depth matches metric" `Quick
+            test_link_wait_depth_matches_metric;
         ] );
       ( "report",
         [

@@ -479,16 +479,22 @@ let prop_router_in_order =
 (* The router.mli in-order guarantee under the per-link FIFO model:
    many flows with random sizes and injection times, interleaved over
    shared mesh links, must still deliver each (src,dst) flow's packets
-   in sequence order. *)
-let prop_router_in_order_contended =
-  qtest ~count:50 "contended router keeps every (src,dst) flow in order"
+   in sequence order. Under dimension-order the fixed path makes this
+   structural; under minimal-adaptive the packets of one flow may take
+   different paths and the per-(src,dst) arrival clamp is the whole
+   guarantee — so the same property is checked for both policies. *)
+let prop_router_in_order_contended_with routing name =
+  qtest ~count:50 name
     QCheck.(pair (int_bound 100_000) (int_range 10 120))
     (fun (seed, npackets) ->
       let engine = Engine.create () in
       let nodes = 9 in
       let r =
         Router.create ~engine ~nodes
-          ~config:{ Router.default_config with Router.link_contention = true }
+          ~config:
+            { Router.default_config with
+              Router.link_contention = true;
+              Router.routing = routing }
           ()
       in
       let delivered = Hashtbl.create 32 in
@@ -525,6 +531,86 @@ let prop_router_in_order_contended =
         (fun key sent_seqs ok ->
           ok && Hashtbl.find_opt delivered key = Some sent_seqs)
         sent true)
+
+let prop_router_in_order_contended =
+  prop_router_in_order_contended_with `Dimension_order
+    "contended router keeps every (src,dst) flow in order"
+
+let prop_router_in_order_adaptive =
+  prop_router_in_order_contended_with `Minimal_adaptive
+    "adaptive router keeps every (src,dst) flow in order"
+
+(* ---------- router: every produced path is a real mesh walk ---------- *)
+
+(* The phantom-node regression, as a property: on every routable node
+   count up to 64, for every (src,dst) and both policies (against
+   randomly busied links, which is what steers adaptive), every hop is
+   an in-range pair of mesh neighbours, the walk starts at src, ends
+   at dst, and has exactly [hops] steps (minimal routing). *)
+let prop_router_paths_valid =
+  let valid_counts =
+    List.filter Router.valid_nodes
+      (List.init 63 (fun i -> i + 2) (* 2..64 *))
+  in
+  qtest ~count:60 "every path/route hop is one in-range mesh step"
+    QCheck.(
+      pair
+        (oneofl ~print:string_of_int valid_counts)
+        (pair (int_bound 100_000) (bool)))
+    (fun (nodes, (seed, adaptive)) ->
+      let engine = Engine.create () in
+      let routing = if adaptive then `Minimal_adaptive else `Dimension_order in
+      let r =
+        Router.create ~engine ~nodes
+          ~config:
+            { Router.default_config with
+              Router.link_contention = true;
+              Router.routing = routing }
+          ()
+      in
+      (* busy some links so adaptive has real choices to make *)
+      (if adaptive then
+         let rng = Rng.create seed in
+         for d = 0 to nodes - 1 do
+           Router.register r ~node_id:d (fun _ -> ())
+         done;
+         for _ = 1 to 1 + Rng.int rng 20 do
+           let src = Rng.int rng nodes in
+           let dst = (src + 1 + Rng.int rng (nodes - 1)) mod nodes in
+           Router.send r
+             { Packet.src_node = src; dst_node = dst; dst_paddr = 0;
+               payload = Bytes.make (4 * (1 + Rng.int rng 500)) 'x'; seq = 0 }
+         done);
+      let in_range n = n >= 0 && n < nodes in
+      let ok = ref true in
+      for src = 0 to nodes - 1 do
+        for dst = 0 to nodes - 1 do
+          if src <> dst then
+            List.iter
+              (fun path ->
+                let expected_len = Router.hops r ~src ~dst in
+                ok :=
+                  !ok
+                  && List.length path = expected_len
+                  && (match path with (a, _) :: _ -> a = src | [] -> false)
+                  && (match List.rev path with
+                     | (_, b) :: _ -> b = dst
+                     | [] -> false)
+                  && List.for_all
+                       (fun (a, b) ->
+                         in_range a && in_range b
+                         && Router.hops r ~src:a ~dst:b = 1)
+                       path
+                  && (* consecutive hops chain *)
+                  fst
+                    (List.fold_left
+                       (fun (chained, prev) (a, b) ->
+                         (chained && (prev = None || prev = Some a), Some b))
+                       (true, None) path))
+              [ Router.path r ~src ~dst; Router.route r ~src ~dst ]
+        done
+      done;
+      !ok)
 
 (* ---------- automatic update: every write eventually visible ---------- *)
 
@@ -706,6 +792,8 @@ let () =
           prop_queued_refcounts_drain;
           prop_router_in_order;
           prop_router_in_order_contended;
+          prop_router_in_order_adaptive;
+          prop_router_paths_valid;
           prop_i3_policies_equivalent_data;
           prop_auto_update_complete;
           prop_invariants_under_random_ops;

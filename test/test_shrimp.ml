@@ -156,6 +156,165 @@ let test_router_contention_queues_shared_link () =
   (* and the delay is at least the first packet's wire occupancy *)
   checkb "delay covers serialisation" true (contended - free >= 250)
 
+(* Regression for the phantom-node bug: 5 nodes cover a 3-wide mesh
+   with a partial top row, so the dimension-order path 4 -> 2 used to
+   cross node (2,1) = 5 >= node_count. Such counts are now rejected. *)
+let test_router_rejects_partial_row () =
+  List.iter
+    (fun n -> checkb (Printf.sprintf "valid %d" n) true (Router.valid_nodes n))
+    [ 2; 4; 6; 9; 12; 16; 20; 25; 36; 64 ];
+  List.iter
+    (fun n ->
+      checkb (Printf.sprintf "invalid %d" n) false (Router.valid_nodes n);
+      checkb
+        (Printf.sprintf "create %d raises" n)
+        true
+        (try
+           ignore (Router.create ~engine:(Engine.create ()) ~nodes:n ());
+           false
+         with Invalid_argument _ -> true))
+    [ 5; 7; 8; 10; 11 ];
+  (* the bug's own example, on the nearest valid count: every hop of
+     4 -> 2 on the 6-node (3x2) mesh stays in range *)
+  let r = Router.create ~engine:(Engine.create ()) ~nodes:6 () in
+  List.iter
+    (fun (a, b) ->
+      checkb "hop in range" true (a >= 0 && a < 6 && b >= 0 && b < 6))
+    (Router.path r ~src:4 ~dst:2)
+
+let adaptive_router ?(nodes = 4) () =
+  let engine = Engine.create () in
+  let r =
+    Router.create ~engine ~nodes
+      ~config:
+        { Router.default_config with
+          Router.link_contention = true;
+          Router.routing = `Minimal_adaptive }
+      ()
+  in
+  (engine, r)
+
+let link_xmits r ~from_node ~to_node =
+  match
+    List.find_opt
+      (fun (l : Router.link_stat) ->
+        l.Router.from_node = from_node && l.Router.to_node = to_node)
+      (Router.link_stats r)
+  with
+  | Some l -> l.Router.xmits
+  | None -> 0
+
+(* On an idle mesh minimal-adaptive must reproduce the dimension-order
+   path exactly (ties go to the X link). *)
+let test_adaptive_idle_matches_dimension_order () =
+  let _, r = adaptive_router ~nodes:9 () in
+  for src = 0 to 8 do
+    for dst = 0 to 8 do
+      if src <> dst then
+        Alcotest.(check (list (pair int int)))
+          (Printf.sprintf "route %d->%d" src dst)
+          (Router.path r ~src ~dst)
+          (Router.route r ~src ~dst)
+    done
+  done
+
+(* 2x2 mesh, X link 0->1 killed: adaptive must take the Y detour
+   0->2->3 and never touch the dead link; the detour has the same hop
+   count, so the arrival is still the closed form. *)
+let test_adaptive_routes_around_dead_link () =
+  let engine, r = adaptive_router () in
+  Router.set_link_fault r ~from_node:0 ~to_node:1 Router.Link_dead;
+  let at = ref 0 in
+  Router.register r ~node_id:3 (fun _ -> at := Engine.now engine);
+  let p = { (pkt 1) with Packet.dst_node = 3 } in
+  Router.send r p;
+  Engine.run_until_idle engine;
+  checki "dead link untouched" 0 (link_xmits r ~from_node:0 ~to_node:1);
+  checki "detour first hop" 1 (link_xmits r ~from_node:0 ~to_node:2);
+  checki "detour second hop" 1 (link_xmits r ~from_node:2 ~to_node:3);
+  checki "no dead crossings" 0
+    (Udma_obs.Metrics.get (Engine.metrics engine) "net.link.dead_crossings");
+  checki "closed-form arrival"
+    (Router.latency_cycles r ~src:0 ~dst:3 ~bytes:(Packet.size_bytes p))
+    !at
+
+(* The same fault under dimension-order: the fixed path has no
+   alternative, so the packet crosses the dead link on the slow
+   recovery path — counted, and far slower than the closed form. *)
+let test_dimension_order_crosses_dead_link () =
+  let engine = Engine.create () in
+  let r =
+    Router.create ~engine ~nodes:4
+      ~config:{ Router.default_config with Router.link_contention = true }
+      ()
+  in
+  Router.set_link_fault r ~from_node:0 ~to_node:1 Router.Link_dead;
+  let at = ref 0 in
+  Router.register r ~node_id:3 (fun _ -> at := Engine.now engine);
+  let p = { (pkt 1) with Packet.dst_node = 3 } in
+  Router.send r p;
+  Engine.run_until_idle engine;
+  checki "crossed the dead link" 1 (link_xmits r ~from_node:0 ~to_node:1);
+  checki "dead crossing counted" 1
+    (Udma_obs.Metrics.get (Engine.metrics engine) "net.link.dead_crossings");
+  let occ = (Packet.size_bytes p + 3) / 4 in
+  checkb "recovery path is slow" true
+    (!at >= Router.dead_crossing_factor * occ)
+
+(* A slowed link stretches the crossing packet's own tail and the
+   queueing of the packet behind it. *)
+let test_slow_link_stretches_occupancy () =
+  let arrival fault =
+    let engine = Engine.create () in
+    let r =
+      Router.create ~engine ~nodes:4
+        ~config:{ Router.default_config with Router.link_contention = true }
+        ()
+    in
+    Router.set_link_fault r ~from_node:0 ~to_node:1 fault;
+    let last = ref 0 in
+    Router.register r ~node_id:1 (fun _ -> last := Engine.now engine);
+    Router.send r { (pkt ~len:1000 0) with Packet.dst_node = 1 };
+    Router.send r { (pkt ~len:1000 1) with Packet.dst_node = 1 };
+    Engine.run_until_idle engine;
+    (!last, List.fold_left
+              (fun a (l : Router.link_stat) -> a + l.Router.wait_cycles)
+              0 (Router.link_stats r))
+  in
+  let healthy, _ = arrival Router.Link_ok in
+  let slowed, waited = arrival (Router.Link_slow 4) in
+  (* 251 words: each slow crossing holds the wire 4x251 cycles *)
+  checkb "both packets delayed" true (slowed >= healthy + 2 * 3 * 251);
+  checkb "second packet queued longer" true (waited > 0)
+
+(* Adaptive reacts to busy state: with the X link 0->1 already claimed
+   by an earlier packet, a 0->3 packet turns south first. *)
+let test_adaptive_prefers_less_busy_link () =
+  let engine, r = adaptive_router () in
+  Router.register r ~node_id:1 (fun _ -> ());
+  Router.register r ~node_id:3 (fun _ -> ());
+  Router.send r { (pkt ~len:1000 0) with Packet.dst_node = 1 };
+  Router.send r { (pkt ~len:1000 1) with Packet.dst_node = 3 };
+  Engine.run_until_idle engine;
+  checki "took the idle Y link first" 1 (link_xmits r ~from_node:0 ~to_node:2);
+  checki "adaptive turn counted" 1
+    (Udma_obs.Metrics.get (Engine.metrics engine) "net.router.adaptive_turns")
+
+let test_set_link_fault_validates () =
+  let engine = Engine.create () in
+  let r = Router.create ~engine ~nodes:9 () in
+  checkb "non-adjacent raises" true
+    (try Router.set_link_fault r ~from_node:0 ~to_node:8 Router.Link_dead; false
+     with Invalid_argument _ -> true);
+  checkb "bad slow factor raises" true
+    (try Router.set_link_fault r ~from_node:0 ~to_node:1 (Router.Link_slow 0);
+         false
+     with Invalid_argument _ -> true);
+  checki "unset fault reads Link_ok" 0
+    (match Router.link_fault r ~from_node:0 ~to_node:1 with
+    | Router.Link_ok -> 0
+    | _ -> 1)
+
 (* ---------- System + NI end to end ---------- *)
 
 let two_nodes () =
@@ -538,14 +697,15 @@ let test_collective_barrier_double_arrival () =
     (try Collective.barrier g ~rank:1; false with Invalid_argument _ -> true)
 
 let test_collective_broadcast () =
-  let sys, g = group_of 3 in
+  (* 4 nodes: 3 leaves a partial mesh row and is rejected by Router *)
+  let sys, g = group_of 4 in
   let root_m = (System.node sys 0).System.machine in
   let root_p = List.hd root_m.M.procs in
   let buf = Kernel.alloc_buffer root_m root_p ~bytes:4096 in
   let data = pattern 512 17 in
   Kernel.write_user root_m root_p ~vaddr:buf data;
   Collective.broadcast g ~root:0 ~src_vaddr:buf ~nbytes:512;
-  for rank = 1 to 2 do
+  for rank = 1 to 3 do
     let m = (System.node sys rank).System.machine in
     let p = List.hd m.M.procs in
     let v = Collective.bcast_recv_vaddr g ~root:0 ~rank in
@@ -556,9 +716,9 @@ let test_collective_broadcast () =
   done
 
 let test_collective_all_gather () =
-  let sys, g = group_of 3 in
+  let sys, g = group_of 4 in
   let contributions =
-    Array.init 3 (fun rank ->
+    Array.init 4 (fun rank ->
         let m = (System.node sys rank).System.machine in
         let p = List.hd m.M.procs in
         let buf = Kernel.alloc_buffer m p ~bytes:4096 in
@@ -566,8 +726,8 @@ let test_collective_all_gather () =
         (buf, 256))
   in
   Collective.all_gather g ~contributions;
-  for rank = 0 to 2 do
-    for from_rank = 0 to 2 do
+  for rank = 0 to 3 do
+    for from_rank = 0 to 3 do
       if from_rank <> rank then begin
         let m = (System.node sys rank).System.machine in
         let p = List.hd m.M.procs in
@@ -680,6 +840,20 @@ let () =
             test_router_contention_idle_closed_form;
           Alcotest.test_case "contention queues a shared link" `Quick
             test_router_contention_queues_shared_link;
+          Alcotest.test_case "partial-row node counts rejected" `Quick
+            test_router_rejects_partial_row;
+          Alcotest.test_case "adaptive idle = dimension order" `Quick
+            test_adaptive_idle_matches_dimension_order;
+          Alcotest.test_case "adaptive routes around a dead link" `Quick
+            test_adaptive_routes_around_dead_link;
+          Alcotest.test_case "dimension order crosses a dead link" `Quick
+            test_dimension_order_crosses_dead_link;
+          Alcotest.test_case "slow link stretches occupancy" `Quick
+            test_slow_link_stretches_occupancy;
+          Alcotest.test_case "adaptive prefers the less busy link" `Quick
+            test_adaptive_prefers_less_busy_link;
+          Alcotest.test_case "set_link_fault validates" `Quick
+            test_set_link_fault_validates;
         ] );
       ( "system",
         [

@@ -164,10 +164,15 @@ let test_load_gen_validation () =
   let bad cfg = try ignore (Load_gen.run cfg); false
                 with Invalid_argument _ -> true in
   checkb "1 node rejected" true (bad { small_cfg with Load_gen.nodes = 1 });
+  (* partial-row counts would route through phantom nodes *)
+  checkb "5 nodes rejected" true (bad { small_cfg with Load_gen.nodes = 5 });
+  checkb "8 nodes rejected" true (bad { small_cfg with Load_gen.nodes = 8 });
   checkb "unaligned size rejected" true
     (bad { small_cfg with Load_gen.msg_bytes = 130 });
   checkb "oversized message rejected" true
-    (bad { small_cfg with Load_gen.msg_bytes = 4096 })
+    (bad { small_cfg with Load_gen.msg_bytes = 4096 });
+  checkb "slow-link factor below 1 rejected" true
+    (bad { small_cfg with Load_gen.link_per_word = 0 })
 
 (* ---------- sweep + knee ---------- *)
 
@@ -195,6 +200,19 @@ let test_knee_detection () =
        [ mk_point 0.2 100.0; mk_point 0.5 120.0;
          mk_point ~delivered:80 0.8 130.0 ]
     = Some 2);
+  (* a saturated lightest point is the knee itself — its latency must
+     not be trusted as the baseline for later points *)
+  checkb "saturated point 0 is the knee" true
+    (Sweep.detect_knee
+       [ mk_point ~delivered:70 0.2 100.0; mk_point ~delivered:60 0.5 90.0 ]
+    = Some 0);
+  checkb "zero-delivery point 0 is the knee" true
+    (Sweep.detect_knee [ mk_point ~delivered:0 0.2 0.0 ] = Some 0);
+  (* ...but a healthy point 0 still anchors the latency baseline *)
+  checkb "healthy point 0 is not a knee" true
+    (Sweep.detect_knee
+       [ mk_point 0.2 100.0; mk_point ~delivered:95 0.5 120.0 ]
+    = None);
   checkb "empty curve" true (Sweep.detect_knee [] = None)
 
 let test_sweep_deterministic () =
