@@ -6,8 +6,9 @@
    whole run as one udma-bench/1 document (BENCH_udma.json), and with
    --check FILE it diffs the paper anchors (E1 %-of-max at 512 B and
    4 KB, E2 initiation cycles, E11 saturation knee, E12 per-policy
-   transpose knees) against a previously committed baseline, failing
-   on >±2 % drift — that is the CI regression gate. *)
+   transpose knees, E13 hotspot knees at 1 and 4 VCs) against a
+   previously committed baseline, failing on >±2 % drift — that is the
+   CI regression gate. *)
 
 module Runner = Udma_workloads.Runner
 module Report = Udma_obs.Report
@@ -57,6 +58,11 @@ let bech_tests =
              (Runner.report_adaptive ~loads:[ 0.5 ] ~nodes:4
                 ~patterns:[ Udma_traffic.Pattern.Transpose ]
                 ~warmup_cycles:500 ~window_cycles:4_000 ())));
+    Test.make ~name:"e13_hotspot_point"
+      (Staged.stage (fun () ->
+           ignore
+             (Runner.report_hotspot ~loads:[ 0.5 ] ~nodes:4 ~pcts:[ 50 ]
+                ~vc_counts:[ 2 ] ~warmup_cycles:500 ~window_cycles:4_000 ())));
   ]
 
 let run_bechamel () =
@@ -154,6 +160,16 @@ let anchors_of_reports reports =
     report_value reports ~id:"e12_adaptive" (fun rows ->
         row_with_str "pattern" "transpose" rows field)
   in
+  let e13 vcs =
+    report_value reports ~id:"e13_hotspot" (fun rows ->
+        List.find_map
+          (fun row ->
+            match (row_num "hot_pct" row, row_num "vcs" row) with
+            | Some p, Some v when p = 50.0 && v = vcs ->
+                row_num "knee" row
+            | _ -> None)
+          rows)
+  in
   [
     ("e1.pct_of_max@512B", e1 512.0);
     ("e1.pct_of_max@4KB", e1 4096.0);
@@ -162,6 +178,8 @@ let anchors_of_reports reports =
     ("e11.mean_latency@0.2", e11_base);
     ("e12.knee_dim@transpose", e12 "knee_dim");
     ("e12.knee_adaptive@transpose", e12 "knee_adaptive");
+    ("e13.knee@hot50.vcs1", e13 1.0);
+    ("e13.knee@hot50.vcs4", e13 4.0);
   ]
 
 let json_rows_of_experiment doc ~id =
@@ -229,6 +247,16 @@ let anchors_of_baseline doc =
             | _ -> None)
           rows)
   in
+  let e13 vcs =
+    Option.bind (json_rows_of_experiment doc ~id:"e13_hotspot") (fun rows ->
+        List.find_map
+          (fun row ->
+            match (json_row_num "hot_pct" row, json_row_num "vcs" row) with
+            | Some p, Some v when p = 50.0 && v = vcs ->
+                json_row_num "knee" row
+            | _ -> None)
+          rows)
+  in
   [
     ("e1.pct_of_max@512B", e1 512.0);
     ("e1.pct_of_max@4KB", e1 4096.0);
@@ -237,6 +265,8 @@ let anchors_of_baseline doc =
     ("e11.mean_latency@0.2", e11_base);
     ("e12.knee_dim@transpose", e12 "knee_dim");
     ("e12.knee_adaptive@transpose", e12 "knee_adaptive");
+    ("e13.knee@hot50.vcs1", e13 1.0);
+    ("e13.knee@hot50.vcs4", e13 4.0);
   ]
 
 let check_anchors reports ~baseline_file =
@@ -361,7 +391,7 @@ let () =
       value
       & opt (some string) None
       & info [ "check" ] ~docv:"FILE"
-          ~doc:"Diff the E1/E2/E11/E12 anchors of this run against the \
+          ~doc:"Diff the E1/E2/E11/E12/E13 anchors of this run against the \
                 baseline document $(docv); exit 1 on >±2% drift.")
   in
   let info =

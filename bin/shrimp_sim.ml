@@ -240,19 +240,38 @@ let traffic_term =
              Raising it slows the links relative to the send-initiation \
              cost, moving the bottleneck onto the network (the E12 regime).")
   in
+  let vcs =
+    Arg.(
+      value & opt int 1
+      & info [ "vcs" ] ~docv:"N"
+          ~doc:
+            "Virtual channels per directed mesh link, 1..4 (default 1: the \
+             single-FIFO model, bit-for-bit). Extra VCs let other flows \
+             backfill the wire around a head-of-line-blocked packet.")
+  in
+  let rx_credits =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rx-credits" ] ~docv:"N"
+          ~doc:
+            "Deposit slots per (link, VC) receive FIFO (default: unlimited, \
+             the pre-credit model). With finite credits sources stall at \
+             the injection gate instead of queueing on the wire.")
+  in
   let run c nodes pattern msg_bytes loads window warmup no_contention routing
-      link_per_word =
+      link_per_word vcs rx_credits =
     emit_reports c (fun () ->
         [
           Runner.report_saturation ~loads ~nodes ~pattern ~msg_bytes
             ~warmup_cycles:warmup ~window_cycles:window
             ~link_contention:(not no_contention) ~routing ~link_per_word
-            ~seed:c.seed ();
+            ~vc_count:vcs ~rx_credits ~seed:c.seed ();
         ])
   in
   Term.(
     const run $ common_term $ nodes $ pattern $ msg_bytes $ loads $ window
-    $ warmup $ no_contention $ routing $ link_per_word)
+    $ warmup $ no_contention $ routing $ link_per_word $ vcs $ rx_credits)
 
 let custom_terms =
   [
@@ -408,7 +427,11 @@ let chaos_cmd =
   in
   let mutate =
     let inv_conv =
-      Arg.enum [ ("i1", `I1); ("i2", `I2); ("i3", `I3); ("i4", `I4) ]
+      Arg.enum
+        [
+          ("i1", `I1); ("i2", `I2); ("i3", `I3); ("i4", `I4);
+          ("n1", `N1); ("n2", `N2);
+        ]
     in
     Arg.(
       value
@@ -417,12 +440,76 @@ let chaos_cmd =
           ~doc:
             "Disable the kernel action maintaining this invariant \
              (deliberate bug); the sweep is then expected to find \
-             violations, and the first is reported shrunk.")
+             violations, and the first is reported shrunk. $(b,n1) \
+             (credit leak) and $(b,n2) (stuck arbiter) plant router \
+             bugs and are meant for $(b,--mesh) sweeps.")
   in
-  let run c seeds start steps replay mutate =
+  let mesh =
+    Arg.(
+      value & flag
+      & info [ "mesh" ]
+          ~doc:
+            "Sweep multi-node mesh schedules instead of single-machine \
+             ones: random sends, link faults and credit squeezes on a \
+             2-4 node system with 1-4 VCs, checking I1-I4 on every node \
+             and the router's credit (N1) and arbitration (N2) oracles \
+             after every action.")
+  in
+  let run c seeds start steps replay mutate mesh =
     if c.trace then Trace.set_global_sink (Some (Event.jsonl_sink stderr));
     let skip_invariant = mutate in
     let finish () = Trace.set_global_sink None in
+    if mesh then
+      with_out c (fun oc ->
+          let ppf = Format.formatter_of_out_channel oc in
+          match replay with
+          | Some seed -> (
+              let plan = Chaos.mesh_plan_of_seed ~steps seed in
+              Format.fprintf ppf "replaying mesh seed %d: %a@." seed
+                Chaos.pp_mesh_setup plan.Chaos.mesh_setup;
+              List.iteri
+                (fun i a ->
+                  Format.fprintf ppf "  %2d. %a@." i Chaos.pp_mesh_action a)
+                plan.Chaos.mesh_actions;
+              match Chaos.run_mesh_plan ?skip_invariant plan with
+              | Chaos.Mesh_pass ->
+                  Format.fprintf ppf "no invariant violation.@.";
+                  finish ();
+                  exit 0
+              | Chaos.Mesh_fail f ->
+                  output_string oc (Chaos.mesh_report f);
+                  finish ();
+                  exit (if mutate = None then 1 else 0))
+          | None -> (
+              let failures =
+                Chaos.mesh_sweep ?skip_invariant ~steps ~start ~seeds ()
+              in
+              match (failures, mutate) with
+              | [], None ->
+                  Format.fprintf ppf
+                    "mesh chaos sweep: %d seeds x %d steps, no I1-I4/N1-N2 \
+                     violation.@."
+                    seeds steps;
+                  finish ()
+              | [], Some inv ->
+                  Format.fprintf ppf
+                    "mesh chaos sweep with %a disabled found no violation \
+                     in %d seeds — the oracles missed a planted bug!@."
+                    Udma_os.Machine.pp_invariant inv seeds;
+                  finish ();
+                  exit 1
+              | f :: _, _ ->
+                  Format.fprintf ppf
+                    "mesh chaos sweep: %d of %d seeds violated an \
+                     invariant%s@."
+                    (List.length failures) seeds
+                    (match mutate with
+                    | Some _ -> " (expected: a bug was planted)"
+                    | None -> "");
+                  output_string oc (Chaos.mesh_report f);
+                  finish ();
+                  if mutate = None then exit 1))
+    else
     with_out c (fun oc ->
         let ppf = Format.formatter_of_out_channel oc in
         match replay with
@@ -475,8 +562,12 @@ let chaos_cmd =
        ~doc:
          "Randomized fault-injection sweep checking the paper's OS \
           invariants I1-I4 after every step; failing seeds are replayed \
-          deterministically and shrunk to a minimal schedule.")
-    Term.(const run $ common_term $ seeds $ start $ steps $ replay $ mutate)
+          deterministically and shrunk to a minimal schedule. With \
+          $(b,--mesh), sweeps multi-node schedules that also exercise the \
+          router's virtual-channel credit (N1) and arbitration (N2) \
+          oracles.")
+    Term.(
+      const run $ common_term $ seeds $ start $ steps $ replay $ mutate $ mesh)
 
 let () =
   let info =

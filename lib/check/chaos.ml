@@ -513,6 +513,7 @@ type mesh_action =
   | M_evict of { node : int }
   | M_preempt of { node : int; pct : int }
   | M_link_fault of { from_node : int; to_node : int; fault : Router.fault }
+  | M_credit_squeeze of { credits : int option }
   | M_run of { cycles : int }
   | M_drain
 
@@ -522,6 +523,8 @@ type mesh_setup = {
   contention : bool;
   adaptive : bool;
   mesh_pages : int;
+  mesh_vcs : int;
+  mesh_credits : int option;
 }
 
 type mesh_plan = { mesh_setup : mesh_setup; mesh_actions : mesh_action list }
@@ -554,14 +557,23 @@ let pp_mesh_action ppf = function
         | Router.Link_slow k -> Printf.sprintf "slow(x%d)" k
         | Router.Link_ok -> "heal")
         x.from_node x.to_node
+  | M_credit_squeeze x ->
+      Format.fprintf ppf "credit-squeeze rx=%s"
+        (match x.credits with
+        | None -> "unlimited"
+        | Some n -> string_of_int n)
   | M_run x -> Format.fprintf ppf "run %d cycles" x.cycles
   | M_drain -> Format.pp_print_string ppf "drain"
 
 let pp_mesh_setup ppf s =
-  Format.fprintf ppf "seed=%d nodes=%d contention=%b routing=%s pages/node=%d"
+  Format.fprintf ppf
+    "seed=%d nodes=%d contention=%b routing=%s pages/node=%d vcs=%d rx=%s"
     s.mesh_seed s.mesh_nodes s.contention
     (if s.adaptive then "adaptive" else "dimension-order")
-    s.mesh_pages
+    s.mesh_pages s.mesh_vcs
+    (match s.mesh_credits with
+    | None -> "unlimited"
+    | Some n -> string_of_int n)
 
 (* A random directed mesh link: a node and one of its in-mesh
    neighbours (the node counts below all tile complete rectangles, so
@@ -582,7 +594,7 @@ let gen_mesh_link rng ~nodes =
   in
   (a, List.nth neighbours (Rng.int rng (List.length neighbours)))
 
-let gen_mesh_action rng ~nodes =
+let gen_mesh_action rng ~nodes ~credits0 =
   let node () = Rng.int rng nodes in
   let pair () =
     let s = node () in
@@ -611,7 +623,14 @@ let gen_mesh_action rng ~nodes =
         | _ -> Router.Link_ok
       in
       M_link_fault { from_node; to_node; fault }
-  | n when n < 94 -> M_run { cycles = 100 + Rng.int rng 10_000 }
+  | n when n < 92 -> M_run { cycles = 100 + Rng.int rng 10_000 }
+  | n when n < 96 ->
+      (* shrink the deposit FIFOs under load 3 of 5 draws, restore the
+         setup's capacity otherwise *)
+      let credits =
+        if Rng.int rng 5 < 3 then Some (1 + Rng.int rng 3) else credits0
+      in
+      M_credit_squeeze { credits }
   | _ -> M_drain
 
 (* Node counts must tile complete mesh rows (Router.valid_nodes): a
@@ -629,11 +648,18 @@ let mesh_plan_of_seed ?(steps = 40) seed =
          the rest cross dead links on the recovery path *)
       adaptive = Rng.int rng 4 > 0;
       mesh_pages = 2 + Rng.int rng 2;
+      (* several VCs for 3 of 4 seeds, finite credits for 3 of 4:
+         the flow-control surface the N1/N2 oracles watch *)
+      mesh_vcs = 1 + Rng.int rng 4;
+      mesh_credits =
+        (if Rng.int rng 4 = 0 then None else Some (2 + Rng.int rng 6));
     }
   in
   { mesh_setup;
     mesh_actions =
-      List.init steps (fun _ -> gen_mesh_action rng ~nodes:mesh_setup.mesh_nodes) }
+      List.init steps (fun _ ->
+          gen_mesh_action rng ~nodes:mesh_setup.mesh_nodes
+            ~credits0:mesh_setup.mesh_credits) }
 
 type mesh_ctx = {
   sys : System.t;
@@ -657,7 +683,9 @@ let mesh_build ?skip_invariant setup =
         { Router.default_config with
           Router.link_contention = setup.contention;
           Router.routing =
-            (if setup.adaptive then `Minimal_adaptive else `Dimension_order) } }
+            (if setup.adaptive then `Minimal_adaptive else `Dimension_order);
+          Router.vc_count = setup.mesh_vcs;
+          Router.rx_credits = setup.mesh_credits } }
   in
   let sys = System.create ~config ?skip_invariant ~nodes:setup.mesh_nodes () in
   let nodes = setup.mesh_nodes in
@@ -748,6 +776,8 @@ let mesh_apply ctx action =
   | M_preempt { node; pct } -> ctx.preempt.(node) <- pct
   | M_link_fault { from_node; to_node; fault } ->
       Router.set_link_fault (System.router ctx.sys) ~from_node ~to_node fault
+  | M_credit_squeeze { credits } ->
+      Router.set_rx_credits (System.router ctx.sys) credits
   | M_run { cycles } -> Engine.advance (System.engine ctx.sys) cycles
   | M_drain -> System.run_until_idle ctx.sys
 
@@ -758,7 +788,11 @@ let mesh_execute ?skip_invariant plan =
       match Oracle.check_now (System.node ctx.sys i).System.machine with
       | Some v -> raise (Oracle.Violation (at_node v i))
       | None -> ()
-    done
+    done;
+    (* the network invariants live on the shared router, not a node *)
+    match Oracle.check_router (System.router ctx.sys) with
+    | Some v -> raise (Oracle.Violation v)
+    | None -> ()
   in
   let rec go i = function
     | [] -> (

@@ -132,9 +132,14 @@ val pp_setup : Format.formatter -> setup -> unit
     plus link faults: killing, slowing or healing a directed mesh link
     under traffic (the adaptive router routes around a dead link; the
     dimension-order router crosses it on the slow recovery path).
+    Setups usually enable several virtual channels and finite
+    deposit-FIFO credits, and the schedule can squeeze or restore the
+    credit pools under load ([M_credit_squeeze]).
     After every action the I2–I4 oracles run on {e every} node's
-    machine, and each machine checks I1 at its context switches; the
-    violation detail names the failing node. *)
+    machine, each machine checks I1 at its context switches (the
+    violation detail names the failing node), and the shared router is
+    checked against the network invariants N1 (credit conservation)
+    and N2 (arbitration fairness). *)
 
 type mesh_action =
   | M_send of { src : int; dst : int; nbytes : int; pipelined : bool }
@@ -150,6 +155,9 @@ type mesh_action =
       { from_node : int; to_node : int; fault : Udma_shrimp.Router.fault }
       (** kill ([Link_dead]), slow ([Link_slow]) or heal ([Link_ok])
           one directed mesh link *)
+  | M_credit_squeeze of { credits : int option }
+      (** {!Udma_shrimp.Router.set_rx_credits}: shrink the deposit
+          FIFOs under load, or restore the setup's capacity *)
   | M_run of { cycles : int }
   | M_drain
 
@@ -159,6 +167,8 @@ type mesh_setup = {
   contention : bool;  (** router per-link FIFO model *)
   adaptive : bool;    (** minimal-adaptive routing (else dimension-order) *)
   mesh_pages : int;   (** extra user buffers per node *)
+  mesh_vcs : int;     (** virtual channels per link, 1..4 *)
+  mesh_credits : int option;  (** deposit slots per (link, VC), or [None] *)
 }
 
 type mesh_plan = { mesh_setup : mesh_setup; mesh_actions : mesh_action list }

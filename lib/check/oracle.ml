@@ -224,3 +224,18 @@ let check_now (m : M.t) =
   first_of
     [ (fun () -> check_i2 m); (fun () -> check_i3 m);
       (fun () -> check_i4 m) ]
+
+(* ---------- network invariants (router flow control) ---------- *)
+
+let check_n1 router =
+  match Udma_shrimp.Router.check_credits router with
+  | None -> None
+  | Some detail -> Some { invariant = `N1; detail }
+
+let check_n2 router =
+  match Udma_shrimp.Router.check_arbitration router with
+  | None -> None
+  | Some detail -> Some { invariant = `N2; detail }
+
+let check_router router =
+  first_of [ (fun () -> check_n1 router); (fun () -> check_n2 router) ]

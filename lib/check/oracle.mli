@@ -46,3 +46,16 @@ val check_i4 : Udma_os.Machine.t -> violation option
 val check_now : Udma_os.Machine.t -> violation option
 (** I2, I3 and I4 in that order; first counterexample wins. Safe to
     call between any two simulation events. *)
+
+val check_n1 : Udma_shrimp.Router.t -> violation option
+(** N1, credit conservation: per (link, VC) deposit pool,
+    [held + in_flight + free = capacity] at every cycle
+    ({!Udma_shrimp.Router.check_credits}). *)
+
+val check_n2 : Udma_shrimp.Router.t -> violation option
+(** N2, arbitration fairness: no ready VC skipped [vc_count] or more
+    consecutive rounds ({!Udma_shrimp.Router.check_arbitration}). *)
+
+val check_router : Udma_shrimp.Router.t -> violation option
+(** N1 then N2; first counterexample wins. Safe between any two
+    simulation events, like {!check_now}. *)

@@ -13,13 +13,15 @@ module Udma_engine = Udma.Udma_engine
 
 type i3_policy = Write_upgrade | Proxy_dirty_union
 
-type invariant = [ `I1 | `I2 | `I3 | `I4 ]
+type invariant = [ `I1 | `I2 | `I3 | `I4 | `N1 | `N2 ]
 
 let invariant_name = function
   | `I1 -> "I1"
   | `I2 -> "I2"
   | `I3 -> "I3"
   | `I4 -> "I4"
+  | `N1 -> "N1"
+  | `N2 -> "N2"
 
 let pp_invariant ppf inv = Format.pp_print_string ppf (invariant_name inv)
 

@@ -17,10 +17,20 @@ type i3_policy =
           it or its proxy page is dirty — "conceptually simpler, but
           requires more changes to the paging code" *)
 
-(** The paper's four OS invariants (§6), named so the fault-injection
-    harness can disable the kernel action maintaining each one and so
-    oracles can report which invariant a state violates. *)
-type invariant = [ `I1 | `I2 | `I3 | `I4 ]
+(** The paper's four OS invariants (§6), plus two network invariants
+    the router's flow-control model must maintain, named so the
+    fault-injection harness can disable the action maintaining each
+    one and so oracles can report which invariant a state violates.
+
+    [`N1] is credit conservation: for every (link, virtual channel)
+    pool, [held + in_flight + free = capacity] at every cycle.
+    [`N2] is arbitration fairness: a ready virtual channel is granted
+    the physical link within [vc_count] arbitration rounds. Passing
+    either to [create]'s [skip_invariant] is forwarded by
+    [Udma_shrimp.System] to the router as the matching deliberate
+    bug (credit leak / stuck arbiter); the machine itself has no
+    [`N1]/[`N2] maintenance path. *)
+type invariant = [ `I1 | `I2 | `I3 | `I4 | `N1 | `N2 ]
 
 val invariant_name : invariant -> string
 

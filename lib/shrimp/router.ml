@@ -11,11 +11,14 @@ type config = {
   per_word_cycles : int;
   link_contention : bool;
   routing : routing;
+  vc_count : int;
+  rx_credits : int option;
 }
 
 let default_config =
   { base_cycles = 20; per_hop_cycles = 8; per_word_cycles = 1;
-    link_contention = false; routing = `Dimension_order }
+    link_contention = false; routing = `Dimension_order;
+    vc_count = 1; rx_credits = None }
 
 type fault = Link_ok | Link_slow of int | Link_dead
 
@@ -24,10 +27,63 @@ type fault = Link_ok | Link_slow of int | Link_dead
    many times the normal occupancy. *)
 let dead_crossing_factor = 64
 
+(* On a dead link the deposit side's credit-return notifications are
+   lost; the source only learns of a freed slot by retrying and being
+   NACK'd, so credit grants are quantised to this polling period. *)
+let nack_retry_cycles = 32
+
+type mutation = Credit_leak | Arb_stuck
+
+(* Round-robin arbitration among the VCs competing for one physical
+   link: grant the first ready VC scanning circularly from [rr]. The
+   caller advances [rr] to just past the grant, which bounds the wait
+   of any continuously-ready VC to [vc_count - 1] skipped rounds (the
+   distance from [rr] to that VC strictly shrinks on every skip). *)
+let arbitrate ~rr ~ready =
+  let n = Array.length ready in
+  if n = 0 then None
+  else
+    let rec go k =
+      if k >= n then None
+      else
+        let v = (rr + k) mod n in
+        if ready.(v) then Some v else go (k + 1)
+    in
+    go 0
+
+(* One virtual channel of a directed link. [v_tail] is the cycle the
+   VC's most recent packet clears the wire — the next packet assigned
+   to this VC cannot start before it (FIFO within a VC). *)
+type vc = {
+  mutable v_tail : int;
+  mutable v_inflight : int;
+  mutable v_max_depth : int;
+  mutable v_grants : int;
+  mutable v_skip_streak : int;      (* consecutive ready-but-skipped *)
+  mutable v_max_skip : int;
+}
+
+(* Deposit-side credit pool for one (link, vc) receive FIFO. The
+   [cp_slots] array is the analytic model (the cycle each buffer slot
+   frees; a claim takes the earliest); the three counters are the
+   runtime token state the N1 oracle checks, advanced by scheduled
+   events at reservation / wire start / release so that
+   held + inflight + free = capacity at every cycle. *)
+type pool = {
+  mutable cp_capacity : int;
+  mutable cp_slots : int array;
+  mutable cp_held : int;
+  mutable cp_inflight : int;
+  mutable cp_free : int;
+}
+
 (* One directed mesh link. [busy_until] is the cycle at which the wire
    finishes the last packet that reserved it; [inflight] counts packets
    that have claimed the link and whose tails have not yet cleared it
-   (the FIFO depth a head-of-line packet sees). *)
+   (the FIFO depth a head-of-line packet sees). With more than one VC
+   the wire is shared by reservation: [l_busy] lists the outstanding
+   future reservations (disjoint, sorted by start) so a later claim can
+   backfill an idle window instead of queueing behind the last tail. *)
 type link = {
   l_src : int;
   l_dst : int;
@@ -38,6 +94,10 @@ type link = {
   mutable l_busy_cycles : int;
   mutable l_wait_cycles : int;
   mutable l_fault : fault;
+  mutable l_rr : int;
+  l_vcs : vc array;
+  mutable l_busy : (int * int) list;
+  mutable l_pools : pool array;     (* [||] = unlimited credits *)
 }
 
 type link_stat = {
@@ -47,6 +107,25 @@ type link_stat = {
   busy_cycles : int;
   wait_cycles : int;
   max_depth : int;
+}
+
+type vc_stat = {
+  vc_from : int;
+  vc_to : int;
+  vc_index : int;
+  vc_grants : int;
+  vc_max_depth : int;
+  vc_max_skip : int;
+}
+
+type credit_stat = {
+  cr_from : int;
+  cr_to : int;
+  cr_vc : int;
+  cr_capacity : int;
+  cr_held : int;
+  cr_inflight : int;
+  cr_free : int;
 }
 
 type t = {
@@ -59,13 +138,17 @@ type t = {
       (* the in-order guarantee: [send] clamps every arrival to after
          the pair's previous one. Under dimension-order the fixed path
          plus FIFO links already deliver in order and the clamp is a
-         no-op; under minimal-adaptive, packets of one pair may take
-         different paths, so the clamp is what keeps the guarantee
-         (see test_props: checked under contention for both policies) *)
+         no-op; under minimal-adaptive or with several VCs, packets of
+         one pair may take different paths or channels, so the clamp is
+         what keeps the guarantee (see test_props: checked under
+         contention for both policies and with VCs + finite credits) *)
   links : (int * int, link) Hashtbl.t;
   trace : Trace.t;
   mutable packets_routed : int;
   mutable bytes_routed : int;
+  mutable rx_credits_now : int option;
+  mutable mutation : mutation option;
+  mutable leak_used : bool;
 }
 
 (* Width of the squarest mesh covering [nodes]. *)
@@ -81,6 +164,11 @@ let valid_nodes nodes = nodes > 0 && nodes mod mesh_width nodes = 0
 
 let create ~engine ~nodes ?(config = default_config) () =
   if nodes <= 0 then invalid_arg "Router.create: nodes must be positive";
+  if config.vc_count < 1 || config.vc_count > 4 then
+    invalid_arg "Router.create: vc_count must be in 1..4";
+  (match config.rx_credits with
+  | Some n when n < 1 -> invalid_arg "Router.create: rx_credits must be >= 1"
+  | Some _ | None -> ());
   let width = mesh_width nodes in
   if nodes mod width <> 0 then
     invalid_arg
@@ -100,10 +188,18 @@ let create ~engine ~nodes ?(config = default_config) () =
     trace = Trace.create ~enabled:false ();
     packets_routed = 0;
     bytes_routed = 0;
+    rx_credits_now = config.rx_credits;
+    mutation = None;
+    leak_used = false;
   }
 
 let nodes t = t.node_count
 let width t = t.width
+let rx_credits t = t.rx_credits_now
+
+let set_mutation t m =
+  t.mutation <- m;
+  t.leak_used <- false
 
 let check_node t id what =
   if id < 0 || id >= t.node_count then
@@ -135,6 +231,21 @@ let path t ~src ~dst =
   in
   go sx sy []
 
+let fresh_vc () =
+  { v_tail = 0; v_inflight = 0; v_max_depth = 0; v_grants = 0;
+    v_skip_streak = 0; v_max_skip = 0 }
+
+let fresh_pool ~now n =
+  { cp_capacity = n; cp_slots = Array.make n now; cp_held = 0;
+    cp_inflight = 0; cp_free = n }
+
+let fresh_pools t =
+  match t.rx_credits_now with
+  | None -> [||]
+  | Some n ->
+      let now = Engine.now t.engine in
+      Array.init t.config.vc_count (fun _ -> fresh_pool ~now n)
+
 let link_of t a b =
   match Hashtbl.find_opt t.links (a, b) with
   | Some l -> l
@@ -142,10 +253,51 @@ let link_of t a b =
       let l =
         { l_src = a; l_dst = b; busy_until = 0; inflight = 0;
           l_max_depth = 0; l_xmits = 0; l_busy_cycles = 0; l_wait_cycles = 0;
-          l_fault = Link_ok }
+          l_fault = Link_ok; l_rr = 0;
+          l_vcs = Array.init t.config.vc_count (fun _ -> fresh_vc ());
+          l_busy = []; l_pools = fresh_pools t }
       in
       Hashtbl.add t.links (a, b) l;
       l
+
+(* Resize the deposit FIFOs under load. Growing adds slots free at
+   [now]; shrinking revokes the most-available slots first (largest
+   remaining reservation times survive, so in-use buffers are never
+   yanked from under a packet). The counter side moves [capacity] and
+   [free] by the same delta, so the N1 conservation sum is preserved
+   even with reservation/start/release events still queued — [cp_free]
+   can go transiently negative on a shrink while revoked buffers drain,
+   which models the receiver waiting for occupied slots to empty. *)
+let set_rx_credits t credits =
+  (match credits with
+  | Some n when n < 1 -> invalid_arg "Router.set_rx_credits: credits must be >= 1"
+  | Some _ | None -> ());
+  t.rx_credits_now <- credits;
+  let now = Engine.now t.engine in
+  Hashtbl.iter
+    (fun _ l ->
+      match credits with
+      | None -> l.l_pools <- [||]
+      | Some n ->
+          if Array.length l.l_pools = 0 then
+            l.l_pools <-
+              Array.init (Array.length l.l_vcs) (fun _ -> fresh_pool ~now n)
+          else
+            Array.iter
+              (fun p ->
+                let old = p.cp_capacity in
+                if n <> old then begin
+                  let slots = Array.copy p.cp_slots in
+                  Array.sort (fun a b -> compare b a) slots;
+                  p.cp_slots <-
+                    (if n > old then
+                       Array.append slots (Array.make (n - old) now)
+                     else Array.sub slots 0 n);
+                  p.cp_capacity <- n;
+                  p.cp_free <- p.cp_free + (n - old)
+                end)
+              l.l_pools)
+    t.links
 
 let set_link_fault t ~from_node ~to_node fault =
   check_node t from_node "set_link_fault";
@@ -217,13 +369,78 @@ let latency_cycles t ~src ~dst ~bytes =
   + (hops t ~src ~dst * t.config.per_hop_cycles)
   + (words * t.config.per_word_cycles)
 
+(* Assign the claim to a virtual channel: round-robin among the ready
+   VCs (tail already clear of the wire when this head arrives); when
+   none is ready, the one that drains first. The [Arb_stuck] mutation
+   is the deliberate bug the N2 oracle must catch: it pins every grant
+   to VC 0, so a ready VC's skip streak grows past [vc_count]. *)
+let claim_vc t l ~head =
+  let vcn = Array.length l.l_vcs in
+  if vcn = 1 then 0
+  else begin
+    let ready = Array.map (fun v -> v.v_tail <= head) l.l_vcs in
+    let c =
+      match t.mutation with
+      | Some Arb_stuck -> 0
+      | Some Credit_leak | None -> (
+          match arbitrate ~rr:l.l_rr ~ready with
+          | Some v -> v
+          | None ->
+              let best = ref 0 in
+              Array.iteri
+                (fun i v -> if v.v_tail < l.l_vcs.(!best).v_tail then best := i)
+                l.l_vcs;
+              !best)
+    in
+    Array.iteri
+      (fun i v ->
+        if i = c then v.v_skip_streak <- 0
+        else if ready.(i) then begin
+          v.v_skip_streak <- v.v_skip_streak + 1;
+          if v.v_skip_streak > v.v_max_skip then
+            v.v_max_skip <- v.v_skip_streak
+        end
+        else v.v_skip_streak <- 0)
+      l.l_vcs;
+    l.l_rr <- (c + 1) mod vcn;
+    c
+  end
+
+(* Earliest [start >= earliest] such that [start, start + len) misses
+   every reserved interval ([busy] disjoint, sorted by start). *)
+let rec fit_gap busy earliest len =
+  match busy with
+  | [] -> earliest
+  | (s, e) :: rest ->
+      if earliest + len <= s then earliest
+      else if earliest >= e then fit_gap rest earliest len
+      else fit_gap rest e len
+
+let rec insert_iv busy s e =
+  match busy with
+  | [] -> [ (s, e) ]
+  | ((s0, _) as iv) :: rest ->
+      if s < s0 then (s, e) :: busy else iv :: insert_iv rest s e
+
+let rec prune_iv now busy =
+  match busy with
+  | (_, e) :: rest when e <= now -> prune_iv now rest
+  | _ -> busy
+
 (* Wormhole walk toward the destination: the header claims each link as
    soon as the wire is free, each claim holds the link for the packet's
    full wire occupancy, and the tail crosses the final wire after the
    header ejects. With idle, healthy links this telescopes to exactly
    the closed-form [base + hops·per_hop + words·per_word]. The link
    choice happens here, hop by hop, so minimal-adaptive sees the busy
-   state left by every earlier claim — including this packet's own. *)
+   state left by every earlier claim — including this packet's own.
+
+   With [vc_count = 1] and unlimited credits the claim below reduces
+   exactly to the single-FIFO model (start = max head busy_until, one
+   scheduled depth decrement per hop): VC 0's tail equals [busy_until]
+   and the credit floor equals the head's arrival, so timing, metrics
+   and the event schedule are identical — the property the E1/E2/E11/
+   E12 anchors pin down. *)
 let contended_arrival t ~now ~src ~dst ~words =
   let em = Engine.metrics t.engine in
   let occ = words * t.config.per_word_cycles in
@@ -244,7 +461,55 @@ let contended_arrival t ~now ~src ~dst ~words =
     let l = link_of t a b in
     let locc = occ * occupancy_factor l.l_fault in
     if l.l_fault = Link_dead then Metrics.incr em "net.link.dead_crossings";
-    let start = max !head l.busy_until in
+    let vcn = Array.length l.l_vcs in
+    let ci = claim_vc t l ~head:!head in
+    let v = l.l_vcs.(ci) in
+    (* deposit-side credit for the receive FIFO behind this link: take
+       the slot that frees soonest; on a dead link the grant is pushed
+       to the next NACK'd retry poll *)
+    let pinfo =
+      if Array.length l.l_pools = 0 then None
+      else begin
+        let p = l.l_pools.(ci) in
+        let si = ref 0 in
+        Array.iteri
+          (fun i ft -> if ft < p.cp_slots.(!si) then si := i)
+          p.cp_slots;
+        let slot_free = p.cp_slots.(!si) in
+        let granted =
+          if slot_free <= !head then !head
+          else
+            match l.l_fault with
+            | Link_dead ->
+                let polls =
+                  (slot_free - !head + nack_retry_cycles - 1)
+                  / nack_retry_cycles
+                in
+                Metrics.add em "net.credit.nacks" polls;
+                !head + (polls * nack_retry_cycles)
+            | Link_ok | Link_slow _ -> slot_free
+        in
+        Some (p, !si, slot_free, granted)
+      end
+    in
+    let credit_floor =
+      match pinfo with None -> !head | Some (_, _, _, g) -> g
+    in
+    let cstall = credit_floor - !head in
+    if cstall > 0 then begin
+      Metrics.incr em "net.credit.stalls";
+      Metrics.add em "net.credit.stall_cycles" cstall
+    end;
+    let earliest = max credit_floor v.v_tail in
+    let start =
+      if vcn = 1 then max earliest l.busy_until
+      else begin
+        l.l_busy <- prune_iv now l.l_busy;
+        let s = fit_gap l.l_busy earliest locc in
+        l.l_busy <- insert_iv l.l_busy s (s + locc);
+        s
+      end
+    in
     let wait = start - !head in
     l.inflight <- l.inflight + 1;
     if l.inflight > l.l_max_depth then l.l_max_depth <- l.inflight;
@@ -258,19 +523,76 @@ let contended_arrival t ~now ~src ~dst ~words =
              { from_node = a; to_node = b; wait; depth = l.inflight })
     end;
     Metrics.observe em "net.link.depth" l.inflight;
-    l.busy_until <- start + locc;
+    if start + locc > l.busy_until then l.busy_until <- start + locc;
     if start + locc > !tail then tail := start + locc;
     l.l_xmits <- l.l_xmits + 1;
     l.l_busy_cycles <- l.l_busy_cycles + locc;
     Metrics.incr em "net.link.xmits";
     Metrics.add em "net.link.busy_cycles" locc;
+    v.v_tail <- start + locc;
+    v.v_inflight <- v.v_inflight + 1;
+    if v.v_inflight > v.v_max_depth then v.v_max_depth <- v.v_inflight;
+    if vcn > 1 then begin
+      v.v_grants <- v.v_grants + 1;
+      Metrics.incr em "net.vc.grants";
+      Metrics.incr em (Printf.sprintf "net.vc.grants.%d" ci);
+      Metrics.observe em "net.vc.depth" v.v_inflight
+    end;
+    (match pinfo with
+    | None -> ()
+    | Some (p, si, slot_free, _) ->
+        let rel = start + locc + t.config.per_hop_cycles in
+        let leak = t.mutation = Some Credit_leak && not t.leak_used in
+        if leak then t.leak_used <- true;
+        (* a leaked slot never frees: the deposit side forgets to
+           return the credit, which is exactly what N1 must catch *)
+        p.cp_slots.(si) <- (if leak then max_int / 2 else rel);
+        let reserve_at = max now slot_free in
+        Engine.schedule_at t.engine ~time:reserve_at (fun _ ->
+            p.cp_free <- p.cp_free - 1;
+            p.cp_held <- p.cp_held + 1);
+        Engine.schedule_at t.engine ~time:start (fun _ ->
+            p.cp_held <- p.cp_held - 1;
+            p.cp_inflight <- p.cp_inflight + 1);
+        Engine.schedule_at t.engine ~time:rel (fun _ ->
+            p.cp_inflight <- p.cp_inflight - 1;
+            if not leak then p.cp_free <- p.cp_free + 1));
     Engine.schedule_at t.engine ~time:(start + locc) (fun _ ->
-        l.inflight <- l.inflight - 1);
+        l.inflight <- l.inflight - 1;
+        v.v_inflight <- v.v_inflight - 1);
     head := start + t.config.per_hop_cycles;
     x := x';
     y := y'
   done;
   max (!head + occ) !tail
+
+(* Earliest cycle the first-hop link toward [dst] has a deposit slot
+   free on some VC — the injection gate a source consults before
+   handing a packet to the NI. Only the first hop is checked (the
+   source cannot see deeper credit state); later hops' credit waits
+   still surface inside the walk as [net.credit.stalls]. *)
+let injection_ready t ~src ~dst =
+  let now = Engine.now t.engine in
+  if (not t.config.link_contention)
+     || src = dst
+     || t.rx_credits_now = None
+  then now
+  else begin
+    check_node t src "injection_ready";
+    check_node t dst "injection_ready";
+    let sx, sy = coords t src and dx, dy = coords t dst in
+    let x', y' = next_coord t ~x:sx ~y:sy ~dx ~dy in
+    let l = link_of t (node_id t ~x:sx ~y:sy) (node_id t ~x:x' ~y:y') in
+    if Array.length l.l_pools = 0 then now
+    else begin
+      let best = ref max_int in
+      Array.iter
+        (fun p ->
+          Array.iter (fun ft -> if ft < !best then best := ft) p.cp_slots)
+        l.l_pools;
+      max now !best
+    end
+  end
 
 let send t pkt =
   check_node t pkt.Packet.src_node "send";
@@ -301,9 +623,13 @@ let send t pkt =
       t.bytes_routed <- t.bytes_routed + bytes;
       Engine.schedule t.engine ~delay:(arrival - now) (fun _ -> sink pkt)
 
+let sorted_links t =
+  Hashtbl.fold (fun _ l acc -> l :: acc) t.links []
+  |> List.sort (fun a b -> compare (a.l_src, a.l_dst) (b.l_src, b.l_dst))
+
 let link_stats t =
-  Hashtbl.fold
-    (fun _ l acc ->
+  List.map
+    (fun l ->
       {
         from_node = l.l_src;
         to_node = l.l_dst;
@@ -311,10 +637,94 @@ let link_stats t =
         busy_cycles = l.l_busy_cycles;
         wait_cycles = l.l_wait_cycles;
         max_depth = l.l_max_depth;
-      }
-      :: acc)
-    t.links []
-  |> List.sort (fun a b -> compare (a.from_node, a.to_node) (b.from_node, b.to_node))
+      })
+    (sorted_links t)
+
+let vc_stats t =
+  List.concat_map
+    (fun l ->
+      Array.to_list
+        (Array.mapi
+           (fun i v ->
+             {
+               vc_from = l.l_src;
+               vc_to = l.l_dst;
+               vc_index = i;
+               vc_grants = v.v_grants;
+               vc_max_depth = v.v_max_depth;
+               vc_max_skip = v.v_max_skip;
+             })
+           l.l_vcs))
+    (sorted_links t)
+
+let credit_stats t =
+  List.concat_map
+    (fun l ->
+      Array.to_list
+        (Array.mapi
+           (fun i p ->
+             {
+               cr_from = l.l_src;
+               cr_to = l.l_dst;
+               cr_vc = i;
+               cr_capacity = p.cp_capacity;
+               cr_held = p.cp_held;
+               cr_inflight = p.cp_inflight;
+               cr_free = p.cp_free;
+             })
+           l.l_pools))
+    (sorted_links t)
+
+(* N1: credit conservation. Every scheduled token transition moves a
+   unit between exactly two of {free, held, inflight}, and a resize
+   moves [capacity] and [free] together, so the sum can only drift if
+   a return was dropped (the Credit_leak mutation). [cp_free] is
+   allowed to be negative transiently after a shrink (revoked buffers
+   still draining); the sum is the invariant. *)
+let check_credits t =
+  let bad = ref None in
+  List.iter
+    (fun l ->
+      Array.iteri
+        (fun vi p ->
+          if
+            !bad = None
+            && (p.cp_held + p.cp_inflight + p.cp_free <> p.cp_capacity
+               || p.cp_inflight < 0)
+          then
+            bad :=
+              Some
+                (Printf.sprintf
+                   "link %d-%d vc %d: held %d + inflight %d + free %d <> \
+                    capacity %d"
+                   l.l_src l.l_dst vi p.cp_held p.cp_inflight p.cp_free
+                   p.cp_capacity))
+        l.l_pools)
+    (sorted_links t);
+  !bad
+
+(* N2: arbitration fairness. Correct round-robin bounds a continuously
+   ready VC's skip streak to vc_count - 1 (see [arbitrate]); a streak
+   reaching vc_count means some VC is being starved (the Arb_stuck
+   mutation pins grants to VC 0). *)
+let check_arbitration t =
+  let bad = ref None in
+  List.iter
+    (fun l ->
+      let vcn = Array.length l.l_vcs in
+      if vcn > 1 then
+        Array.iteri
+          (fun vi v ->
+            if !bad = None && v.v_skip_streak >= vcn then
+              bad :=
+                Some
+                  (Printf.sprintf
+                     "link %d-%d vc %d: ready but skipped %d consecutive \
+                      arbitration rounds (vc_count %d)"
+                     l.l_src l.l_dst vi v.v_skip_streak vcn))
+          l.l_vcs)
+    (sorted_links t);
+  !bad
 
 let publish_link_gauges t =
   let em = Engine.metrics t.engine in

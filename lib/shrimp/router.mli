@@ -25,14 +25,44 @@
     per-link busy state, so it only differs from dimension order when
     [link_contention] is on.
 
+    {b Virtual channels.} With [vc_count > 1] each directed link
+    multiplexes 2–4 virtual channels over one physical wire. VC
+    assignment is packet-granularity: a whole packet rides one VC per
+    link (wormhole flits of one packet never interleave on a VC), and
+    the allocator round-robins among the {e ready} VCs — those whose
+    previous packet's tail has cleared the wire by the time this
+    header arrives. The wire itself is a shared resource booked by
+    reservation: a claim takes the earliest gap in the link's
+    outstanding reservations, so a packet on VC 1 can backfill an
+    idle window in front of a long VC 0 transfer instead of queueing
+    behind its tail — that backfill is the head-of-line-blocking
+    relief VCs exist for. Per-VC depth and grant counts are published
+    as [net.vc.*] metrics.
+
+    {b Credit-based flow control.} With [rx_credits = Some n] the
+    receive FIFO behind each (link, VC) has [n] deposit slots. A claim
+    must take the slot that frees soonest; when none is free by the
+    header's arrival the claim stalls ([net.credit.stalls] /
+    [net.credit.stall_cycles]) instead of queueing without bound. On a
+    [Link_dead] link the deposit side's credit returns are lost, so
+    grants are quantised to {!nack_retry_cycles} retry polls, each
+    counted in [net.credit.nacks]. Sources can consult
+    {!injection_ready} to stall at injection rather than on the wire.
+    Credit conservation ([held + in_flight + free = capacity] per
+    (link, VC), checked by {!check_credits}) and arbitration fairness
+    (a ready VC is granted within [vc_count] rounds, checked by
+    {!check_arbitration}) are the N1/N2 oracles of the chaos harness;
+    {!set_mutation} plants the deliberate bugs proving them sound.
+
     {b In-order delivery.} Delivery between a pair of nodes is in
     order — a small packet never overtakes a large one sent before it
     (SHRIMP's flag-after-payload notification depends on this). Under
     dimension-order the fixed path plus FIFO links give this for free;
-    under minimal-adaptive, packets of one pair can take different
-    paths, so [send] additionally clamps every arrival to after the
-    pair's previous arrival. test_props checks the guarantee under
-    contention for both policies with interleaved multi-flow traffic. *)
+    under minimal-adaptive or with several VCs, packets of one pair
+    can take different paths or channels, so [send] additionally
+    clamps every arrival to after the pair's previous arrival.
+    test_props checks the guarantee under contention for both policies
+    and with VCs + finite credits enabled. *)
 
 type routing = [ `Dimension_order | `Minimal_adaptive ]
 
@@ -45,10 +75,18 @@ type config = {
   routing : routing;
       (** path policy; [`Minimal_adaptive] needs [link_contention] to
           have any effect (default [`Dimension_order]) *)
+  vc_count : int;
+      (** virtual channels per directed link, 1..4 (default 1: the
+          single-FIFO model, bit-for-bit) *)
+  rx_credits : int option;
+      (** deposit slots per (link, VC) receive FIFO; [None] (default)
+          = unlimited, the pre-credit model. Like faults, credits live
+          in the contended link model only. *)
 }
 
 val default_config : config
-(** 20 / 8 / 1 cycles, contention off, dimension-order. *)
+(** 20 / 8 / 1 cycles, contention off, dimension-order, 1 VC,
+    unlimited credits. *)
 
 type t
 
@@ -63,7 +101,8 @@ val valid_nodes : int -> bool
 val create :
   engine:Udma_sim.Engine.t -> nodes:int -> ?config:config -> unit -> t
 (** A mesh of the squarest shape covering [nodes]. Raises
-    [Invalid_argument] unless {!valid_nodes}[ nodes]. *)
+    [Invalid_argument] unless {!valid_nodes}[ nodes], [vc_count] is in
+    1..4 and [rx_credits] (when finite) is [>= 1]. *)
 
 val nodes : t -> int
 
@@ -119,6 +158,81 @@ val set_link_fault : t -> from_node:int -> to_node:int -> fault -> unit
     [Link_slow k], [k >= 1]). [Link_ok] heals the link. *)
 
 val link_fault : t -> from_node:int -> to_node:int -> fault
+
+(** {1 Virtual channels and credits} *)
+
+val nack_retry_cycles : int
+(** Retry-poll period for credit grants across a dead link. *)
+
+val arbitrate : rr:int -> ready:bool array -> int option
+(** The pure round-robin arbiter: the first ready VC scanning
+    circularly from [rr], or [None] when none is ready. Advancing
+    [rr] to just past each grant bounds a continuously-ready VC's
+    wait to [vc_count - 1] skipped rounds — the no-starvation
+    property test_props exercises directly. *)
+
+val set_rx_credits : t -> int option -> unit
+(** Resize every (link, VC) deposit FIFO under load (the chaos mesh's
+    credit squeeze). Growing adds slots free now; shrinking revokes
+    the most-available slots first, never yanking a buffer from under
+    an in-flight packet — the freed-slot count can therefore go
+    transiently negative while revoked buffers drain, but credit
+    conservation is preserved. [None] removes the credit limit.
+    Raises [Invalid_argument] for [Some n] with [n < 1]. *)
+
+val rx_credits : t -> int option
+(** The current deposit-FIFO capacity ([None] = unlimited). *)
+
+val injection_ready : t -> src:int -> dst:int -> int
+(** Earliest cycle ([>= now]) the first-hop link toward [dst] has a
+    deposit slot free on some VC. [now] whenever credits are
+    unlimited, contention is off, or [src = dst]. Sources use this to
+    stall injection instead of queueing on the wire. *)
+
+type mutation = Credit_leak | Arb_stuck
+
+val set_mutation : t -> mutation option -> unit
+(** Plant a deliberate flow-control bug for oracle-soundness tests:
+    [Credit_leak] drops exactly one credit return (the slot never
+    frees and the conservation sum comes up short — N1);
+    [Arb_stuck] pins every VC grant to VC 0 (a ready VC's skip streak
+    grows past [vc_count] — N2). *)
+
+val check_credits : t -> string option
+(** N1, credit conservation: [Some detail] iff some (link, VC) pool
+    has [held + in_flight + free <> capacity] (or negative
+    in-flight). Holds at {e every} cycle in an unmutated router. *)
+
+val check_arbitration : t -> string option
+(** N2, arbitration fairness: [Some detail] iff some ready VC has
+    been skipped [vc_count] or more consecutive arbitration rounds. *)
+
+type vc_stat = {
+  vc_from : int;
+  vc_to : int;
+  vc_index : int;
+  vc_grants : int;      (** packets granted to this VC *)
+  vc_max_depth : int;   (** deepest per-VC occupancy observed *)
+  vc_max_skip : int;    (** worst ready-but-skipped streak *)
+}
+
+val vc_stats : t -> vc_stat list
+(** Per-VC counters for every link that exists, sorted by
+    (from, to, vc). *)
+
+type credit_stat = {
+  cr_from : int;
+  cr_to : int;
+  cr_vc : int;
+  cr_capacity : int;
+  cr_held : int;
+  cr_inflight : int;
+  cr_free : int;
+}
+
+val credit_stats : t -> credit_stat list
+(** Per-(link, VC) credit-pool state, sorted by (from, to, vc); empty
+    when credits are unlimited. *)
 
 (** {1 Link statistics} (all zero unless [link_contention]) *)
 

@@ -36,6 +36,13 @@ let create ?(config = default_config) ?skip_invariant ~nodes () =
     Engine.create ~mhz:config.machine.M.costs.Cost_model.mhz ()
   in
   let router = Router.create ~engine ~nodes ~config:config.router () in
+  (* the network invariants' deliberate bugs live in the router, not
+     the machines; [`N1]/[`N2] here mirror what [~skip_invariant] does
+     for the kernel's I1-I4 maintenance actions *)
+  (match skip_invariant with
+  | Some `N1 -> Router.set_mutation router (Some Router.Credit_leak)
+  | Some `N2 -> Router.set_mutation router (Some Router.Arb_stuck)
+  | Some (`I1 | `I2 | `I3 | `I4) | None -> ());
   let make_node id =
     let machine =
       M.create

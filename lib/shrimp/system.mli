@@ -33,8 +33,10 @@ val create :
     interface attached over the whole device-proxy region, registered
     on a shared router and engine. [skip_invariant] plants the
     deliberate kernel bug of {!Udma_os.Machine.create} in {e every}
-    node (chaos-harness mutation testing). Raises [Invalid_argument]
-    if the configured machine has no UDMA mode. *)
+    node (chaos-harness mutation testing); the network invariants
+    [`N1]/[`N2] are forwarded to the shared router instead, as
+    {!Router.set_mutation} [Credit_leak] / [Arb_stuck]. Raises
+    [Invalid_argument] if the configured machine has no UDMA mode. *)
 
 val engine : t -> Udma_sim.Engine.t
 val router : t -> Router.t

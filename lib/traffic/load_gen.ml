@@ -20,6 +20,8 @@ type config = {
   link_contention : bool;
   routing : Router.routing;
   link_per_word : int;
+  vc_count : int;
+  rx_credits : int option;
   seed : int;
 }
 
@@ -34,6 +36,8 @@ let default_config =
     link_contention = true;
     routing = `Dimension_order;
     link_per_word = Router.default_config.Router.per_word_cycles;
+    vc_count = Router.default_config.Router.vc_count;
+    rx_credits = Router.default_config.Router.rx_credits;
     seed = 42;
   }
 
@@ -55,6 +59,8 @@ type result = {
   max_latency : int;
   link_wait_cycles : int;
   link_max_depth : int;
+  credit_stalls : int;
+  credit_stall_cycles : int;
   links : Router.link_stat list;
 }
 
@@ -78,6 +84,11 @@ let validate (cfg : config) =
     invalid_arg "Load_gen: msg_bytes must be a positive 4-byte multiple <= 4092";
   if cfg.link_per_word < 1 then
     invalid_arg "Load_gen: link_per_word must be >= 1";
+  if cfg.vc_count < 1 || cfg.vc_count > 4 then
+    invalid_arg "Load_gen: vc_count must be in 1..4";
+  (match cfg.rx_credits with
+  | Some n when n < 1 -> invalid_arg "Load_gen: rx_credits must be >= 1"
+  | Some _ | None -> ());
   if cfg.window_cycles <= 0 then
     invalid_arg "Load_gen: window_cycles must be positive";
   if cfg.warmup_cycles < 0 then
@@ -91,7 +102,9 @@ let make_system (cfg : config) =
           { Router.default_config with
             Router.link_contention = cfg.link_contention;
             Router.routing = cfg.routing;
-            Router.per_word_cycles = cfg.link_per_word } }
+            Router.per_word_cycles = cfg.link_per_word;
+            Router.vc_count = cfg.vc_count;
+            Router.rx_credits = cfg.rx_credits } }
     ~nodes:cfg.nodes ()
 
 (* One real user-level send (STORE count / LOAD source, blocking until
@@ -241,18 +254,36 @@ let run ?probe (cfg : config) =
           end))
     (Array.init nodes (fun i -> System.node sys i));
   (* service model: each source's CPU initiates queued messages one at
-     a time, [send_cycles] each, then hands the packet to the NI *)
+     a time, [send_cycles] each, then hands the packet to the NI.
+     With finite rx credits the hand-off first consults the router's
+     injection gate: when the first-hop deposit FIFO is out of slots
+     the source stalls (counted as a credit stall) until one frees,
+     instead of letting the packet queue on the wire without bound. *)
+  let credit_stalls = ref 0 and credit_stall_cycles = ref 0 in
   let rec pump (s : source) =
     if (not s.serving) && not (Queue.is_empty s.q) then begin
       s.serving <- true;
-      Engine.schedule engine ~delay:send_cycles (fun _ ->
-          let dst, msg = Queue.pop s.q in
-          Queue.push msg (inflight_q (s.src, dst));
-          Messaging.inject (channel s.src dst) payload;
-          incr launched;
-          Metrics.incr em "traffic.launched";
-          s.serving <- false;
-          pump s)
+      Engine.schedule engine ~delay:send_cycles (fun _ -> launch s)
+    end
+  and launch (s : source) =
+    let dst, _ = Queue.peek s.q in
+    let now = Engine.now engine in
+    let ready = Router.injection_ready router ~src:s.src ~dst in
+    if ready > now then begin
+      incr credit_stalls;
+      credit_stall_cycles := !credit_stall_cycles + (ready - now);
+      Metrics.incr em "traffic.credit_stalls";
+      Metrics.add em "traffic.credit_stall_cycles" (ready - now);
+      Engine.schedule_at engine ~time:ready (fun _ -> launch s)
+    end
+    else begin
+      let dst, msg = Queue.pop s.q in
+      Queue.push msg (inflight_q (s.src, dst));
+      Messaging.inject (channel s.src dst) payload;
+      incr launched;
+      Metrics.incr em "traffic.launched";
+      s.serving <- false;
+      pump s
     end
   in
   let master = Rng.create cfg.seed in
@@ -336,5 +367,7 @@ let run ?probe (cfg : config) =
       List.fold_left (fun a (l : Router.link_stat) -> a + l.Router.wait_cycles) 0 links;
     link_max_depth =
       List.fold_left (fun a (l : Router.link_stat) -> max a l.Router.max_depth) 0 links;
+    credit_stalls = !credit_stalls;
+    credit_stall_cycles = !credit_stall_cycles;
     links;
   }

@@ -34,12 +34,21 @@ type config = {
           models a slower mesh relative to the fixed send-initiation
           cost, which moves the bottleneck from the sources onto the
           contended links (the E12 regime). *)
+  vc_count : int;  (** virtual channels per directed link, 1..4 *)
+  rx_credits : int option;
+      (** deposit slots per (link, VC) receive FIFO ([None] =
+          unlimited). With finite credits the source consults
+          {!Udma_shrimp.Router.injection_ready} before handing each
+          packet to the NI and stalls while the first-hop FIFO is out
+          of slots — saturation then shows up as [credit_stalls]
+          instead of unbounded link queueing. *)
   seed : int;
 }
 
 val default_config : config
 (** 16 nodes, uniform, Poisson 1 msg/kcycle/node, 256 B, 2k warmup,
-    50k window, contention on, dimension-order routing, seed 42. *)
+    50k window, contention on, dimension-order routing, 1 VC,
+    unlimited credits, seed 42. *)
 
 type result = {
   nodes : int;
@@ -59,6 +68,10 @@ type result = {
   max_latency : int;
   link_wait_cycles : int;  (** total head-of-line blocking (contention) *)
   link_max_depth : int;
+  credit_stalls : int;
+      (** launches delayed at the injection gate by an out-of-credit
+          first-hop deposit FIFO (0 with unlimited credits) *)
+  credit_stall_cycles : int;  (** cycles sources spent in those stalls *)
   links : Udma_shrimp.Router.link_stat list;
 }
 

@@ -40,17 +40,27 @@ let detect_knee points =
           inefficient r
           || (base > 0.0 && r.Load_gen.mean_latency >= latency_factor *. base)
         in
-        let rec go i = function
-          | [] -> None
-          | p :: rest -> if saturated p then Some i else go (i + 1) rest
+        (* the knee is the first point of SUSTAINED saturation: every
+           later point must be saturated too. A non-monotone dip back
+           under the threshold (a lucky seed at one load) disqualifies
+           the candidate — without this, the dip's rebound used to be
+           reported as the knee of an already-saturated curve *)
+        let rec go i candidate = function
+          | [] -> candidate
+          | p :: rest ->
+              if saturated p then
+                go (i + 1) (if candidate = None then Some i else candidate) rest
+              else go (i + 1) None rest
         in
-        go 1 rest
+        go 1 None rest
 
 let run ?(loads = default_loads) ?probe ?(nodes = 16)
     ?(pattern = Pattern.Uniform) ?(msg_bytes = 256) ?(warmup_cycles = 2_000)
     ?(window_cycles = 50_000) ?(link_contention = true)
     ?(routing = `Dimension_order)
     ?(link_per_word = Load_gen.default_config.Load_gen.link_per_word)
+    ?(vc_count = Load_gen.default_config.Load_gen.vc_count)
+    ?(rx_credits = Load_gen.default_config.Load_gen.rx_credits)
     ?(seed = 42) () =
   if loads = [] then invalid_arg "Sweep.run: empty load list";
   List.iter
@@ -74,6 +84,8 @@ let run ?(loads = default_loads) ?probe ?(nodes = 16)
             link_contention;
             routing;
             link_per_word;
+            vc_count;
+            rx_credits;
             seed;
           }
         in

@@ -25,11 +25,15 @@ val min_efficiency : float
 (** Knee rule 2: delivered/offered below this fraction. *)
 
 val detect_knee : point list -> int option
-(** Index of the first saturated point. The lightest point anchors the
-    latency baseline, so it must itself pass the efficiency test: if
-    it does not, the whole curve starts saturated and the knee is
+(** Index of the first point of {e sustained} saturation: the first
+    point saturated under either rule above with every later point
+    saturated too. A non-monotone dip back under the threshold (one
+    lucky seed mid-curve) disqualifies earlier candidates, so a dip's
+    rebound is never reported as the knee. The lightest point anchors
+    the latency baseline, so it must itself pass the efficiency test:
+    if it does not, the whole curve starts saturated and the knee is
     [Some 0] (no later point is compared against the saturated
-    baseline). Later points saturate under either rule above. *)
+    baseline). *)
 
 val run :
   ?loads:float list ->
@@ -42,6 +46,8 @@ val run :
   ?link_contention:bool ->
   ?routing:Udma_shrimp.Router.routing ->
   ?link_per_word:int ->
+  ?vc_count:int ->
+  ?rx_credits:int option ->
   ?seed:int ->
   unit ->
   outcome

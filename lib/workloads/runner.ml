@@ -1054,12 +1054,14 @@ let report_saturation ?loads ?(nodes = 16) ?(pattern = Pattern.Uniform)
     ?(msg_bytes = 256) ?(warmup_cycles = 2_000) ?(window_cycles = 50_000)
     ?(link_contention = true) ?(routing = `Dimension_order)
     ?(link_per_word = Udma_traffic.Load_gen.default_config.Udma_traffic.Load_gen.link_per_word)
+    ?(vc_count = Udma_traffic.Load_gen.default_config.Udma_traffic.Load_gen.vc_count)
+    ?(rx_credits = Udma_traffic.Load_gen.default_config.Udma_traffic.Load_gen.rx_credits)
     ?(seed = 42) () =
   let p = probe () in
   let outcome =
     Sweep.run ?loads ~probe:(watch p) ~nodes ~pattern ~msg_bytes
       ~warmup_cycles ~window_cycles ~link_contention ~routing ~link_per_word
-      ~seed ()
+      ~vc_count ~rx_credits ~seed ()
   in
   let width =
     match outcome.Sweep.points with
@@ -1201,6 +1203,88 @@ let report_adaptive ?loads ?(nodes = 16)
       ]
     ~breakdown:(breakdown p) rows
 
+(* E13: hotspot saturation vs virtual channels. The regime is the same
+   link-bound one as E12 (2 KB messages, link_per_word = 2) so the
+   bottleneck is the contended links into the hot node, where a single
+   FIFO head-of-line blocks every flow sharing a link with the hotspot
+   stream. Extra VCs let cold flows backfill the wire around a blocked
+   hot packet, so the knee holds (or improves) as the hotspot share
+   grows; finite deposit credits turn the residual overload into
+   source-side [credit_stalls] instead of unbounded link queues. *)
+let report_hotspot ?loads ?(nodes = 16) ?(pcts = [ 10; 25; 50 ])
+    ?(vc_counts = [ 1; 2; 4 ]) ?(msg_bytes = 2048) ?(warmup_cycles = 2_000)
+    ?(window_cycles = 100_000) ?(link_per_word = 2) ?(rx_credits = Some 8)
+    ?(seed = 42) () =
+  let p = probe () in
+  let send_cycles = ref 0 in
+  let rows =
+    List.concat_map
+      (fun pct ->
+        List.map
+          (fun vcs ->
+            let o =
+              Sweep.run ?loads ~probe:(watch p) ~nodes
+                ~pattern:(Pattern.Hotspot { node = 0; pct })
+                ~msg_bytes ~warmup_cycles ~window_cycles
+                ~link_contention:true ~routing:`Dimension_order
+                ~link_per_word ~vc_count:vcs ~rx_credits ~seed ()
+            in
+            send_cycles := o.Sweep.send_cycles;
+            let heaviest =
+              match List.rev o.Sweep.points with
+              | { Sweep.result; _ } :: _ -> result
+              | [] -> assert false (* Sweep.run rejects empty loads *)
+            in
+            [
+              ("hot_pct", vi pct);
+              ("vcs", vi vcs);
+              ( "knee",
+                match o.Sweep.knee_load with
+                | Some l -> vf l
+                | None -> vs "none" );
+              ("credit_stalls", vi heaviest.Load_gen.credit_stalls);
+              ( "credit_stall_cycles",
+                vi heaviest.Load_gen.credit_stall_cycles );
+              ("link_max_depth", vi heaviest.Load_gen.link_max_depth);
+              ("link_wait", vi heaviest.Load_gen.link_wait_cycles);
+            ])
+          vc_counts)
+      pcts
+  in
+  let width = Udma_shrimp.Router.mesh_width nodes in
+  Report.make ~id:"e13_hotspot"
+    ~title:
+      (Printf.sprintf
+         "E13: hotspot saturation vs virtual channels, %d-node mesh \
+          (knee per hotspot share; stall columns at the heaviest load)"
+         nodes)
+    ~meta:
+      [
+        ("nodes", vi nodes);
+        ("width", vi width);
+        ("msg_bytes", vi msg_bytes);
+        ("link_per_word", vi link_per_word);
+        ( "rx_credits",
+          match rx_credits with
+          | Some n -> vi n
+          | None -> vs "unlimited" );
+        ("send_cycles", vi !send_cycles);
+        ("warmup_cycles", vi warmup_cycles);
+        ("window_cycles", vi window_cycles);
+        ("seed", vi seed);
+      ]
+    ~columns:
+      [
+        ("hot_pct", "hot %");
+        ("vcs", "VCs");
+        ("knee", "knee");
+        ("credit_stalls", "stalls");
+        ("credit_stall_cycles", "stall cyc");
+        ("link_max_depth", "max depth");
+        ("link_wait", "link wait");
+      ]
+    ~breakdown:(breakdown p) rows
+
 (* ------------------------------------------------------------------ *)
 (* drivers                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -1339,6 +1423,21 @@ let experiments =
                 ~seed ();
             ]
           else [ report_adaptive ~seed () ]);
+    };
+    {
+      exp_name = "hotspot";
+      exp_alias = "e13";
+      exp_doc =
+        "E13: hotspot saturation vs virtual channels — per-share knee at \
+         1-4 VCs under credit backpressure.";
+      exp_run =
+        (fun ~quick ~seed ->
+          if quick then
+            [
+              report_hotspot ~loads:[ 0.2; 0.6; 0.8; 1.0 ] ~pcts:[ 25; 50 ]
+                ~vc_counts:[ 1; 4 ] ~seed ();
+            ]
+          else [ report_hotspot ~seed () ]);
     };
   ]
 

@@ -165,6 +165,8 @@ val report_saturation :
   ?link_contention:bool ->
   ?routing:Udma_shrimp.Router.routing ->
   ?link_per_word:int ->
+  ?vc_count:int ->
+  ?rx_credits:int option ->
   ?seed:int ->
   unit ->
   Report.t
@@ -196,6 +198,30 @@ val report_adaptive :
     [link_per_word = 2]) put the bottleneck on the contended links
     rather than the send initiation path, so the policy choice is
     visible in the knee. Deterministic under [seed]. *)
+
+(** {1 E13 — hotspot saturation vs virtual channels} *)
+
+val report_hotspot :
+  ?loads:float list ->
+  ?nodes:int ->
+  ?pcts:int list ->
+  ?vc_counts:int list ->
+  ?msg_bytes:int ->
+  ?warmup_cycles:int ->
+  ?window_cycles:int ->
+  ?link_per_word:int ->
+  ?rx_credits:int option ->
+  ?seed:int ->
+  unit ->
+  Report.t
+(** The E12 link-bound regime under a hotspot pattern: one row per
+    (hotspot share, VC count) with the saturation knee and, at the
+    heaviest load, the source-side credit stalls and link-queue
+    ceiling. More VCs let cold flows backfill around a blocked
+    hotspot packet (the knee holds or improves as the share grows);
+    finite [rx_credits] (default [Some 8]) convert residual overload
+    into [credit_stalls] instead of unbounded link depth.
+    Deterministic under [seed]. *)
 
 (** {1 Driver} *)
 

@@ -80,23 +80,32 @@ let test_mesh_sweep () =
 
 (* A mesh failure must also replay identically, checked through a
    planted I2 bug (mapping consistency breaks under paging pressure
-   regardless of the network, so some mesh seed must find it). *)
-let test_mesh_mutation () =
+   regardless of the network, so some mesh seed must find it) and the
+   two planted router bugs: a leaked credit return (N1) and a stuck
+   VC arbiter (N2). [check_name] asserts the violation names the
+   planted invariant — always true for the router bugs, whose mutation
+   cannot perturb the kernel invariants. *)
+let test_mesh_mutation ?(check_name = false) inv () =
   let rec first seed =
     if seed >= mesh_seeds then None
     else
-      match Chaos.run_mesh_seed ~skip_invariant:`I2 seed with
+      match Chaos.run_mesh_seed ~skip_invariant:inv seed with
       | Chaos.Mesh_pass -> first (seed + 1)
       | Chaos.Mesh_fail f -> Some f
   in
   match first 0 with
   | None ->
       Alcotest.failf
-        "mesh kernels built without the I2 maintenance action survived %d \
+        "mesh kernels built without the %s maintenance action survived %d \
          seeds"
-        mesh_seeds
+        (M.invariant_name inv) mesh_seeds
   | Some f -> (
-      match Chaos.run_mesh_plan ~skip_invariant:`I2 f.Chaos.mesh_plan with
+      if check_name then
+        Alcotest.(check string)
+          "the violated invariant is the one whose maintenance was disabled"
+          (M.invariant_name inv)
+          (M.invariant_name f.Chaos.mesh_violation.Oracle.invariant);
+      match Chaos.run_mesh_plan ~skip_invariant:inv f.Chaos.mesh_plan with
       | Chaos.Mesh_pass ->
           Alcotest.failf "mesh seed %d failed once but replayed clean"
             f.Chaos.mesh_plan.Chaos.mesh_setup.Chaos.mesh_seed
@@ -114,13 +123,24 @@ let test_mesh_mutation () =
 let test_mesh_generator_coverage () =
   let dead = ref 0 and slow = ref 0 and heal = ref 0 in
   let adaptive = ref 0 in
+  let multi_vc = ref 0 and finite = ref 0 and unlimited = ref 0 in
+  let squeeze = ref 0 and squeeze_tight = ref 0 in
   for seed = 0 to mesh_seeds - 1 do
     let p = Chaos.mesh_plan_of_seed seed in
     let setup = p.Chaos.mesh_setup in
     if not (Udma_shrimp.Router.valid_nodes setup.Chaos.mesh_nodes) then
       Alcotest.failf "seed %d generated unroutable node count %d" seed
         setup.Chaos.mesh_nodes;
+    if setup.Chaos.mesh_vcs < 1 || setup.Chaos.mesh_vcs > 4 then
+      Alcotest.failf "seed %d generated vc count %d outside 1..4" seed
+        setup.Chaos.mesh_vcs;
+    (match setup.Chaos.mesh_credits with
+    | Some n when n < 1 ->
+        Alcotest.failf "seed %d generated nonpositive credits %d" seed n
+    | Some _ -> incr finite
+    | None -> incr unlimited);
     if setup.Chaos.adaptive then incr adaptive;
+    if setup.Chaos.mesh_vcs > 1 then incr multi_vc;
     List.iter
       (function
         | Chaos.M_link_fault { fault = Udma_shrimp.Router.Link_dead; _ } ->
@@ -129,6 +149,11 @@ let test_mesh_generator_coverage () =
             incr slow
         | Chaos.M_link_fault { fault = Udma_shrimp.Router.Link_ok; _ } ->
             incr heal
+        | Chaos.M_credit_squeeze { credits } -> (
+            incr squeeze;
+            match credits with
+            | Some n when n <= 3 -> incr squeeze_tight
+            | Some _ | None -> ())
         | _ -> ())
       p.Chaos.mesh_actions
   done;
@@ -136,7 +161,14 @@ let test_mesh_generator_coverage () =
   Alcotest.(check bool) "slowed links injected" true (!slow > 0);
   Alcotest.(check bool) "links healed" true (!heal > 0);
   Alcotest.(check bool) "both routing policies exercised" true
-    (!adaptive > 0 && !adaptive < mesh_seeds)
+    (!adaptive > 0 && !adaptive < mesh_seeds);
+  Alcotest.(check bool) "multi-VC setups generated" true
+    (!multi_vc > 0 && !multi_vc < mesh_seeds);
+  Alcotest.(check bool) "finite and unlimited credit setups generated" true
+    (!finite > 0 && !unlimited > 0);
+  Alcotest.(check bool) "credit squeezes generated" true (!squeeze > 0);
+  Alcotest.(check bool) "squeezes shrink to tight pools" true
+    (!squeeze_tight > 0)
 
 (* ---------- determinism of the generator ---------- *)
 
@@ -174,7 +206,13 @@ let () =
             `Quick test_mesh_sweep;
           Alcotest.test_case
             "mesh mutation: skipping I2 is detected and replays" `Quick
-            test_mesh_mutation;
+            (test_mesh_mutation `I2);
+          Alcotest.test_case
+            "mesh mutation: leaking a credit is detected (N1)" `Quick
+            (test_mesh_mutation ~check_name:true `N1);
+          Alcotest.test_case
+            "mesh mutation: a stuck VC arbiter is detected (N2)" `Quick
+            (test_mesh_mutation ~check_name:true `N2);
           Alcotest.test_case "mesh generator covers faults + policies" `Quick
             test_mesh_generator_coverage;
         ] );

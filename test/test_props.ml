@@ -483,7 +483,8 @@ let prop_router_in_order =
    structural; under minimal-adaptive the packets of one flow may take
    different paths and the per-(src,dst) arrival clamp is the whole
    guarantee — so the same property is checked for both policies. *)
-let prop_router_in_order_contended_with routing name =
+let prop_router_in_order_contended_with ?(vc_count = 1) ?(rx_credits = None)
+    routing name =
   qtest ~count:50 name
     QCheck.(pair (int_bound 100_000) (int_range 10 120))
     (fun (seed, npackets) ->
@@ -494,7 +495,9 @@ let prop_router_in_order_contended_with routing name =
           ~config:
             { Router.default_config with
               Router.link_contention = true;
-              Router.routing = routing }
+              Router.routing = routing;
+              Router.vc_count;
+              Router.rx_credits }
           ()
       in
       let delivered = Hashtbl.create 32 in
@@ -539,6 +542,137 @@ let prop_router_in_order_contended =
 let prop_router_in_order_adaptive =
   prop_router_in_order_contended_with `Minimal_adaptive
     "adaptive router keeps every (src,dst) flow in order"
+
+(* Virtual channels let packets of different flows interleave on one
+   wire (cross-VC backfill), and finite credits delay claims until a
+   deposit slot frees — neither may break the per-flow clamp. *)
+let prop_router_in_order_vcs =
+  prop_router_in_order_contended_with ~vc_count:4 `Dimension_order
+    "4-VC router keeps every (src,dst) flow in order"
+
+let prop_router_in_order_vcs_credits =
+  prop_router_in_order_contended_with ~vc_count:4 ~rx_credits:(Some 2)
+    `Minimal_adaptive
+    "4-VC credited adaptive router keeps every flow in order"
+
+(* ---------- router: credit conservation at every cycle ---------- *)
+
+(* N1 as a property: under random traffic, random link faults (dead
+   links exercise the NACK/retry grant path) and a mid-run credit
+   squeeze, every (link, VC) pool satisfies
+   [held + in_flight + free = capacity] at every observed cycle, and
+   once the mesh drains every slot is free again. *)
+let prop_router_credit_conservation =
+  qtest ~count:40 "credits conserved every cycle under faults + squeeze"
+    QCheck.(pair (int_bound 100_000) (triple (int_range 1 4) (int_range 1 4) bool))
+    (fun (seed, (vcs, credits, adaptive)) ->
+      let engine = Engine.create () in
+      let nodes = 9 in
+      let routing = if adaptive then `Minimal_adaptive else `Dimension_order in
+      let r =
+        Router.create ~engine ~nodes
+          ~config:
+            { Router.default_config with
+              Router.link_contention = true;
+              Router.routing = routing;
+              Router.vc_count = vcs;
+              Router.rx_credits = Some credits }
+          ()
+      in
+      for d = 0 to nodes - 1 do
+        Router.register r ~node_id:d (fun _ -> ())
+      done;
+      let neighbours = ref [] in
+      for a = 0 to nodes - 1 do
+        for b = 0 to nodes - 1 do
+          if a <> b && Router.hops r ~src:a ~dst:b = 1 then
+            neighbours := (a, b) :: !neighbours
+        done
+      done;
+      let neighbours = Array.of_list !neighbours in
+      let rng = Rng.create seed in
+      let horizon = 4_000 in
+      for _ = 1 to 40 do
+        let src = Rng.int rng nodes in
+        let dst = (src + 1 + Rng.int rng (nodes - 1)) mod nodes in
+        let size = 4 * (1 + Rng.int rng 300) in
+        let time = Rng.int rng horizon in
+        Engine.schedule_at engine ~time (fun _ ->
+            Router.send r
+              { Packet.src_node = src; dst_node = dst; dst_paddr = 0;
+                payload = Bytes.make size 'x'; seq = 0 })
+      done;
+      for _ = 1 to 6 do
+        let from_node, to_node =
+          neighbours.(Rng.int rng (Array.length neighbours))
+        in
+        let fault =
+          if Rng.bool rng then Router.Link_dead
+          else Router.Link_slow (1 + Rng.int rng 3)
+        in
+        let t_break = Rng.int rng horizon in
+        Engine.schedule_at engine ~time:t_break (fun _ ->
+            Router.set_link_fault r ~from_node ~to_node fault);
+        Engine.schedule_at engine
+          ~time:(t_break + 1 + Rng.int rng horizon)
+          (fun _ -> Router.set_link_fault r ~from_node ~to_node Router.Link_ok)
+      done;
+      (* a mid-run squeeze and restore: conservation must survive the
+         capacity resize itself *)
+      let t_squeeze = Rng.int rng horizon in
+      Engine.schedule_at engine ~time:t_squeeze (fun _ ->
+          Router.set_rx_credits r (Some (1 + Rng.int rng 3)));
+      Engine.schedule_at engine ~time:(t_squeeze + 1 + Rng.int rng horizon)
+        (fun _ -> Router.set_rx_credits r (Some credits));
+      let ok = ref true in
+      let t = ref 0 in
+      while !t < 6 * horizon do
+        t := !t + 37;
+        Engine.run_until engine !t;
+        if Router.check_credits r <> None then ok := false
+      done;
+      Engine.run_until_idle engine;
+      if Router.check_credits r <> None then ok := false;
+      (* drained: nothing held, nothing in flight, every slot free *)
+      List.iter
+        (fun (c : Router.credit_stat) ->
+          if
+            c.Router.cr_held <> 0
+            || c.Router.cr_inflight <> 0
+            || c.Router.cr_free <> c.Router.cr_capacity
+          then ok := false)
+        (Router.credit_stats r);
+      !ok)
+
+(* ---------- router: round-robin arbiter never starves ---------- *)
+
+(* N2 as a property: against arbitrary competing ready sets, a VC that
+   stays ready is granted within [vc_count] rounds when [rr] advances
+   to just past each grant (the router's rule). Also: the arbiter only
+   grants ready VCs and returns [None] exactly on an all-idle set. *)
+let prop_arbiter_no_starvation =
+  qtest ~count:300 "rr arbiter grants a persistent VC within vc_count rounds"
+    QCheck.(triple (int_range 2 4) (int_bound 100_000) (int_range 1 60))
+    (fun (n, seed, rounds) ->
+      let rng = Rng.create seed in
+      let target = Rng.int rng n in
+      let rr = ref 0 in
+      let streak = ref 0 in
+      let ok = ref true in
+      for _ = 1 to rounds do
+        let ready = Array.init n (fun i -> i = target || Rng.bool rng) in
+        (match Router.arbitrate ~rr:!rr ~ready with
+        | None -> ok := false (* target was ready *)
+        | Some g ->
+            if not ready.(g) then ok := false;
+            if g = target then streak := 0
+            else begin
+              incr streak;
+              if !streak >= n then ok := false
+            end;
+            rr := (g + 1) mod n)
+      done;
+      !ok && Router.arbitrate ~rr:!rr ~ready:(Array.make n false) = None)
 
 (* ---------- router: every produced path is a real mesh walk ---------- *)
 
@@ -779,6 +913,7 @@ let () =
           prop_rng_in_bounds;
           prop_trace_wraparound;
           prop_tlb_lru_model;
+          prop_arbiter_no_starvation;
         ] );
       ( "state-machine",
         [ prop_sm_transferring_only_via_start; prop_sm_inval_resets ] );
@@ -793,6 +928,9 @@ let () =
           prop_router_in_order;
           prop_router_in_order_contended;
           prop_router_in_order_adaptive;
+          prop_router_in_order_vcs;
+          prop_router_in_order_vcs_credits;
+          prop_router_credit_conservation;
           prop_router_paths_valid;
           prop_i3_policies_equivalent_data;
           prop_auto_update_complete;

@@ -182,6 +182,94 @@ let test_router_rejects_partial_row () =
       checkb "hop in range" true (a >= 0 && a < 6 && b >= 0 && b < 6))
     (Router.path r ~src:4 ~dst:2)
 
+(* With unlimited credits the shared-wire reservation list never opens
+   a gap, so any VC count must time a contended burst identically to
+   the single-FIFO model — the degeneration DESIGN.md §12 relies on —
+   while the allocator still spreads packets over the VCs. *)
+let test_router_vcs_degenerate_timing () =
+  let arrivals vc_count =
+    let engine = Engine.create () in
+    let r =
+      Router.create ~engine ~nodes:4
+        ~config:
+          { Router.default_config with
+            Router.link_contention = true;
+            Router.vc_count }
+        ()
+    in
+    let got = ref [] in
+    for d = 1 to 3 do
+      Router.register r ~node_id:d (fun p ->
+          got := (d, p.Packet.seq, Engine.now engine) :: !got)
+    done;
+    for s = 0 to 5 do
+      Router.send r { (pkt ~len:800 s) with Packet.dst_node = 1 + (s mod 3) }
+    done;
+    Engine.run_until_idle engine;
+    (List.rev !got, r)
+  in
+  let base, _ = arrivals 1 in
+  List.iter
+    (fun vcs ->
+      let times, r = arrivals vcs in
+      checkb
+        (Printf.sprintf "%d VCs time the burst identically" vcs)
+        true (times = base);
+      (* every VC of the loaded 0->1 link saw at least one grant *)
+      let grants =
+        List.filter
+          (fun (v : Router.vc_stat) ->
+            v.Router.vc_from = 0 && v.Router.vc_to = 1
+            && v.Router.vc_grants > 0)
+          (Router.vc_stats r)
+      in
+      checkb
+        (Printf.sprintf "%d VCs all granted on the shared link" vcs)
+        true
+        (List.length grants = vcs))
+    [ 2; 4 ]
+
+(* Finite deposit credits: a back-to-back burst overruns one slot, so
+   later claims stall on the wire (net.credit.stalls), the injection
+   gate reports a future ready time mid-burst, conservation holds at
+   the end, and a dead link funnels grants through NACK retry polls. *)
+let test_router_credit_gate () =
+  let engine = Engine.create () in
+  let r =
+    Router.create ~engine ~nodes:4
+      ~config:
+        { Router.default_config with
+          Router.link_contention = true;
+          Router.rx_credits = Some 1 }
+      ()
+  in
+  Router.register r ~node_id:1 (fun _ -> ());
+  checkb "idle gate is open" true
+    (Router.injection_ready r ~src:0 ~dst:1 = Engine.now engine);
+  for s = 0 to 3 do
+    Router.send r { (pkt ~len:1000 s) with Packet.dst_node = 1 }
+  done;
+  checkb "gate closes mid-burst" true
+    (Router.injection_ready r ~src:0 ~dst:1 > Engine.now engine);
+  Engine.run_until_idle engine;
+  let m = Engine.metrics engine in
+  checkb "stalls counted" true (Udma_obs.Metrics.get m "net.credit.stalls" > 0);
+  checkb "conservation clean" true (Router.check_credits r = None);
+  List.iter
+    (fun (c : Router.credit_stat) ->
+      checki "drained pool all free" c.Router.cr_capacity c.Router.cr_free)
+    (Router.credit_stats r);
+  (* dead link: the grant is quantised into retry polls *)
+  Router.set_link_fault r ~from_node:0 ~to_node:1 Router.Link_dead;
+  for s = 4 to 6 do
+    Router.send r { (pkt ~len:1000 s) with Packet.dst_node = 1 }
+  done;
+  Engine.run_until_idle engine;
+  checkb "nacks counted across the dead link" true
+    (Udma_obs.Metrics.get m "net.credit.nacks" > 0);
+  checkb "conservation survives the dead link" true
+    (Router.check_credits r = None)
+
 let adaptive_router ?(nodes = 4) () =
   let engine = Engine.create () in
   let r =
@@ -842,6 +930,10 @@ let () =
             test_router_contention_queues_shared_link;
           Alcotest.test_case "partial-row node counts rejected" `Quick
             test_router_rejects_partial_row;
+          Alcotest.test_case "VCs degenerate to FIFO timing" `Quick
+            test_router_vcs_degenerate_timing;
+          Alcotest.test_case "credit gate + NACK retry" `Quick
+            test_router_credit_gate;
           Alcotest.test_case "adaptive idle = dimension order" `Quick
             test_adaptive_idle_matches_dimension_order;
           Alcotest.test_case "adaptive routes around a dead link" `Quick

@@ -172,7 +172,51 @@ let test_load_gen_validation () =
   checkb "oversized message rejected" true
     (bad { small_cfg with Load_gen.msg_bytes = 4096 });
   checkb "slow-link factor below 1 rejected" true
-    (bad { small_cfg with Load_gen.link_per_word = 0 })
+    (bad { small_cfg with Load_gen.link_per_word = 0 });
+  checkb "0 VCs rejected" true (bad { small_cfg with Load_gen.vc_count = 0 });
+  checkb "5 VCs rejected" true (bad { small_cfg with Load_gen.vc_count = 5 });
+  checkb "0 rx credits rejected" true
+    (bad { small_cfg with Load_gen.rx_credits = Some 0 })
+
+let test_load_gen_vcs_deterministic () =
+  let cfg =
+    { small_cfg with
+      Load_gen.arrival = Arrival.Poisson { per_kcycle = 3.0 };
+      msg_bytes = 1024;
+      link_per_word = 2;
+      vc_count = 4;
+      rx_credits = Some 4 }
+  in
+  let a = Load_gen.run cfg and b = Load_gen.run cfg in
+  checkb "VC + credit run deterministic under seed" true (a = b);
+  checkb "VC + credit traffic flowed" true (a.Load_gen.delivered > 0)
+
+(* The tentpole's backpressure shape: a closed loop hammering a tight
+   deposit FIFO must stall at the injection gate (credit_stalls > 0)
+   instead of queueing without bound on the wire — the same offered
+   load with unlimited credits piles deeper into the link FIFOs. *)
+let test_load_gen_credit_stalls () =
+  let base =
+    { small_cfg with
+      Load_gen.arrival = Arrival.Closed { clients = 12; think_cycles = 50 };
+      msg_bytes = 1024;
+      link_per_word = 8;
+      window_cycles = 20_000 }
+  in
+  let credited =
+    Load_gen.run { base with Load_gen.rx_credits = Some 1 }
+  in
+  let unlimited = Load_gen.run base in
+  checkb "credited run delivered traffic" true
+    (credited.Load_gen.delivered > 0);
+  checkb "sources stalled at the injection gate" true
+    (credited.Load_gen.credit_stalls > 0);
+  checkb "stall cycles accumulated" true
+    (credited.Load_gen.credit_stall_cycles > 0);
+  checkb "unlimited credits never stall" true
+    (unlimited.Load_gen.credit_stalls = 0);
+  checkb "backpressure bounds the link FIFOs" true
+    (credited.Load_gen.link_max_depth <= unlimited.Load_gen.link_max_depth)
 
 (* ---------- sweep + knee ---------- *)
 
@@ -184,7 +228,8 @@ let mk_point ?(injected = 100) ?(delivered = 100) load mean =
         offered_per_kcycle = 0.0; delivered_per_kcycle = 0.0;
         latencies = [||]; mean_latency = mean; p50_latency = 0;
         p95_latency = 0; p99_latency = 0; max_latency = 0;
-        link_wait_cycles = 0; link_max_depth = 0; links = [] } }
+        link_wait_cycles = 0; link_max_depth = 0; credit_stalls = 0;
+        credit_stall_cycles = 0; links = [] } }
 
 let test_knee_detection () =
   checkb "no knee on a flat curve" true
@@ -213,7 +258,20 @@ let test_knee_detection () =
     (Sweep.detect_knee
        [ mk_point 0.2 100.0; mk_point ~delivered:95 0.5 120.0 ]
     = None);
-  checkb "empty curve" true (Sweep.detect_knee [] = None)
+  checkb "empty curve" true (Sweep.detect_knee [] = None);
+  (* regression: a non-monotone dip after a saturated point must not
+     make the dip's rebound the knee — the knee is the first point of
+     SUSTAINED saturation *)
+  checkb "dip after a spike: knee is the sustained onset" true
+    (Sweep.detect_knee
+       [ mk_point 0.2 100.0; mk_point 0.4 250.0; mk_point 0.6 140.0;
+         mk_point 0.8 320.0; mk_point 0.9 330.0 ]
+    = Some 3);
+  checkb "spike that recovers for good is no knee" true
+    (Sweep.detect_knee
+       [ mk_point 0.2 100.0; mk_point 0.4 250.0; mk_point 0.6 140.0;
+         mk_point 0.8 150.0 ]
+    = None)
 
 let test_sweep_deterministic () =
   let run () =
@@ -261,6 +319,10 @@ let () =
             test_load_gen_contention_metrics;
           Alcotest.test_case "config validation" `Quick
             test_load_gen_validation;
+          Alcotest.test_case "VCs + credits deterministic" `Quick
+            test_load_gen_vcs_deterministic;
+          Alcotest.test_case "credit backpressure stalls sources" `Quick
+            test_load_gen_credit_stalls;
         ] );
       ( "sweep",
         [
