@@ -6,9 +6,10 @@
    whole run as one udma-bench/1 document (BENCH_udma.json), and with
    --check FILE it diffs the paper anchors (E1 %-of-max at 512 B and
    4 KB, E2 initiation cycles, E11 saturation knee, E12 per-policy
-   transpose knees, E13 hotspot knees at 1 and 4 VCs) against a
-   previously committed baseline, failing on >±2 % drift — that is the
-   CI regression gate. *)
+   transpose knees, E13 hotspot knees at 1 and 4 VCs, E14 per-backend
+   initiation p50 at 8 tenants and p99 at 256) against a previously
+   committed baseline, failing on >±2 % drift — that is the CI
+   regression gate. *)
 
 module Runner = Udma_workloads.Runner
 module Report = Udma_obs.Report
@@ -63,6 +64,9 @@ let bech_tests =
            ignore
              (Runner.report_hotspot ~loads:[ 0.5 ] ~nodes:4 ~pcts:[ 50 ]
                 ~vc_counts:[ 2 ] ~warmup_cycles:500 ~window_cycles:4_000 ())));
+    Test.make ~name:"e14_tenants_point"
+      (Staged.stage (fun () ->
+           ignore (Runner.report_tenants ~tenant_counts:[ 64 ] ~ops:2_000 ())));
   ]
 
 let run_bechamel () =
@@ -170,6 +174,16 @@ let anchors_of_reports reports =
             | _ -> None)
           rows)
   in
+  let e14 backend tenants field =
+    report_value reports ~id:"e14_tenants" (fun rows ->
+        List.find_map
+          (fun row ->
+            match (List.assoc_opt "backend" row, row_num "tenants" row) with
+            | Some (Report.Str b), Some t when b = backend && t = tenants ->
+                row_num field row
+            | _ -> None)
+          rows)
+  in
   [
     ("e1.pct_of_max@512B", e1 512.0);
     ("e1.pct_of_max@4KB", e1 4096.0);
@@ -180,6 +194,12 @@ let anchors_of_reports reports =
     ("e12.knee_adaptive@transpose", e12 "knee_adaptive");
     ("e13.knee@hot50.vcs1", e13 1.0);
     ("e13.knee@hot50.vcs4", e13 4.0);
+    ("e14.p50@proxy.t8", e14 "proxy" 8.0 "p50");
+    ("e14.p99@proxy.t256", e14 "proxy" 256.0 "p99");
+    ("e14.p50@iommu.t8", e14 "iommu" 8.0 "p50");
+    ("e14.p99@iommu.t256", e14 "iommu" 256.0 "p99");
+    ("e14.p50@capability.t8", e14 "capability" 8.0 "p50");
+    ("e14.p99@capability.t256", e14 "capability" 256.0 "p99");
   ]
 
 let json_rows_of_experiment doc ~id =
@@ -257,6 +277,19 @@ let anchors_of_baseline doc =
             | _ -> None)
           rows)
   in
+  let e14 backend tenants field =
+    Option.bind (json_rows_of_experiment doc ~id:"e14_tenants") (fun rows ->
+        List.find_map
+          (fun row ->
+            match
+              ( Option.bind (Json.member "backend" row) Json.string_,
+                json_row_num "tenants" row )
+            with
+            | Some b, Some t when b = backend && t = tenants ->
+                json_row_num field row
+            | _ -> None)
+          rows)
+  in
   [
     ("e1.pct_of_max@512B", e1 512.0);
     ("e1.pct_of_max@4KB", e1 4096.0);
@@ -267,6 +300,12 @@ let anchors_of_baseline doc =
     ("e12.knee_adaptive@transpose", e12 "knee_adaptive");
     ("e13.knee@hot50.vcs1", e13 1.0);
     ("e13.knee@hot50.vcs4", e13 4.0);
+    ("e14.p50@proxy.t8", e14 "proxy" 8.0 "p50");
+    ("e14.p99@proxy.t256", e14 "proxy" 256.0 "p99");
+    ("e14.p50@iommu.t8", e14 "iommu" 8.0 "p50");
+    ("e14.p99@iommu.t256", e14 "iommu" 256.0 "p99");
+    ("e14.p50@capability.t8", e14 "capability" 8.0 "p50");
+    ("e14.p99@capability.t256", e14 "capability" 256.0 "p99");
   ]
 
 let check_anchors reports ~baseline_file =
@@ -391,8 +430,8 @@ let () =
       value
       & opt (some string) None
       & info [ "check" ] ~docv:"FILE"
-          ~doc:"Diff the E1/E2/E11/E12/E13 anchors of this run against the \
-                baseline document $(docv); exit 1 on >±2% drift.")
+          ~doc:"Diff the E1/E2/E11/E12/E13/E14 anchors of this run against \
+                the baseline document $(docv); exit 1 on >±2% drift.")
   in
   let info =
     Cmd.info "bench" ~version:"1.0.0"

@@ -273,6 +273,94 @@ let traffic_term =
     const run $ common_term $ nodes $ pattern $ msg_bytes $ loads $ window
     $ warmup $ no_contention $ routing $ link_per_word $ vcs $ rx_credits)
 
+let tenants_term =
+  let module Backend = Udma_protect.Backend in
+  let backend_conv =
+    Arg.conv
+      ( (fun s -> Backend.parse_kind s |> Result.map_error (fun e -> `Msg e)),
+        fun ppf k -> Format.pp_print_string ppf (Backend.kind_name k) )
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:
+            "Use the small deterministic CI parameter set (8 and 256 \
+             tenants, 4000 ops).")
+  in
+  let backends =
+    Arg.(
+      value
+      & opt (some (list backend_conv)) None
+      & info [ "backend" ] ~docv:"KIND,..."
+          ~doc:
+            "Protection backends to sweep: $(b,proxy), $(b,iommu), \
+             $(b,capability) (default: all three).")
+  in
+  let tenants =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "tenants" ] ~docv:"N,..."
+          ~doc:
+            "Tenant counts to sweep (default 8,64,256,1024; $(b,--quick) \
+             uses 8,256).")
+  in
+  let slots =
+    Arg.(
+      value & opt int 64
+      & info [ "slots" ] ~docv:"N"
+          ~doc:"Destination-table slots shared by all tenants.")
+  in
+  let ops =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "ops" ] ~docv:"N"
+          ~doc:
+            "Operations per (backend, tenant count) point (default 20000; \
+             $(b,--quick) uses 4000).")
+  in
+  let churn =
+    Arg.(
+      value & opt int 8
+      & info [ "churn" ] ~docv:"PCT"
+          ~doc:"Per-op probability of descheduling a tenant (%).")
+  in
+  let evict =
+    Arg.(
+      value & opt int 4
+      & info [ "evict" ] ~docv:"PCT"
+          ~doc:"Per-op probability of evicting a table slot (%).")
+  in
+  let rogue =
+    Arg.(
+      value & opt int 4
+      & info [ "rogue" ] ~docv:"PCT"
+          ~doc:"Per-op probability of a rogue cross-tenant probe (%).")
+  in
+  let run c quick backends tenants slots ops churn evict rogue =
+    let tenant_counts =
+      match tenants with
+      | Some l -> l
+      | None -> if quick then [ 8; 256 ] else [ 8; 64; 256; 1024 ]
+    in
+    let ops =
+      match ops with Some n -> n | None -> if quick then 4000 else 20_000
+    in
+    let kinds =
+      match backends with Some l -> l | None -> Backend.all_kinds
+    in
+    emit_reports c (fun () ->
+        [
+          Runner.report_tenants ~tenant_counts ~kinds ~slots ~ops
+            ~churn_pct:churn ~evict_pct:evict ~rogue_pct:rogue ~seed:c.seed ();
+        ])
+  in
+  Term.(
+    const run $ common_term $ quick $ backends $ tenants $ slots $ ops $ churn
+    $ evict $ rogue)
+
 let custom_terms =
   [
     ("figure8", figure8_term);
@@ -281,6 +369,7 @@ let custom_terms =
     ("queueing", queueing_term);
     ("atomicity", atomicity_term);
     ("traffic", traffic_term);
+    ("tenants", tenants_term);
   ]
 
 let generic_term (e : Runner.experiment) =
@@ -430,7 +519,7 @@ let chaos_cmd =
       Arg.enum
         [
           ("i1", `I1); ("i2", `I2); ("i3", `I3); ("i4", `I4);
-          ("n1", `N1); ("n2", `N2);
+          ("n1", `N1); ("n2", `N2); ("p1", `P1); ("p2", `P2);
         ]
     in
     Arg.(
@@ -442,7 +531,10 @@ let chaos_cmd =
              (deliberate bug); the sweep is then expected to find \
              violations, and the first is reported shrunk. $(b,n1) \
              (credit leak) and $(b,n2) (stuck arbiter) plant router \
-             bugs and are meant for $(b,--mesh) sweeps.")
+             bugs, $(b,p1) (owner check skipped) and $(b,p2) (stale \
+             datapath entry after teardown) plant protection-backend \
+             bugs the I5 oracle must catch; all four are meant for \
+             $(b,--mesh) sweeps.")
   in
   let mesh =
     Arg.(
@@ -450,9 +542,11 @@ let chaos_cmd =
       & info [ "mesh" ]
           ~doc:
             "Sweep multi-node mesh schedules instead of single-machine \
-             ones: random sends, link faults and credit squeezes on a \
-             2-4 node system with 1-4 VCs, checking I1-I4 on every node \
-             and the router's credit (N1) and arbitration (N2) oracles \
+             ones: random sends, link faults, credit squeezes, rogue \
+             tenants and import-slot revocations on a 2-4 node system \
+             with 1-4 VCs, checking I1-I4 and the I5 isolation oracle \
+             on every node (proxy, IOMMU and capability backends) and \
+             the router's credit (N1) and arbitration (N2) oracles \
              after every action.")
   in
   let run c seeds start steps replay mutate mesh =
@@ -487,7 +581,7 @@ let chaos_cmd =
               match (failures, mutate) with
               | [], None ->
                   Format.fprintf ppf
-                    "mesh chaos sweep: %d seeds x %d steps, no I1-I4/N1-N2 \
+                    "mesh chaos sweep: %d seeds x %d steps, no I1-I5/N1-N2 \
                      violation.@."
                     seeds steps;
                   finish ()

@@ -504,6 +504,12 @@ let last n l =
 module System = Udma_shrimp.System
 module Router = Udma_shrimp.Router
 module Messaging = Udma_shrimp.Messaging
+module Ni = Udma_shrimp.Network_interface
+module Backend = Udma_protect.Backend
+
+(* A tenant id no spawned process can hold: the malicious-tenant
+   actor presents it to every protection backend. *)
+let rogue_pid = 9999
 
 type mesh_action =
   | M_send of { src : int; dst : int; nbytes : int; pipelined : bool }
@@ -514,6 +520,9 @@ type mesh_action =
   | M_preempt of { node : int; pct : int }
   | M_link_fault of { from_node : int; to_node : int; fault : Router.fault }
   | M_credit_squeeze of { credits : int option }
+  | M_rogue_tenant of { node : int; page : int }
+  | M_revoke of { node : int; page : int }
+  | M_backend_send of { node : int; page : int }
   | M_run of { cycles : int }
   | M_drain
 
@@ -562,6 +571,11 @@ let pp_mesh_action ppf = function
         (match x.credits with
         | None -> "unlimited"
         | Some n -> string_of_int n)
+  | M_rogue_tenant x ->
+      Format.fprintf ppf "rogue-tenant node=%d page=%d" x.node x.page
+  | M_revoke x -> Format.fprintf ppf "revoke node=%d page=%d" x.node x.page
+  | M_backend_send x ->
+      Format.fprintf ppf "backend-send node=%d page=%d" x.node x.page
   | M_run x -> Format.fprintf ppf "run %d cycles" x.cycles
   | M_drain -> Format.pp_print_string ppf "drain"
 
@@ -600,21 +614,23 @@ let gen_mesh_action rng ~nodes ~credits0 =
     let s = node () in
     (s, (s + 1 + Rng.int rng (nodes - 1)) mod nodes)
   in
+  (* the all-pairs channels occupy import slots 0..nodes-2 per node *)
+  let slot () = Rng.int rng (nodes - 1) in
   match Rng.int rng 100 with
-  | n when n < 30 ->
+  | n when n < 24 ->
       let src, dst = pair () in
       M_send { src; dst; nbytes = 4 * (1 + Rng.int rng 256);
                pipelined = Rng.bool rng }
-  | n when n < 48 ->
+  | n when n < 38 ->
       let src, dst = pair () in
       M_burst { src; dst; count = 1 + Rng.int rng 4;
                 nbytes = 4 * (1 + Rng.int rng 128) }
-  | n when n < 58 ->
+  | n when n < 48 ->
       M_touch { node = node (); page = Rng.int rng 4; write = Rng.bool rng }
-  | n when n < 64 -> M_clean { node = node (); page = Rng.int rng 4 }
-  | n when n < 70 -> M_evict { node = node () }
-  | n when n < 76 -> M_preempt { node = node (); pct = 5 + Rng.int rng 30 }
-  | n when n < 84 ->
+  | n when n < 54 -> M_clean { node = node (); page = Rng.int rng 4 }
+  | n when n < 60 -> M_evict { node = node () }
+  | n when n < 66 -> M_preempt { node = node (); pct = 5 + Rng.int rng 30 }
+  | n when n < 74 ->
       let from_node, to_node = gen_mesh_link rng ~nodes in
       let fault =
         match Rng.int rng 5 with
@@ -623,6 +639,9 @@ let gen_mesh_action rng ~nodes ~credits0 =
         | _ -> Router.Link_ok
       in
       M_link_fault { from_node; to_node; fault }
+  | n when n < 79 -> M_rogue_tenant { node = node (); page = slot () }
+  | n when n < 83 -> M_revoke { node = node (); page = slot () }
+  | n when n < 86 -> M_backend_send { node = node (); page = slot () }
   | n when n < 92 -> M_run { cycles = 100 + Rng.int rng 10_000 }
   | n when n < 96 ->
       (* shrink the deposit FIFOs under load 3 of 5 draws, restore the
@@ -666,10 +685,19 @@ type mesh_ctx = {
   mesh_procs : Proc.t array;
   mesh_chans : Messaging.channel option array array;
   mesh_bufs : int array array; (* per node: mesh_pages buffer vaddrs *)
+  mesh_shadows : (Backend.t * Backend.t) array;
+      (* per node: IOMMU and capability backends mirroring the NI's
+         grants, so the rogue tenant attacks all three designs *)
   preempt : int array;
   mesh_rng : Rng.t;
   mutable mesh_benign : int;
 }
+
+(* Every protection backend a node exposes: the NI's production proxy
+   backend plus the two shadows. *)
+let node_backends ctx i =
+  let iommu, cap = ctx.mesh_shadows.(i) in
+  [ Ni.backend (System.node ctx.sys i).System.ni; iommu; cap ]
 
 let at_node violation i =
   { violation with
@@ -714,6 +742,32 @@ let mesh_build ?skip_invariant setup =
         Array.init setup.mesh_pages (fun _ ->
             Kernel.alloc_buffer m mesh_procs.(i) ~bytes:4096))
   in
+  (* Shadow IOMMU/capability backends mirror the proxy grants the
+     channel setup just installed, under the same planted bug (if
+     any), so every design faces the same rogue probes. *)
+  let backend_mutation =
+    match skip_invariant with
+    | Some `P1 -> Some (Backend.Owner_skip 0)
+    | Some `P2 -> Some Backend.Stale_revoke
+    | Some (`I1 | `I2 | `I3 | `I4 | `I5 | `N1 | `N2) | None -> None
+  in
+  let mesh_shadows =
+    Array.init nodes (fun i ->
+        let ni_backend = Ni.backend (System.node sys i).System.ni in
+        let entries = Backend.capacity ni_backend in
+        let mirror kind =
+          let b = Backend.create kind ~entries () in
+          for index = 0 to entries - 1 do
+            match Backend.decode ni_backend ~index with
+            | Some { Backend.owner; dst_node; dst_frame } ->
+                ignore (Backend.grant b ~owner ~index ~dst_node ~dst_frame)
+            | None -> ()
+          done;
+          Backend.set_mutation b backend_mutation;
+          b
+        in
+        (mirror Backend.Iommu, mirror Backend.Capability))
+  in
   let preempt = Array.make nodes 0 in
   let mesh_rng = Rng.create (setup.mesh_seed lxor 0x5eed) in
   Array.iteri
@@ -728,8 +782,8 @@ let mesh_build ?skip_invariant setup =
             | Some v -> raise (Oracle.Violation (at_node v i))
             | None -> ()))
     mesh_procs;
-  { sys; mesh_procs; mesh_chans; mesh_bufs; preempt; mesh_rng;
-    mesh_benign = 0 }
+  { sys; mesh_procs; mesh_chans; mesh_bufs; mesh_shadows; preempt;
+    mesh_rng; mesh_benign = 0 }
 
 let mesh_apply ctx action =
   let machine i = (System.node ctx.sys i).System.machine in
@@ -778,6 +832,37 @@ let mesh_apply ctx action =
       Router.set_link_fault (System.router ctx.sys) ~from_node ~to_node fault
   | M_credit_squeeze { credits } ->
       Router.set_rx_credits (System.router ctx.sys) credits
+  | M_rogue_tenant { node; page } ->
+      (* A malicious tenant probes another tenant's import slot, the
+         hottest slot and an unconfigured index on every backend. Each
+         probe must be denied; an acceptance is journalled and the I5
+         oracle flags it at the post-action check. *)
+      List.iter
+        (fun b ->
+          let cap = Backend.capacity b in
+          List.iter
+            (fun index ->
+              ignore (Backend.authorize b ~tenant:rogue_pid ~index))
+            [ page mod cap; 0; cap ])
+        (node_backends ctx node)
+  | M_revoke { node; page } ->
+      (* Tear the import slot down on every backend; later sends on
+         the channel fail benignly, and any datapath state that
+         survives is I5's stale-invalidation counterexample. *)
+      List.iter
+        (fun b -> ignore (Backend.revoke b ~index:page))
+        (node_backends ctx node)
+  | M_backend_send { node; page } ->
+      (* The slot's legitimate owner initiates through every backend
+         (exercising IOTLB fills and capability checks); a denial on a
+         live slot is benign, an acceptance is journalled for I5. *)
+      let tenant = ctx.mesh_procs.(node).Proc.pid in
+      List.iter
+        (fun b ->
+          match Backend.authorize b ~tenant ~index:page with
+          | Ok _ -> ()
+          | Error _ -> ctx.mesh_benign <- ctx.mesh_benign + 1)
+        (node_backends ctx node)
   | M_run { cycles } -> Engine.advance (System.engine ctx.sys) cycles
   | M_drain -> System.run_until_idle ctx.sys
 
@@ -785,9 +870,16 @@ let mesh_execute ?skip_invariant plan =
   let ctx = mesh_build ?skip_invariant plan.mesh_setup in
   let check () =
     for i = 0 to System.node_count ctx.sys - 1 do
-      match Oracle.check_now (System.node ctx.sys i).System.machine with
+      (match Oracle.check_now (System.node ctx.sys i).System.machine with
       | Some v -> raise (Oracle.Violation (at_node v i))
-      | None -> ()
+      | None -> ());
+      (* cross-tenant isolation, on the NI backend and both shadows *)
+      List.iter
+        (fun b ->
+          match Oracle.check_i5 b with
+          | Some v -> raise (Oracle.Violation (at_node v i))
+          | None -> ())
+        (node_backends ctx i)
     done;
     (* the network invariants live on the shared router, not a node *)
     match Oracle.check_router (System.router ctx.sys) with

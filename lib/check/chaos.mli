@@ -135,9 +135,19 @@ val pp_setup : Format.formatter -> setup -> unit
     Setups usually enable several virtual channels and finite
     deposit-FIFO credits, and the schedule can squeeze or restore the
     credit pools under load ([M_credit_squeeze]).
+
+    Each node also carries shadow IOMMU and capability backends
+    mirroring its NI's proxy grants, and the schedule attacks all
+    three protection designs at once: a malicious tenant probes other
+    tenants' import slots and unconfigured indices
+    ([M_rogue_tenant]), slots are torn down under traffic
+    ([M_revoke]) and legitimate owners initiate through every backend
+    ([M_backend_send]) — every rogue probe must fault, never corrupt.
+
     After every action the I2–I4 oracles run on {e every} node's
     machine, each machine checks I1 at its context switches (the
-    violation detail names the failing node), and the shared router is
+    violation detail names the failing node), the I5 isolation oracle
+    runs on every node's three backends, and the shared router is
     checked against the network invariants N1 (credit conservation)
     and N2 (arbitration fairness). *)
 
@@ -158,6 +168,16 @@ type mesh_action =
   | M_credit_squeeze of { credits : int option }
       (** {!Udma_shrimp.Router.set_rx_credits}: shrink the deposit
           FIFOs under load, or restore the setup's capacity *)
+  | M_rogue_tenant of { node : int; page : int }
+      (** malicious tenant: {!Udma_protect.Backend.authorize} with a
+          foreign tenant id against [page], slot 0 and an unmapped
+          index, on the node's proxy, IOMMU and capability backends *)
+  | M_revoke of { node : int; page : int }
+      (** tear down one import slot on all three backends; the
+          datapath entry must not survive (I5) *)
+  | M_backend_send of { node : int; page : int }
+      (** the slot owner's initiation through all three backends
+          (IOTLB fill / capability check exercise) *)
   | M_run of { cycles : int }
   | M_drain
 

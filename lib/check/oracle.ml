@@ -239,3 +239,10 @@ let check_n2 router =
 
 let check_router router =
   first_of [ (fun () -> check_n1 router); (fun () -> check_n2 router) ]
+
+(* ---------- protection (cross-tenant isolation) ---------- *)
+
+let check_i5 backend =
+  match Udma_protect.Backend.check backend with
+  | None -> None
+  | Some detail -> Some { invariant = `I5; detail }

@@ -59,3 +59,11 @@ val check_n2 : Udma_shrimp.Router.t -> violation option
 val check_router : Udma_shrimp.Router.t -> violation option
 (** N1 then N2; first counterexample wins. Safe between any two
     simulation events, like {!check_now}. *)
+
+val check_i5 : Udma_protect.Backend.t -> violation option
+(** I5, cross-tenant isolation ({!Udma_protect.Backend.check}): every
+    datapath-visible decode entry (NIPT / IOTLB / capability) is
+    backed by a live grant, and no journalled authorization paired a
+    tenant with a page it does not own or whose grant was already
+    revoked. Catches the planted [`P1] (owner check skipped) and
+    [`P2] (stale entry survives teardown) bugs. *)

@@ -13,15 +13,18 @@ module Udma_engine = Udma.Udma_engine
 
 type i3_policy = Write_upgrade | Proxy_dirty_union
 
-type invariant = [ `I1 | `I2 | `I3 | `I4 | `N1 | `N2 ]
+type invariant = [ `I1 | `I2 | `I3 | `I4 | `I5 | `N1 | `N2 | `P1 | `P2 ]
 
 let invariant_name = function
   | `I1 -> "I1"
   | `I2 -> "I2"
   | `I3 -> "I3"
   | `I4 -> "I4"
+  | `I5 -> "I5"
   | `N1 -> "N1"
   | `N2 -> "N2"
+  | `P1 -> "P1"
+  | `P2 -> "P2"
 
 let pp_invariant ppf inv = Format.pp_print_string ppf (invariant_name inv)
 

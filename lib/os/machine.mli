@@ -29,8 +29,18 @@ type i3_policy =
     either to [create]'s [skip_invariant] is forwarded by
     [Udma_shrimp.System] to the router as the matching deliberate
     bug (credit leak / stuck arbiter); the machine itself has no
-    [`N1]/[`N2] maintenance path. *)
-type invariant = [ `I1 | `I2 | `I3 | `I4 | `N1 | `N2 ]
+    [`N1]/[`N2] maintenance path.
+
+    [`I5] is cross-tenant isolation: no transfer is authorized against
+    a destination page its tenant does not own, and no datapath decode
+    state (NIPT entry, IOTLB line, capability) survives the teardown of
+    the grant backing it. [`P1] (owner check skipped on one page) and
+    [`P2] (stale datapath entry survives teardown) are the two
+    deliberate protection bugs: [Udma_shrimp.System] forwards either
+    to the node's protection backend, and the [`I5] oracle must catch
+    both. Like [`N1]/[`N2], the machine itself has no maintenance path
+    for them. *)
+type invariant = [ `I1 | `I2 | `I3 | `I4 | `I5 | `N1 | `N2 | `P1 | `P2 ]
 
 val invariant_name : invariant -> string
 

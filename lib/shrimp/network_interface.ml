@@ -10,6 +10,7 @@ module Bus = Udma_dma.Bus
 module Device = Udma_dma.Device
 module Udma_engine = Udma.Udma_engine
 module M = Udma_os.Machine
+module Backend = Udma_protect.Backend
 
 type config = {
   packetize_cycles : int;
@@ -30,7 +31,7 @@ type t = {
   id : int;
   machine : M.t;
   config : config;
-  nipt : Nipt.t;
+  backend : Backend.t;
   out_fifo : Fifo.t;
   in_fifo : Fifo.t;
   mutable router : Router.t option;
@@ -51,7 +52,9 @@ let create ~id ~machine ?(config = default_config) () =
     id;
     machine;
     config;
-    nipt = Nipt.create ~entries:(Layout.dev_pages machine.M.layout);
+    backend =
+      Backend.create Backend.Proxy
+        ~entries:(Layout.dev_pages machine.M.layout) ();
     out_fifo = Fifo.create ~capacity_bytes:config.out_fifo_bytes;
     in_fifo = Fifo.create ~capacity_bytes:config.in_fifo_bytes;
     router = None;
@@ -68,22 +71,13 @@ let create ~id ~machine ?(config = default_config) () =
   }
 
 let id t = t.id
-let nipt t = t.nipt
+let backend t = t.backend
 
 let set_router t router = t.router <- Some router
 
-let err_misaligned = 0x1
-let err_no_mapping = 0x2
-
 let validate t ~dev_addr ~nbytes =
   let page_size = Layout.page_size t.machine.M.layout in
-  let align = if dev_addr land 3 <> 0 || nbytes land 3 <> 0 then err_misaligned else 0 in
-  let mapping =
-    match Nipt.lookup t.nipt ~index:(dev_addr / page_size) with
-    | Some _ -> 0
-    | None -> err_no_mapping
-  in
-  align lor mapping
+  Backend.validate_bits t.backend ~dev_addr ~nbytes ~page_size
 
 (* Launch one packet: serialise on the outgoing link, then route. *)
 let launch t pkt =
@@ -118,11 +112,11 @@ let launch t pkt =
 let dev_write t ~addr data =
   let page_size = Layout.page_size t.machine.M.layout in
   let page = addr / page_size and offset = addr mod page_size in
-  match Nipt.lookup t.nipt ~index:page with
+  match Backend.decode t.backend ~index:page with
   | None ->
       (* validated at initiation; a vanished entry is a kernel bug *)
       t.send_drops <- t.send_drops + 1
-  | Some { Nipt.dst_node; dst_frame } ->
+  | Some { Backend.dst_node; dst_frame; owner = _ } ->
       let seq = t.next_seq in
       t.next_seq <- seq + 1;
       Trace.record t.machine.M.trace
@@ -208,7 +202,7 @@ let port t =
       writable =
         (fun ~addr ->
           let page_size = Layout.page_size t.machine.M.layout in
-          Nipt.lookup t.nipt ~index:(addr / page_size) <> None);
+          Backend.decode t.backend ~index:(addr / page_size) <> None);
       readable = (fun ~addr:_ -> false);
     }
 

@@ -1,11 +1,13 @@
 (** The SHRIMP network interface (paper §8, Figures 6–7).
 
-    A UDMA device whose device-proxy pages name entries of the
-    {!Nipt}. A deliberate-update send is a UDMA transfer from user
-    memory to the interface: at initiation the interface validates the
-    access (4-byte alignment, a configured NIPT entry — the
-    device-specific error bits of §5); when the DMA delivers the data
-    it packetizes (header = NIPT entry + offset) and launches the
+    A UDMA device whose device-proxy pages name entries of its
+    protection backend's destination table (the NIPT, for the
+    production {!Udma_protect.Backend.kind.Proxy} backend this always
+    instantiates). A deliberate-update send is a UDMA transfer from
+    user memory to the interface: at initiation the interface
+    validates the access (4-byte alignment, a configured NIPT entry —
+    the device-specific error bits of §5); when the DMA delivers the
+    data it packetizes (header = NIPT entry + offset) and launches the
     packet through the router, serialising on the outgoing link. On
     the receiving side the packet lands in the incoming FIFO and the
     EISA DMA logic writes the payload straight to physical memory,
@@ -28,7 +30,12 @@ val create :
   id:int -> machine:Udma_os.Machine.t -> ?config:config -> unit -> t
 
 val id : t -> int
-val nipt : t -> Nipt.t
+
+val backend : t -> Udma_protect.Backend.t
+(** The interface's protection backend (always
+    {!Udma_protect.Backend.kind.Proxy} — its table is the NIPT). The
+    kernel configures destinations through
+    {!Udma_protect.Backend.grant} / [revoke]. *)
 
 val set_router : t -> Router.t -> unit
 (** Must be called before the first send. *)

@@ -5,6 +5,7 @@ module Vm = Udma_os.Vm
 module Syscall = Udma_os.Syscall
 module Kernel = Udma_os.Kernel
 module Cost_model = Udma_os.Cost_model
+module Backend = Udma_protect.Backend
 
 type node = { id : int; machine : M.t; ni : Network_interface.t; auto : Auto_update.t }
 
@@ -42,7 +43,16 @@ let create ?(config = default_config) ?skip_invariant ~nodes () =
   (match skip_invariant with
   | Some `N1 -> Router.set_mutation router (Some Router.Credit_leak)
   | Some `N2 -> Router.set_mutation router (Some Router.Arb_stuck)
-  | Some (`I1 | `I2 | `I3 | `I4) | None -> ());
+  | Some (`I1 | `I2 | `I3 | `I4 | `I5 | `P1 | `P2) | None -> ());
+  (* ... and the protection bugs live in each node's backend. P1 skips
+     the owner check on dev page 0 (the hottest import slot); P2 makes
+     teardown leave the datapath entry alive. *)
+  let backend_mutation =
+    match skip_invariant with
+    | Some `P1 -> Some (Backend.Owner_skip 0)
+    | Some `P2 -> Some Backend.Stale_revoke
+    | Some (`I1 | `I2 | `I3 | `I4 | `I5 | `N1 | `N2) | None -> None
+  in
   let make_node id =
     let machine =
       M.create
@@ -50,6 +60,7 @@ let create ?(config = default_config) ?skip_invariant ~nodes () =
         ?skip_invariant ()
     in
     let ni = Network_interface.create ~id ~machine ~config:config.ni () in
+    Backend.set_mutation (Network_interface.backend ni) backend_mutation;
     Network_interface.set_router ni router;
     Network_interface.attach ni;
     Router.register router ~node_id:id (Network_interface.receive ni);
@@ -88,11 +99,13 @@ let export_buffer t ~node:node_id ~proc ~pages =
 
 let import_export t ~node:node_id ~proc ~first_index export =
   let n = node t node_id in
-  let nipt = Network_interface.nipt n.ni in
+  let backend = Network_interface.backend n.ni in
   List.iteri
     (fun i frame ->
       let index = first_index + i in
-      Nipt.set nipt ~index { Nipt.dst_node = export.exp_node; dst_frame = frame };
+      ignore
+        (Backend.grant backend ~owner:proc.Udma_os.Proc.pid ~index
+           ~dst_node:export.exp_node ~dst_frame:frame);
       match
         Syscall.map_device_proxy n.machine proc ~vdev_index:index
           ~pdev_index:index ~writable:true

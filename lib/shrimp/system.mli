@@ -35,8 +35,11 @@ val create :
     deliberate kernel bug of {!Udma_os.Machine.create} in {e every}
     node (chaos-harness mutation testing); the network invariants
     [`N1]/[`N2] are forwarded to the shared router instead, as
-    {!Router.set_mutation} [Credit_leak] / [Arb_stuck]. Raises
-    [Invalid_argument] if the configured machine has no UDMA mode. *)
+    {!Router.set_mutation} [Credit_leak] / [Arb_stuck], and the
+    protection bugs [`P1]/[`P2] are forwarded to every node's NI
+    backend, as {!Udma_protect.Backend.set_mutation} [Owner_skip 0] /
+    [Stale_revoke]. Raises [Invalid_argument] if the configured
+    machine has no UDMA mode. *)
 
 val engine : t -> Udma_sim.Engine.t
 val router : t -> Router.t

@@ -19,6 +19,8 @@ module Cost_model = Udma_os.Cost_model
 module System = Udma_shrimp.System
 module Messaging = Udma_shrimp.Messaging
 module Pio_fifo = Udma_devices.Pio_fifo
+module Backend = Udma_protect.Backend
+module Tenants = Udma_protect.Tenants
 
 let pattern n = Bytes.init n (fun i -> Char.chr (i land 0xff))
 
@@ -1285,6 +1287,82 @@ let report_hotspot ?loads ?(nodes = 16) ?(pcts = [ 10; 25; 50 ])
       ]
     ~breakdown:(breakdown p) rows
 
+(* E14: multi-tenant protection backends. Tenant counts sweep from
+   comfortable (8 tenants over 64 table slots) to heavy overcommit
+   (1024 tenants churning the same 64 slots), and every backend faces
+   the identical traffic: the per-op RNG decisions depend only on the
+   seed and the injection rates, never on the backend, so the rows
+   differ purely in protection-path cycle costs and fault taxonomy.
+   Proxy pays only at grant time (syscall + proxy fault on recovery);
+   the IOMMU pays the IOTLB walk on cold initiations and map/unmap on
+   churn; capabilities pay a per-transfer check plus grant/revoke. *)
+let report_tenants ?(tenant_counts = [ 8; 64; 256; 1024 ])
+    ?(kinds = Backend.all_kinds) ?(slots = 64) ?(ops = 20_000)
+    ?(churn_pct = 8) ?(evict_pct = 4) ?(rogue_pct = 4) ?(seed = 42) () =
+  let rows =
+    List.concat_map
+      (fun kind ->
+        List.map
+          (fun tenants ->
+            let r =
+              Tenants.run
+                { Tenants.default_config with
+                  Tenants.kind; tenants; slots; ops; churn_pct; evict_pct;
+                  rogue_pct; seed }
+            in
+            let pct a b = if b = 0 then 0. else 100. *. float_of_int a /. float_of_int b in
+            [
+              ("backend", vs (Backend.kind_name kind));
+              ("tenants", vi tenants);
+              ("sends", vi r.Tenants.sends);
+              ("p50", vi r.Tenants.p50);
+              ("p99", vi r.Tenants.p99);
+              ("p999", vi r.Tenants.p999);
+              ("mean", vf r.Tenants.mean);
+              ("fault_pct", vf (pct r.Tenants.faults r.Tenants.sends));
+              ("rogue_probes", vi r.Tenants.rogue_probes);
+              ("rogue_denied", vi r.Tenants.rogue_denied);
+              ("grants", vi r.Tenants.grants);
+              ("invalidations", vi r.Tenants.invalidations);
+              ( "iotlb_hit_pct",
+                vf (pct r.Tenants.iotlb_hits
+                      (r.Tenants.iotlb_hits + r.Tenants.iotlb_misses)) );
+              ("breaches", vi r.Tenants.isolation_breaches);
+            ])
+          tenant_counts)
+      kinds
+  in
+  Report.make ~id:"e14_tenants"
+    ~title:
+      (Printf.sprintf
+         "E14: multi-tenant protection backends — initiation cost, fault \
+          rate and invalidation traffic over %d table slots"
+         slots)
+    ~meta:
+      [
+        ("slots", vi slots);
+        ("ops", vi ops);
+        ("churn_pct", vi churn_pct);
+        ("evict_pct", vi evict_pct);
+        ("rogue_pct", vi rogue_pct);
+        ("seed", vi seed);
+      ]
+    ~columns:
+      [
+        ("backend", "backend");
+        ("tenants", "tenants");
+        ("p50", "p50");
+        ("p99", "p99");
+        ("p999", "p999");
+        ("fault_pct", "fault %");
+        ("rogue_denied", "denied");
+        ("grants", "grants");
+        ("invalidations", "invals");
+        ("iotlb_hit_pct", "IOTLB hit %");
+        ("breaches", "breaches");
+      ]
+    rows
+
 (* ------------------------------------------------------------------ *)
 (* drivers                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -1438,6 +1516,18 @@ let experiments =
                 ~vc_counts:[ 1; 4 ] ~seed ();
             ]
           else [ report_hotspot ~seed () ]);
+    };
+    {
+      exp_name = "tenants";
+      exp_alias = "e14";
+      exp_doc =
+        "E14: multi-tenant protection — proxy vs IOMMU vs capability \
+         initiation cost and fault rate under tenant churn.";
+      exp_run =
+        (fun ~quick ~seed ->
+          if quick then
+            [ report_tenants ~tenant_counts:[ 8; 256 ] ~ops:4000 ~seed () ]
+          else [ report_tenants ~seed () ]);
     };
   ]
 

@@ -223,6 +223,28 @@ val report_hotspot :
     into [credit_stalls] instead of unbounded link depth.
     Deterministic under [seed]. *)
 
+(** {1 E14 — multi-tenant protection backends} *)
+
+val report_tenants :
+  ?tenant_counts:int list ->
+  ?kinds:Udma_protect.Backend.kind list ->
+  ?slots:int ->
+  ?ops:int ->
+  ?churn_pct:int ->
+  ?evict_pct:int ->
+  ?rogue_pct:int ->
+  ?seed:int ->
+  unit ->
+  Report.t
+(** {!Udma_protect.Tenants.run} per (backend, tenant count): one row
+    with initiation p50/p99/p999, the recovered-fault rate, rogue
+    probes denied, grant and invalidation traffic, the IOTLB hit rate
+    (IOMMU rows) and the isolation-breach count (always 0). Defaults
+    sweep {8, 64, 256, 1024} tenants over 64 table slots for all
+    three backends; every backend faces the identical op stream, so
+    rows differ only in protection-path costs. Deterministic under
+    [seed]. *)
+
 (** {1 Driver} *)
 
 type experiment = {
@@ -233,12 +255,12 @@ type experiment = {
 }
 
 val experiments : experiment list
-(** The experiment registry, in E1..E11 order. [all_reports] and the
+(** The experiment registry, in E1..E14 order. [all_reports] and the
     [shrimp_sim] command set are both derived from it, so a new
     experiment registers exactly once here. *)
 
 val all_reports : ?quick:bool -> ?seed:int -> unit -> Report.t list
-(** Every experiment (E1 basic + queued, E2..E11) as reports, in
+(** Every experiment (E1 basic + queued, E2..E14) as reports, in
     registry order. [quick] (default false) substitutes the small
     deterministic parameter set CI uses for the committed
     [BENCH_baseline.json]; [seed] feeds the randomized experiments

@@ -84,8 +84,12 @@ let test_mesh_sweep () =
    two planted router bugs: a leaked credit return (N1) and a stuck
    VC arbiter (N2). [check_name] asserts the violation names the
    planted invariant — always true for the router bugs, whose mutation
-   cannot perturb the kernel invariants. *)
-let test_mesh_mutation ?(check_name = false) inv () =
+   cannot perturb the kernel invariants. The protection bugs P1
+   (ownership check skipped) and P2 (stale datapath entry survives
+   teardown) manifest as cross-tenant isolation leaks, so their
+   violations are reported under I5 — [expect_name] overrides the
+   expected name for those cases. *)
+let test_mesh_mutation ?(check_name = false) ?expect_name inv () =
   let rec first seed =
     if seed >= mesh_seeds then None
     else
@@ -103,7 +107,9 @@ let test_mesh_mutation ?(check_name = false) inv () =
       if check_name then
         Alcotest.(check string)
           "the violated invariant is the one whose maintenance was disabled"
-          (M.invariant_name inv)
+          (match expect_name with
+          | Some n -> n
+          | None -> M.invariant_name inv)
           (M.invariant_name f.Chaos.mesh_violation.Oracle.invariant);
       match Chaos.run_mesh_plan ~skip_invariant:inv f.Chaos.mesh_plan with
       | Chaos.Mesh_pass ->
@@ -125,6 +131,7 @@ let test_mesh_generator_coverage () =
   let adaptive = ref 0 in
   let multi_vc = ref 0 and finite = ref 0 and unlimited = ref 0 in
   let squeeze = ref 0 and squeeze_tight = ref 0 in
+  let rogue = ref 0 and revoke = ref 0 and backend_send = ref 0 in
   for seed = 0 to mesh_seeds - 1 do
     let p = Chaos.mesh_plan_of_seed seed in
     let setup = p.Chaos.mesh_setup in
@@ -154,6 +161,9 @@ let test_mesh_generator_coverage () =
             match credits with
             | Some n when n <= 3 -> incr squeeze_tight
             | Some _ | None -> ())
+        | Chaos.M_rogue_tenant _ -> incr rogue
+        | Chaos.M_revoke _ -> incr revoke
+        | Chaos.M_backend_send _ -> incr backend_send
         | _ -> ())
       p.Chaos.mesh_actions
   done;
@@ -168,7 +178,11 @@ let test_mesh_generator_coverage () =
     (!finite > 0 && !unlimited > 0);
   Alcotest.(check bool) "credit squeezes generated" true (!squeeze > 0);
   Alcotest.(check bool) "squeezes shrink to tight pools" true
-    (!squeeze_tight > 0)
+    (!squeeze_tight > 0);
+  Alcotest.(check bool) "rogue-tenant probes generated" true (!rogue > 0);
+  Alcotest.(check bool) "revocations generated" true (!revoke > 0);
+  Alcotest.(check bool) "authorized backend sends generated" true
+    (!backend_send > 0)
 
 (* ---------- determinism of the generator ---------- *)
 
@@ -202,7 +216,8 @@ let () =
             (test_mutation `I4);
           Alcotest.test_case
             (Printf.sprintf
-               "%d-seed mesh traffic sweep: no I1-I4 violation" mesh_seeds)
+               "%d-seed mesh traffic sweep: no I1-I5/N1-N2 violation"
+               mesh_seeds)
             `Quick test_mesh_sweep;
           Alcotest.test_case
             "mesh mutation: skipping I2 is detected and replays" `Quick
@@ -213,6 +228,16 @@ let () =
           Alcotest.test_case
             "mesh mutation: a stuck VC arbiter is detected (N2)" `Quick
             (test_mesh_mutation ~check_name:true `N2);
+          Alcotest.test_case
+            "mesh mutation: skipping the owner check leaks across tenants \
+             (P1 -> I5)"
+            `Quick
+            (test_mesh_mutation ~check_name:true ~expect_name:"I5" `P1);
+          Alcotest.test_case
+            "mesh mutation: a stale datapath entry survives teardown \
+             (P2 -> I5)"
+            `Quick
+            (test_mesh_mutation ~check_name:true ~expect_name:"I5" `P2);
           Alcotest.test_case "mesh generator covers faults + policies" `Quick
             test_mesh_generator_coverage;
         ] );

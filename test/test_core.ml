@@ -488,12 +488,11 @@ let test_queued_dev_proxy_match () =
 
 let test_nipt_scale_32k () =
   (* the board's 15-bit index: 32K destination pages *)
-  let n = Udma_shrimp.Nipt.create ~entries:32768 in
-  Alcotest.(check int) "capacity" 32768 (Udma_shrimp.Nipt.capacity n);
-  Udma_shrimp.Nipt.set n ~index:32767
-    { Udma_shrimp.Nipt.dst_node = 1; dst_frame = 42 };
-  checkb "last entry works" true
-    (Udma_shrimp.Nipt.lookup n ~index:32767 <> None)
+  let module Backend = Udma_protect.Backend in
+  let n = Backend.create Backend.Proxy ~entries:32768 () in
+  Alcotest.(check int) "capacity" 32768 (Backend.capacity n);
+  ignore (Backend.grant n ~owner:1 ~index:32767 ~dst_node:1 ~dst_frame:42);
+  checkb "last entry works" true (Backend.decode n ~index:32767 <> None)
 
 let () =
   Alcotest.run "udma_core"

@@ -853,6 +853,101 @@ let test_gather_on_basic_hardware () =
   check Alcotest.bytes "piece 1" (fill_pattern 256 1) (Bytes.sub store 0 256);
   check Alcotest.bytes "piece 2" (fill_pattern 256 2) (Bytes.sub store 4096 256)
 
+(* ---------- scheduler/VM churn against the UDMA engine ---------- *)
+
+(* A deschedule while a DMA is in flight: the context switch performs
+   the I1 Inval store, which resets any partially initiated sequence —
+   but the engine is stateless across switches and the transfer in
+   flight must run to completion untouched. *)
+let test_deschedule_during_inflight_dma () =
+  let m, udma, _, store = machine_with_buffer () in
+  let p1 = Scheduler.spawn m ~name:"p1" in
+  let p2 = Scheduler.spawn m ~name:"p2" in
+  ignore (Syscall.map_device_proxy m p1 ~vdev_index:0 ~pdev_index:0 ~writable:true);
+  let buf = Kernel.alloc_buffer m p1 ~bytes:4096 in
+  Kernel.write_user m p1 ~vaddr:buf (fill_pattern 1024 21);
+  let cpu1 = Kernel.user_cpu m p1 in
+  cpu1.Initiator.store ~vaddr:(Kernel.vdev_addr m ~index:0 ~offset:0) 1024l;
+  let st =
+    Status.decode (cpu1.Initiator.load ~vaddr:(Layout.proxy_of m.M.layout buf))
+  in
+  checkb "transfer started" true st.Status.started;
+  let invals_before = (Udma_engine.counters udma).Udma_engine.invals in
+  Scheduler.switch_to m p2;
+  let c = Udma_engine.counters udma in
+  checkb "the switch performed the I1 Inval" true
+    (c.Udma_engine.invals > invals_before);
+  checki "the in-flight transfer was not aborted" 0 c.Udma_engine.aborts;
+  Engine.run_until_idle m.M.engine;
+  check Alcotest.bytes "data arrived intact" (fill_pattern 1024 21)
+    (Bytes.sub store 0 1024);
+  checki "one completion" 1
+    (Udma_engine.counters udma).Udma_engine.completions;
+  (* the descheduled process reschedules and can initiate afresh *)
+  Scheduler.switch_to m p1;
+  match
+    Initiator.transfer cpu1 ~layout:m.M.layout ~src:(Initiator.Memory buf)
+      ~dst:(Initiator.Device (Kernel.vdev_addr m ~index:0 ~offset:0))
+      ~nbytes:1024 ()
+  with
+  | Ok _ -> ()
+  | Error e ->
+      Alcotest.failf "post-reschedule transfer failed: %a" Initiator.pp_error e
+
+(* Eviction pressure while requests sit in the hardware queue: the I4
+   replacement scan consults the queue's per-frame reference counters,
+   so neither the active transfer's frame nor a queued request's frame
+   may be paged out until the engine drains. *)
+let test_evict_during_queued_transfer () =
+  let m, udma, _, store =
+    machine_with_buffer
+      ~mode:(Udma_engine.Queued { depth = 4 })
+      ~mem_pages:16 ()
+  in
+  let proc = Scheduler.spawn m ~name:"p" in
+  List.iter
+    (fun i ->
+      ignore
+        (Syscall.map_device_proxy m proc ~vdev_index:i ~pdev_index:i
+           ~writable:true))
+    [ 0; 1 ];
+  let b1 = Kernel.alloc_buffer m proc ~bytes:4096 in
+  let b2 = Kernel.alloc_buffer m proc ~bytes:4096 in
+  Kernel.write_user m proc ~vaddr:b1 (fill_pattern 4096 31);
+  Kernel.write_user m proc ~vaddr:b2 (fill_pattern 4096 32);
+  let page = Layout.page_size m.M.layout in
+  let f1 = Option.get (Vm.frame_of_vpn m proc ~vpn:(b1 / page)) in
+  let f2 = Option.get (Vm.frame_of_vpn m proc ~vpn:(b2 / page)) in
+  let cpu = Kernel.user_cpu m proc in
+  (* back-to-back initiations: the machine returns to Idle on accept,
+     so the second request lands in the queue behind the first *)
+  let issue dev buf =
+    cpu.Initiator.store ~vaddr:(Kernel.vdev_addr m ~index:dev ~offset:0) 4096l;
+    Status.decode (cpu.Initiator.load ~vaddr:(Layout.proxy_of m.M.layout buf))
+  in
+  checkb "first accepted" true (issue 0 b1).Status.started;
+  checkb "second accepted" true (issue 1 b2).Status.started;
+  checki "two outstanding" 2 (Udma_engine.outstanding udma);
+  checkb "queued frame refcounted (I4)" true
+    (Udma_engine.refcount udma ~frame:f2 > 0);
+  (* allocation pressure: the clock scan must step around both frames *)
+  let hog = Scheduler.spawn m ~name:"hog" in
+  for _ = 1 to 6 do
+    ignore (Kernel.alloc_buffer m hog ~bytes:4096)
+  done;
+  checkb "in-flight frame survived the pressure" true
+    (Vm.frame_of_vpn m proc ~vpn:(b1 / page) = Some f1);
+  checkb "queued frame survived the pressure" true
+    (Vm.frame_of_vpn m proc ~vpn:(b2 / page) = Some f2);
+  Engine.run_until_idle m.M.engine;
+  check Alcotest.bytes "first transfer's data arrived" (fill_pattern 4096 31)
+    (Bytes.sub store 0 4096);
+  check Alcotest.bytes "queued transfer's data arrived" (fill_pattern 4096 32)
+    (Bytes.sub store 4096 4096);
+  checkb "frames free once the queue drains" false
+    (Udma_engine.mem_frame_busy udma ~frame:f1
+    || Udma_engine.mem_frame_busy udma ~frame:f2)
+
 let () =
   Alcotest.run "udma_os"
     [
@@ -926,6 +1021,13 @@ let () =
             test_pin_pages_in_swapped_page;
           Alcotest.test_case "clean deferred during transfer" `Quick
             test_clean_deferred_during_transfer;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "deschedule during in-flight DMA" `Quick
+            test_deschedule_during_inflight_dma;
+          Alcotest.test_case "evict during queued transfer" `Quick
+            test_evict_during_queued_transfer;
         ] );
       ( "initiator",
         [

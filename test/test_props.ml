@@ -902,6 +902,76 @@ let prop_invariants_under_random_ops =
       done;
       !ok)
 
+(* ---------- protection backends: authorization at initiation time is
+   terminal, and churn faults the next initiation deterministically.
+   One parameterized generator drives all three backends. ---------- *)
+
+module Backend = Udma_protect.Backend
+module Tenants = Udma_protect.Tenants
+
+let prop_backend_fault_determinism =
+  qtest ~count:60
+    "protection backends: initiation-time authorization terminal, churn \
+     faults deterministic (proxy/iommu/capability)"
+    QCheck.(
+      triple (int_bound 2) (int_bound 100_000)
+        (list_of_size (Gen.int_range 1 60) (int_bound 99)))
+    (fun (k, seed, script) ->
+      let kind = List.nth Backend.all_kinds k in
+      let cfg =
+        { Tenants.default_config with
+          Tenants.kind; tenants = 6; slots = 4; seed }
+      in
+      let t = Tenants.create cfg in
+      let rng = Rng.create (seed lxor 0x7e4a) in
+      let ok = ref true in
+      let tenant () = Rng.int rng 6 in
+      (* random churn prefix: the property must hold from any state *)
+      List.iter
+        (fun op ->
+          match op mod 6 with
+          | 0 -> ignore (Tenants.attach t ~tenant:(tenant ()))
+          | 1 -> ignore (Tenants.send t ~tenant:(tenant ()))
+          | 2 -> Tenants.deschedule t ~tenant:(tenant ())
+          | 3 -> ignore (Tenants.evict_slot t ~slot:(Rng.int rng 4))
+          | 4 -> ignore (Tenants.revoke_tenant t ~tenant:(tenant ()))
+          | _ ->
+              (* a rogue probe is denied on every backend, every time *)
+              if not (Tenants.rogue_probe t ~rogue:9999 ~slot:(Rng.int rng 4))
+              then ok := false)
+        script;
+      (* the I5 oracle finds nothing on an unmutated backend *)
+      if Backend.check (Tenants.backend t) <> None then ok := false;
+      let x = tenant () in
+      (* a descheduled tenant's next initiation faults Invalidated *)
+      Tenants.deschedule t ~tenant:x;
+      (match Tenants.initiate t ~tenant:x with
+      | Error (Tenants.Invalidated, _) -> ()
+      | Ok _ | Error _ -> ok := false);
+      (* once granted, initiation succeeds — and an Ok is terminal:
+         the transfer is done, nothing can fault it mid-flight *)
+      ignore (Tenants.attach t ~tenant:x);
+      (match Tenants.initiate t ~tenant:x with
+      | Ok _ -> ()
+      | Error _ -> ok := false);
+      (* a revoked tenant's next initiation faults in the backend *)
+      ignore (Tenants.revoke_tenant t ~tenant:x);
+      (match Tenants.initiate t ~tenant:x with
+      | Error (Tenants.Backend_fault _, _) -> ()
+      | Ok _ | Error (Tenants.Invalidated, _) -> ok := false);
+      (* an evicted tenant's next initiation faults in the backend *)
+      ignore (Tenants.attach t ~tenant:x);
+      (match Tenants.initiate t ~tenant:x with
+      | Ok _ -> ()
+      | Error _ -> ok := false);
+      for slot = 0 to 3 do
+        ignore (Tenants.evict_slot t ~slot)
+      done;
+      (match Tenants.initiate t ~tenant:x with
+      | Error (Tenants.Backend_fault _, _) -> ()
+      | Ok _ | Error (Tenants.Invalidated, _) -> ok := false);
+      !ok)
+
 let () =
   Alcotest.run "udma_props"
     [
@@ -935,5 +1005,6 @@ let () =
           prop_i3_policies_equivalent_data;
           prop_auto_update_complete;
           prop_invariants_under_random_ops;
+          prop_backend_fault_determinism;
         ] );
     ]

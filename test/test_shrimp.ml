@@ -11,7 +11,7 @@ module Scheduler = Udma_os.Scheduler
 module Kernel = Udma_os.Kernel
 module Vm = Udma_os.Vm
 module Packet = Udma_shrimp.Packet
-module Nipt = Udma_shrimp.Nipt
+module Backend = Udma_protect.Backend
 module Fifo = Udma_shrimp.Fifo
 module Router = Udma_shrimp.Router
 module Ni = Udma_shrimp.Network_interface
@@ -24,22 +24,22 @@ let checkb = Alcotest.check Alcotest.bool
 
 let pattern n seed = Bytes.init n (fun i -> Char.chr ((i + seed) land 0xff))
 
-(* ---------- Nipt ---------- *)
+(* ---------- NIPT (proxy backend's destination table) ---------- *)
 
 let test_nipt_basic () =
-  let t = Nipt.create ~entries:32 in
-  checki "capacity" 32 (Nipt.capacity t);
-  checkb "empty" true (Nipt.lookup t ~index:0 = None);
-  Nipt.set t ~index:5 { Nipt.dst_node = 2; dst_frame = 77 };
-  (match Nipt.lookup t ~index:5 with
+  let t = Backend.create Backend.Proxy ~entries:32 () in
+  checki "capacity" 32 (Backend.capacity t);
+  checkb "empty" true (Backend.decode t ~index:0 = None);
+  ignore (Backend.grant t ~owner:1 ~index:5 ~dst_node:2 ~dst_frame:77);
+  (match Backend.decode t ~index:5 with
   | Some e ->
-      checki "node" 2 e.Nipt.dst_node;
-      checki "frame" 77 e.Nipt.dst_frame
+      checki "node" 2 e.Backend.dst_node;
+      checki "frame" 77 e.Backend.dst_frame
   | None -> Alcotest.fail "entry lost");
-  checki "valid count" 1 (Nipt.valid_count t);
-  Nipt.clear t ~index:5;
-  checkb "cleared" true (Nipt.lookup t ~index:5 = None);
-  checkb "out of range is None" true (Nipt.lookup t ~index:99 = None)
+  checki "valid count" 1 (Backend.valid_count t);
+  ignore (Backend.revoke t ~index:5);
+  checkb "cleared" true (Backend.decode t ~index:5 = None);
+  checkb "out of range is None" true (Backend.decode t ~index:99 = None)
 
 (* ---------- Fifo ---------- *)
 
@@ -422,11 +422,13 @@ let test_export_import_plumbing () =
     export.System.frames;
   System.import_export sys ~node:0 ~proc:sp ~first_index:3 export;
   (* NIPT entries installed *)
-  let nipt = Ni.nipt snd.System.ni in
-  (match Nipt.lookup nipt ~index:3 with
-  | Some e -> checki "points at receiver" 1 e.Nipt.dst_node
+  let backend = Ni.backend snd.System.ni in
+  (match Backend.decode backend ~index:3 with
+  | Some e ->
+      checki "points at receiver" 1 e.Backend.dst_node;
+      checki "owned by the sender" sp.Udma_os.Proc.pid e.Backend.owner
   | None -> Alcotest.fail "NIPT entry missing");
-  checki "two entries" 2 (Nipt.valid_count nipt);
+  checki "two entries" 2 (Backend.valid_count backend);
   System.release_export sys export;
   List.iter
     (fun f -> checkb "unpinned" false (M.frame_is_pinned rcv.System.machine f))
