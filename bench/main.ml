@@ -7,7 +7,8 @@
    --check FILE it diffs the paper anchors (E1 %-of-max at 512 B and
    4 KB, E2 initiation cycles, E11 saturation knee, E12 per-policy
    transpose knees, E13 hotspot knees at 1 and 4 VCs, E14 per-backend
-   initiation p50 at 8 tenants and p99 at 256) against a previously
+   initiation p50 at 8 tenants and p99 at 256, E15 contiguous and
+   SG-256 bytes-per-cycle) against a previously
    committed baseline, failing on >±2 % drift — that is the CI
    regression gate. *)
 
@@ -67,6 +68,12 @@ let bech_tests =
     Test.make ~name:"e14_tenants_point"
       (Staged.stage (fun () ->
            ignore (Runner.report_tenants ~tenant_counts:[ 64 ] ~ops:2_000 ())));
+    Test.make ~name:"e15_shapes_point"
+      (Staged.stage (fun () ->
+           ignore
+             (Runner.transfer_shapes
+                ~cases:[ Runner.Shape_contig; Runner.Shape_sg 16 ]
+                ())));
   ]
 
 let run_bechamel () =
@@ -184,6 +191,10 @@ let anchors_of_reports reports =
             | _ -> None)
           rows)
   in
+  let e15 shape field =
+    report_value reports ~id:"e15_shapes" (fun rows ->
+        row_with_str "shape" shape rows field)
+  in
   [
     ("e1.pct_of_max@512B", e1 512.0);
     ("e1.pct_of_max@4KB", e1 4096.0);
@@ -200,6 +211,9 @@ let anchors_of_reports reports =
     ("e14.p99@iommu.t256", e14 "iommu" 256.0 "p99");
     ("e14.p50@capability.t8", e14 "capability" 8.0 "p50");
     ("e14.p99@capability.t256", e14 "capability" 256.0 "p99");
+    ("e15.bpc@contig.basic", e15 "contig" "basic_bpc");
+    ("e15.bpc@sg256.basic", e15 "sg256" "basic_bpc");
+    ("e15.pct@sg256.basic", e15 "sg256" "basic_pct");
   ]
 
 let json_rows_of_experiment doc ~id =
@@ -290,6 +304,15 @@ let anchors_of_baseline doc =
             | _ -> None)
           rows)
   in
+  let e15 shape field =
+    Option.bind (json_rows_of_experiment doc ~id:"e15_shapes") (fun rows ->
+        List.find_map
+          (fun row ->
+            match Option.bind (Json.member "shape" row) Json.string_ with
+            | Some s when s = shape -> json_row_num field row
+            | _ -> None)
+          rows)
+  in
   [
     ("e1.pct_of_max@512B", e1 512.0);
     ("e1.pct_of_max@4KB", e1 4096.0);
@@ -306,6 +329,9 @@ let anchors_of_baseline doc =
     ("e14.p99@iommu.t256", e14 "iommu" 256.0 "p99");
     ("e14.p50@capability.t8", e14 "capability" 8.0 "p50");
     ("e14.p99@capability.t256", e14 "capability" 256.0 "p99");
+    ("e15.bpc@contig.basic", e15 "contig" "basic_bpc");
+    ("e15.bpc@sg256.basic", e15 "sg256" "basic_bpc");
+    ("e15.pct@sg256.basic", e15 "sg256" "basic_pct");
   ]
 
 let check_anchors reports ~baseline_file =
@@ -430,8 +456,8 @@ let () =
       value
       & opt (some string) None
       & info [ "check" ] ~docv:"FILE"
-          ~doc:"Diff the E1/E2/E11/E12/E13/E14 anchors of this run against \
-                the baseline document $(docv); exit 1 on >±2% drift.")
+          ~doc:"Diff the E1/E2/E11/E12/E13/E14/E15 anchors of this run \
+                against the baseline document $(docv); exit 1 on >±2% drift.")
   in
   let info =
     Cmd.info "bench" ~version:"1.0.0"

@@ -361,6 +361,76 @@ let tenants_term =
     const run $ common_term $ quick $ backends $ tenants $ slots $ ops $ churn
     $ evict $ rogue)
 
+let shapes_term =
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Use the small deterministic CI parameter set.")
+  in
+  let shape_kinds =
+    Arg.(
+      value
+      & opt
+          (list (enum [ ("contig", `Contig); ("strided", `Strided); ("sg", `Sg) ]))
+          [ `Contig; `Strided; `Sg ]
+      & info [ "shape" ] ~docv:"KINDS"
+          ~doc:
+            "Shape families to sweep: comma-separated subset of $(b,contig), \
+             $(b,strided) and $(b,sg).")
+  in
+  let strides =
+    Arg.(
+      value
+      & opt (list int) [ 2; 4; 8; 16; 32; 64 ]
+      & info [ "stride" ] ~docv:"FACTORS"
+          ~doc:
+            "Stride factors for the strided family (the source reads 64 \
+             bytes every 64*FACTOR; each factor must divide 64).")
+  in
+  let sg_elems =
+    Arg.(
+      value
+      & opt (list int) [ 2; 4; 16; 64; 256 ]
+      & info [ "sg-elems" ] ~docv:"COUNTS"
+          ~doc:
+            "Scatter-gather element counts across the whole transfer (each \
+             must be twice a power-of-two divisor of the page size).")
+  in
+  let total =
+    Arg.(
+      value & opt int 8192
+      & info [ "total" ] ~docv:"BYTES"
+          ~doc:"Total bytes moved per shape (a page multiple).")
+  in
+  let run c quick kinds strides sg_elems total =
+    let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt in
+    if total <= 0 || total mod 4096 <> 0 then
+      fail "shapes: --total %d is not a positive page multiple" total;
+    List.iter
+      (fun f ->
+        if f <= 0 || 64 mod f <> 0 then
+          fail "shapes: --stride factor %d does not divide 64" f)
+      strides;
+    List.iter
+      (fun n ->
+        if n < 2 || n mod 2 <> 0 || 4096 mod (n / 2) <> 0 then
+          fail "shapes: --sg-elems %d is not twice a divisor of the page" n)
+      sg_elems;
+    let cases =
+      if quick then Runner.quick_shape_cases
+      else
+        List.concat_map
+          (function
+            | `Contig -> [ Runner.Shape_contig ]
+            | `Strided -> List.map (fun f -> Runner.Shape_strided f) strides
+            | `Sg -> List.map (fun n -> Runner.Shape_sg n) sg_elems)
+          kinds
+    in
+    emit_reports c (fun () -> [ Runner.report_shapes ~total ~cases () ])
+  in
+  Term.(
+    const run $ common_term $ quick $ shape_kinds $ strides $ sg_elems $ total)
+
 let custom_terms =
   [
     ("figure8", figure8_term);
@@ -370,6 +440,7 @@ let custom_terms =
     ("atomicity", atomicity_term);
     ("traffic", traffic_term);
     ("tenants", tenants_term);
+    ("shapes", shapes_term);
   ]
 
 let generic_term (e : Runner.experiment) =
@@ -520,6 +591,7 @@ let chaos_cmd =
         [
           ("i1", `I1); ("i2", `I2); ("i3", `I3); ("i4", `I4);
           ("n1", `N1); ("n2", `N2); ("p1", `P1); ("p2", `P2);
+          ("d1", `D1);
         ]
     in
     Arg.(
@@ -533,8 +605,10 @@ let chaos_cmd =
              (credit leak) and $(b,n2) (stuck arbiter) plant router \
              bugs, $(b,p1) (owner check skipped) and $(b,p2) (stale \
              datapath entry after teardown) plant protection-backend \
-             bugs the I5 oracle must catch; all four are meant for \
-             $(b,--mesh) sweeps.")
+             bugs the I5 oracle must catch, and $(b,d1) (per-element \
+             page clamp skipped on shaped transfers) plants a \
+             DMA-frontend bug the I4 oracle must catch; all five are \
+             meant for $(b,--mesh) sweeps.")
   in
   let mesh =
     Arg.(

@@ -513,6 +513,7 @@ let rogue_pid = 9999
 
 type mesh_action =
   | M_send of { src : int; dst : int; nbytes : int; pipelined : bool }
+  | M_shaped_send of { src : int; dst : int }
   | M_burst of { src : int; dst : int; count : int; nbytes : int }
   | M_touch of { node : int; page : int; write : bool }
   | M_clean of { node : int; page : int }
@@ -550,6 +551,7 @@ let pp_mesh_action ppf = function
   | M_send x ->
       Format.fprintf ppf "send%s %d->%d nbytes=%d"
         (if x.pipelined then "-pipelined" else "") x.src x.dst x.nbytes
+  | M_shaped_send x -> Format.fprintf ppf "shaped-send %d->%d" x.src x.dst
   | M_burst x ->
       Format.fprintf ppf "burst %d->%d count=%d nbytes=%d" x.src x.dst
         x.count x.nbytes
@@ -642,6 +644,9 @@ let gen_mesh_action rng ~nodes ~credits0 =
   | n when n < 79 -> M_rogue_tenant { node = node (); page = slot () }
   | n when n < 83 -> M_revoke { node = node (); page = slot () }
   | n when n < 86 -> M_backend_send { node = node (); page = slot () }
+  | n when n < 89 ->
+      let src, dst = pair () in
+      M_shaped_send { src; dst }
   | n when n < 92 -> M_run { cycles = 100 + Rng.int rng 10_000 }
   | n when n < 96 ->
       (* shrink the deposit FIFOs under load 3 of 5 draws, restore the
@@ -749,7 +754,7 @@ let mesh_build ?skip_invariant setup =
     match skip_invariant with
     | Some `P1 -> Some (Backend.Owner_skip 0)
     | Some `P2 -> Some Backend.Stale_revoke
-    | Some (`I1 | `I2 | `I3 | `I4 | `I5 | `N1 | `N2) | None -> None
+    | Some (`I1 | `I2 | `I3 | `I4 | `I5 | `N1 | `N2 | `D1) | None -> None
   in
   let mesh_shadows =
     Array.init nodes (fun i ->
@@ -798,6 +803,27 @@ let mesh_apply ctx action =
       match Messaging.send_nowait ch cpu ~src_vaddr:buf ~nbytes ~pipelined ()
       with
       | Ok () -> ()
+      | Error _ -> ctx.mesh_benign <- ctx.mesh_benign + 1)
+  | M_shaped_send { src; dst } -> (
+      (* A strided gather starting 256 bytes before the end of the
+         node's last (highest-frame) buffer: elements 2..4 stride past
+         the source page. Fire-and-forget so the post-action check
+         observes the request while it is outstanding — that is the
+         window in which D1's unauthorized frame references exist. *)
+      let m = machine src in
+      let cpu = Kernel.user_cpu m ctx.mesh_procs.(src) in
+      let bufs = ctx.mesh_bufs.(src) in
+      let buf = bufs.(Array.length bufs - 1) in
+      let page = Layout.page_size m.M.layout in
+      let ch = chan src dst in
+      match
+        Initiator.start_shaped cpu ~layout:m.M.layout
+          ~src:(Initiator.Memory (buf + page - 256))
+          ~dst:(Initiator.Device (Messaging.dev_vaddr ch ~offset:0))
+          ~shape:(Initiator.Strided_shape { stride = 512; chunk = 256 })
+          ~nbytes:1024 ()
+      with
+      | Ok _ -> ()
       | Error _ -> ctx.mesh_benign <- ctx.mesh_benign + 1)
   | M_burst { src; dst; count; nbytes } ->
       let ch = chan src dst in

@@ -154,6 +154,13 @@ val pp_setup : Format.formatter -> setup -> unit
 type mesh_action =
   | M_send of { src : int; dst : int; nbytes : int; pipelined : bool }
       (** user-level [send_nowait] on the (src,dst) channel *)
+  | M_shaped_send of { src : int; dst : int }
+      (** fire-and-forget strided initiation on the (src,dst) channel
+          whose tail elements stride past the source page: legal
+          hardware clamps each element to its own page, so only the
+          in-page head transfers; under the planted [`D1] bug the
+          overflow elements reference frames the proxy never named,
+          which the I4 oracle flags while the transfer is in flight *)
   | M_burst of { src : int; dst : int; count : int; nbytes : int }
       (** hardware-level {!Udma_shrimp.Messaging.inject} burst *)
   | M_touch of { node : int; page : int; write : bool }

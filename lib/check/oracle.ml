@@ -136,26 +136,30 @@ let check_i3_inflight (m : M.t) =
   | None -> None
   | Some u ->
       let page_size = Layout.page_size m.M.layout in
+      (* every element of a shaped request is its own destination *)
       first_of
-        (List.map
-           (fun (v : Udma_engine.req_view) () ->
-             match (v.Udma_engine.v_priority, v.Udma_engine.v_dst) with
-             | Udma_engine.System, _ | _, Dma_engine.Dev _ -> None
-             | Udma_engine.User, Dma_engine.Mem a -> (
-                 let frame = a / page_size in
-                 match Hashtbl.find_opt m.M.frame_owner frame with
-                 | None -> None (* replacement is I4's domain *)
-                 | Some (pid, vpn) -> (
-                     match (M.find_proc m ~pid, pte_of m ~pid ~vpn) with
-                     | Some proc, Some pte
-                       when pte.Pte.present
-                            && not (effective_dirty m proc ~vpn pte) ->
-                         violation `I3
-                           "pid %d vpn %d (frame %d): UDMA destination of an \
-                            outstanding transfer but the page is not marked \
-                            dirty"
-                           pid vpn frame
-                     | _ -> None)))
+        (List.concat_map
+           (fun (v : Udma_engine.req_view) ->
+             List.map
+               (fun (e : Udma_engine.elem_view) () ->
+                 match (v.Udma_engine.v_priority, e.Udma_engine.ev_dst) with
+                 | Udma_engine.System, _ | _, Dma_engine.Dev _ -> None
+                 | Udma_engine.User, Dma_engine.Mem a -> (
+                     let frame = a / page_size in
+                     match Hashtbl.find_opt m.M.frame_owner frame with
+                     | None -> None (* replacement is I4's domain *)
+                     | Some (pid, vpn) -> (
+                         match (M.find_proc m ~pid, pte_of m ~pid ~vpn) with
+                         | Some proc, Some pte
+                           when pte.Pte.present
+                                && not (effective_dirty m proc ~vpn pte) ->
+                             violation `I3
+                               "pid %d vpn %d (frame %d): UDMA destination \
+                                of an outstanding transfer but the page is \
+                                not marked dirty"
+                               pid vpn frame
+                         | _ -> None)))
+               v.Udma_engine.v_elements)
            (Udma_engine.outstanding_views u))
 
 let check_i3 (m : M.t) = first_of [ (fun () -> check_i3_static m);

@@ -150,6 +150,62 @@ let initiate_piece cpu layout config acc ~queued ~src ~dst ~count =
   in
   attempt 0
 
+(* ---------- shaped (strided / scatter-gather) initiation ---------- *)
+
+type shape_spec =
+  | Strided_shape of { stride : int; chunk : int }
+  | Gather_shape of (endpoint * int) list
+
+let pp_shape_spec ppf = function
+  | Strided_shape { stride; chunk } ->
+      Format.fprintf ppf "strided(stride=%d,chunk=%d)" stride chunk
+  | Gather_shape elems ->
+      Format.fprintf ppf "sg[%d extra]" (List.length elems)
+
+let shape_stores layout ~dst_p = function
+  | Strided_shape { stride; chunk } ->
+      [ (dst_p, State_machine.encode_strided_word ~stride ~chunk) ]
+  | Gather_shape elems ->
+      List.map
+        (fun (ep, len) ->
+          (proxy_vaddr layout ep, State_machine.encode_sg_word ~len))
+        elems
+
+(* A shaped piece runs the protected sequence with tagged shape words
+   between the count STORE and the initiating LOAD. Any transient
+   failure re-runs the whole sequence: a plain re-store of the count
+   resets the latched shape to flat, so the shape words must travel
+   with it. The exception is a full queue, where the DESTINATION —
+   shape included — stays latched and the LOAD alone is retried,
+   exactly as for flat pieces. *)
+let initiate_shaped cpu layout config acc ~queued ~src ~dst ~count ~shape =
+  let src_p = proxy_vaddr layout src and dst_p = proxy_vaddr layout dst in
+  let stores = shape_stores layout ~dst_p shape in
+  let rec attempt retries =
+    acc.a_pairs <- acc.a_pairs + 1;
+    cpu.store ~vaddr:dst_p (Int32.of_int count);
+    List.iter
+      (fun (vaddr, word) -> cpu.store ~vaddr (Int32.of_int word))
+      stores;
+    retry_load retries
+  and retry_load retries =
+    let st = Status.decode (cpu.load ~vaddr:src_p) in
+    if Status.ok st then Ok (st, src_p)
+    else if Status.hard_error st then Error (Hard_error st)
+    else if retries >= config.max_retries then Error (Retries_exhausted st)
+    else begin
+      acc.a_retries <- acc.a_retries + 1;
+      if st.Status.queue_full && queued then retry_load (retries + 1)
+      else if st.Status.transferring && not st.Status.invalid then begin
+        match poll_until_idle cpu config acc src_p with
+        | Ok () -> attempt (retries + 1)
+        | Error _ as e -> e |> Result.map (fun _ -> assert false)
+      end
+      else attempt (retries + 1)
+    end
+  in
+  attempt 0
+
 let piece_count config ~remaining ~src_room ~dst_room =
   match config.split with
   | Optimistic -> min remaining Status.max_remaining
@@ -217,6 +273,25 @@ let check_args src dst nbytes =
       invalid_arg "Initiator: device-to-device is not supported by basic UDMA"
   | Memory _, Device _ | Device _, Memory _ -> ()
 
+let check_shape_args ~src ~dst ~nbytes shape =
+  check_args src dst nbytes;
+  if nbytes <= 0 then invalid_arg "Initiator: shaped transfer needs nbytes > 0";
+  match shape with
+  | Strided_shape { stride; chunk } ->
+      if stride <= 0 || chunk <= 0 then
+        invalid_arg "Initiator: stride and chunk must be positive"
+  | Gather_shape elems ->
+      List.iter
+        (fun (ep, len) ->
+          if len <= 0 then
+            invalid_arg "Initiator: gather element length must be positive";
+          match (dst, ep) with
+          | Memory _, Memory _ | Device _, Device _ -> ()
+          | _ ->
+              invalid_arg
+                "Initiator: gather elements must share the destination's space")
+        elems
+
 let transfer cpu ~layout ?(config = default_config) ~src ~dst ~nbytes () =
   check_args src dst nbytes;
   let acc = fresh_acc () in
@@ -258,6 +333,40 @@ let transfer_gather cpu ~layout ?(config = default_config) ~pieces () =
           | Error _ as e -> e)
   in
   go None pieces |> finish cpu config acc start
+
+let start_shaped cpu ~layout ?(config = default_config) ?(queued = false) ~src
+    ~dst ~shape ~nbytes () =
+  check_shape_args ~src ~dst ~nbytes shape;
+  let acc = fresh_acc () in
+  cpu.compute config.alignment_check_cycles;
+  match
+    initiate_shaped cpu layout config acc ~queued ~src ~dst ~count:nbytes
+      ~shape
+  with
+  | Error _ as e -> e
+  | Ok (st, probe) -> Ok (st, probe)
+
+let await cpu ?(config = default_config) ~probe () =
+  let acc = fresh_acc () in
+  match wait_match_clear cpu config acc probe with
+  | Ok () -> Ok acc.a_polls
+  | Error _ as e -> e
+
+let transfer_shaped cpu ~layout ?(config = default_config) ?(queued = false)
+    ~src ~dst ~shape ~nbytes () =
+  check_shape_args ~src ~dst ~nbytes shape;
+  let acc = fresh_acc () in
+  let start = cpu.now () in
+  cpu.compute config.call_overhead_cycles;
+  cpu.compute config.alignment_check_cycles;
+  match
+    initiate_shaped cpu layout config acc ~queued ~src ~dst ~count:nbytes
+      ~shape
+  with
+  | Error _ as e -> e
+  | Ok (_, probe) ->
+      acc.a_pieces <- acc.a_pieces + 1;
+      finish cpu config acc start (Ok (Some probe))
 
 let initiation_cycles cpu ~layout ~config ~src ~dst ~nbytes =
   check_args src dst nbytes;

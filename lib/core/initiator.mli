@@ -107,6 +107,63 @@ val transfer_gather :
     through the queue, waiting only for the last. Each entry may itself
     span pages. *)
 
+(** {2 Shaped (strided / scatter-gather) initiation}
+
+    The descriptor-proxy extension: after the count STORE, the user
+    library issues tagged shape words through the same protected
+    proxy-space references, then the initiating LOAD. The hardware
+    expands the shape into per-element transfers, clamping every
+    element to its own page. *)
+
+type shape_spec =
+  | Strided_shape of { stride : int; chunk : int }
+      (** source advances by [stride] bytes per element, destination
+          packs densely; each element moves [chunk] bytes *)
+  | Gather_shape of (endpoint * int) list
+      (** extra destination elements after the latched first one, each
+          [(endpoint, len)]; the first element keeps the remainder
+          [nbytes - sum of listed lens], which must be positive *)
+
+val pp_shape_spec : Format.formatter -> shape_spec -> unit
+
+val transfer_shaped :
+  cpu ->
+  layout:Udma_mmu.Layout.t ->
+  ?config:config ->
+  ?queued:bool ->
+  src:endpoint ->
+  dst:endpoint ->
+  shape:shape_spec ->
+  nbytes:int ->
+  unit ->
+  (stats, error) result
+(** Blocking shaped transfer: one shaped initiation (three or more
+    protected references), then poll the initiating LOAD until the
+    match flag clears. [queued] selects the queue-full retry behaviour
+    (retry the LOAD alone, §7) and must match the hardware's mode. *)
+
+val start_shaped :
+  cpu ->
+  layout:Udma_mmu.Layout.t ->
+  ?config:config ->
+  ?queued:bool ->
+  src:endpoint ->
+  dst:endpoint ->
+  shape:shape_spec ->
+  nbytes:int ->
+  unit ->
+  (Status.t * int, error) result
+(** Fire-and-forget shaped initiation: runs the protected sequence
+    until accepted and returns [(accepted status, probe address)]
+    without waiting for completion. Pipelined callers pass the probe
+    to {!await}; the chaos harness uses it to leave shaped transfers
+    in flight. *)
+
+val await : cpu -> ?config:config -> probe:int -> unit -> (int, error) result
+(** [await cpu ~probe ()] re-issues the initiating LOAD at [probe]
+    until the match flag clears (§5) and returns the number of probe
+    loads. *)
+
 val initiation_cycles : cpu -> layout:Udma_mmu.Layout.t -> config:config ->
   src:endpoint -> dst:endpoint -> nbytes:int -> (int, error) result
 (** The paper's §8 initiation measurement: cycles from first reference

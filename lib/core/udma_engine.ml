@@ -6,6 +6,8 @@ module Layout = Udma_mmu.Layout
 module Bus = Udma_dma.Bus
 module Device = Udma_dma.Device
 module Dma_engine = Udma_dma.Dma_engine
+module Descriptor = Udma_dma.Descriptor
+module Frontend = Udma_dma.Frontend
 module Sm = State_machine
 
 type mode = Basic | Queued of { depth : int }
@@ -19,13 +21,23 @@ type binding = {
   validate : dev_addr:int -> nbytes:int -> int;
 }
 
-(* One accepted transfer, in proxy terms plus resolved endpoints. *)
+(* One flat element of an accepted transfer, in proxy terms plus
+   resolved endpoints. *)
+type relem = {
+  e_src_proxy : int;
+  e_dst_proxy : int;
+  e_len : int; (* already clamped to the authorized page *)
+  e_src : Dma_engine.endpoint;
+  e_dst : Dma_engine.endpoint;
+}
+
+(* One accepted transfer: its base proxy pair plus the flat elements
+   the shape expanded into (a single element for flat initiations). *)
 type request = {
   src_proxy : int;
   dest_proxy : int;
-  nbytes : int; (* already clamped to page boundaries *)
-  src_ep : Dma_engine.endpoint;
-  dst_ep : Dma_engine.endpoint;
+  nbytes : int; (* total bytes over all elements *)
+  elems : relem list;
   priority : priority;
   accepted_at : int; (* cycle the engine took the request *)
 }
@@ -40,6 +52,7 @@ type counters = {
   refused_full : int;
   device_errors : int;
   aborts : int;
+  shape_latches : int;
 }
 
 type t = {
@@ -48,6 +61,7 @@ type t = {
   bus : Bus.t;
   dma_engine : Dma_engine.t;
   mode : mode;
+  skip_clamp : bool; (* D1 mutation: drop the per-element page clamp *)
   trace : Trace.t;
   metrics : Metrics.t;
   mutable sm : Sm.state;
@@ -67,6 +81,7 @@ type t = {
   mutable c_refused_full : int;
   mutable c_device_errors : int;
   mutable c_aborts : int;
+  mutable c_shape_latches : int;
 }
 
 let mode t = t.mode
@@ -87,16 +102,20 @@ let set_sm t ~cause sm =
 
 let frames_of_request t r =
   let page_size = Layout.page_size t.layout in
-  let mem_addr_of = function
-    | Dma_engine.Mem a -> Some a
-    | Dma_engine.Dev _ -> None
+  (* every frame a memory-side endpoint touches — normally one per
+     element (elements are clamped to the authorized page), but the
+     full range so an unclamped (mutated) transfer is accounted
+     honestly and I4 can see it *)
+  let mem_frames ep len =
+    match ep with
+    | Dma_engine.Mem a ->
+        let lo = a / page_size and hi = (a + len - 1) / page_size in
+        List.init (hi - lo + 1) (fun i -> lo + i)
+    | Dma_engine.Dev _ -> []
   in
-  match (mem_addr_of r.src_ep, mem_addr_of r.dst_ep) with
-  | Some a, None | None, Some a ->
-      (* clamped to one page, so a single frame *)
-      [ a / page_size ]
-  | Some a, Some b -> [ a / page_size; b / page_size ]
-  | None, None -> []
+  List.concat_map
+    (fun e -> mem_frames e.e_src e.e_len @ mem_frames e.e_dst e.e_len)
+    r.elems
 
 let ref_incr t r =
   List.iter
@@ -140,6 +159,7 @@ let attach_device t ~base_page ~pages ~port ?(validate = fun ~dev_addr:_ ~nbytes
 let err_unbound_device = 0x1
 let err_device = 0x2 (* device's own validate failed *)
 let err_refused = 0x4 (* DMA engine rejected the endpoints *)
+let err_bad_shape = 0x8 (* shape expansion produced no usable element *)
 
 type resolved = {
   endpoint : Dma_engine.endpoint;
@@ -173,9 +193,20 @@ let record_started t r =
     (Event.Udma_start
        { src = r.src_proxy; dst = r.dest_proxy; nbytes = r.nbytes })
 
+let descriptor_of_request r =
+  match r.elems with
+  | [ e ] ->
+      Descriptor.Contiguous { src = e.e_src; dst = e.e_dst; nbytes = e.e_len }
+  | es ->
+      Descriptor.Scatter_gather
+        (List.map
+           (fun e ->
+             Descriptor.{ src = e.e_src; dst = e.e_dst; len = e.e_len })
+           es)
+
 let rec start_on_dma t r =
   match
-    Dma_engine.start t.dma_engine ~src:r.src_ep ~dst:r.dst_ep ~nbytes:r.nbytes
+    Dma_engine.submit t.dma_engine (descriptor_of_request r)
       ~on_complete:(fun () -> on_dma_complete t r)
   with
   | Ok () -> Ok ()
@@ -196,8 +227,8 @@ and on_dma_complete t r =
       set_sm t ~cause:"done" sm;
       (match action with
       | Sm.Completed -> ()
-      | Sm.No_action | Sm.Latch_dest | Sm.Invalidated | Sm.Start _
-      | Sm.Bad_load | Sm.Status_probe ->
+      | Sm.No_action | Sm.Latch_dest | Sm.Latch_shape | Sm.Invalidated
+      | Sm.Start _ | Sm.Bad_load | Sm.Status_probe ->
           ())
   | Queued _ -> ());
   t.active <- None;
@@ -230,46 +261,128 @@ and dispatch_next t =
             assert false)
   end
 
-(* Build a request from an initiation pair: clamp at page boundaries of
-   both proxy spaces, resolve endpoints, run device validation. *)
+(* Expand a latched shape into raw proxy-space elements
+   (src paddr, dst paddr, len, dst clamp base). The clamp base is the
+   proxy address whose page authorizes the destination bytes: the
+   latched destination for flat/strided shapes, each sg word's own
+   proxy for gather elements (every tagged store is its own
+   reference). *)
+let raw_elems_of_shape ~src_proxy ~dest =
+  let dst = dest.Sm.dest_proxy and total = dest.Sm.nbytes in
+  match dest.Sm.shape with
+  | Sm.Flat -> Ok [ (src_proxy, dst, total, dst) ]
+  | Sm.Strided { stride; chunk } ->
+      let reps = (total + chunk - 1) / chunk in
+      Ok
+        (List.init reps (fun i ->
+             ( src_proxy + (i * stride),
+               dst + (i * chunk),
+               min chunk (total - (i * chunk)),
+               dst )))
+  | Sm.Gather { rev_elems } ->
+      let others = List.rev rev_elems in
+      let listed = List.fold_left (fun acc (_, l) -> acc + l) 0 others in
+      let len0 = total - listed in
+      (* element zero is the latched destination; the sg words must
+         leave it a positive remainder of the count *)
+      if len0 <= 0 then Error err_bad_shape
+      else
+        let dsts = (dst, len0) :: others in
+        let _, acc =
+          List.fold_left
+            (fun (off, acc) (p, l) ->
+              (off + l, (src_proxy + off, p, l, p) :: acc))
+            (0, []) dsts
+        in
+        Ok (List.rev acc)
+
+(* Build a request from an initiation pair: expand the shape, clamp
+   each element at the page boundaries its references authorize (the
+   frontend's per-element clamp), resolve endpoints, run device
+   validation per element. *)
 let build_request t ~src_proxy ~src_space ~dest ~priority =
   let page_size = Layout.page_size t.layout in
-  let room addr = page_size - Layout.offset_in_page t.layout addr in
-  let clamped =
-    min dest.Sm.nbytes (min (room src_proxy) (room dest.Sm.dest_proxy))
-  in
-  if clamped < dest.Sm.nbytes then begin
-    t.c_clamped <- t.c_clamped + 1;
-    Metrics.incr t.metrics "udma.clamped"
-  end;
-  match resolve t src_proxy src_space with
+  match raw_elems_of_shape ~src_proxy ~dest with
   | Error e -> Error e
-  | Ok src -> (
-      match resolve t dest.Sm.dest_proxy dest.Sm.dest_space with
-      | Error e -> Error e
-      | Ok dst -> (
-          let validation =
-            match (src.binding, dst.binding) with
-            | Some b, None -> b.validate ~dev_addr:src.dev_addr ~nbytes:clamped
-            | None, Some b -> b.validate ~dev_addr:dst.dev_addr ~nbytes:clamped
-            | None, None | Some _, Some _ ->
-                (* spaces always differ at this point *)
-                assert false
-          in
-          if validation <> 0 then
-            (* low two device bits ride along in the status word *)
-            Error (err_device lor ((validation land 0x3) lsl 2))
-          else
+  | Ok raw ->
+      (* The source reference authorizes exactly the page [src_proxy]
+         names; a destination element is confined to its clamp base's
+         page. Elements clamped to nothing are dropped (never element
+         zero: both bases have at least one byte of room). *)
+      let confine ~base addr len =
+        if addr / page_size <> base / page_size then 0
+        else Frontend.clamp_to_page ~page_size ~addr len
+      in
+      let clamped_raw =
+        if t.skip_clamp then raw
+        else
+          List.filter_map
+            (fun (s, d, len, dbase) ->
+              let len =
+                min
+                  (confine ~base:src_proxy s len)
+                  (confine ~base:dbase d len)
+              in
+              if len <= 0 then None else Some (s, d, len, dbase))
+            raw
+      in
+      let total =
+        List.fold_left (fun acc (_, _, l, _) -> acc + l) 0 clamped_raw
+      in
+      if total <= 0 then Error err_bad_shape
+      else begin
+        if total < dest.Sm.nbytes then begin
+          t.c_clamped <- t.c_clamped + 1;
+          Metrics.incr t.metrics "udma.clamped"
+        end;
+        let rec resolve_all acc = function
+          | [] -> Ok (List.rev acc)
+          | (s, d, len, _) :: rest -> (
+              match resolve t s src_space with
+              | Error e -> Error e
+              | Ok src -> (
+                  match resolve t d dest.Sm.dest_space with
+                  | Error e -> Error e
+                  | Ok dst ->
+                      let validation =
+                        match (src.binding, dst.binding) with
+                        | Some b, None ->
+                            b.validate ~dev_addr:src.dev_addr ~nbytes:len
+                        | None, Some b ->
+                            b.validate ~dev_addr:dst.dev_addr ~nbytes:len
+                        | None, None | Some _, Some _ ->
+                            (* spaces always differ at this point *)
+                            assert false
+                      in
+                      if validation <> 0 then
+                        (* low two device bits ride along in the status
+                           word *)
+                        Error (err_device lor ((validation land 0x3) lsl 2))
+                      else
+                        resolve_all
+                          ({
+                             e_src_proxy = s;
+                             e_dst_proxy = d;
+                             e_len = len;
+                             e_src = src.endpoint;
+                             e_dst = dst.endpoint;
+                           }
+                          :: acc)
+                          rest))
+        in
+        match resolve_all [] clamped_raw with
+        | Error e -> Error e
+        | Ok elems ->
             Ok
               {
                 src_proxy;
                 dest_proxy = dest.Sm.dest_proxy;
-                nbytes = clamped;
-                src_ep = src.endpoint;
-                dst_ep = dst.endpoint;
+                nbytes = total;
+                elems;
                 priority;
                 accepted_at = Engine.now t.engine;
-              }))
+              }
+      end
 
 (* Accept a request: start immediately or queue it. Returns the status
    fields describing the acceptance. *)
@@ -305,11 +418,18 @@ let outstanding t = queued_len t + if t.active = None then 0 else 1
 
 (* ---------- oracle introspection ---------- *)
 
+type elem_view = {
+  ev_src : Dma_engine.endpoint;
+  ev_dst : Dma_engine.endpoint;
+  ev_len : int;
+}
+
 type req_view = {
   v_src : Dma_engine.endpoint;
   v_dst : Dma_engine.endpoint;
   v_nbytes : int;
   v_priority : priority;
+  v_elements : elem_view list;
 }
 
 let outstanding_requests t =
@@ -320,8 +440,18 @@ let outstanding_requests t =
 let outstanding_views t =
   List.map
     (fun r ->
-      { v_src = r.src_ep; v_dst = r.dst_ep; v_nbytes = r.nbytes;
-        v_priority = r.priority })
+      let elements =
+        List.map
+          (fun e -> { ev_src = e.e_src; ev_dst = e.e_dst; ev_len = e.e_len })
+          r.elems
+      in
+      let v_src, v_dst =
+        match r.elems with
+        | e :: _ -> (e.e_src, e.e_dst)
+        | [] -> assert false (* requests always carry an element *)
+      in
+      { v_src; v_dst; v_nbytes = r.nbytes; v_priority = r.priority;
+        v_elements = elements })
     (outstanding_requests t)
 
 let outstanding_frames t =
@@ -333,7 +463,11 @@ let refcounts_snapshot t =
 
 (* ---------- match flag (associative query, §7) ---------- *)
 
-let request_matches proxy r = r.src_proxy = proxy || r.dest_proxy = proxy
+let request_matches proxy r =
+  r.src_proxy = proxy || r.dest_proxy = proxy
+  || List.exists
+       (fun e -> e.e_src_proxy = proxy || e.e_dst_proxy = proxy)
+       r.elems
 
 let match_flag t proxy =
   let active = match t.active with Some r -> request_matches proxy r | None -> false in
@@ -382,6 +516,9 @@ let handle_store t ~paddr value =
       set_sm t ~cause sm;
       (match action with
       | Sm.Latch_dest -> ()
+      | Sm.Latch_shape ->
+          t.c_shape_latches <- t.c_shape_latches + 1;
+          Metrics.incr t.metrics "udma.shape_latches"
       | Sm.Invalidated ->
           t.c_invals <- t.c_invals + 1;
           Metrics.incr t.metrics "udma.invals"
@@ -460,7 +597,8 @@ let handle_load t ~paddr =
                         Metrics.incr t.metrics "udma.device_errors";
                         Status.make ~invalid:true
                           ~device_error:(bits land 0xf) ())))
-      | Sm.No_action | Sm.Latch_dest | Sm.Invalidated | Sm.Completed ->
+      | Sm.No_action | Sm.Latch_dest | Sm.Latch_shape | Sm.Invalidated
+      | Sm.Completed ->
           (* loads never produce these *)
           assert false)
 
@@ -524,7 +662,7 @@ let enqueue_system t ~src_proxy ~dest_proxy ~nbytes =
     in
     if full then Error `Full
     else
-      let dest = Sm.{ dest_proxy; dest_space; nbytes } in
+      let dest = Sm.{ dest_proxy; dest_space; nbytes; shape = Sm.Flat } in
       match build_request t ~src_proxy ~src_space ~dest ~priority:System with
       | Error _ -> Error `Rejected
       | Ok r -> (
@@ -555,11 +693,12 @@ let counters t =
     refused_full = t.c_refused_full;
     device_errors = t.c_device_errors;
     aborts = t.c_aborts;
+    shape_latches = t.c_shape_latches;
   }
 
 let set_start_hook t hook = t.start_hook <- Some hook
 
-let create ~engine ~layout ~bus ~dma ?(mode = Basic)
+let create ~engine ~layout ~bus ~dma ?(mode = Basic) ?(skip_clamp = false)
     ?(trace = Trace.create ~enabled:false ())
     ?(metrics = Metrics.create ()) () =
   (match mode with
@@ -573,6 +712,7 @@ let create ~engine ~layout ~bus ~dma ?(mode = Basic)
       bus;
       dma_engine = dma;
       mode;
+      skip_clamp;
       trace;
       metrics;
       sm = Sm.Idle;
@@ -591,6 +731,7 @@ let create ~engine ~layout ~bus ~dma ?(mode = Basic)
       c_refused_full = 0;
       c_device_errors = 0;
       c_aborts = 0;
+      c_shape_latches = 0;
     }
   in
   let handler =

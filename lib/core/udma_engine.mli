@@ -31,16 +31,20 @@ val create :
   bus:Udma_dma.Bus.t ->
   dma:Udma_dma.Dma_engine.t ->
   ?mode:mode ->
+  ?skip_clamp:bool ->
   ?trace:Udma_sim.Trace.t ->
   ?metrics:Udma_obs.Metrics.t ->
   unit ->
   t
 (** Creates the engine and registers its I/O ranges (the whole memory
     proxy region and the whole device proxy region) on [bus]. [mode]
-    defaults to [Basic]. [trace] receives typed events (proxy
-    references, state-machine transitions, queue traffic); [metrics]
-    mirrors the {!counters} record under [udma.*] names and records
-    the [udma.transfer_cycles] histogram. *)
+    defaults to [Basic]. [skip_clamp] is the planted D1 mutation: the
+    per-element page clamp is dropped, so a shaped (or oversized flat)
+    initiation reaches frames its references never authorized — the
+    chaos mesh must catch this through I1/I4. [trace] receives typed
+    events (proxy references, state-machine transitions, queue
+    traffic); [metrics] mirrors the {!counters} record under [udma.*]
+    names and records the [udma.transfer_cycles] histogram. *)
 
 val mode : t -> mode
 val state : t -> State_machine.state
@@ -109,12 +113,22 @@ val outstanding : t -> int
     invariant oracles in [Udma_check] to decide I3/I4 directly against
     the hardware state. *)
 
+type elem_view = {
+  ev_src : Udma_dma.Dma_engine.endpoint;
+  ev_dst : Udma_dma.Dma_engine.endpoint;
+  ev_len : int;
+}
+
 type req_view = {
   v_src : Udma_dma.Dma_engine.endpoint;
   v_dst : Udma_dma.Dma_engine.endpoint;
   v_nbytes : int;
   v_priority : priority;
+  v_elements : elem_view list;
 }
+(** [v_src]/[v_dst] are the first element's endpoints; [v_elements]
+    lists every flat element of the (possibly shaped) request, so the
+    oracles can check each page an irregular transfer touches. *)
 
 val outstanding_views : t -> req_view list
 (** Resolved endpoints of the active transfer plus every queued
@@ -139,6 +153,7 @@ type counters = {
   refused_full : int;    (** queued mode: queue-full refusals *)
   device_errors : int;
   aborts : int;          (** kernel-terminated transfers *)
+  shape_latches : int;   (** strided/sg shape words latched *)
 }
 
 val counters : t -> counters

@@ -1,0 +1,32 @@
+(* Backend: realize a plan against the bus — progress accounting while
+   in flight, data movement at completion. *)
+
+module Phys_mem = Udma_memory.Phys_mem
+
+let bytes_done (plan : Midend.plan) ~elapsed =
+  List.fold_left
+    (fun acc (b : Midend.burst) ->
+      let into = elapsed - b.start_cycle - b.overhead_cycles in
+      if into <= 0 then acc
+      else
+        let words_done =
+          if b.word_cycles <= 0 then b.words else into / b.word_cycles
+        in
+        acc + min b.element.Descriptor.len (min words_done b.words * 4))
+    0 plan.Midend.bursts
+
+let move_element bus (e : Descriptor.element) =
+  let mem = Bus.memory bus in
+  match (e.src, e.dst) with
+  | Descriptor.Mem src, Descriptor.Dev (p, dst) ->
+      let data = Phys_mem.read_bytes mem ~addr:src ~len:e.len in
+      p.Device.dev_write ~addr:dst data
+  | Descriptor.Dev (p, src), Descriptor.Mem dst ->
+      let data = p.Device.dev_read ~addr:src ~len:e.len in
+      Phys_mem.write_bytes mem ~addr:dst data
+  | Descriptor.Mem _, Descriptor.Mem _ | Descriptor.Dev _, Descriptor.Dev _ ->
+      assert false (* refused by the frontend *)
+
+let execute bus (plan : Midend.plan) =
+  List.iter (fun (b : Midend.burst) -> move_element bus b.element)
+    plan.Midend.bursts

@@ -1,0 +1,14 @@
+(** Backend: plan realization against {!Bus.timing}.
+
+    The backend owns the two hardware-facing halves of a transfer: the
+    progress counter a mid-flight status probe reads, and the actual
+    data movement performed atomically at completion time (matching the
+    flat engine's deposit-at-completion model). *)
+
+val bytes_done : Midend.plan -> elapsed:int -> int
+(** Bytes on the wire after [elapsed] cycles: zero while a burst is in
+    its fetch/setup/device overhead, then one word per
+    [burst_word_cycles], capped at each element's length. *)
+
+val execute : Bus.t -> Midend.plan -> unit
+(** Move every element's data (memory→device or device→memory). *)

@@ -1,0 +1,61 @@
+(* Typed transfer descriptors: the DMA frontend's input language. *)
+
+type endpoint = Mem of int | Dev of Device.port * int
+
+let pp_endpoint ppf = function
+  | Mem a -> Format.fprintf ppf "mem:%#x" a
+  | Dev (p, a) -> Format.fprintf ppf "dev(%s):%#x" p.Device.name a
+
+type error = Busy | Bad_size | Unsupported_pair | Device_refused
+
+let pp_error ppf = function
+  | Busy -> Format.pp_print_string ppf "busy"
+  | Bad_size -> Format.pp_print_string ppf "bad-size"
+  | Unsupported_pair -> Format.pp_print_string ppf "unsupported-pair"
+  | Device_refused -> Format.pp_print_string ppf "device-refused"
+
+type element = { src : endpoint; dst : endpoint; len : int }
+
+let pp_element ppf e =
+  Format.fprintf ppf "%a->%a[%d]" pp_endpoint e.src pp_endpoint e.dst e.len
+
+type t =
+  | Contiguous of { src : endpoint; dst : endpoint; nbytes : int }
+  | Strided of {
+      src : endpoint;
+      dst : endpoint;
+      stride : int;
+      chunk : int;
+      reps : int;
+    }
+  | Scatter_gather of element list
+
+let advance ep delta =
+  match ep with Mem a -> Mem (a + delta) | Dev (p, a) -> Dev (p, a + delta)
+
+let elements = function
+  | Contiguous { src; dst; nbytes } -> [ { src; dst; len = nbytes } ]
+  | Strided { src; dst; stride; chunk; reps } ->
+      List.init (max reps 0) (fun i ->
+          {
+            src = advance src (i * stride);
+            dst = advance dst (i * chunk);
+            len = chunk;
+          })
+  | Scatter_gather es -> es
+
+let total_bytes d = List.fold_left (fun acc e -> acc + e.len) 0 (elements d)
+
+let pp ppf = function
+  | Contiguous { src; dst; nbytes } ->
+      Format.fprintf ppf "contiguous %a->%a[%d]" pp_endpoint src pp_endpoint
+        dst nbytes
+  | Strided { src; dst; stride; chunk; reps } ->
+      Format.fprintf ppf "strided %a->%a stride=%d chunk=%d reps=%d"
+        pp_endpoint src pp_endpoint dst stride chunk reps
+  | Scatter_gather es ->
+      Format.fprintf ppf "sg[%d](%a)" (List.length es)
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+           pp_element)
+        es

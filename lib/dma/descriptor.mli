@@ -1,0 +1,60 @@
+(** Typed transfer descriptors (the DMA frontend's input language).
+
+    A descriptor describes {e what} to move; the frontend validates it,
+    the midend decomposes it into bursts with per-descriptor fetch cost,
+    and the backend realizes bus occupancy. The split follows the
+    modular-iDMA architecture (Benz et al.): description is an API
+    layer, cost realization is another.
+
+    Formatter convention for [lib/dma]: every public type [ty] here and
+    in the sibling modules exposes exactly one [pp_ty :
+    Format.formatter -> ty -> unit] (or [pp] for the module's main
+    type); other modules alias these printers instead of redefining
+    them. *)
+
+type endpoint =
+  | Mem of int                  (** physical byte address in real memory *)
+  | Dev of Device.port * int    (** device port + device-internal address *)
+
+val pp_endpoint : Format.formatter -> endpoint -> unit
+
+type error =
+  | Busy                  (** a transfer is already in flight *)
+  | Bad_size              (** empty/negative length or beyond memory limits *)
+  | Unsupported_pair      (** mem→mem or dev→dev element *)
+  | Device_refused        (** endpoint not readable/writable at that address *)
+
+val pp_error : Format.formatter -> error -> unit
+
+type element = { src : endpoint; dst : endpoint; len : int }
+(** One flat piece of a transfer: [len] bytes from [src] to [dst]. *)
+
+val pp_element : Format.formatter -> element -> unit
+
+type t =
+  | Contiguous of { src : endpoint; dst : endpoint; nbytes : int }
+      (** Today's shape: one flat byte range. Cost-identical to the
+          pre-descriptor engine. *)
+  | Strided of {
+      src : endpoint;
+      dst : endpoint;
+      stride : int;  (** source advance between consecutive chunks *)
+      chunk : int;   (** bytes moved per repetition *)
+      reps : int;    (** number of chunks *)
+    }
+      (** [reps] chunks of [chunk] bytes; the source steps by [stride]
+          per chunk (a strided read of rows/columns), the destination is
+          packed densely ([chunk] apart). Total bytes = [chunk * reps]. *)
+  | Scatter_gather of element list
+      (** Arbitrary vector of elements, realized in order. *)
+
+val pp : Format.formatter -> t -> unit
+
+val advance : endpoint -> int -> endpoint
+(** [advance ep n] is [ep] with its address moved forward [n] bytes. *)
+
+val elements : t -> element list
+(** Flatten a descriptor into its ordered flat elements. *)
+
+val total_bytes : t -> int
+(** Sum of element lengths. *)

@@ -4,24 +4,22 @@ module Event = Udma_obs.Event
 module Metrics = Udma_obs.Metrics
 module Phys_mem = Udma_memory.Phys_mem
 
-type endpoint = Mem of int | Dev of Device.port * int
+type endpoint = Descriptor.endpoint = Mem of int | Dev of Device.port * int
 
-let pp_endpoint ppf = function
-  | Mem a -> Format.fprintf ppf "mem:%#x" a
-  | Dev (p, a) -> Format.fprintf ppf "dev(%s):%#x" p.Device.name a
+let pp_endpoint = Descriptor.pp_endpoint
 
-type error = Busy | Bad_size | Unsupported_pair | Device_refused
+type error = Descriptor.error =
+  | Busy
+  | Bad_size
+  | Unsupported_pair
+  | Device_refused
 
-let pp_error ppf = function
-  | Busy -> Format.pp_print_string ppf "busy"
-  | Bad_size -> Format.pp_print_string ppf "bad-size"
-  | Unsupported_pair -> Format.pp_print_string ppf "unsupported-pair"
-  | Device_refused -> Format.pp_print_string ppf "device-refused"
+let pp_error = Descriptor.pp_error
 
 type transfer = {
-  src : endpoint;
-  dst : endpoint;
-  nbytes : int;
+  desc : Descriptor.t;
+  elements : Descriptor.element list;
+  plan : Midend.plan;
   started_at : int;
   duration : int;
   on_complete : unit -> unit;
@@ -56,84 +54,72 @@ let busy t = t.current <> None
 
 let mem_size t = Phys_mem.size (Bus.memory t.bus)
 
-let endpoint_ok t ~as_src nbytes = function
-  | Mem a -> a >= 0 && a + nbytes <= mem_size t
-  | Dev (p, a) ->
-      if as_src then p.Device.readable ~addr:a else p.Device.writable ~addr:a
+let addr_of = function Mem a -> a | Dev (_, a) -> a
 
-let move t xfer =
-  let mem = Bus.memory t.bus in
-  match (xfer.src, xfer.dst) with
-  | Mem src, Dev (p, dst) ->
-      let data = Phys_mem.read_bytes mem ~addr:src ~len:xfer.nbytes in
-      p.Device.dev_write ~addr:dst data
-  | Dev (p, src), Mem dst ->
-      let data = p.Device.dev_read ~addr:src ~len:xfer.nbytes in
-      Phys_mem.write_bytes mem ~addr:dst data
-  | Mem _, Mem _ | Dev _, Dev _ -> assert false (* refused at start *)
+let submit t desc ~on_complete =
+  if busy t then Error Busy
+  else
+    match Frontend.normalize ~mem_size:(mem_size t) desc with
+    | Error _ as e -> e
+    | Ok elements ->
+        let plan = Midend.plan ~bus:t.bus elements in
+        let duration = plan.Midend.total_cycles in
+        let id = t.next_id in
+        t.next_id <- t.next_id + 1;
+        let started_at = Engine.now t.engine in
+        let xfer =
+          { desc; elements; plan; started_at; duration; on_complete; id }
+        in
+        t.current <- Some xfer;
+        List.iter
+          (fun (b : Midend.burst) ->
+            let e = b.Midend.element in
+            Trace.record t.trace
+              ~time:(started_at + b.Midend.start_cycle)
+              Event.Dma
+              (Event.Dma_burst
+                 {
+                   src = addr_of e.Descriptor.src;
+                   dst = addr_of e.Descriptor.dst;
+                   nbytes = e.Descriptor.len;
+                   duration = Midend.burst_cycles b;
+                 }))
+          plan.Midend.bursts;
+        (* The cycles the clock jumps to reach the completion are the
+           burst itself: attribute them to the Dma category. *)
+        Engine.schedule t.engine ~cat:Engine.Profiler.Dma ~delay:duration
+          (fun _ ->
+            (* An abort may have retired this transfer already. *)
+            match t.current with
+            | Some cur when cur.id = id ->
+                Backend.execute t.bus cur.plan;
+                t.current <- None;
+                t.transfers_completed <- t.transfers_completed + 1;
+                t.bytes_moved <- t.bytes_moved + cur.plan.Midend.total_bytes;
+                Metrics.incr t.metrics "dma.transfers";
+                Metrics.add t.metrics "dma.bytes_moved"
+                  cur.plan.Midend.total_bytes;
+                cur.on_complete ()
+            | Some _ | None -> ());
+        Ok ()
 
 let start t ~src ~dst ~nbytes ~on_complete =
-  if busy t then Error Busy
-  else if nbytes <= 0 then Error Bad_size
-  else
-    match (src, dst) with
-    | Mem _, Mem _ | Dev _, Dev _ -> Error Unsupported_pair
-    | (Mem _ | Dev _), (Mem _ | Dev _) ->
-        if not (endpoint_ok t ~as_src:true nbytes src) then
-          if (match src with Mem _ -> true | Dev _ -> false) then
-            Error Bad_size
-          else Error Device_refused
-        else if not (endpoint_ok t ~as_src:false nbytes dst) then
-          if (match dst with Mem _ -> true | Dev _ -> false) then
-            Error Bad_size
-          else Error Device_refused
-        else begin
-          let dev_cycles =
-            match (src, dst) with
-            | Dev (p, a), _ | _, Dev (p, a) ->
-                p.Device.access_cycles ~addr:a ~len:nbytes
-            | Mem _, Mem _ -> 0
-          in
-          let duration = Bus.dma_burst_cycles t.bus ~nbytes + dev_cycles in
-          let id = t.next_id in
-          t.next_id <- t.next_id + 1;
-          let xfer =
-            {
-              src;
-              dst;
-              nbytes;
-              started_at = Engine.now t.engine;
-              duration;
-              on_complete;
-              id;
-            }
-          in
-          t.current <- Some xfer;
-          let addr_of = function Mem a -> a | Dev (_, a) -> a in
-          Trace.record t.trace ~time:xfer.started_at Event.Dma
-            (Event.Dma_burst
-               { src = addr_of src; dst = addr_of dst; nbytes; duration });
-          (* The cycles the clock jumps to reach the completion are the
-             burst itself: attribute them to the Dma category. *)
-          Engine.schedule t.engine ~cat:Engine.Profiler.Dma ~delay:duration
-            (fun _ ->
-              (* An abort may have retired this transfer already. *)
-              match t.current with
-              | Some cur when cur.id = id ->
-                  move t cur;
-                  t.current <- None;
-                  t.transfers_completed <- t.transfers_completed + 1;
-                  t.bytes_moved <- t.bytes_moved + cur.nbytes;
-                  Metrics.incr t.metrics "dma.transfers";
-                  Metrics.add t.metrics "dma.bytes_moved" cur.nbytes;
-                  cur.on_complete ()
-              | Some _ | None -> ());
-          Ok ()
-        end
+  submit t (Descriptor.Contiguous { src; dst; nbytes }) ~on_complete
 
-let source t = Option.map (fun x -> x.src) t.current
-let destination t = Option.map (fun x -> x.dst) t.current
-let count t = match t.current with Some x -> x.nbytes | None -> 0
+let descriptor t = Option.map (fun x -> x.desc) t.current
+
+let source t =
+  match t.current with
+  | Some { elements = e :: _; _ } -> Some e.Descriptor.src
+  | Some _ | None -> None
+
+let destination t =
+  match t.current with
+  | Some { elements = e :: _; _ } -> Some e.Descriptor.dst
+  | Some _ | None -> None
+
+let count t =
+  match t.current with Some x -> x.plan.Midend.total_bytes | None -> 0
 
 let remaining_bytes t =
   match t.current with
@@ -142,22 +128,35 @@ let remaining_bytes t =
       let elapsed = Engine.now t.engine - x.started_at in
       if x.duration <= 0 || elapsed >= x.duration then 0
       else
-        let done_bytes = x.nbytes * elapsed / x.duration in
+        let done_bytes = Backend.bytes_done x.plan ~elapsed in
         (* report whole words, as the hardware counter would *)
-        x.nbytes - (done_bytes land lnot 3)
+        x.plan.Midend.total_bytes - (done_bytes land lnot 3)
 
 let transfer_base t =
   match t.current with
-  | Some { src = Mem a; _ } | Some { dst = Mem a; _ } -> Some a
-  | Some _ -> None
-  | None -> None
+  | Some { elements = e :: _; _ } -> (
+      match (e.Descriptor.src, e.Descriptor.dst) with
+      | Mem a, _ | _, Mem a -> Some a
+      | _ -> None)
+  | Some _ | None -> None
 
 let mem_page_in_flight t ~page_size frame =
   match t.current with
-  | Some ({ src = Mem a; _ } as x) | Some ({ dst = Mem a; _ } as x) ->
-      let lo = a / page_size and hi = (a + x.nbytes - 1) / page_size in
-      frame >= lo && frame <= hi
-  | Some _ | None -> false
+  | None -> false
+  | Some x ->
+      List.exists
+        (fun (e : Descriptor.element) ->
+          let mem_addr =
+            match (e.src, e.dst) with
+            | Mem a, _ | _, Mem a -> Some a
+            | _ -> None
+          in
+          match mem_addr with
+          | None -> false
+          | Some a ->
+              let lo = a / page_size and hi = (a + e.len - 1) / page_size in
+              frame >= lo && frame <= hi)
+        x.elements
 
 let abort t =
   match t.current with

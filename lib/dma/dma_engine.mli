@@ -1,28 +1,36 @@
-(** Traditional DMA controller (paper §2, Figure 1).
+(** Modular DMA controller (paper §2, Figure 1, refactored along the
+    iDMA frontend/midend/backend split).
 
-    SOURCE, DESTINATION and COUNT registers plus a transfer state
-    machine. One transfer may be in flight at a time; it occupies the
-    bus for [burst_setup + words × burst_word] cycles plus any
-    device-side latency, then raises its completion callback (the
-    "interrupt"). Data is deposited atomically at completion time.
+    The engine accepts typed {!Descriptor.t} transfers. The frontend
+    ({!Frontend}) validates and flattens the descriptor, the midend
+    ({!Midend}) decomposes it into bursts with per-descriptor fetch
+    cost, and the backend ({!Backend}) realizes bus occupancy against
+    {!Bus.timing}. One descriptor may be in flight at a time; it
+    occupies the bus for the planned cycles plus any device-side
+    latency, then raises its completion callback (the "interrupt").
+    Data is deposited atomically at completion time.
 
-    The basic engine moves data between memory and exactly one device
-    endpoint — memory-to-memory and device-to-device are refused, which
-    is what makes the UDMA [BadLoad] event observable (paper §5). *)
+    A [Contiguous] descriptor is cost-byte-identical to the old flat
+    [start] interface. The engine moves data between memory and exactly
+    one device endpoint per element — memory-to-memory and
+    device-to-device are refused, which is what makes the UDMA
+    [BadLoad] event observable (paper §5). *)
 
-type endpoint =
+type endpoint = Descriptor.endpoint =
   | Mem of int                  (** physical byte address in real memory *)
   | Dev of Device.port * int    (** device port + device-internal address *)
 
 val pp_endpoint : Format.formatter -> endpoint -> unit
+(** Alias of {!Descriptor.pp_endpoint} — the one printer for the type. *)
 
-type error =
+type error = Descriptor.error =
   | Busy                  (** a transfer is already in flight *)
   | Bad_size              (** nbytes <= 0 or beyond device/memory limits *)
   | Unsupported_pair      (** mem→mem or dev→dev *)
   | Device_refused        (** endpoint not readable/writable at that address *)
 
 val pp_error : Format.formatter -> error -> unit
+(** Alias of {!Descriptor.pp_error}. *)
 
 type t
 
@@ -33,12 +41,21 @@ val create :
   ?metrics:Udma_obs.Metrics.t ->
   unit ->
   t
-(** [trace] receives a typed [Dma_burst] event per transfer; [metrics]
-    receives the [dma.transfers] / [dma.bytes_moved] counters. Both
-    default to throwaway instances (standalone engines in unit
-    tests). *)
+(** [trace] receives a typed [Dma_burst] event per planned burst;
+    [metrics] receives the [dma.transfers] / [dma.bytes_moved]
+    counters. Both default to throwaway instances (standalone engines
+    in unit tests). *)
 
 val busy : t -> bool
+
+val submit :
+  t ->
+  Descriptor.t ->
+  on_complete:(unit -> unit) ->
+  (unit, error) result
+(** [submit t desc ~on_complete] begins a descriptor transfer.
+    [on_complete] fires (via the simulation engine) after the modelled
+    duration, after all elements' data has been moved. *)
 
 val start :
   t ->
@@ -47,35 +64,45 @@ val start :
   nbytes:int ->
   on_complete:(unit -> unit) ->
   (unit, error) result
-(** [start t ~src ~dst ~nbytes ~on_complete] begins a transfer.
-    [on_complete] fires (via the simulation engine) after the modelled
-    duration, after the data has been moved. *)
+[@@ocaml.deprecated "use submit with Descriptor.Contiguous"]
+(** Thin shim over [submit (Contiguous …)] kept for source
+    compatibility; new code should build a descriptor. *)
+
+val descriptor : t -> Descriptor.t option
+(** The in-flight descriptor, if any. *)
 
 val source : t -> endpoint option
-(** Value of the SOURCE register while a transfer is in flight. *)
+(** Value of the SOURCE register: the first element's source while a
+    transfer is in flight. *)
 
 val destination : t -> endpoint option
-(** Value of the DESTINATION register while a transfer is in flight. *)
+(** Value of the DESTINATION register: the first element's destination
+    while a transfer is in flight. *)
 
 val count : t -> int
-(** Bytes requested by the in-flight transfer; 0 when idle. *)
+(** Total bytes requested by the in-flight transfer; 0 when idle. *)
 
 val remaining_bytes : t -> int
-(** Bytes not yet on the wire, estimated linearly; 0 when idle. *)
+(** Bytes not yet on the wire, burst-aware: progress is zero during
+    each burst's fetch/setup/device overhead and advances one word per
+    [burst_word_cycles] after — what the hardware byte counter would
+    read. 0 when idle. *)
 
 val transfer_base : t -> int option
-(** Memory-side physical base address of the in-flight transfer, if it
-    has one — what the kernel's I4 check reads. *)
+(** Memory-side physical base address of the in-flight transfer's first
+    element, if it has one — what the kernel's I4 check reads. *)
 
 val mem_page_in_flight : t -> page_size:int -> int -> bool
 (** [mem_page_in_flight t ~page_size frame] is [true] when physical
-    page [frame] overlaps the memory side of the in-flight transfer. *)
+    page [frame] overlaps the memory side of {e any} element of the
+    in-flight transfer. *)
 
 val abort : t -> bool
-(** Cancel the in-flight transfer (no data is moved, no completion
-    callback fires). Returns [false] when idle. The paper notes such a
-    mechanism "is not hard to imagine adding" (§5); it is exercised in
-    failure-injection tests. *)
+(** Cancel the in-flight transfer (no data is moved — including
+    elements of a scatter-gather list not yet reached — and no
+    completion callback fires). Returns [false] when idle. The paper
+    notes such a mechanism "is not hard to imagine adding" (§5); it is
+    exercised in failure-injection tests. *)
 
 val transfers_completed : t -> int
 val bytes_moved : t -> int

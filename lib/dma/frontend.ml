@@ -1,0 +1,41 @@
+(* Frontend: validate and normalize descriptors into flat elements. *)
+
+open Descriptor
+
+let endpoint_ok ~mem_size ~as_src len = function
+  | Mem a -> a >= 0 && a + len <= mem_size
+  | Dev (p, a) ->
+      if as_src then p.Device.readable ~addr:a else p.Device.writable ~addr:a
+
+let check_element ~mem_size e =
+  if e.len <= 0 then Error Bad_size
+  else
+    match (e.src, e.dst) with
+    | Mem _, Mem _ | Dev _, Dev _ -> Error Unsupported_pair
+    | (Mem _ | Dev _), (Mem _ | Dev _) ->
+        if not (endpoint_ok ~mem_size ~as_src:true e.len e.src) then
+          match e.src with
+          | Mem _ -> Error Bad_size
+          | Dev _ -> Error Device_refused
+        else if not (endpoint_ok ~mem_size ~as_src:false e.len e.dst) then
+          match e.dst with
+          | Mem _ -> Error Bad_size
+          | Dev _ -> Error Device_refused
+        else Ok ()
+
+let normalize ~mem_size desc =
+  let elems = elements desc in
+  if elems = [] then Error Bad_size
+  else
+    let rec go = function
+      | [] -> Ok elems
+      | e :: rest -> (
+          match check_element ~mem_size e with
+          | Ok () -> go rest
+          | Error _ as err -> err)
+    in
+    go elems
+
+let page_room ~page_size addr = page_size - (addr mod page_size)
+
+let clamp_to_page ~page_size ~addr len = min len (page_room ~page_size addr)

@@ -1,0 +1,61 @@
+(* Midend: decompose flat elements into timed bursts with descriptor
+   fetch/setup cost. *)
+
+type burst = {
+  element : Descriptor.element;
+  start_cycle : int;
+  overhead_cycles : int;
+  word_cycles : int;
+  words : int;
+}
+
+type plan = { bursts : burst list; total_cycles : int; total_bytes : int }
+
+let words_of_bytes n = (n + 3) / 4
+
+(* A descriptor record is modelled as four words (source, destination,
+   length, next) fetched over the same bus the data moves on: the fetch
+   costs one 16-byte burst. The first element's registers are loaded by
+   the initiating store sequence, so only elements after the first pay
+   the fetch. This makes the per-element overhead self-calibrating
+   against the bus timing instead of a free parameter. *)
+let desc_fetch_cycles bus = Bus.dma_burst_cycles bus ~nbytes:16
+
+let dev_cycles (e : Descriptor.element) =
+  match (e.src, e.dst) with
+  | Descriptor.Dev (p, a), _ | _, Descriptor.Dev (p, a) ->
+      p.Device.access_cycles ~addr:a ~len:e.len
+  | Descriptor.Mem _, Descriptor.Mem _ -> 0
+
+let burst_cycles b = b.overhead_cycles + (b.words * b.word_cycles)
+
+let plan ~bus ?desc_fetch_cycles:fetch elems =
+  let timing = Bus.timing bus in
+  let fetch =
+    match fetch with Some c -> c | None -> desc_fetch_cycles bus
+  in
+  let cursor = ref 0 in
+  let bursts =
+    List.mapi
+      (fun i (e : Descriptor.element) ->
+        let overhead =
+          (if i = 0 then 0 else fetch)
+          + timing.Bus.burst_setup_cycles + dev_cycles e
+        in
+        let b =
+          {
+            element = e;
+            start_cycle = !cursor;
+            overhead_cycles = overhead;
+            word_cycles = timing.Bus.burst_word_cycles;
+            words = words_of_bytes e.len;
+          }
+        in
+        cursor := !cursor + burst_cycles b;
+        b)
+      elems
+  in
+  let total_bytes =
+    List.fold_left (fun acc (e : Descriptor.element) -> acc + e.len) 0 elems
+  in
+  { bursts; total_cycles = !cursor; total_bytes }

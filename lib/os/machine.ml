@@ -13,7 +13,7 @@ module Udma_engine = Udma.Udma_engine
 
 type i3_policy = Write_upgrade | Proxy_dirty_union
 
-type invariant = [ `I1 | `I2 | `I3 | `I4 | `I5 | `N1 | `N2 | `P1 | `P2 ]
+type invariant = [ `I1 | `I2 | `I3 | `I4 | `I5 | `N1 | `N2 | `P1 | `P2 | `D1 ]
 
 let invariant_name = function
   | `I1 -> "I1"
@@ -25,6 +25,7 @@ let invariant_name = function
   | `N2 -> "N2"
   | `P1 -> "P1"
   | `P2 -> "P2"
+  | `D1 -> "D1"
 
 let pp_invariant ppf inv = Format.pp_print_string ppf (invariant_name inv)
 
@@ -114,8 +115,9 @@ let create ?(config = default_config) ?skip_invariant () =
     | None -> None
     | Some mode ->
         Some
-          (Udma_engine.create ~engine ~layout ~bus ~dma ~mode ~trace ~metrics
-             ())
+          (Udma_engine.create ~engine ~layout ~bus ~dma ~mode
+             ~skip_clamp:(skip_invariant = Some `D1)
+             ~trace ~metrics ())
   in
   {
     engine;

@@ -39,8 +39,15 @@ type i3_policy =
     deliberate protection bugs: [Udma_shrimp.System] forwards either
     to the node's protection backend, and the [`I5] oracle must catch
     both. Like [`N1]/[`N2], the machine itself has no maintenance path
-    for them. *)
-type invariant = [ `I1 | `I2 | `I3 | `I4 | `I5 | `N1 | `N2 | `P1 | `P2 ]
+    for them.
+
+    [`D1] is the DMA-frontend clamp bug: the UDMA engine skips the
+    per-element page clamp, so a shaped (strided/scatter-gather) or
+    oversized flat initiation reaches physical frames its proxy
+    references never authorized. The mesh chaos harness must catch it
+    through I1/I4 (a referenced frame no longer backs — or never
+    backed — a user page). *)
+type invariant = [ `I1 | `I2 | `I3 | `I4 | `I5 | `N1 | `N2 | `P1 | `P2 | `D1 ]
 
 val invariant_name : invariant -> string
 

@@ -45,8 +45,9 @@ let resident_frame m proc ~vpn =
 let run_piece m ~src ~dst ~nbytes =
   let finished = ref false in
   match
-    Dma_engine.start m.M.dma ~src ~dst ~nbytes ~on_complete:(fun () ->
-        finished := true)
+    Dma_engine.submit m.M.dma
+      (Udma_dma.Descriptor.Contiguous { src; dst; nbytes })
+      ~on_complete:(fun () -> finished := true)
   with
   | Error e -> Error (Device_error (Format.asprintf "%a" Dma_engine.pp_error e))
   | Ok () ->

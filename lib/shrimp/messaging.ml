@@ -61,6 +61,8 @@ let dev_addr ch ~offset =
     ~page:(ch.first_index + (offset / ch.page_size))
     ~offset:(offset mod ch.page_size)
 
+let dev_vaddr ch ~offset = dev_addr ch ~offset
+
 let check_size ch nbytes =
   if nbytes <= 0 || nbytes land 3 <> 0 || nbytes > capacity ch then
     invalid_arg
@@ -119,6 +121,16 @@ let send_pipelined ch cpu ~src_vaddr ~nbytes ?config () =
   send_with
     (fun cpu ~layout ?config ~src ~dst ~nbytes () ->
       Initiator.transfer_queued cpu ~layout ?config ~src ~dst ~nbytes ())
+    ch cpu ~src_vaddr ~nbytes ?config ()
+
+let send_strided ch cpu ~src_vaddr ~stride ~chunk ~nbytes ?config () =
+  if chunk <= 0 || stride < chunk then
+    invalid_arg "Messaging.send_strided: need chunk > 0 and stride >= chunk";
+  send_with
+    (fun cpu ~layout ?config ~src ~dst ~nbytes () ->
+      Initiator.transfer_shaped cpu ~layout ?config ~src ~dst
+        ~shape:(Initiator.Strided_shape { stride; chunk })
+        ~nbytes ())
     ch cpu ~src_vaddr ~nbytes ?config ()
 
 (* Hardware-level enqueue: hand the payload straight to the sending

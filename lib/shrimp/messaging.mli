@@ -20,6 +20,10 @@ val recv_vaddr : channel -> int
 val sender_node : channel -> int
 val receiver_node : channel -> int
 
+val dev_vaddr : channel -> offset:int -> int
+(** Sender's virtual device-proxy address of payload byte [offset] —
+    the destination address shaped initiations target directly. *)
+
 val connect :
   System.t ->
   sender:int * Udma_os.Proc.t ->
@@ -62,6 +66,23 @@ val send_pipelined :
     waiting only once. Requires the sending node's UDMA engine to be in
     [Queued] mode for real pipelining; degrades to serialised pieces on
     basic hardware. *)
+
+val send_strided :
+  channel ->
+  Udma.Initiator.cpu ->
+  src_vaddr:int ->
+  stride:int ->
+  chunk:int ->
+  nbytes:int ->
+  ?config:Udma.Initiator.config ->
+  unit ->
+  (int, send_error) result
+(** Blocking send that gathers a strided source region — [chunk] bytes
+    every [stride] — densely into the channel through one shaped
+    initiation (three protected references), then sends the flag. The
+    whole strided span must lie within the source page: the hardware
+    clamps each element to its own page and silently drops what falls
+    outside. *)
 
 val send_nowait :
   channel ->

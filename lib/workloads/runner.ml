@@ -1364,6 +1364,195 @@ let report_tenants ?(tenant_counts = [ 8; 64; 256; 1024 ])
     rows
 
 (* ------------------------------------------------------------------ *)
+(* E15: bandwidth vs transfer shape                                    *)
+(* ------------------------------------------------------------------ *)
+
+type shape_case = Shape_contig | Shape_strided of int | Shape_sg of int
+
+let shape_label = function
+  | Shape_contig -> "contig"
+  | Shape_strided f -> Printf.sprintf "stride%d" f
+  | Shape_sg n -> Printf.sprintf "sg%d" n
+
+type shape_row = {
+  sh_label : string;
+  sh_basic : int;
+  sh_queued : int;
+  sh_basic_bpc : float;
+  sh_queued_bpc : float;
+  sh_basic_pct : float;
+  sh_queued_pct : float;
+}
+
+(* One shape at one hardware mode: move [total] bytes to the device
+   and return the end-to-end user cycles. Strided shapes re-read the
+   first source page (the cost model does not depend on the data);
+   scatter-gather shapes split the destination of each page-sized
+   initiation into elements scattered in reverse order within its
+   device page, so every element stays inside one page — the shape the
+   per-element clamp admits whole. *)
+let run_shape ~mode ~total shape p =
+  let m, _udma, _, _ = buffer_rig ~mode () in
+  watch p m.M.engine;
+  let proc = Scheduler.spawn m ~name:"p" in
+  let page_size = Layout.page_size m.M.layout in
+  grant_dev m proc ~pages:((total + page_size - 1) / page_size);
+  let buf = Kernel.alloc_buffer m proc ~bytes:total in
+  Kernel.write_user m proc ~vaddr:buf (pattern total);
+  let cpu = Kernel.user_cpu m proc in
+  let layout = m.M.layout in
+  let dev off =
+    Initiator.Device
+      (Kernel.vdev_addr m ~index:(off / page_size) ~offset:(off mod page_size))
+  in
+  (* warm every mapping the measured run touches *)
+  (match
+     Initiator.transfer cpu ~layout ~src:(Initiator.Memory buf) ~dst:(dev 0)
+       ~nbytes:total ()
+   with
+  | Ok _ -> ()
+  | Error e -> fail_transfer e);
+  Engine.run_until_idle m.M.engine;
+  let queued =
+    match mode with Udma_engine.Basic -> false | Udma_engine.Queued _ -> true
+  in
+  let start = cpu.Initiator.now () in
+  (match shape with
+  | Shape_contig -> (
+      let call =
+        if queued then Initiator.transfer_queued else Initiator.transfer
+      in
+      match
+        call cpu ~layout ~src:(Initiator.Memory buf) ~dst:(dev 0)
+          ~nbytes:total ()
+      with
+      | Ok _ -> ()
+      | Error e -> fail_transfer e)
+  | Shape_strided _ | Shape_sg _ ->
+      let inits =
+        match shape with
+        | Shape_contig -> assert false
+        | Shape_strided f ->
+            (* chunk 64 every 64f bytes: each initiation's source span
+               is exactly one page, the destination packs densely *)
+            let chunk = 64 in
+            let bytes_per_init = page_size / f in
+            List.init (total / bytes_per_init) (fun k ->
+                ( Initiator.Memory buf,
+                  dev (k * bytes_per_init),
+                  Initiator.Strided_shape { stride = chunk * f; chunk },
+                  bytes_per_init ))
+        | Shape_sg n ->
+            let inits_n = total / page_size in
+            let per_init = max 1 (n / inits_n) in
+            let len = page_size / per_init in
+            List.init inits_n (fun k ->
+                let base = k * page_size in
+                let extra =
+                  List.init (per_init - 1) (fun j ->
+                      (dev (base + ((per_init - 2 - j) * len)), len))
+                in
+                ( Initiator.Memory (buf + base),
+                  dev (base + ((per_init - 1) * len)),
+                  Initiator.Gather_shape extra,
+                  page_size ))
+      in
+      let await probe =
+        match Initiator.await cpu ~probe () with
+        | Ok _ -> ()
+        | Error e -> fail_transfer e
+      in
+      let last =
+        List.fold_left
+          (fun _ (src, dst, shape, nbytes) ->
+            match
+              Initiator.start_shaped cpu ~layout ~queued ~src ~dst ~shape
+                ~nbytes ()
+            with
+            | Error e -> fail_transfer e
+            | Ok (_, probe) ->
+                if not queued then await probe;
+                Some probe)
+          None inits
+      in
+      Option.iter await last);
+  let cycles = cpu.Initiator.now () - start in
+  Engine.run_until_idle m.M.engine;
+  cycles
+
+let default_shape_cases =
+  [
+    Shape_contig;
+    Shape_strided 2; Shape_strided 4; Shape_strided 8;
+    Shape_strided 16; Shape_strided 32; Shape_strided 64;
+    Shape_sg 2; Shape_sg 4; Shape_sg 16; Shape_sg 64; Shape_sg 256;
+  ]
+
+let quick_shape_cases =
+  [ Shape_contig; Shape_strided 4; Shape_strided 64; Shape_sg 4; Shape_sg 256 ]
+
+let shapes_core ~total ~cases p =
+  let queued_mode = Udma_engine.Queued { depth = 8 } in
+  let basic_contig = run_shape ~mode:Udma_engine.Basic ~total Shape_contig p in
+  let queued_contig = run_shape ~mode:queued_mode ~total Shape_contig p in
+  List.map
+    (fun shape ->
+      let b, q =
+        match shape with
+        | Shape_contig -> (basic_contig, queued_contig)
+        | _ ->
+            ( run_shape ~mode:Udma_engine.Basic ~total shape p,
+              run_shape ~mode:queued_mode ~total shape p )
+      in
+      {
+        sh_label = shape_label shape;
+        sh_basic = b;
+        sh_queued = q;
+        sh_basic_bpc = float_of_int total /. float_of_int b;
+        sh_queued_bpc = float_of_int total /. float_of_int q;
+        sh_basic_pct = 100.0 *. float_of_int basic_contig /. float_of_int b;
+        sh_queued_pct = 100.0 *. float_of_int queued_contig /. float_of_int q;
+      })
+    cases
+
+let transfer_shapes ?(total = 8192) ?(cases = default_shape_cases) () =
+  shapes_core ~total ~cases (probe ())
+
+let report_shapes ?(total = 8192) ?(cases = default_shape_cases) () =
+  let p = probe () in
+  let rows = shapes_core ~total ~cases p in
+  Report.make ~id:"e15_shapes"
+    ~title:
+      (Printf.sprintf
+         "E15: bandwidth vs transfer shape at %d total bytes (descriptor \
+          overhead)"
+         total)
+    ~meta:[ ("total_bytes", vi total) ]
+    ~columns:
+      [
+        ("shape", "shape");
+        ("basic_cycles", "basic");
+        ("queued_cycles", "queued");
+        ("basic_bpc", "B/cyc basic");
+        ("queued_bpc", "B/cyc queued");
+        ("basic_pct", "% of contig (basic)");
+        ("queued_pct", "% of contig (queued)");
+      ]
+    ~breakdown:(breakdown p)
+    (List.map
+       (fun r ->
+         [
+           ("shape", vs r.sh_label);
+           ("basic_cycles", vi r.sh_basic);
+           ("queued_cycles", vi r.sh_queued);
+           ("basic_bpc", vf r.sh_basic_bpc);
+           ("queued_bpc", vf r.sh_queued_bpc);
+           ("basic_pct", vf r.sh_basic_pct);
+           ("queued_pct", vf r.sh_queued_pct);
+         ])
+       rows)
+
+(* ------------------------------------------------------------------ *)
 (* drivers                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1528,6 +1717,17 @@ let experiments =
           if quick then
             [ report_tenants ~tenant_counts:[ 8; 256 ] ~ops:4000 ~seed () ]
           else [ report_tenants ~seed () ]);
+    };
+    {
+      exp_name = "shapes";
+      exp_alias = "e15";
+      exp_doc =
+        "E15: bandwidth vs transfer shape — contiguous vs strided vs \
+         scatter-gather at equal total bytes.";
+      exp_run =
+        (fun ~quick ~seed:_ ->
+          if quick then [ report_shapes ~cases:quick_shape_cases () ]
+          else [ report_shapes () ]);
     };
   ]
 

@@ -245,6 +245,45 @@ val report_tenants :
     rows differ only in protection-path costs. Deterministic under
     [seed]. *)
 
+(** {1 E15: bandwidth vs transfer shape} *)
+
+type shape_case =
+  | Shape_contig
+  | Shape_strided of int
+      (** source reads 64 bytes every [64 * factor]; destination packs
+          densely *)
+  | Shape_sg of int
+      (** total destination elements across the whole transfer,
+          scattered within each initiation's device page *)
+
+type shape_row = {
+  sh_label : string;
+  sh_basic : int;        (** end-to-end user cycles, basic hardware *)
+  sh_queued : int;       (** same, queued hardware (depth 8) *)
+  sh_basic_bpc : float;  (** bytes per cycle *)
+  sh_queued_bpc : float;
+  sh_basic_pct : float;  (** bandwidth as % of contiguous, same mode *)
+  sh_queued_pct : float;
+}
+
+val default_shape_cases : shape_case list
+(** Contiguous, stride factors 2..64, SG 2..256 elements. *)
+
+val quick_shape_cases : shape_case list
+(** The 5-case subset CI anchors check. *)
+
+val transfer_shapes :
+  ?total:int -> ?cases:shape_case list -> unit -> shape_row list
+
+val report_shapes : ?total:int -> ?cases:shape_case list -> unit -> Report.t
+(** Move [total] (default 8192) bytes to the device in every shape, on
+    basic and queued hardware: per-shape end-to-end cycles, bytes per
+    cycle and bandwidth relative to the contiguous transfer of the same
+    mode. Strided and scatter-gather shapes go through shaped
+    initiations ({!Udma.Initiator.start_shaped}); the descriptor-fetch
+    and per-element burst-setup costs produce the overhead knee as
+    element count rises at fixed total bytes. *)
+
 (** {1 Driver} *)
 
 type experiment = {

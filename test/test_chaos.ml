@@ -132,6 +132,7 @@ let test_mesh_generator_coverage () =
   let multi_vc = ref 0 and finite = ref 0 and unlimited = ref 0 in
   let squeeze = ref 0 and squeeze_tight = ref 0 in
   let rogue = ref 0 and revoke = ref 0 and backend_send = ref 0 in
+  let shaped = ref 0 in
   for seed = 0 to mesh_seeds - 1 do
     let p = Chaos.mesh_plan_of_seed seed in
     let setup = p.Chaos.mesh_setup in
@@ -164,6 +165,7 @@ let test_mesh_generator_coverage () =
         | Chaos.M_rogue_tenant _ -> incr rogue
         | Chaos.M_revoke _ -> incr revoke
         | Chaos.M_backend_send _ -> incr backend_send
+        | Chaos.M_shaped_send _ -> incr shaped
         | _ -> ())
       p.Chaos.mesh_actions
   done;
@@ -182,7 +184,8 @@ let test_mesh_generator_coverage () =
   Alcotest.(check bool) "rogue-tenant probes generated" true (!rogue > 0);
   Alcotest.(check bool) "revocations generated" true (!revoke > 0);
   Alcotest.(check bool) "authorized backend sends generated" true
-    (!backend_send > 0)
+    (!backend_send > 0);
+  Alcotest.(check bool) "shaped sends generated" true (!shaped > 0)
 
 (* ---------- determinism of the generator ---------- *)
 
@@ -238,6 +241,11 @@ let () =
              (P2 -> I5)"
             `Quick
             (test_mesh_mutation ~check_name:true ~expect_name:"I5" `P2);
+          Alcotest.test_case
+            "mesh mutation: skipping the per-element page clamp reaches \
+             unauthorized frames (D1 -> I4)"
+            `Quick
+            (test_mesh_mutation ~check_name:true ~expect_name:"I4" `D1);
           Alcotest.test_case "mesh generator covers faults + policies" `Quick
             test_mesh_generator_coverage;
         ] );

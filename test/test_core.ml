@@ -59,8 +59,10 @@ let test_status_validation () =
 
 (* ---------- State machine: exhaustive Figure 5 ---------- *)
 
-let dest = Sm.{ dest_proxy = 0x1000; dest_space = Dev_space; nbytes = 64 }
-let dest2 = Sm.{ dest_proxy = 0x2000; dest_space = Dev_space; nbytes = 128 }
+let dest =
+  Sm.{ dest_proxy = 0x1000; dest_space = Dev_space; nbytes = 64; shape = Flat }
+let dest2 =
+  Sm.{ dest_proxy = 0x2000; dest_space = Dev_space; nbytes = 128; shape = Flat }
 
 let transferring =
   Sm.Transferring { src_proxy = 0x9000; src_space = Sm.Mem_space; dest }
@@ -159,14 +161,201 @@ let test_sm_done () =
   Alcotest.check sm_t "destloaded stays" (Sm.Dest_loaded dest) s;
   Alcotest.check action_t "no-op" Sm.No_action a
 
+(* ---------- shape words (strided / scatter-gather refinement) ---------- *)
+
+let strided_word = Sm.encode_strided_word ~stride:512 ~chunk:64
+let sg_word len = Sm.encode_sg_word ~len
+
+let test_shape_word_roundtrip () =
+  (match Sm.decode_shape_word strided_word with
+  | Some (`Strided (s, c)) ->
+      checki "stride" 512 s;
+      checki "chunk" 64 c
+  | _ -> Alcotest.fail "strided word did not decode");
+  (match Sm.decode_shape_word (sg_word 256) with
+  | Some (`Sg l) -> checki "len" 256 l
+  | _ -> Alcotest.fail "sg word did not decode");
+  (* extremes of the field widths *)
+  (match
+     Sm.decode_shape_word
+       (Sm.encode_strided_word ~stride:Sm.max_stride ~chunk:Sm.max_shape_field)
+   with
+  | Some (`Strided (s, c)) ->
+      checki "max stride" Sm.max_stride s;
+      checki "max chunk" Sm.max_shape_field c
+  | _ -> Alcotest.fail "max strided word did not decode");
+  (* plain counts and garbage are not shape words *)
+  checkb "plain count" false (Sm.is_shape_word 4096);
+  checkb "negative" false (Sm.is_shape_word (-1));
+  checkb "zero" false (Sm.is_shape_word 0);
+  checkb "tagged" true (Sm.is_shape_word strided_word);
+  checkb "plain value decodes to None" true
+    (Sm.decode_shape_word 4096 = None)
+
+let test_shape_word_encode_validation () =
+  let rejects f = try ignore (f ()); false with Invalid_argument _ -> true in
+  checkb "oversized stride" true
+    (rejects (fun () ->
+         Sm.encode_strided_word ~stride:(Sm.max_stride + 1) ~chunk:64));
+  checkb "oversized chunk" true
+    (rejects (fun () ->
+         Sm.encode_strided_word ~stride:64 ~chunk:(Sm.max_shape_field + 1)));
+  checkb "nonpositive chunk" true
+    (rejects (fun () -> Sm.encode_strided_word ~stride:64 ~chunk:0));
+  checkb "oversized sg len" true
+    (rejects (fun () -> Sm.encode_sg_word ~len:(Sm.max_shape_field + 1)));
+  checkb "nonpositive sg len" true
+    (rejects (fun () -> Sm.encode_sg_word ~len:0))
+
+let test_sm_shape_word_in_idle () =
+  (* no destination to refine: protocol violation, machine stays idle *)
+  let s, a =
+    Sm.step Sm.Idle
+      (Sm.Store { proxy = 0x1000; space = Sm.Dev_space; value = strided_word })
+  in
+  Alcotest.check sm_t "stays idle" Sm.Idle s;
+  Alcotest.check action_t "inval" Sm.Invalidated a
+
+let test_sm_strided_latch () =
+  let s, a =
+    Sm.step (Sm.Dest_loaded dest)
+      (Sm.Store { proxy = 0x1000; space = Sm.Dev_space; value = strided_word })
+  in
+  Alcotest.check sm_t "shape refined"
+    (Sm.Dest_loaded { dest with Sm.shape = Sm.Strided { stride = 512; chunk = 64 } })
+    s;
+  Alcotest.check action_t "latched" Sm.Latch_shape a;
+  (* a second strided word overwrites the first *)
+  let s2, a2 =
+    Sm.step s
+      (Sm.Store
+         { proxy = 0x1000; space = Sm.Dev_space;
+           value = Sm.encode_strided_word ~stride:256 ~chunk:32 })
+  in
+  Alcotest.check sm_t "refinement overwritten"
+    (Sm.Dest_loaded { dest with Sm.shape = Sm.Strided { stride = 256; chunk = 32 } })
+    s2;
+  Alcotest.check action_t "latched again" Sm.Latch_shape a2
+
+let test_sm_strided_wrong_ref_invalidates () =
+  (* a strided word must re-reference the latched destination proxy *)
+  let s, a =
+    Sm.step (Sm.Dest_loaded dest)
+      (Sm.Store { proxy = 0x2000; space = Sm.Dev_space; value = strided_word })
+  in
+  Alcotest.check sm_t "wrong proxy resets" Sm.Idle s;
+  Alcotest.check action_t "inval" Sm.Invalidated a;
+  let s, a =
+    Sm.step (Sm.Dest_loaded dest)
+      (Sm.Store { proxy = 0x1000; space = Sm.Mem_space; value = strided_word })
+  in
+  Alcotest.check sm_t "wrong space resets" Sm.Idle s;
+  Alcotest.check action_t "inval" Sm.Invalidated a
+
+let test_sm_sg_latch () =
+  (* each sg word names a fresh proxy in the destination space and
+     appends an element, latest first *)
+  let s, a =
+    Sm.step (Sm.Dest_loaded dest)
+      (Sm.Store { proxy = 0x1100; space = Sm.Dev_space; value = sg_word 16 })
+  in
+  Alcotest.check sm_t "first element"
+    (Sm.Dest_loaded
+       { dest with Sm.shape = Sm.Gather { rev_elems = [ (0x1100, 16) ] } })
+    s;
+  Alcotest.check action_t "latched" Sm.Latch_shape a;
+  let s2, a2 =
+    Sm.step s
+      (Sm.Store { proxy = 0x1200; space = Sm.Dev_space; value = sg_word 32 })
+  in
+  Alcotest.check sm_t "second element prepends"
+    (Sm.Dest_loaded
+       { dest with
+         Sm.shape = Sm.Gather { rev_elems = [ (0x1200, 32); (0x1100, 16) ] } })
+    s2;
+  Alcotest.check action_t "latched" Sm.Latch_shape a2;
+  (* an sg element outside the destination space is a violation *)
+  let s3, a3 =
+    Sm.step s
+      (Sm.Store { proxy = 0x1200; space = Sm.Mem_space; value = sg_word 32 })
+  in
+  Alcotest.check sm_t "wrong space resets" Sm.Idle s3;
+  Alcotest.check action_t "inval" Sm.Invalidated a3
+
+let test_sm_shape_mixing_invalidates () =
+  let strided_dest =
+    Sm.Dest_loaded
+      { dest with Sm.shape = Sm.Strided { stride = 512; chunk = 64 } }
+  in
+  let s, a =
+    Sm.step strided_dest
+      (Sm.Store { proxy = 0x1100; space = Sm.Dev_space; value = sg_word 16 })
+  in
+  Alcotest.check sm_t "sg after strided resets" Sm.Idle s;
+  Alcotest.check action_t "inval" Sm.Invalidated a;
+  let gather_dest =
+    Sm.Dest_loaded
+      { dest with Sm.shape = Sm.Gather { rev_elems = [ (0x1100, 16) ] } }
+  in
+  let s, a =
+    Sm.step gather_dest
+      (Sm.Store { proxy = 0x1000; space = Sm.Dev_space; value = strided_word })
+  in
+  Alcotest.check sm_t "strided after sg resets" Sm.Idle s;
+  Alcotest.check action_t "inval" Sm.Invalidated a
+
+let test_sm_plain_store_resets_shape () =
+  (* re-storing a plain count overwrites DESTINATION/COUNT and drops
+     any latched refinement — a re-paired initiation must re-issue its
+     shape words *)
+  let shaped =
+    Sm.Dest_loaded
+      { dest with Sm.shape = Sm.Strided { stride = 512; chunk = 64 } }
+  in
+  let s, a =
+    Sm.step shaped
+      (Sm.Store { proxy = 0x2000; space = Sm.Dev_space; value = 128 })
+  in
+  Alcotest.check sm_t "shape reset to flat" (Sm.Dest_loaded dest2) s;
+  Alcotest.check action_t "plain latch" Sm.Latch_dest a
+
+let test_sm_shaped_load_starts () =
+  (* the completing LOAD carries the refinement into Transferring *)
+  let shaped_dest =
+    { dest with Sm.shape = Sm.Strided { stride = 512; chunk = 64 } }
+  in
+  let s, a =
+    Sm.step (Sm.Dest_loaded shaped_dest)
+      (Sm.Load { proxy = 0x9000; space = Sm.Mem_space })
+  in
+  Alcotest.check sm_t "transferring with shape"
+    (Sm.Transferring
+       { src_proxy = 0x9000; src_space = Sm.Mem_space; dest = shaped_dest })
+    s;
+  Alcotest.check action_t "start carries shape"
+    (Sm.Start { src_proxy = 0x9000; src_space = Sm.Mem_space; dest = shaped_dest })
+    a
+
 let test_sm_totality () =
   (* every (state, event) pair steps without raising *)
-  let states = [ Sm.Idle; Sm.Dest_loaded dest; transferring ] in
+  let states =
+    [
+      Sm.Idle;
+      Sm.Dest_loaded dest;
+      Sm.Dest_loaded
+        { dest with Sm.shape = Sm.Strided { stride = 512; chunk = 64 } };
+      Sm.Dest_loaded
+        { dest with Sm.shape = Sm.Gather { rev_elems = [ (0x1100, 16) ] } };
+      transferring;
+    ]
+  in
   let events =
     [
       Sm.Store { proxy = 0x1000; space = Sm.Dev_space; value = 8 };
       Sm.Store { proxy = 0x1000; space = Sm.Mem_space; value = 8 };
       Sm.Store { proxy = 0x1000; space = Sm.Dev_space; value = -1 };
+      Sm.Store { proxy = 0x1000; space = Sm.Dev_space; value = strided_word };
+      Sm.Store { proxy = 0x1100; space = Sm.Dev_space; value = sg_word 16 };
       Sm.Load { proxy = 0x1000; space = Sm.Dev_space };
       Sm.Load { proxy = 0x1000; space = Sm.Mem_space };
       Sm.Done;
@@ -175,7 +364,7 @@ let test_sm_totality () =
   List.iter
     (fun s -> List.iter (fun e -> ignore (Sm.step s e)) events)
     states;
-  checki "pairs exercised" 18 (List.length states * List.length events)
+  checki "pairs exercised" 40 (List.length states * List.length events)
 
 (* ---------- Udma_engine at the physical level ---------- *)
 
@@ -526,6 +715,26 @@ let () =
             test_sm_transferring_load_probes;
           Alcotest.test_case "done" `Quick test_sm_done;
           Alcotest.test_case "totality" `Quick test_sm_totality;
+        ] );
+      ( "shape-words",
+        [
+          Alcotest.test_case "encode/decode roundtrip" `Quick
+            test_shape_word_roundtrip;
+          Alcotest.test_case "encode validation" `Quick
+            test_shape_word_encode_validation;
+          Alcotest.test_case "shape word in idle invalidates" `Quick
+            test_sm_shape_word_in_idle;
+          Alcotest.test_case "strided word refines dest" `Quick
+            test_sm_strided_latch;
+          Alcotest.test_case "strided word must re-reference dest" `Quick
+            test_sm_strided_wrong_ref_invalidates;
+          Alcotest.test_case "sg words append elements" `Quick test_sm_sg_latch;
+          Alcotest.test_case "mixing strided and sg invalidates" `Quick
+            test_sm_shape_mixing_invalidates;
+          Alcotest.test_case "plain re-store resets shape" `Quick
+            test_sm_plain_store_resets_shape;
+          Alcotest.test_case "load carries shape into transfer" `Quick
+            test_sm_shaped_load_starts;
         ] );
       ( "engine-basic",
         [

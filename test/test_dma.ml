@@ -1,10 +1,13 @@
-(* Unit tests for the bus and the traditional DMA controller (paper
-   section 2, Figure 1). *)
+(* Unit tests for the bus and the modular DMA controller (paper
+   section 2, Figure 1; frontend/midend/backend split). *)
 
 module Engine = Udma_sim.Engine
 module Phys_mem = Udma_memory.Phys_mem
 module Bus = Udma_dma.Bus
 module Device = Udma_dma.Device
+module Descriptor = Udma_dma.Descriptor
+module Frontend = Udma_dma.Frontend
+module Midend = Udma_dma.Midend
 module Dma_engine = Udma_dma.Dma_engine
 
 let checki = Alcotest.check Alcotest.int
@@ -16,6 +19,10 @@ let rig () =
   let bus = Bus.create mem in
   let dma = Dma_engine.create ~engine ~bus () in
   (engine, mem, bus, dma)
+
+let contiguous ~src ~dst ~nbytes = Descriptor.Contiguous { src; dst; nbytes }
+
+let submit dma desc ~on_complete = Dma_engine.submit dma desc ~on_complete
 
 (* ---------- Bus ---------- *)
 
@@ -87,7 +94,7 @@ let test_device_null () =
     (port.Device.dev_read ~addr:0 ~len:4);
   checki "free" 0 (port.Device.access_cycles ~addr:0 ~len:4096)
 
-(* ---------- Dma_engine ---------- *)
+(* ---------- Dma_engine: contiguous descriptors ---------- *)
 
 let test_dma_mem_to_dev () =
   let engine, mem, _, dma = rig () in
@@ -95,12 +102,13 @@ let test_dma_mem_to_dev () =
   Phys_mem.write_bytes mem ~addr:100 (Bytes.of_string "payload!");
   let done_at = ref (-1) in
   (match
-     Dma_engine.start dma ~src:(Dma_engine.Mem 100)
-       ~dst:(Dma_engine.Dev (port, 20)) ~nbytes:8
+     submit dma
+       (contiguous ~src:(Dma_engine.Mem 100)
+          ~dst:(Dma_engine.Dev (port, 20)) ~nbytes:8)
        ~on_complete:(fun () -> done_at := Engine.now engine)
    with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "start failed: %a" Dma_engine.pp_error e);
+  | Error e -> Alcotest.failf "submit failed: %a" Dma_engine.pp_error e);
   checkb "busy during transfer" true (Dma_engine.busy dma);
   checkb "data not yet moved" true (Bytes.get store 20 = '\000');
   Engine.run_until_idle engine;
@@ -114,11 +122,13 @@ let test_dma_dev_to_mem () =
   let port, store = Device.buffer "d" ~size:4096 in
   Bytes.blit_string "incoming" 0 store 0 8;
   (match
-     Dma_engine.start dma ~src:(Dma_engine.Dev (port, 0))
-       ~dst:(Dma_engine.Mem 500) ~nbytes:8 ~on_complete:ignore
+     submit dma
+       (contiguous ~src:(Dma_engine.Dev (port, 0)) ~dst:(Dma_engine.Mem 500)
+          ~nbytes:8)
+       ~on_complete:ignore
    with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "start failed: %a" Dma_engine.pp_error e);
+  | Error e -> Alcotest.failf "submit failed: %a" Dma_engine.pp_error e);
   Engine.run_until_idle engine;
   Alcotest.check Alcotest.string "moved" "incoming"
     (Bytes.to_string (Phys_mem.read_bytes mem ~addr:500 ~len:8))
@@ -127,55 +137,70 @@ let test_dma_busy_rejected () =
   let _, _, _, dma = rig () in
   let port = Device.null "d" in
   ignore
-    (Dma_engine.start dma ~src:(Dma_engine.Mem 0)
-       ~dst:(Dma_engine.Dev (port, 0)) ~nbytes:64 ~on_complete:ignore);
-  checkb "second start refused" true
-    (Dma_engine.start dma ~src:(Dma_engine.Mem 0)
-       ~dst:(Dma_engine.Dev (port, 0)) ~nbytes:64 ~on_complete:ignore
+    (submit dma
+       (contiguous ~src:(Dma_engine.Mem 0) ~dst:(Dma_engine.Dev (port, 0))
+          ~nbytes:64)
+       ~on_complete:ignore);
+  checkb "second submit refused" true
+    (submit dma
+       (contiguous ~src:(Dma_engine.Mem 0) ~dst:(Dma_engine.Dev (port, 0))
+          ~nbytes:64)
+       ~on_complete:ignore
      = Error Dma_engine.Busy)
 
 let test_dma_unsupported_pairs () =
   let _, _, _, dma = rig () in
   let port = Device.null "d" in
   checkb "mem to mem" true
-    (Dma_engine.start dma ~src:(Dma_engine.Mem 0) ~dst:(Dma_engine.Mem 64)
-       ~nbytes:8 ~on_complete:ignore
+    (submit dma
+       (contiguous ~src:(Dma_engine.Mem 0) ~dst:(Dma_engine.Mem 64) ~nbytes:8)
+       ~on_complete:ignore
      = Error Dma_engine.Unsupported_pair);
   checkb "dev to dev" true
-    (Dma_engine.start dma
-       ~src:(Dma_engine.Dev (port, 0))
-       ~dst:(Dma_engine.Dev (port, 64))
-       ~nbytes:8 ~on_complete:ignore
+    (submit dma
+       (contiguous
+          ~src:(Dma_engine.Dev (port, 0))
+          ~dst:(Dma_engine.Dev (port, 64))
+          ~nbytes:8)
+       ~on_complete:ignore
      = Error Dma_engine.Unsupported_pair)
 
 let test_dma_bad_sizes () =
   let _, _, _, dma = rig () in
   let port = Device.null "d" in
   checkb "zero" true
-    (Dma_engine.start dma ~src:(Dma_engine.Mem 0)
-       ~dst:(Dma_engine.Dev (port, 0)) ~nbytes:0 ~on_complete:ignore
+    (submit dma
+       (contiguous ~src:(Dma_engine.Mem 0) ~dst:(Dma_engine.Dev (port, 0))
+          ~nbytes:0)
+       ~on_complete:ignore
      = Error Dma_engine.Bad_size);
   checkb "memory overrun" true
-    (Dma_engine.start dma
-       ~src:(Dma_engine.Mem (8 * 4096 - 4))
-       ~dst:(Dma_engine.Dev (port, 0)) ~nbytes:64 ~on_complete:ignore
+    (submit dma
+       (contiguous
+          ~src:(Dma_engine.Mem (8 * 4096 - 4))
+          ~dst:(Dma_engine.Dev (port, 0)) ~nbytes:64)
+       ~on_complete:ignore
      = Error Dma_engine.Bad_size)
 
 let test_dma_device_refusal () =
   let _, _, _, dma = rig () in
   let port, _ = Device.buffer "d" ~size:64 in
   checkb "device refuses out-of-range dest" true
-    (Dma_engine.start dma ~src:(Dma_engine.Mem 0)
-       ~dst:(Dma_engine.Dev (port, 100))
-       ~nbytes:8 ~on_complete:ignore
+    (submit dma
+       (contiguous ~src:(Dma_engine.Mem 0)
+          ~dst:(Dma_engine.Dev (port, 100))
+          ~nbytes:8)
+       ~on_complete:ignore
      = Error Dma_engine.Device_refused)
 
 let test_dma_registers_and_remaining () =
   let engine, _, bus, dma = rig () in
   let port = Device.null "d" in
   ignore
-    (Dma_engine.start dma ~src:(Dma_engine.Mem 4096)
-       ~dst:(Dma_engine.Dev (port, 0)) ~nbytes:1024 ~on_complete:ignore);
+    (submit dma
+       (contiguous ~src:(Dma_engine.Mem 4096) ~dst:(Dma_engine.Dev (port, 0))
+          ~nbytes:1024)
+       ~on_complete:ignore);
   checki "count register" 1024 (Dma_engine.count dma);
   Alcotest.(check (option int)) "memory-side base" (Some 4096)
     (Dma_engine.transfer_base dma);
@@ -189,13 +214,33 @@ let test_dma_registers_and_remaining () =
   checki "zero when idle" 0 (Dma_engine.remaining_bytes dma);
   checki "count zero when idle" 0 (Dma_engine.count dma)
 
+let test_dma_remaining_burst_aware () =
+  let engine, _, bus, dma = rig () in
+  let port = Device.null "d" in
+  let timing = Bus.timing bus in
+  ignore
+    (submit dma
+       (contiguous ~src:(Dma_engine.Mem 0) ~dst:(Dma_engine.Dev (port, 0))
+          ~nbytes:256)
+       ~on_complete:ignore);
+  (* nothing moves during burst setup — the old linear estimate would
+     already report progress here *)
+  Engine.advance engine timing.Bus.burst_setup_cycles;
+  checki "no progress during setup" 256 (Dma_engine.remaining_bytes dma);
+  (* ten words into the data phase, exactly 40 bytes are on the wire *)
+  Engine.advance engine (10 * timing.Bus.burst_word_cycles);
+  checki "word-exact progress" (256 - 40) (Dma_engine.remaining_bytes dma);
+  Engine.run_until_idle engine
+
 let test_dma_page_in_flight () =
   let engine, _, _, dma = rig () in
   let port = Device.null "d" in
   ignore
-    (Dma_engine.start dma
-       ~src:(Dma_engine.Mem (2 * 4096 + 2048))
-       ~dst:(Dma_engine.Dev (port, 0)) ~nbytes:4096 ~on_complete:ignore);
+    (submit dma
+       (contiguous
+          ~src:(Dma_engine.Mem (2 * 4096 + 2048))
+          ~dst:(Dma_engine.Dev (port, 0)) ~nbytes:4096)
+       ~on_complete:ignore);
   checkb "first page busy" true (Dma_engine.mem_page_in_flight dma ~page_size:4096 2);
   checkb "straddled page busy" true
     (Dma_engine.mem_page_in_flight dma ~page_size:4096 3);
@@ -209,8 +254,9 @@ let test_dma_abort () =
   let port, store = Device.buffer "d" ~size:4096 in
   let completed = ref false in
   ignore
-    (Dma_engine.start dma ~src:(Dma_engine.Mem 0)
-       ~dst:(Dma_engine.Dev (port, 0)) ~nbytes:64
+    (submit dma
+       (contiguous ~src:(Dma_engine.Mem 0) ~dst:(Dma_engine.Dev (port, 0))
+          ~nbytes:64)
        ~on_complete:(fun () -> completed := true));
   checkb "abort succeeds" true (Dma_engine.abort dma);
   checkb "idle immediately" false (Dma_engine.busy dma);
@@ -224,8 +270,10 @@ let test_dma_counters () =
   let port = Device.null "d" in
   for _ = 1 to 3 do
     ignore
-      (Dma_engine.start dma ~src:(Dma_engine.Mem 0)
-         ~dst:(Dma_engine.Dev (port, 0)) ~nbytes:100 ~on_complete:ignore);
+      (submit dma
+         (contiguous ~src:(Dma_engine.Mem 0) ~dst:(Dma_engine.Dev (port, 0))
+            ~nbytes:100)
+         ~on_complete:ignore);
     Engine.run_until_idle engine
   done;
   checki "transfers" 3 (Dma_engine.transfers_completed dma);
@@ -238,12 +286,276 @@ let test_dma_device_latency_counts () =
   in
   let t0 = Engine.now engine in
   ignore
-    (Dma_engine.start dma ~src:(Dma_engine.Mem 0)
-       ~dst:(Dma_engine.Dev (slow, 0)) ~nbytes:64 ~on_complete:ignore);
+    (submit dma
+       (contiguous ~src:(Dma_engine.Mem 0) ~dst:(Dma_engine.Dev (slow, 0))
+          ~nbytes:64)
+       ~on_complete:ignore);
   Engine.run_until_idle engine;
   checki "device latency added"
     (Bus.dma_burst_cycles bus ~nbytes:64 + 5000)
     (Engine.now engine - t0)
+
+let test_dma_start_shim () =
+  (* the deprecated flat interface must behave exactly like a
+     Contiguous submit *)
+  let engine, mem, bus, dma = rig () in
+  let port, store = Device.buffer "d" ~size:4096 in
+  Phys_mem.write_bytes mem ~addr:0 (Bytes.of_string "via-shim");
+  let t0 = Engine.now engine in
+  (match
+     (Dma_engine.start [@warning "-3"]) dma ~src:(Dma_engine.Mem 0)
+       ~dst:(Dma_engine.Dev (port, 0)) ~nbytes:8 ~on_complete:ignore
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "shim failed: %a" Dma_engine.pp_error e);
+  Engine.run_until_idle engine;
+  Alcotest.check Alcotest.string "moved" "via-shim"
+    (Bytes.to_string (Bytes.sub store 0 8));
+  checki "flat cost unchanged"
+    (Bus.dma_burst_cycles bus ~nbytes:8)
+    (Engine.now engine - t0)
+
+(* ---------- Dma_engine: shaped descriptors ---------- *)
+
+let test_dma_strided () =
+  let engine, mem, _, dma = rig () in
+  let port, store = Device.buffer "d" ~size:4096 in
+  (* a 4x8 tile out of a 32-byte-pitch matrix *)
+  for row = 0 to 3 do
+    Phys_mem.write_bytes mem ~addr:(row * 32)
+      (Bytes.of_string (Printf.sprintf "row%dxxxx" row))
+  done;
+  (match
+     submit dma
+       (Descriptor.Strided
+          {
+            src = Dma_engine.Mem 0;
+            dst = Dma_engine.Dev (port, 0);
+            stride = 32;
+            chunk = 8;
+            reps = 4;
+          })
+       ~on_complete:ignore
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "submit failed: %a" Dma_engine.pp_error e);
+  checki "count is total" 32 (Dma_engine.count dma);
+  Engine.run_until_idle engine;
+  Alcotest.check Alcotest.string "rows packed densely"
+    "row0xxxxrow1xxxxrow2xxxxrow3xxxx"
+    (Bytes.to_string (Bytes.sub store 0 32))
+
+let test_dma_sg_overhead_monotone () =
+  (* equal total bytes, rising element count: duration must rise
+     strictly (per-descriptor fetch + setup), and one element must cost
+     exactly the contiguous price *)
+  let port = Device.null "d" in
+  let total = 4096 in
+  let run_with elems_n =
+    let engine, _, bus, dma = rig () in
+    let len = total / elems_n in
+    let elems =
+      List.init elems_n (fun i ->
+          Descriptor.
+            {
+              src = Dma_engine.Mem (i * len);
+              dst = Dma_engine.Dev (port, i * len);
+              len;
+            })
+    in
+    let t0 = Engine.now engine in
+    (match
+       submit dma (Descriptor.Scatter_gather elems) ~on_complete:ignore
+     with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "submit failed: %a" Dma_engine.pp_error e);
+    Engine.run_until_idle engine;
+    (Engine.now engine - t0, bus)
+  in
+  let d1, bus = run_with 1 in
+  checki "one element = contiguous cost" (Bus.dma_burst_cycles bus ~nbytes:total) d1;
+  let durations = List.map (fun n -> fst (run_with n)) [ 1; 4; 16; 64; 256 ] in
+  let rec strictly_rising = function
+    | a :: (b :: _ as rest) -> a < b && strictly_rising rest
+    | _ -> true
+  in
+  checkb "per-element overhead strictly rising" true (strictly_rising durations);
+  (* and the knee is the modelled cost: fetch + setup per extra element *)
+  let timing = Bus.timing bus in
+  let fetch = Midend.desc_fetch_cycles bus in
+  let d4 = List.nth durations 1 in
+  checki "4-element overhead = 3 x (fetch + setup)"
+    (3 * (fetch + timing.Bus.burst_setup_cycles))
+    (d4 - d1)
+
+let test_dma_sg_zero_length_rejected () =
+  let _, _, _, dma = rig () in
+  let port = Device.null "d" in
+  let elems =
+    [
+      Descriptor.{ src = Dma_engine.Mem 0; dst = Dma_engine.Dev (port, 0); len = 8 };
+      Descriptor.{ src = Dma_engine.Mem 64; dst = Dma_engine.Dev (port, 8); len = 0 };
+    ]
+  in
+  checkb "zero-length element rejected" true
+    (submit dma (Descriptor.Scatter_gather elems) ~on_complete:ignore
+     = Error Dma_engine.Bad_size);
+  checkb "empty list rejected" true
+    (submit dma (Descriptor.Scatter_gather []) ~on_complete:ignore
+     = Error Dma_engine.Bad_size)
+
+let test_dma_abort_mid_sg () =
+  let engine, mem, _, dma = rig () in
+  let port, store = Device.buffer "d" ~size:4096 in
+  Phys_mem.write_bytes mem ~addr:0 (Bytes.make 64 'a');
+  let completed = ref false in
+  let elems =
+    List.init 4 (fun i ->
+        Descriptor.
+          {
+            src = Dma_engine.Mem (i * 16);
+            dst = Dma_engine.Dev (port, i * 16);
+            len = 16;
+          })
+  in
+  (match
+     submit dma (Descriptor.Scatter_gather elems)
+       ~on_complete:(fun () -> completed := true)
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "submit failed: %a" Dma_engine.pp_error e);
+  (* advance past the first two elements' bursts, then abort: the
+     deposit is atomic at completion, so nothing may have landed *)
+  let elapsed =
+    match Dma_engine.descriptor dma with
+    | Some d -> Descriptor.total_bytes d (* just a sanity poke *)
+    | None -> 0
+  in
+  checki "descriptor visible" 64 elapsed;
+  Engine.advance engine 100;
+  checkb "still busy mid-list" true (Dma_engine.busy dma);
+  checkb "abort mid-list succeeds" true (Dma_engine.abort dma);
+  Engine.run_until_idle engine;
+  checkb "no completion" false !completed;
+  checkb "no partial data" true
+    (Bytes.for_all (fun c -> c = '\000') (Bytes.sub store 0 64));
+  checki "nothing counted" 0 (Dma_engine.bytes_moved dma)
+
+let test_dma_sg_pages_in_flight () =
+  let engine, _, _, dma = rig () in
+  let port = Device.null "d" in
+  let elems =
+    [
+      Descriptor.{ src = Dma_engine.Mem 0; dst = Dma_engine.Dev (port, 0); len = 8 };
+      Descriptor.
+        { src = Dma_engine.Mem (5 * 4096); dst = Dma_engine.Dev (port, 8); len = 8 };
+    ]
+  in
+  ignore (submit dma (Descriptor.Scatter_gather elems) ~on_complete:ignore);
+  checkb "first element's page busy" true
+    (Dma_engine.mem_page_in_flight dma ~page_size:4096 0);
+  checkb "second element's page busy" true
+    (Dma_engine.mem_page_in_flight dma ~page_size:4096 5);
+  checkb "untouched page free" false
+    (Dma_engine.mem_page_in_flight dma ~page_size:4096 3);
+  Engine.run_until_idle engine
+
+(* ---------- qcheck: descriptor vs naive memcpy oracle ---------- *)
+
+let mem_bytes = 8 * 4096
+let dev_size = 4096
+
+let gen_descriptor =
+  let open QCheck.Gen in
+  let addr max_len = int_range 0 (mem_bytes - max_len) in
+  let dev_addr max_len = int_range 0 (dev_size - max_len) in
+  let gen_sg =
+    let* n = int_range 1 8 in
+    let* elems =
+      list_repeat n
+        (let* len = int_range 1 64 in
+         let* s = addr len in
+         let* d = dev_addr len in
+         return (s, d, len))
+    in
+    return (`Sg elems)
+  in
+  let gen_strided =
+    let* chunk = int_range 1 32 in
+    let* reps = int_range 1 8 in
+    let* stride = int_range chunk 128 in
+    let span = ((reps - 1) * stride) + chunk in
+    let* s = int_range 0 (mem_bytes - span) in
+    let* d = dev_addr (reps * chunk) in
+    return (`Strided (s, d, stride, chunk, reps))
+  in
+  let gen_contig =
+    let* len = int_range 1 512 in
+    let* s = addr len in
+    let* d = dev_addr len in
+    return (`Contig (s, d, len))
+  in
+  frequency [ (2, gen_contig); (2, gen_strided); (3, gen_sg) ]
+
+let shape_to_descriptor port = function
+  | `Contig (s, d, len) ->
+      Descriptor.Contiguous
+        { src = Dma_engine.Mem s; dst = Dma_engine.Dev (port, d); nbytes = len }
+  | `Strided (s, d, stride, chunk, reps) ->
+      Descriptor.Strided
+        {
+          src = Dma_engine.Mem s;
+          dst = Dma_engine.Dev (port, d);
+          stride;
+          chunk;
+          reps;
+        }
+  | `Sg elems ->
+      Descriptor.Scatter_gather
+        (List.map
+           (fun (s, d, len) ->
+             Descriptor.
+               { src = Dma_engine.Mem s; dst = Dma_engine.Dev (port, d); len })
+           elems)
+
+(* the naive oracle: apply each element as a memcpy, in order *)
+let oracle_apply ~mem_img ~dev_img desc =
+  List.iter
+    (fun (e : Descriptor.element) ->
+      match (e.src, e.dst) with
+      | Dma_engine.Mem s, Dma_engine.Dev (_, d) ->
+          Bytes.blit mem_img s dev_img d e.len
+      | _ -> assert false)
+    (Descriptor.elements desc)
+
+let prop_descriptor_matches_oracle =
+  QCheck.Test.make ~count:300 ~name:"descriptor moves = memcpy oracle"
+    (QCheck.make gen_descriptor)
+    (fun shape ->
+      let engine, mem, _, dma = rig () in
+      let port, store = Device.buffer "d" ~size:dev_size in
+      (* deterministic pseudo-random memory image *)
+      let mem_img =
+        Bytes.init mem_bytes (fun i -> Char.chr ((i * 131) land 0xff))
+      in
+      Phys_mem.write_bytes mem ~addr:0 mem_img;
+      let desc = shape_to_descriptor port shape in
+      let total = Descriptor.total_bytes desc in
+      match Dma_engine.submit dma desc ~on_complete:ignore with
+      | Error e ->
+          QCheck.Test.fail_reportf "refused valid descriptor: %a"
+            Dma_engine.pp_error e
+      | Ok () ->
+          Engine.run_until_idle engine;
+          let dev_img = Bytes.make dev_size '\000' in
+          oracle_apply ~mem_img ~dev_img desc;
+          Bytes.equal dev_img store
+          && Dma_engine.bytes_moved dma = total
+          && total
+             = List.fold_left
+                 (fun acc (e : Descriptor.element) -> acc + e.len)
+                 0
+                 (Descriptor.elements desc))
 
 let () =
   Alcotest.run "udma_dma"
@@ -271,9 +583,24 @@ let () =
           Alcotest.test_case "device refusal" `Quick test_dma_device_refusal;
           Alcotest.test_case "registers + remaining" `Quick
             test_dma_registers_and_remaining;
+          Alcotest.test_case "remaining is burst-aware" `Quick
+            test_dma_remaining_burst_aware;
           Alcotest.test_case "page in flight" `Quick test_dma_page_in_flight;
           Alcotest.test_case "abort" `Quick test_dma_abort;
           Alcotest.test_case "counters" `Quick test_dma_counters;
           Alcotest.test_case "device latency" `Quick test_dma_device_latency_counts;
+          Alcotest.test_case "deprecated start shim" `Quick test_dma_start_shim;
+        ] );
+      ( "descriptors",
+        [
+          Alcotest.test_case "strided tile" `Quick test_dma_strided;
+          Alcotest.test_case "sg overhead monotone" `Quick
+            test_dma_sg_overhead_monotone;
+          Alcotest.test_case "zero-length rejected" `Quick
+            test_dma_sg_zero_length_rejected;
+          Alcotest.test_case "abort mid-sg" `Quick test_dma_abort_mid_sg;
+          Alcotest.test_case "sg pages in flight" `Quick
+            test_dma_sg_pages_in_flight;
+          QCheck_alcotest.to_alcotest prop_descriptor_matches_oracle;
         ] );
     ]
