@@ -8,7 +8,8 @@
    4 KB, E2 initiation cycles, E11 saturation knee, E12 per-policy
    transpose knees, E13 hotspot knees at 1 and 4 VCs, E14 per-backend
    initiation p50 at 8 tenants and p99 at 256, E15 contiguous and
-   SG-256 bytes-per-cycle) against a previously
+   SG-256 bytes-per-cycle, E16 KV and RPC request p99 at load 0.8)
+   against a previously
    committed baseline, failing on >±2 % drift — that is the CI
    regression gate. *)
 
@@ -74,6 +75,11 @@ let bech_tests =
              (Runner.transfer_shapes
                 ~cases:[ Runner.Shape_contig; Runner.Shape_sg 16 ]
                 ())));
+    Test.make ~name:"e16_apps_point"
+      (Staged.stage (fun () ->
+           ignore
+             (Runner.report_kv ~loads:[ 0.5 ] ~nodes:4
+                ~window_cycles:10_000 ())));
   ]
 
 let run_bechamel () =
@@ -195,6 +201,9 @@ let anchors_of_reports reports =
     report_value reports ~id:"e15_shapes" (fun rows ->
         row_with_str "shape" shape rows field)
   in
+  let e16 id load =
+    report_value reports ~id (fun rows -> row_where "load" load rows "p99")
+  in
   [
     ("e1.pct_of_max@512B", e1 512.0);
     ("e1.pct_of_max@4KB", e1 4096.0);
@@ -214,6 +223,8 @@ let anchors_of_reports reports =
     ("e15.bpc@contig.basic", e15 "contig" "basic_bpc");
     ("e15.bpc@sg256.basic", e15 "sg256" "basic_bpc");
     ("e15.pct@sg256.basic", e15 "sg256" "basic_pct");
+    ("e16.kv_p99@0.8", e16 "e16_kv" 0.8);
+    ("e16.rpc_p99@0.8", e16 "e16_rpc" 0.8);
   ]
 
 let json_rows_of_experiment doc ~id =
@@ -313,6 +324,15 @@ let anchors_of_baseline doc =
             | _ -> None)
           rows)
   in
+  let e16 id load =
+    Option.bind (json_rows_of_experiment doc ~id) (fun rows ->
+        List.find_map
+          (fun row ->
+            match json_row_num "load" row with
+            | Some v when v = load -> json_row_num "p99" row
+            | _ -> None)
+          rows)
+  in
   [
     ("e1.pct_of_max@512B", e1 512.0);
     ("e1.pct_of_max@4KB", e1 4096.0);
@@ -332,6 +352,8 @@ let anchors_of_baseline doc =
     ("e15.bpc@contig.basic", e15 "contig" "basic_bpc");
     ("e15.bpc@sg256.basic", e15 "sg256" "basic_bpc");
     ("e15.pct@sg256.basic", e15 "sg256" "basic_pct");
+    ("e16.kv_p99@0.8", e16 "e16_kv" 0.8);
+    ("e16.rpc_p99@0.8", e16 "e16_rpc" 0.8);
   ]
 
 let check_anchors reports ~baseline_file =

@@ -431,6 +431,140 @@ let shapes_term =
   Term.(
     const run $ common_term $ quick $ shape_kinds $ strides $ sg_elems $ total)
 
+let apps_term =
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Use the small deterministic CI parameter set.")
+  in
+  let app_sel =
+    Arg.(
+      value
+      & opt (some (enum [ ("kv", `Kv); ("halo", `Halo); ("rpc", `Rpc) ])) None
+      & info [ "app" ] ~docv:"APP"
+          ~doc:
+            "Run one application: $(b,kv) (sharded key-value store), \
+             $(b,halo) (halo-exchange collective) or $(b,rpc) (bursty \
+             request-response service). Default: all three, plus the KV \
+             VC-contrast table.")
+  in
+  let nodes =
+    Arg.(
+      value & opt int 16
+      & info [ "nodes" ] ~docv:"N"
+          ~doc:
+            "Mesh size, 2..64, filling complete rows of the squarest \
+             covering mesh (4, 6, 9, 12, 16, ...).")
+  in
+  let shards =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"KV server shards, on nodes 0..N-1 (default: one per node).")
+  in
+  let value_bytes =
+    Arg.(
+      value & opt int 2048
+      & info [ "value-bytes" ] ~docv:"BYTES"
+          ~doc:"KV value size; a 4-byte multiple (requests must still fit \
+                one page).")
+  in
+  let slo =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slo" ] ~docv:"MULT"
+          ~doc:
+            "SLO multiple: the knee is the first sustained load whose p99 \
+             exceeds MULT times the lightest load's p50 (default 5.0).")
+  in
+  let loads =
+    Arg.(
+      value
+      & opt (some (list float)) None
+      & info [ "loads" ] ~docv:"L,..."
+          ~doc:
+            "Offered loads to sweep (halo caps at 1.0; applied to the halo \
+             sweep only with an explicit $(b,--app) halo).")
+  in
+  let vcs =
+    Arg.(
+      value & opt int 1
+      & info [ "vcs" ] ~docv:"N"
+          ~doc:"Virtual channels per directed mesh link for the KV sweep, \
+                1..4.")
+  in
+  let hot_pct =
+    Arg.(
+      value & opt int 0
+      & info [ "hot-pct" ] ~docv:"PCT"
+          ~doc:"Share of KV key draws pinned to shard 0 (the hotspot).")
+  in
+  let write_pct =
+    Arg.(
+      value & opt int 10
+      & info [ "write-pct" ] ~docv:"PCT" ~doc:"Share of KV ops that write.")
+  in
+  let link_per_word =
+    Arg.(
+      value & opt int 1
+      & info [ "link-per-word" ] ~docv:"CYCLES"
+          ~doc:
+            "Router cycles per 4-byte word on a mesh link (>= 2 puts the \
+             bottleneck on the wires, the VC regime).")
+  in
+  let chaos =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:
+            "Run the KV store under a seeded link kill/slow/heal storm (the \
+             mesh M_link_fault action); the closed loop must still drain.")
+  in
+  let run c quick app nodes shards value_bytes slo loads vcs hot_pct write_pct
+      link_per_word chaos =
+    let seed = c.seed in
+    let sweep_loads =
+      match loads with
+      | Some l -> l
+      | None ->
+          if quick then [ 0.3; 0.8 ] else Runner.app_default_loads
+    in
+    let kv () =
+      Runner.report_kv ~loads:sweep_loads ~nodes ?shards ~value_bytes
+        ~write_pct ~hot_pct ~vcs ~link_per_word ?slo
+        ~window_cycles:(if quick then 30_000 else 60_000)
+        ~chaos ~seed ()
+    in
+    let halo () =
+      Runner.report_halo
+        ?loads:
+          (if app = Some `Halo then loads
+           else if quick then Some [ 0.5 ]
+           else None)
+        ?slo ~nodes
+        ~iterations:(if quick then 12 else 30)
+        ~seed ()
+    in
+    let rpc () =
+      Runner.report_rpc ~loads:sweep_loads ~nodes ?slo
+        ~window_cycles:(if quick then 100_000 else 200_000)
+        ~seed ()
+    in
+    emit_reports c (fun () ->
+        match app with
+        | Some `Kv -> [ kv () ]
+        | Some `Halo -> [ halo () ]
+        | Some `Rpc -> [ rpc () ]
+        | None ->
+            [ kv (); halo (); rpc () ]
+            @ if quick then [] else [ Runner.report_kv_vcs ~nodes ~seed () ])
+  in
+  Term.(
+    const run $ common_term $ quick $ app_sel $ nodes $ shards $ value_bytes
+    $ slo $ loads $ vcs $ hot_pct $ write_pct $ link_per_word $ chaos)
+
 let custom_terms =
   [
     ("figure8", figure8_term);
@@ -441,6 +575,7 @@ let custom_terms =
     ("traffic", traffic_term);
     ("tenants", tenants_term);
     ("shapes", shapes_term);
+    ("apps", apps_term);
   ]
 
 let generic_term (e : Runner.experiment) =

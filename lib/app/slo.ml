@@ -1,0 +1,64 @@
+type stats = {
+  count : int;
+  mean : float;
+  p50 : int;
+  p95 : int;
+  p99 : int;
+  p999 : int;
+  max : int;
+}
+
+(* Exact nearest-rank percentile over a sorted sample — deliberately
+   the same convention as Udma_protect.Tenants.percentile (the value
+   at 1-based rank ceil(p/100 * n)), so app percentiles and tenant
+   percentiles compare like for like. test_obs pins the convention
+   against Udma_obs.Metrics.percentile's bucket-edge estimate. *)
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0
+  else begin
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let empty_stats =
+  { count = 0; mean = 0.0; p50 = 0; p95 = 0; p99 = 0; p999 = 0; max = 0 }
+
+let stats_of latencies =
+  let n = Array.length latencies in
+  if n = 0 then empty_stats
+  else begin
+    let sorted = Array.copy latencies in
+    Array.sort compare sorted;
+    {
+      count = n;
+      mean = float_of_int (Array.fold_left ( + ) 0 sorted) /. float_of_int n;
+      p50 = percentile sorted 50.0;
+      p95 = percentile sorted 95.0;
+      p99 = percentile sorted 99.0;
+      p999 = percentile sorted 99.9;
+      max = sorted.(n - 1);
+    }
+  end
+
+let default_slo = 5.0
+
+let detect_knee ?(slo = default_slo) points =
+  if not (slo > 0.0) then invalid_arg "Slo.detect_knee: slo must be > 0";
+  match points with
+  | [] -> None
+  | (_, first) :: _ when first.count = 0 -> None
+  | (_, first) :: _ ->
+      let budget = slo *. float_of_int first.p50 in
+      let violates (_, s) = s.count > 0 && float_of_int s.p99 > budget in
+      (* first point of SUSTAINED violation: every later point must
+         violate too (one lucky load mid-curve resets the candidate),
+         mirroring Udma_traffic.Sweep.detect_knee *)
+      let rec go i candidate = function
+        | [] -> candidate
+        | p :: rest ->
+            if violates p then
+              go (i + 1) (if candidate = None then Some i else candidate) rest
+            else go (i + 1) None rest
+      in
+      go 0 None points

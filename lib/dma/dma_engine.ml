@@ -103,9 +103,6 @@ let submit t desc ~on_complete =
             | Some _ | None -> ());
         Ok ()
 
-let start t ~src ~dst ~nbytes ~on_complete =
-  submit t (Descriptor.Contiguous { src; dst; nbytes }) ~on_complete
-
 let descriptor t = Option.map (fun x -> x.desc) t.current
 
 let source t =

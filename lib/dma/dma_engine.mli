@@ -10,8 +10,9 @@
     latency, then raises its completion callback (the "interrupt").
     Data is deposited atomically at completion time.
 
-    A [Contiguous] descriptor is cost-byte-identical to the old flat
-    [start] interface. The engine moves data between memory and exactly
+    A [Contiguous] descriptor is the flat single-burst transfer: one
+    source, one destination, one length. The engine moves data between
+    memory and exactly
     one device endpoint per element — memory-to-memory and
     device-to-device are refused, which is what makes the UDMA
     [BadLoad] event observable (paper §5). *)
@@ -56,17 +57,6 @@ val submit :
 (** [submit t desc ~on_complete] begins a descriptor transfer.
     [on_complete] fires (via the simulation engine) after the modelled
     duration, after all elements' data has been moved. *)
-
-val start :
-  t ->
-  src:endpoint ->
-  dst:endpoint ->
-  nbytes:int ->
-  on_complete:(unit -> unit) ->
-  (unit, error) result
-[@@ocaml.deprecated "use submit with Descriptor.Contiguous"]
-(** Thin shim over [submit (Contiguous …)] kept for source
-    compatibility; new code should build a descriptor. *)
 
 val descriptor : t -> Descriptor.t option
 (** The in-flight descriptor, if any. *)

@@ -1553,6 +1553,351 @@ let report_shapes ?(total = 8192) ?(cases = default_shape_cases) () =
        rows)
 
 (* ------------------------------------------------------------------ *)
+(* E16: application workloads over the UDMA fabric (lib/app)           *)
+(* ------------------------------------------------------------------ *)
+
+module App_fabric = Udma_app.Fabric
+module App_slo = Udma_app.Slo
+module Kv = Udma_app.Kv
+module Halo = Udma_app.Halo
+module Rpc = Udma_app.Rpc
+
+let app_default_loads = [ 0.2; 0.4; 0.6; 0.8; 1.0; 1.2 ]
+
+(* the halo load axis is a work *share* (send cycles / iteration), so
+   it cannot exceed 1 *)
+let halo_default_loads = [ 0.2; 0.4; 0.6; 0.8; 1.0 ]
+
+let app_fabric ~nodes ~vcs ~link_per_word ~seed =
+  {
+    App_fabric.default_config with
+    App_fabric.nodes;
+    vc_count = vcs;
+    link_per_word;
+    seed;
+  }
+
+(* the SLO knee as a report value: the load of the first sustained
+   violation, or "none" when the whole sweep holds the SLO *)
+let app_knee ?slo ~loads points =
+  match App_slo.detect_knee ?slo points with
+  | Some i -> vf (List.nth loads i)
+  | None -> vs "none"
+
+let app_stat_cells (s : App_slo.stats) =
+  [
+    ("n", vi s.App_slo.count);
+    ("p50", vi s.App_slo.p50);
+    ("p95", vi s.App_slo.p95);
+    ("p99", vi s.App_slo.p99);
+    ("p999", vi s.App_slo.p999);
+  ]
+
+let report_kv ?(loads = app_default_loads) ?(nodes = 16) ?shards
+    ?(clients_per_node = 4) ?(value_bytes = 2048) ?(write_pct = 10)
+    ?(hot_pct = 0) ?(vcs = 1) ?(link_per_word = 1) ?slo
+    ?(window_cycles = 60_000) ?(chaos = false) ?(seed = 42) () =
+  let shards = Option.value shards ~default:nodes in
+  let p = probe () in
+  let send_cycles = ref 0 in
+  let results =
+    List.map
+      (fun load ->
+        let r =
+          Kv.run ~probe:(watch p)
+            {
+              Kv.default_config with
+              Kv.fabric = app_fabric ~nodes ~vcs ~link_per_word ~seed;
+              shards;
+              clients_per_node;
+              value_bytes;
+              write_pct;
+              hot_pct;
+              window_cycles;
+              load;
+              chaos_links = chaos;
+            }
+        in
+        send_cycles := r.Kv.send_cycles;
+        (load, r))
+      loads
+  in
+  let knee =
+    app_knee ?slo ~loads (List.map (fun (l, r) -> (l, r.Kv.stats)) results)
+  in
+  Report.make ~id:"e16_kv"
+    ~title:
+      (Printf.sprintf
+         "E16: sharded KV store, %d shards on a %d-node mesh — tail latency \
+          vs offered load (zero-copy reads via deliberate update)"
+         shards nodes)
+    ~meta:
+      [
+        ("nodes", vi nodes);
+        ("shards", vi shards);
+        ("clients_per_node", vi clients_per_node);
+        ("value_bytes", vi value_bytes);
+        ("write_pct", vi write_pct);
+        ("hot_pct", vi hot_pct);
+        ("vcs", vi vcs);
+        ("link_per_word", vi link_per_word);
+        ("send_cycles", vi !send_cycles);
+        ("window_cycles", vi window_cycles);
+        ("slo", vf (Option.value slo ~default:App_slo.default_slo));
+        ("slo_knee", knee);
+        ("chaos", vb chaos);
+        ("seed", vi seed);
+      ]
+    ~columns:
+      [
+        ("load", "load");
+        ("n", "reqs");
+        ("p50", "p50");
+        ("p95", "p95");
+        ("p99", "p99");
+        ("p999", "p999");
+        ("cold_p99", "cold p99");
+        ("tput", "req/node/kcyc");
+        ("credit_stalls", "stalls");
+        ("drained", "drained");
+      ]
+    ~breakdown:(breakdown p)
+    (List.map
+       (fun (load, r) ->
+         (("load", vf load) :: app_stat_cells r.Kv.stats)
+         @ [
+             ("cold_p99", vi r.Kv.cold_stats.App_slo.p99);
+             ("tput", vf r.Kv.throughput_per_kcycle);
+             ("credit_stalls", vi r.Kv.credit_stalls);
+             ("drained", vb r.Kv.drained);
+           ])
+       results)
+
+(* The E13 head-of-line regime seen from the application: write-heavy
+   traffic into a 50 % hotspot shard makes the big (value-carrying)
+   transfers converge on the hot node's entry links, so extra VCs let
+   cold-shard requests backfill the shared wires — the p99 drop is the
+   app-level payoff of PR 5's flow control. *)
+let report_kv_vcs ?(load = 0.7) ?(nodes = 16) ?(vc_counts = [ 1; 4 ])
+    ?(value_bytes = 2048) ?(hot_pct = 50) ?(link_per_word = 2)
+    ?(window_cycles = 60_000) ?(seed = 42) () =
+  let p = probe () in
+  let rows =
+    List.map
+      (fun vcs ->
+        let r =
+          Kv.run ~probe:(watch p)
+            {
+              Kv.default_config with
+              Kv.fabric = app_fabric ~nodes ~vcs ~link_per_word ~seed;
+              value_bytes;
+              write_pct = 100;
+              hot_pct;
+              window_cycles;
+              load;
+            }
+        in
+        (("vcs", vi vcs) :: app_stat_cells r.Kv.stats)
+        @ [
+            ("cold_p99", vi r.Kv.cold_stats.App_slo.p99);
+            ("credit_stalls", vi r.Kv.credit_stalls);
+            ("drained", vb r.Kv.drained);
+          ])
+      vc_counts
+  in
+  Report.make ~id:"e16_kv_vcs"
+    ~title:
+      (Printf.sprintf
+         "E16: KV hotspot shard (%d%% writes to shard 0) at load %.2f — \
+          virtual channels vs request tail latency"
+         hot_pct load)
+    ~meta:
+      [
+        ("nodes", vi nodes);
+        ("value_bytes", vi value_bytes);
+        ("write_pct", vi 100);
+        ("hot_pct", vi hot_pct);
+        ("link_per_word", vi link_per_word);
+        ("load", vf load);
+        ("window_cycles", vi window_cycles);
+        ("seed", vi seed);
+      ]
+    ~columns:
+      [
+        ("vcs", "VCs");
+        ("n", "reqs");
+        ("p50", "p50");
+        ("p95", "p95");
+        ("p99", "p99");
+        ("p999", "p999");
+        ("cold_p99", "cold p99");
+        ("credit_stalls", "stalls");
+        ("drained", "drained");
+      ]
+    ~breakdown:(breakdown p) rows
+
+let report_halo ?(loads = halo_default_loads) ?(nodes = 16) ?(tile_rows = 32)
+    ?(row_bytes = 128) ?(halo_cols = 16) ?(iterations = 30)
+    ?(warmup_iters = 2) ?slo ?(seed = 42) () =
+  let p = probe () in
+  let strided = ref 0 and contig = ref 0 in
+  let results =
+    List.map
+      (fun load ->
+        let r =
+          Halo.run ~probe:(watch p)
+            {
+              Halo.fabric = app_fabric ~nodes ~vcs:1 ~link_per_word:1 ~seed;
+              tile_rows;
+              row_bytes;
+              halo_cols;
+              iterations;
+              warmup_iters;
+              load;
+            }
+        in
+        strided := r.Halo.strided_send_cycles;
+        contig := r.Halo.contiguous_send_cycles;
+        (load, r))
+      loads
+  in
+  (* the compute budget shrinks as the load (send-work share) grows, so
+     raw barrier times are not comparable across loads; the SLO knee is
+     detected on the exchange *overhead* — barrier time minus the
+     compute floor — which isolates what the fabric adds *)
+  let overhead (r : Halo.result) =
+    let c = r.Halo.compute_cycles in
+    let s = r.Halo.stats in
+    {
+      s with
+      App_slo.mean = s.App_slo.mean -. float_of_int c;
+      p50 = s.App_slo.p50 - c;
+      p95 = s.App_slo.p95 - c;
+      p99 = s.App_slo.p99 - c;
+      p999 = s.App_slo.p999 - c;
+      max = s.App_slo.max - c;
+    }
+  in
+  let knee =
+    app_knee ?slo ~loads (List.map (fun (l, r) -> (l, overhead r)) results)
+  in
+  Report.make ~id:"e16_halo"
+    ~title:
+      (Printf.sprintf
+         "E16: halo exchange, %dx%d-byte tiles on a %d-node mesh — barrier \
+          latency vs send-work share (east/west halos strided)"
+         tile_rows row_bytes nodes)
+    ~meta:
+      [
+        ("nodes", vi nodes);
+        ("tile_rows", vi tile_rows);
+        ("row_bytes", vi row_bytes);
+        ("halo_cols", vi halo_cols);
+        ("iterations", vi iterations);
+        ("strided_send_cycles", vi !strided);
+        ("contiguous_send_cycles", vi !contig);
+        ("slo", vf (Option.value slo ~default:App_slo.default_slo));
+        ("slo_knee", knee);
+        ("seed", vi seed);
+      ]
+    ~columns:
+      [
+        ("load", "load");
+        ("compute", "compute");
+        ("n", "samples");
+        ("p50", "p50");
+        ("p95", "p95");
+        ("p99", "p99");
+        ("p999", "p999");
+        ("makespan", "makespan");
+        ("credit_stalls", "stalls");
+        ("drained", "drained");
+      ]
+    ~breakdown:(breakdown p)
+    (List.map
+       (fun (load, r) ->
+         [ ("load", vf load); ("compute", vi r.Halo.compute_cycles) ]
+         @ app_stat_cells r.Halo.stats
+         @ [
+             ("makespan", vi r.Halo.makespan_cycles);
+             ("credit_stalls", vi r.Halo.credit_stalls);
+             ("drained", vb r.Halo.drained);
+           ])
+       results)
+
+let report_rpc ?(loads = app_default_loads) ?(nodes = 16) ?(resp_bytes = 512)
+    ?(server_cycles = 200) ?(burst = 8) ?(pool = 16) ?slo
+    ?(window_cycles = 200_000) ?(seed = 42) () =
+  let p = probe () in
+  let send_cycles = ref 0 in
+  let results =
+    List.map
+      (fun load ->
+        let r =
+          Rpc.run ~probe:(watch p)
+            {
+              Rpc.default_config with
+              Rpc.fabric = app_fabric ~nodes ~vcs:1 ~link_per_word:1 ~seed;
+              resp_bytes;
+              server_cycles;
+              burst;
+              pool;
+              window_cycles;
+              load;
+            }
+        in
+        send_cycles := r.Rpc.send_cycles;
+        (load, r))
+      loads
+  in
+  let knee =
+    app_knee ?slo ~loads (List.map (fun (l, r) -> (l, r.Rpc.stats)) results)
+  in
+  Report.make ~id:"e16_rpc"
+    ~title:
+      (Printf.sprintf
+         "E16: bursty RPC service (bursts of %d, pool %d) on a %d-node mesh \
+          — arrival-to-reply tail latency vs offered server load"
+         burst pool nodes)
+    ~meta:
+      [
+        ("nodes", vi nodes);
+        ("resp_bytes", vi resp_bytes);
+        ("server_cycles", vi server_cycles);
+        ("burst", vi burst);
+        ("pool", vi pool);
+        ("send_cycles", vi !send_cycles);
+        ("window_cycles", vi window_cycles);
+        ("slo", vf (Option.value slo ~default:App_slo.default_slo));
+        ("slo_knee", knee);
+        ("seed", vi seed);
+      ]
+    ~columns:
+      [
+        ("load", "load");
+        ("n", "reqs");
+        ("bursts", "bursts");
+        ("p50", "p50");
+        ("p95", "p95");
+        ("p99", "p99");
+        ("p999", "p999");
+        ("tput", "req/kcyc");
+        ("offered", "offered/kcyc");
+        ("drained", "drained");
+      ]
+    ~breakdown:(breakdown p)
+    (List.map
+       (fun (load, r) ->
+         (("load", vf load) :: app_stat_cells r.Rpc.stats)
+         @ [
+             ("bursts", vi r.Rpc.bursts);
+             ("tput", vf r.Rpc.throughput_per_kcycle);
+             ("offered", vf r.Rpc.offered_per_kcycle);
+             ("drained", vb r.Rpc.drained);
+           ])
+       results)
+
+(* ------------------------------------------------------------------ *)
 (* drivers                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1728,6 +2073,28 @@ let experiments =
         (fun ~quick ~seed:_ ->
           if quick then [ report_shapes ~cases:quick_shape_cases () ]
           else [ report_shapes () ]);
+    };
+    {
+      exp_name = "apps";
+      exp_alias = "e16";
+      exp_doc =
+        "E16: application workloads — sharded KV, halo exchange and bursty \
+         RPC tail latency vs offered load over the user-level DMA fabric.";
+      exp_run =
+        (fun ~quick ~seed ->
+          if quick then
+            [
+              report_kv ~loads:[ 0.3; 0.8 ] ~window_cycles:30_000 ~seed ();
+              report_halo ~loads:[ 0.5 ] ~iterations:12 ~seed ();
+              report_rpc ~loads:[ 0.3; 0.8 ] ~window_cycles:100_000 ~seed ();
+            ]
+          else
+            [
+              report_kv ~seed ();
+              report_halo ~seed ();
+              report_rpc ~seed ();
+              report_kv_vcs ~seed ();
+            ]);
     };
   ]
 

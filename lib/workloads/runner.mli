@@ -284,6 +284,94 @@ val report_shapes : ?total:int -> ?cases:shape_case list -> unit -> Report.t
     and per-element burst-setup costs produce the overhead knee as
     element count rises at fixed total bytes. *)
 
+(** {1 E16 — application workloads over the UDMA fabric (lib/app)} *)
+
+val app_default_loads : float list
+(** 0.2..1.2 — the KV / RPC sweep extends past saturation so the open
+    loop's SLO knee is inside the sweep. *)
+
+val halo_default_loads : float list
+(** 0.2..1.0 — the halo load axis is a work share and cannot exceed 1. *)
+
+val report_kv :
+  ?loads:float list ->
+  ?nodes:int ->
+  ?shards:int ->
+  ?clients_per_node:int ->
+  ?value_bytes:int ->
+  ?write_pct:int ->
+  ?hot_pct:int ->
+  ?vcs:int ->
+  ?link_per_word:int ->
+  ?slo:float ->
+  ?window_cycles:int ->
+  ?chaos:bool ->
+  ?seed:int ->
+  unit ->
+  Report.t
+(** {!Udma_app.Kv.run} swept over offered loads: one row per load with
+    request count, end-to-end latency percentiles (plus the cold — non
+    hot-shard — p99), throughput, credit stalls and the drain check;
+    the SLO knee (first sustained load where p99 exceeds [slo] times
+    the lightest load's p50) lands in the meta. [shards] defaults to
+    [nodes]. Deterministic under [seed]. *)
+
+val report_kv_vcs :
+  ?load:float ->
+  ?nodes:int ->
+  ?vc_counts:int list ->
+  ?value_bytes:int ->
+  ?hot_pct:int ->
+  ?link_per_word:int ->
+  ?window_cycles:int ->
+  ?seed:int ->
+  unit ->
+  Report.t
+(** The KV store in the E13 head-of-line regime (write-heavy traffic
+    into a hot shard, link-bound wires) at one load, per VC count: the
+    app-level payoff of virtual channels as a p99 / cold-p99 drop.
+    Deterministic under [seed]. *)
+
+val report_halo :
+  ?loads:float list ->
+  ?nodes:int ->
+  ?tile_rows:int ->
+  ?row_bytes:int ->
+  ?halo_cols:int ->
+  ?iterations:int ->
+  ?warmup_iters:int ->
+  ?slo:float ->
+  ?seed:int ->
+  unit ->
+  Report.t
+(** {!Udma_app.Halo.run} swept over send-work shares: one row per load
+    with per-(node, iteration) barrier-latency percentiles, the
+    derived compute budget, makespan and the drain check; east/west
+    halos go through the strided (shaped) send path, whose calibrated
+    cost lands in the meta next to the contiguous one. Because the
+    compute budget shrinks as the send-work share grows, the SLO knee
+    is detected on the exchange {e overhead} (barrier time minus the
+    compute floor), not on raw barrier times. Deterministic under
+    [seed]. *)
+
+val report_rpc :
+  ?loads:float list ->
+  ?nodes:int ->
+  ?resp_bytes:int ->
+  ?server_cycles:int ->
+  ?burst:int ->
+  ?pool:int ->
+  ?slo:float ->
+  ?window_cycles:int ->
+  ?seed:int ->
+  unit ->
+  Report.t
+(** {!Udma_app.Rpc.run} swept over target server utilisations: one row
+    per load with arrival-to-reply latency percentiles (backlog wait
+    included), burst count, completed vs offered throughput and the
+    drain check; the SLO knee in the meta. Deterministic under
+    [seed]. *)
+
 (** {1 Driver} *)
 
 type experiment = {
@@ -294,12 +382,12 @@ type experiment = {
 }
 
 val experiments : experiment list
-(** The experiment registry, in E1..E14 order. [all_reports] and the
+(** The experiment registry, in E1..E16 order. [all_reports] and the
     [shrimp_sim] command set are both derived from it, so a new
     experiment registers exactly once here. *)
 
 val all_reports : ?quick:bool -> ?seed:int -> unit -> Report.t list
-(** Every experiment (E1 basic + queued, E2..E14) as reports, in
+(** Every experiment (E1 basic + queued, E2..E16) as reports, in
     registry order. [quick] (default false) substitutes the small
     deterministic parameter set CI uses for the committed
     [BENCH_baseline.json]; [seed] feeds the randomized experiments

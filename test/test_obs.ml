@@ -138,6 +138,99 @@ let test_histogram_percentile () =
       checkb "empty histogram" true (Metrics.percentile empty 50.0 = None)
   | None -> Alcotest.fail "histogram missing")
 
+(* ---------- Metrics.percentile vs Tenants.percentile agreement ----------
+
+   Two percentile definitions live in the tree: the bucketed
+   upper-bound estimate over histograms (Metrics) and the exact
+   nearest-rank over a sorted sample (Tenants, also mirrored by the
+   app-layer Slo module). Both use rank = ceil(p/100 * n), so when the
+   histogram's bucket edges enumerate every distinct sample value the
+   two must agree exactly; with a coarser ladder Metrics may only
+   round the answer up to the next edge, never down. *)
+
+module Tenants = Udma_protect.Tenants
+
+let metrics_percentile_of_samples samples p =
+  let distinct =
+    List.sort_uniq compare samples
+  in
+  let m = Metrics.create () in
+  List.iter (fun v -> Metrics.observe m ~buckets:distinct "h" v) samples;
+  match Metrics.histogram m "h" with
+  | Some h -> Metrics.percentile h p
+  | None -> None
+
+let tenants_percentile_of_samples samples p =
+  let sorted = Array.of_list (List.sort compare samples) in
+  Tenants.percentile sorted p
+
+let test_percentile_agreement_exact () =
+  let samples = [ 7; 1; 1; 3; 9; 3; 3; 200; 42; 5 ] in
+  List.iter
+    (fun p ->
+      checkb
+        (Printf.sprintf "exact-edge agreement at p%.1f" p)
+        true
+        (metrics_percentile_of_samples samples p
+        = Some (tenants_percentile_of_samples samples p)))
+    [ 1.0; 25.0; 50.0; 90.0; 95.0; 99.0; 99.9; 100.0 ];
+  (* single observation: every percentile is that observation *)
+  checkb "singleton" true
+    (metrics_percentile_of_samples [ 17 ] 50.0
+    = Some (tenants_percentile_of_samples [ 17 ] 50.0))
+
+let test_percentile_divergence_coarse_buckets () =
+  (* with a coarse ladder the bucketed answer rounds up: 3 samples all
+     below the first edge report the edge, not the exact value *)
+  let m = Metrics.create () in
+  List.iter (fun v -> Metrics.observe m ~buckets:[ 100; 200 ] "h" v) [ 3; 5; 9 ];
+  match Metrics.histogram m "h" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+      checkb "bucketed p99 rounds up to edge" true
+        (Metrics.percentile h 99.0 = Some 100);
+      checki "exact p99 is the sample max" 9
+        (tenants_percentile_of_samples [ 3; 5; 9 ] 99.0)
+
+let prop_percentile_agreement =
+  let gen =
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 60) (int_range 1 65536))
+        (int_range 1 1000))
+  in
+  QCheck.Test.make ~count:300
+    ~name:"exact-edge histogram percentile = nearest-rank percentile" gen
+    (fun (samples, pmil) ->
+      let p = float_of_int pmil /. 10.0 in
+      metrics_percentile_of_samples samples p
+      = Some (tenants_percentile_of_samples samples p))
+  |> QCheck_alcotest.to_alcotest
+
+let prop_percentile_upper_bound =
+  (* on the default power-of-two ladder the bucketed estimate never
+     under-reports the exact percentile (values kept within the ladder
+     so the overflow bucket stays out of play) *)
+  let gen =
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 60) (int_range 1 65536))
+        (int_range 1 1000))
+  in
+  QCheck.Test.make ~count:300
+    ~name:"default-ladder percentile upper-bounds the exact one" gen
+    (fun (samples, pmil) ->
+      let p = float_of_int pmil /. 10.0 in
+      let m = Metrics.create () in
+      List.iter (fun v -> Metrics.observe m "h" v) samples;
+      match Metrics.histogram m "h" with
+      | None -> false
+      | Some h -> (
+          match Metrics.percentile h p with
+          | None -> false
+          | Some est -> est >= tenants_percentile_of_samples samples p))
+  |> QCheck_alcotest.to_alcotest
+
 let test_counters_and_gauges () =
   let m = Metrics.create () in
   Metrics.incr m "c";
@@ -356,6 +449,12 @@ let () =
           Alcotest.test_case "percentile" `Quick test_histogram_percentile;
           Alcotest.test_case "counters and gauges" `Quick
             test_counters_and_gauges;
+          Alcotest.test_case "percentile agreement on exact edges" `Quick
+            test_percentile_agreement_exact;
+          Alcotest.test_case "percentile divergence on coarse buckets" `Quick
+            test_percentile_divergence_coarse_buckets;
+          prop_percentile_agreement;
+          prop_percentile_upper_bound;
           Alcotest.test_case "link wait depth matches metric" `Quick
             test_link_wait_depth_matches_metric;
         ] );
