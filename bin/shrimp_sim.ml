@@ -173,8 +173,21 @@ let traffic_term =
       value & opt int 16
       & info [ "nodes" ] ~docv:"N"
           ~doc:
-            "Mesh size, 2..64, filling complete rows of the squarest \
-             covering mesh (4, 6, 9, 12, 16, ...).")
+            "Mesh size, filling complete rows of the squarest covering \
+             mesh (4, 6, 9, 12, 16, ...). The legacy engine covers 2..64; \
+             larger meshes (up to 1024) run on the sharded engine (see \
+             $(b,--domains)).")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the sharded per-row simulation engine. The \
+             default 1 on a mesh of up to 64 nodes keeps the legacy \
+             single-queue engine (byte-identical reports); any higher value \
+             — or a larger mesh — dispatches to the sharded conservative \
+             kernel, whose results are identical for every domain count.")
   in
   let pattern =
     Arg.(
@@ -260,18 +273,19 @@ let traffic_term =
              the injection gate instead of queueing on the wire.")
   in
   let run c nodes pattern msg_bytes loads window warmup no_contention routing
-      link_per_word vcs rx_credits =
+      link_per_word vcs rx_credits domains =
     emit_reports c (fun () ->
         [
           Runner.report_saturation ~loads ~nodes ~pattern ~msg_bytes
             ~warmup_cycles:warmup ~window_cycles:window
             ~link_contention:(not no_contention) ~routing ~link_per_word
-            ~vc_count:vcs ~rx_credits ~seed:c.seed ();
+            ~vc_count:vcs ~rx_credits ~seed:c.seed ~domains ();
         ])
   in
   Term.(
     const run $ common_term $ nodes $ pattern $ msg_bytes $ loads $ window
-    $ warmup $ no_contention $ routing $ link_per_word $ vcs $ rx_credits)
+    $ warmup $ no_contention $ routing $ link_per_word $ vcs $ rx_credits
+    $ domains)
 
 let tenants_term =
   let module Backend = Udma_protect.Backend in

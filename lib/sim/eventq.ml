@@ -1,7 +1,11 @@
-type 'a entry = { time : int; seq : int; payload : 'a }
+type 'a entry = { time : int; key : int; seq : int; payload : 'a }
 
+(* Slots at or beyond [size] hold [None] so the heap never retains a
+   popped entry (and, transitively, the event closure and everything it
+   captures). The previous representation kept vacated [entry] values
+   live in the backing array until they happened to be overwritten. *)
 type 'a t = {
-  mutable heap : 'a entry array;
+  mutable heap : 'a entry option array;
   mutable size : int;
   mutable next_seq : int;
 }
@@ -14,15 +18,23 @@ let is_empty q = q.size = 0
 
 let length q = q.size
 
-(* Entry ordering: earlier time first; FIFO among equal times. *)
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let get q i =
+  match q.heap.(i) with
+  | Some e -> e
+  | None -> invalid_arg "Eventq: corrupt heap slot"
+
+(* Entry ordering: earlier time first, then the caller-supplied key,
+   then FIFO among equal (time, key). *)
+let before a b =
+  a.time < b.time
+  || (a.time = b.time
+      && (a.key < b.key || (a.key = b.key && a.seq < b.seq)))
 
 let ensure_capacity q =
   let cap = Array.length q.heap in
   if q.size >= cap then begin
-    let dummy = q.heap.(0) in
     let new_cap = if cap = 0 then initial_capacity else cap * 2 in
-    let heap = Array.make new_cap dummy in
+    let heap = Array.make new_cap None in
     Array.blit q.heap 0 heap 0 q.size;
     q.heap <- heap
   end
@@ -31,7 +43,7 @@ let sift_up q i =
   let rec loop i =
     if i > 0 then begin
       let parent = (i - 1) / 2 in
-      if before q.heap.(i) q.heap.(parent) then begin
+      if before (get q i) (get q parent) then begin
         let tmp = q.heap.(i) in
         q.heap.(i) <- q.heap.(parent);
         q.heap.(parent) <- tmp;
@@ -45,9 +57,9 @@ let sift_down q i =
   let rec loop i =
     let left = (2 * i) + 1 and right = (2 * i) + 2 in
     let smallest = ref i in
-    if left < q.size && before q.heap.(left) q.heap.(!smallest) then
+    if left < q.size && before (get q left) (get q !smallest) then
       smallest := left;
-    if right < q.size && before q.heap.(right) q.heap.(!smallest) then
+    if right < q.size && before (get q right) (get q !smallest) then
       smallest := right;
     if !smallest <> i then begin
       let tmp = q.heap.(i) in
@@ -58,29 +70,31 @@ let sift_down q i =
   in
   loop i
 
-let push q ~time payload =
+let push q ~time ?(key = 0) payload =
   if time < 0 then invalid_arg "Eventq.push: negative time";
-  let entry = { time; seq = q.next_seq; payload } in
+  let entry = { time; key; seq = q.next_seq; payload } in
   q.next_seq <- q.next_seq + 1;
-  if q.size = 0 && Array.length q.heap = 0 then
-    q.heap <- Array.make initial_capacity entry
-  else ensure_capacity q;
-  q.heap.(q.size) <- entry;
+  ensure_capacity q;
+  q.heap.(q.size) <- Some entry;
   q.size <- q.size + 1;
   sift_up q (q.size - 1)
 
-let peek_time q = if q.size = 0 then None else Some q.heap.(0).time
+let peek_time q = if q.size = 0 then None else Some (get q 0).time
 
 let pop q =
   if q.size = 0 then None
   else begin
-    let top = q.heap.(0) in
+    let top = get q 0 in
     q.size <- q.size - 1;
     if q.size > 0 then begin
       q.heap.(0) <- q.heap.(q.size);
       sift_down q 0
     end;
+    (* Null out the vacated slot so the GC can reclaim the payload. *)
+    q.heap.(q.size) <- None;
     Some (top.time, top.payload)
   end
 
-let clear q = q.size <- 0
+let clear q =
+  Array.fill q.heap 0 q.size None;
+  q.size <- 0

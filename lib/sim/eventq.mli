@@ -1,8 +1,17 @@
 (** Priority queue of timestamped events.
 
-    A binary min-heap keyed by (time, sequence number). The sequence
-    number guarantees that two events scheduled for the same cycle fire
-    in insertion order, which keeps every simulation run deterministic. *)
+    A binary min-heap keyed by (time, key, sequence number). The
+    sequence number guarantees that two events scheduled for the same
+    cycle (and same key) fire in insertion order, which keeps every
+    simulation run deterministic. The optional key gives callers a
+    second ordering slot between time and insertion order; the sharded
+    engine uses it to make cross-shard merges independent of shard
+    count. Legacy callers omit it (all keys equal → pure FIFO ties,
+    the historical order).
+
+    Popped and cleared slots are explicitly nulled so the queue never
+    keeps dead event closures (and whatever they capture — engines,
+    buffers, metrics) reachable. *)
 
 type 'a t
 (** Mutable event queue holding payloads of type ['a]. *)
@@ -16,8 +25,9 @@ val is_empty : 'a t -> bool
 val length : 'a t -> int
 (** [length q] is the number of pending events. *)
 
-val push : 'a t -> time:int -> 'a -> unit
-(** [push q ~time payload] schedules [payload] at cycle [time].
+val push : 'a t -> time:int -> ?key:int -> 'a -> unit
+(** [push q ~time ?key payload] schedules [payload] at cycle [time].
+    [key] (default 0) breaks time ties before insertion order.
     Raises [Invalid_argument] if [time < 0]. *)
 
 val peek_time : 'a t -> int option
@@ -25,7 +35,9 @@ val peek_time : 'a t -> int option
 
 val pop : 'a t -> (int * 'a) option
 (** [pop q] removes and returns the earliest event as [(time, payload)].
-    Ties fire in insertion order. *)
+    Ties fire in (key, insertion) order. The vacated heap slot is
+    cleared, so the returned payload is the only remaining reference. *)
 
 val clear : 'a t -> unit
-(** [clear q] discards all pending events. *)
+(** [clear q] discards all pending events and drops every reference to
+    their payloads. *)

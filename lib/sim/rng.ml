@@ -27,6 +27,36 @@ let int t bound =
   let raw = Int64.to_int (Int64.shift_right_logical (next t) 2) in
   raw mod bound
 
+let int_unbiased t bound =
+  if bound <= 0 then invalid_arg "Rng.int_unbiased: bound must be positive";
+  (* Rejection sampling: discard draws from the tail partial bucket so
+     every residue is equally likely. The raw draw is uniform over
+     [0, 2^62), i.e. [0, max_int] — the range size 2^62 itself does
+     not fit a native int, so the tail size is computed as
+     (max_int mod bound + 1) mod bound. Acceptance probability is
+     > 1/2 for any bound, so the loop terminates fast. *)
+  let tail = ((max_int mod bound) + 1) mod bound in
+  if tail = 0 then
+    (* bound divides 2^62: plain reduction is already uniform *)
+    Int64.to_int (Int64.shift_right_logical (next t) 2) mod bound
+  else begin
+    let limit = max_int - tail + 1 in
+    (* largest multiple of bound <= 2^62; fits since tail >= 1 *)
+    let rec draw () =
+      let raw = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+      if raw >= limit then draw () else raw mod bound
+    in
+    draw ()
+  end
+
+let substream seed index =
+  (* Decorrelate (seed, index) pairs by running the index through the
+     output mixer before folding it into the seed; adjacent indices
+     land in unrelated regions of the splitmix sequence. *)
+  let salted = Int64.add (Int64.of_int seed)
+      (mix (Int64.mul (Int64.of_int (index + 1)) golden)) in
+  { state = salted }
+
 let float t bound =
   let raw = Int64.to_float (Int64.shift_right_logical (next t) 11) in
   raw /. 9007199254740992.0 *. bound

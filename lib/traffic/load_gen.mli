@@ -75,6 +75,11 @@ type result = {
   links : Udma_shrimp.Router.link_stat list;
 }
 
+val percentile_sorted : int array -> float -> int
+(** Nearest-rank percentile of an already sorted array (0 when empty):
+    the convention every latency stat in a {!result} uses. Exposed so
+    the sharded generator reports with identical rounding. *)
+
 val calibrate : ?msg_bytes:int -> unit -> int
 (** The per-message initiation cost on a fresh 2-node system (what a
     run would measure); lets a sweep plan arrival rates relative to

@@ -60,20 +60,28 @@ let support t ~width ~nodes ~src =
       | None -> [])
   | Neighbor -> neighbors ~width ~nodes src
 
-let uniform_other rng ~nodes ~src =
-  let d = Rng.int rng (nodes - 1) in
-  if d >= src then d + 1 else d
-
-let dest t rng ~width ~nodes ~src =
+(* Destination choice, parameterised on the integer draw so the legacy
+   stream ([Rng.int], modulo-biased, pinned by committed anchors) and
+   the sharded engine's unbiased stream share one implementation. *)
+let dest_gen draw t ~width ~nodes ~src =
+  let uniform_other () =
+    let d = draw (nodes - 1) in
+    if d >= src then d + 1 else d
+  in
   if nodes < 2 then None
   else
     match t with
-    | Uniform -> Some (uniform_other rng ~nodes ~src)
+    | Uniform -> Some (uniform_other ())
     | Transpose -> transpose_dest ~width ~nodes src
     | Neighbor -> (
         match neighbors ~width ~nodes src with
         | [] -> None
-        | ns -> Some (List.nth ns (Rng.int rng (List.length ns))))
+        | ns -> Some (List.nth ns (draw (List.length ns))))
     | Hotspot { node; pct } ->
-        if src <> node && Rng.int rng 100 < pct then Some node
-        else Some (uniform_other rng ~nodes ~src)
+        if src <> node && draw 100 < pct then Some node
+        else Some (uniform_other ())
+
+let dest t rng ~width ~nodes ~src = dest_gen (Rng.int rng) t ~width ~nodes ~src
+
+let dest_unbiased t rng ~width ~nodes ~src =
+  dest_gen (Rng.int_unbiased rng) t ~width ~nodes ~src

@@ -22,4 +22,13 @@ val support : t -> width:int -> nodes:int -> src:int -> int list
 
 val dest : t -> Udma_sim.Rng.t -> width:int -> nodes:int -> src:int -> int option
 (** Pick the next destination ([None] = this source is silent, e.g. a
-    transpose diagonal). Never returns [src] itself. *)
+    transpose diagonal). Never returns [src] itself. Draws with the
+    legacy {!Udma_sim.Rng.int} reduction, preserving the exact streams
+    behind every committed anchor. *)
+
+val dest_unbiased :
+  t -> Udma_sim.Rng.t -> width:int -> nodes:int -> src:int -> int option
+(** Same choice rule as {!dest} but drawn with
+    {!Udma_sim.Rng.int_unbiased} (rejection-sampled, no modulo bias).
+    Used by the sharded engine's generator, whose streams carry no
+    legacy-anchor compatibility burden. *)

@@ -1,0 +1,330 @@
+module Rng = Udma_sim.Rng
+module Shard = Udma_sim.Shard
+module Router = Udma_shrimp.Router
+
+(* Sharded counterpart of {!Load_gen}: the same open-loop service-model
+   workload, rebuilt hop-granularly on the conservative {!Shard}
+   kernel so it parallelises across OCaml domains and scales past the
+   legacy 64-node cap (up to 32×32).
+
+   Topology: one shard per mesh row. Under dimension-order routing a
+   packet walks X first (links within one row) and then Y (links
+   between adjacent rows), so every cross-shard edge carries at least
+   one hop of wire latency — [per_hop_cycles] is the natural
+   conservative lookahead. The legacy router instead claims a packet's
+   whole path atomically at send time against global link state, which
+   is exactly what cannot be sharded; here each link claim is its own
+   event at the link's owning shard, so contention is resolved in
+   event order per link. The two models agree on uncontended latency
+   (both telescope to base + hops·per_hop + words·per_word) but
+   resolve contention differently, so sharded results are anchored
+   separately (BENCH_sim.json) rather than against the legacy knees.
+
+   Determinism: per-node RNG streams come from {!Rng.substream} (and
+   draws use the unbiased reduction), so they depend only on
+   (seed, node); everything else is per-shard state plus the kernel's
+   partition-independent merge. Results are byte-identical for every
+   [domains] value. *)
+
+type kernel_stats = {
+  events : int;  (** events executed across all shards *)
+  windows : int;  (** conservative windows (barrier rounds) *)
+  cross_posts : int;  (** cross-shard messages during the run *)
+  shards : int;
+}
+
+let max_nodes = 1024
+
+(* Cost model shared with the legacy router. *)
+let base_cycles = Router.default_config.Router.base_cycles
+let per_hop_cycles = Router.default_config.Router.per_hop_cycles
+
+let validate (cfg : Load_gen.config) =
+  if cfg.nodes < 2 || cfg.nodes > max_nodes then
+    invalid_arg
+      (Printf.sprintf "Shard_gen: nodes must be in 2..%d" max_nodes);
+  if not (Router.valid_nodes cfg.nodes) then
+    invalid_arg
+      "Shard_gen: nodes must fill complete mesh rows (16, 64, 256, 1024, ...)";
+  if cfg.msg_bytes <= 0 || cfg.msg_bytes land 3 <> 0 || cfg.msg_bytes > 4092
+  then
+    invalid_arg
+      "Shard_gen: msg_bytes must be a positive 4-byte multiple <= 4092";
+  if cfg.link_per_word < 1 then
+    invalid_arg "Shard_gen: link_per_word must be >= 1";
+  (match cfg.routing with
+  | `Dimension_order -> ()
+  | `Minimal_adaptive ->
+      invalid_arg
+        "Shard_gen: the sharded engine supports dimension-order routing only \
+         (adaptive choice reads remote link state mid-walk)");
+  if cfg.vc_count <> 1 then
+    invalid_arg "Shard_gen: the sharded engine supports a single VC per link";
+  if cfg.rx_credits <> None then
+    invalid_arg
+      "Shard_gen: the sharded engine does not model finite rx credits \
+       (the injection gate reads remote deposit state)";
+  if not (Arrival.open_loop cfg.arrival) then
+    invalid_arg
+      "Shard_gen: closed-loop arrivals need sub-lookahead delivery feedback; \
+       use the legacy engine";
+  if cfg.window_cycles <= 0 then
+    invalid_arg "Shard_gen: window_cycles must be positive";
+  if cfg.warmup_cycles < 0 then
+    invalid_arg "Shard_gen: warmup_cycles must be non-negative"
+
+(* One directed mesh link, owned by the shard of its source node. *)
+type link = {
+  l_from : int;
+  l_to : int;
+  mutable busy_until : int;
+  mutable inflight : int;
+  mutable max_depth : int;
+  mutable xmits : int;
+  mutable busy_cycles : int;
+  mutable wait_cycles : int;
+}
+
+(* Per-shard accumulators: each record is touched only by its owning
+   shard while the kernel runs, so no synchronisation is needed. *)
+type shard_stats = {
+  mutable injected : int;
+  mutable launched : int;
+  mutable delivered : int;
+  mutable lats : int list;
+  last_arrival : (int * int, int) Hashtbl.t;
+}
+
+type source = {
+  src : int;
+  rng : Rng.t;
+  q : (int * int) Queue.t; (* (dst, born) in arrival order *)
+  mutable serving : bool;
+  mutable next_pid : int;
+}
+
+(* Packet ids order same-cycle events of different packets at a merge;
+   they only need to be unique and deterministic. *)
+let pid_stride = 1 lsl 20
+
+let run_stats ?(domains = 1) ?send_cycles (cfg : Load_gen.config) =
+  validate cfg;
+  if domains < 1 then invalid_arg "Shard_gen: domains must be >= 1";
+  let send_cycles =
+    match send_cycles with
+    | Some c -> c
+    | None -> Load_gen.calibrate ~msg_bytes:cfg.msg_bytes ()
+  in
+  let nodes = cfg.nodes in
+  let width = Router.mesh_width nodes in
+  let rows = nodes / width in
+  let words = (cfg.msg_bytes + 3) / 4 in
+  let occ = words * cfg.link_per_word in
+  let k = Shard.create ~lookahead:per_hop_cycles ~shards:rows () in
+  let row_of node = node / width in
+  let node_id ~x ~y = x + (y * width) in
+  let measure_start = cfg.warmup_cycles in
+  let t_end = cfg.warmup_cycles + cfg.window_cycles in
+  (* directed links encoded node*4 + direction (+x, -x, +y, -y) *)
+  let links = Array.make (nodes * 4) None in
+  let link_for a b =
+    let dir =
+      if b = a + 1 then 0
+      else if b = a - 1 then 1
+      else if b = a + width then 2
+      else 3
+    in
+    let i = (a * 4) + dir in
+    match links.(i) with
+    | Some l -> l
+    | None ->
+        let l =
+          { l_from = a; l_to = b; busy_until = 0; inflight = 0; max_depth = 0;
+            xmits = 0; busy_cycles = 0; wait_cycles = 0 }
+        in
+        links.(i) <- Some l;
+        l
+  in
+  let stats =
+    Array.init rows (fun _ ->
+        { injected = 0; launched = 0; delivered = 0; lats = [];
+          last_arrival = Hashtbl.create 64 })
+  in
+  let deliver ~psrc ~pdst ~born () =
+    let shard = row_of pdst in
+    let st = stats.(shard) in
+    let now = Shard.now k ~shard in
+    (* per-pair in-order clamp, as the legacy router's [last_arrival]:
+       a no-op under dimension-order + FIFO links, kept as the stated
+       guarantee *)
+    let at =
+      match Hashtbl.find_opt st.last_arrival (psrc, pdst) with
+      | Some last -> max now (last + 1)
+      | None -> now
+    in
+    Hashtbl.replace st.last_arrival (psrc, pdst) at;
+    if born >= measure_start && at < t_end then begin
+      st.delivered <- st.delivered + 1;
+      st.lats <- (at - born) :: st.lats
+    end
+  in
+  (* Header walk: each link claim is one event at the link owner's
+     shard, firing when the header reaches the link entrance. With an
+     idle mesh this telescopes to base + hops·per_hop + words·per_word,
+     the legacy closed form. *)
+  let rec hop ~x ~y ~pid ~psrc ~pdst ~born ~head =
+    let dx = pdst mod width and dy = pdst / width in
+    let a = node_id ~x ~y in
+    let step v goal = if v < goal then v + 1 else v - 1 in
+    let x', y' = if x <> dx then (step x dx, y) else (x, step y dy) in
+    let b = node_id ~x:x' ~y:y' in
+    let l = link_for a b in
+    let start = max head l.busy_until in
+    let wait = start - head in
+    if wait > 0 then l.wait_cycles <- l.wait_cycles + wait;
+    l.inflight <- l.inflight + 1;
+    if l.inflight > l.max_depth then l.max_depth <- l.inflight;
+    l.busy_until <- start + occ;
+    l.xmits <- l.xmits + 1;
+    l.busy_cycles <- l.busy_cycles + occ;
+    Shard.schedule k ~shard:y ~key:pid ~delay:(start + occ - head) (fun () ->
+        l.inflight <- l.inflight - 1);
+    if b = pdst then
+      Shard.post k ~src:y ~dst:y' ~key:pid
+        ~delay:(start + per_hop_cycles + occ - head)
+        (deliver ~psrc ~pdst ~born)
+    else
+      Shard.post k ~src:y ~dst:y' ~key:pid
+        ~delay:(start + per_hop_cycles - head)
+        (fun () ->
+          hop ~x:x' ~y:y' ~pid ~psrc ~pdst ~born
+            ~head:(start + per_hop_cycles))
+  in
+  let start_walk ~pid ~psrc ~pdst ~born =
+    let sy = psrc / width in
+    let now = Shard.now k ~shard:sy in
+    if psrc = pdst then
+      Shard.schedule k ~shard:sy ~key:pid ~delay:(base_cycles + occ)
+        (deliver ~psrc ~pdst ~born)
+    else if cfg.link_contention then
+      Shard.schedule k ~shard:sy ~key:pid ~delay:base_cycles (fun () ->
+          hop ~x:(psrc mod width) ~y:sy ~pid ~psrc ~pdst ~born
+            ~head:(now + base_cycles))
+    else begin
+      let hops =
+        abs ((psrc mod width) - (pdst mod width)) + abs (sy - (pdst / width))
+      in
+      Shard.post k ~src:sy ~dst:(pdst / width) ~key:pid
+        ~delay:(base_cycles + (hops * per_hop_cycles) + occ)
+        (deliver ~psrc ~pdst ~born)
+    end
+  in
+  (* service model: one initiation every [send_cycles] per source, as
+     the legacy generator *)
+  let rec pump (s : source) =
+    if (not s.serving) && not (Queue.is_empty s.q) then begin
+      s.serving <- true;
+      Shard.schedule k ~shard:(row_of s.src) ~delay:send_cycles (fun () ->
+          launch s)
+    end
+  and launch (s : source) =
+    let dst, born = Queue.pop s.q in
+    let pid = (s.src * pid_stride) + s.next_pid in
+    s.next_pid <- s.next_pid + 1;
+    stats.(row_of s.src).launched <- stats.(row_of s.src).launched + 1;
+    start_walk ~pid ~psrc:s.src ~pdst:dst ~born;
+    s.serving <- false;
+    pump s
+  in
+  let sources =
+    Array.init nodes (fun src ->
+        { src; rng = Rng.substream cfg.seed src; q = Queue.create ();
+          serving = false; next_pid = 0 })
+  in
+  let enqueue s dst =
+    let shard = row_of s.src in
+    let now = Shard.now k ~shard in
+    if now >= measure_start && now < t_end then
+      stats.(shard).injected <- stats.(shard).injected + 1;
+    Queue.push (dst, now) s.q;
+    pump s
+  in
+  let rec arrive s time =
+    if time < t_end then
+      Shard.schedule_at k ~shard:(row_of s.src) ~time (fun () ->
+          (match
+             Pattern.dest_unbiased cfg.pattern s.rng ~width ~nodes ~src:s.src
+           with
+          | Some dst -> enqueue s dst
+          | None -> ());
+          arrive s (Shard.now k ~shard:(row_of s.src)
+                    + Arrival.next_gap cfg.arrival s.rng))
+  in
+  Array.iter (fun s -> arrive s (Arrival.next_gap cfg.arrival s.rng)) sources;
+  Shard.run ~domains k;
+  (* deterministic merge: sums, sorted latencies, links by (from, to) *)
+  let injected = Array.fold_left (fun a st -> a + st.injected) 0 stats in
+  let launched = Array.fold_left (fun a st -> a + st.launched) 0 stats in
+  let delivered = Array.fold_left (fun a st -> a + st.delivered) 0 stats in
+  let latencies =
+    Array.of_list (Array.fold_left (fun a st -> List.rev_append st.lats a) [] stats)
+  in
+  Array.sort compare latencies;
+  let n = Array.length latencies in
+  let mean_latency =
+    if n = 0 then 0.0
+    else float_of_int (Array.fold_left ( + ) 0 latencies) /. float_of_int n
+  in
+  let link_stats =
+    Array.to_list links
+    |> List.filter_map (fun l -> l)
+    |> List.filter (fun l -> l.xmits > 0)
+    |> List.sort (fun a b -> compare (a.l_from, a.l_to) (b.l_from, b.l_to))
+    |> List.map (fun l ->
+           { Router.from_node = l.l_from; to_node = l.l_to; xmits = l.xmits;
+             busy_cycles = l.busy_cycles; wait_cycles = l.wait_cycles;
+             max_depth = l.max_depth })
+  in
+  let per_kcycle count =
+    1000.0 *. float_of_int count
+    /. float_of_int (cfg.window_cycles * nodes)
+  in
+  let result =
+    {
+      Load_gen.nodes;
+      width;
+      send_cycles;
+      window_cycles = cfg.window_cycles;
+      injected;
+      launched;
+      delivered;
+      offered_per_kcycle = per_kcycle injected;
+      delivered_per_kcycle = per_kcycle delivered;
+      latencies;
+      mean_latency;
+      p50_latency = Load_gen.percentile_sorted latencies 50.0;
+      p95_latency = Load_gen.percentile_sorted latencies 95.0;
+      p99_latency = Load_gen.percentile_sorted latencies 99.0;
+      max_latency = (if n = 0 then 0 else latencies.(n - 1));
+      link_wait_cycles =
+        List.fold_left
+          (fun a (l : Router.link_stat) -> a + l.Router.wait_cycles)
+          0 link_stats;
+      link_max_depth =
+        List.fold_left
+          (fun a (l : Router.link_stat) -> max a l.Router.max_depth)
+          0 link_stats;
+      credit_stalls = 0;
+      credit_stall_cycles = 0;
+      links = link_stats;
+    }
+  in
+  ( result,
+    {
+      events = Shard.events_executed k;
+      windows = Shard.windows_run k;
+      cross_posts = Shard.messages_posted k;
+      shards = rows;
+    } )
+
+let run ?domains ?send_cycles cfg = fst (run_stats ?domains ?send_cycles cfg)

@@ -54,6 +54,15 @@ let detect_knee points =
         in
         go 1 None rest
 
+(* Engine dispatch for the [--domains] knob: the legacy global-engine
+   path stays the default (and the byte-identity baseline for every
+   committed anchor); the sharded conservative kernel takes over when
+   parallelism is requested or the mesh exceeds the legacy 64-node
+   cap. [domains = 1] on a small mesh therefore IS the current
+   engine — the single-domain deterministic mode. *)
+let use_sharded ~nodes ~domains =
+  domains > 1 || nodes > 64
+
 let run ?(loads = default_loads) ?probe ?(nodes = 16)
     ?(pattern = Pattern.Uniform) ?(msg_bytes = 256) ?(warmup_cycles = 2_000)
     ?(window_cycles = 50_000) ?(link_contention = true)
@@ -61,11 +70,13 @@ let run ?(loads = default_loads) ?probe ?(nodes = 16)
     ?(link_per_word = Load_gen.default_config.Load_gen.link_per_word)
     ?(vc_count = Load_gen.default_config.Load_gen.vc_count)
     ?(rx_credits = Load_gen.default_config.Load_gen.rx_credits)
-    ?(seed = 42) () =
+    ?(seed = 42) ?(domains = 1) () =
   if loads = [] then invalid_arg "Sweep.run: empty load list";
   List.iter
     (fun l -> if not (l > 0.0) then invalid_arg "Sweep.run: loads must be > 0")
     loads;
+  if domains < 1 then invalid_arg "Sweep.run: domains must be >= 1";
+  let sharded = use_sharded ~nodes ~domains in
   (* per-source capacity: one initiation every [send_cycles]; a load
      fraction maps to that share of the capacity rate *)
   let send_cycles = Load_gen.calibrate ~msg_bytes () in
@@ -89,7 +100,11 @@ let run ?(loads = default_loads) ?probe ?(nodes = 16)
             seed;
           }
         in
-        { load; result = Load_gen.run ?probe cfg })
+        let result =
+          if sharded then Shard_gen.run ~domains ~send_cycles cfg
+          else Load_gen.run ?probe cfg
+        in
+        { load; result })
       loads
   in
   let knee_index = detect_knee points in

@@ -35,6 +35,13 @@ val detect_knee : point list -> int option
     [Some 0] (no later point is compared against the saturated
     baseline). *)
 
+val use_sharded : nodes:int -> domains:int -> bool
+(** Engine dispatch rule for {!run}: the sharded conservative kernel
+    ({!Shard_gen}) runs the points when [domains > 1] or
+    [nodes > 64]; otherwise the legacy global-engine {!Load_gen} path
+    does — so [domains = 1] on a small mesh is byte-identical to the
+    engine every committed anchor was produced on. *)
+
 val run :
   ?loads:float list ->
   ?probe:(Udma_sim.Engine.t -> unit) ->
@@ -49,8 +56,14 @@ val run :
   ?vc_count:int ->
   ?rx_credits:int option ->
   ?seed:int ->
+  ?domains:int ->
   unit ->
   outcome
 (** Deterministic under [seed]: equal arguments give equal outcomes,
-    byte for byte. [probe] observes each point's fresh engine (cycle
-    attribution across the whole sweep). *)
+    byte for byte — and on the sharded path, identical for every
+    [domains] value (default 1), which only sets the worker-domain
+    count. [probe] observes each point's fresh engine (cycle
+    attribution); it is consulted on the legacy path only — the
+    sharded kernel has no global engine to probe. Configs outside the
+    sharded subset (adaptive routing, several VCs, finite credits,
+    closed arrivals) raise [Invalid_argument] when dispatched to it. *)

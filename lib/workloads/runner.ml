@@ -1058,12 +1058,13 @@ let report_saturation ?loads ?(nodes = 16) ?(pattern = Pattern.Uniform)
     ?(link_per_word = Udma_traffic.Load_gen.default_config.Udma_traffic.Load_gen.link_per_word)
     ?(vc_count = Udma_traffic.Load_gen.default_config.Udma_traffic.Load_gen.vc_count)
     ?(rx_credits = Udma_traffic.Load_gen.default_config.Udma_traffic.Load_gen.rx_credits)
-    ?(seed = 42) () =
+    ?(seed = 42) ?(domains = 1) () =
   let p = probe () in
+  let sharded = Sweep.use_sharded ~nodes ~domains in
   let outcome =
     Sweep.run ?loads ~probe:(watch p) ~nodes ~pattern ~msg_bytes
       ~warmup_cycles ~window_cycles ~link_contention ~routing ~link_per_word
-      ~vc_count ~rx_credits ~seed ()
+      ~vc_count ~rx_credits ~seed ~domains ()
   in
   let width =
     match outcome.Sweep.points with
@@ -1077,7 +1078,7 @@ let report_saturation ?loads ?(nodes = 16) ?(pattern = Pattern.Uniform)
          (Pattern.to_string pattern)
          (if link_contention then "" else " (contention off)"))
     ~meta:
-      [
+      ([
         ("nodes", vi nodes);
         ("width", vi width);
         ("pattern", vs (Pattern.to_string pattern));
@@ -1096,6 +1097,12 @@ let report_saturation ?loads ?(nodes = 16) ?(pattern = Pattern.Uniform)
           | Some i -> vi i
           | None -> vs "none" );
       ]
+      (* extend meta only on the sharded path so the legacy report — and
+         every committed anchor derived from it — stays byte-identical *)
+      @ (if sharded then
+           [ ("engine", vs "sharded"); ("domains", vi domains) ]
+         else [])
+    )
     ~columns:
       [
         ("load", "load");
@@ -1898,6 +1905,116 @@ let report_rpc ?(loads = app_default_loads) ?(nodes = 16) ?(resp_bytes = 512)
        results)
 
 (* ------------------------------------------------------------------ *)
+(* E17: sharded engine throughput scaling                              *)
+(* ------------------------------------------------------------------ *)
+
+module Shard_gen = Udma_traffic.Shard_gen
+
+(* One fixed open-loop point on a large mesh, repeated per domain
+   count. The event/window/post counters and the traffic result are
+   identical for every row (the kernel is domain-count-invariant; the
+   [deterministic] meta flag asserts it), so only the wall-clock rate
+   columns vary between hosts and runs — they are advisory, never
+   anchored. The authoritative throughput anchors live in
+   BENCH_sim.json (bench sim). *)
+let report_simscale ?(nodes = 256) ?(load = 0.9) ?(msg_bytes = 256)
+    ?(warmup_cycles = 2_000) ?(window_cycles = 50_000)
+    ?(domains_list = [ 1; 2; 4 ]) ?(seed = 42) () =
+  if domains_list = [] then invalid_arg "report_simscale: empty domains list";
+  let send_cycles = Load_gen.calibrate ~msg_bytes () in
+  let cfg =
+    {
+      Load_gen.default_config with
+      Load_gen.nodes;
+      msg_bytes;
+      warmup_cycles;
+      window_cycles;
+      arrival =
+        Udma_traffic.Arrival.Poisson
+          { per_kcycle = load *. 1000.0 /. float_of_int send_cycles };
+      rx_credits = None;
+      seed;
+    }
+  in
+  let runs =
+    List.map
+      (fun domains ->
+        let t0 = Unix.gettimeofday () in
+        let result, ks = Shard_gen.run_stats ~domains ~send_cycles cfg in
+        let wall = Unix.gettimeofday () -. t0 in
+        (domains, result, ks, wall))
+      domains_list
+  in
+  let fingerprint (r : Load_gen.result) (ks : Shard_gen.kernel_stats) =
+    (ks.Shard_gen.events, ks.Shard_gen.windows, ks.Shard_gen.cross_posts,
+     r.Load_gen.injected, r.Load_gen.delivered, r.Load_gen.latencies)
+  in
+  let deterministic =
+    match runs with
+    | [] -> true
+    | (_, r0, k0, _) :: rest ->
+        let f0 = fingerprint r0 k0 in
+        List.for_all (fun (_, r, k, _) -> fingerprint r k = f0) rest
+  in
+  let base_wall =
+    match runs with (_, _, _, w) :: _ -> w | [] -> 0.0
+  in
+  let width =
+    match runs with
+    | (_, r, _, _) :: _ -> r.Load_gen.width
+    | [] -> 0
+  in
+  Report.make ~id:"e17_simscale"
+    ~title:
+      (Printf.sprintf
+         "E17: sharded engine throughput — events/sec vs worker domains, \
+          %d-node mesh at load %.1f" nodes load)
+    ~meta:
+      [
+        ("nodes", vi nodes);
+        ("width", vi width);
+        ("load", vf load);
+        ("msg_bytes", vi msg_bytes);
+        ("send_cycles", vi send_cycles);
+        ("warmup_cycles", vi warmup_cycles);
+        ("window_cycles", vi window_cycles);
+        ("seed", vi seed);
+        ("host_cores", vi (Domain.recommended_domain_count ()));
+        ("deterministic", vb deterministic);
+      ]
+    ~columns:
+      [
+        ("domains", "domains");
+        ("shards", "shards");
+        ("events", "events");
+        ("windows", "windows");
+        ("cross_posts", "x-posts");
+        ("delivered", "delivered");
+        ("events_per_sec", "events/s");
+        ("speedup", "speedup");
+      ]
+    (List.map
+       (fun (domains, (r : Load_gen.result), (ks : Shard_gen.kernel_stats),
+             wall) ->
+         [
+           ("domains", vi domains);
+           ("shards", vi ks.Shard_gen.shards);
+           ("events", vi ks.Shard_gen.events);
+           ("windows", vi ks.Shard_gen.windows);
+           ("cross_posts", vi ks.Shard_gen.cross_posts);
+           ("delivered", vi r.Load_gen.delivered);
+           ("mean_latency", vf r.Load_gen.mean_latency);
+           ("p99_latency", vi r.Load_gen.p99_latency);
+           ("wall_ms", vf (wall *. 1000.0));
+           ( "events_per_sec",
+             vf
+               (if wall > 0.0 then float_of_int ks.Shard_gen.events /. wall
+                else 0.0) );
+           ("speedup", vf (if wall > 0.0 then base_wall /. wall else 0.0));
+         ])
+       runs)
+
+(* ------------------------------------------------------------------ *)
 (* drivers                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -2095,6 +2212,22 @@ let experiments =
               report_rpc ~seed ();
               report_kv_vcs ~seed ();
             ]);
+    };
+    {
+      exp_name = "simscale";
+      exp_alias = "e17";
+      exp_doc =
+        "E17: sharded-engine throughput — events/sec and speedup vs worker \
+         domains on a 256-node mesh (counters deterministic, rates \
+         host-dependent).";
+      exp_run =
+        (fun ~quick ~seed ->
+          if quick then
+            [
+              report_simscale ~window_cycles:20_000 ~domains_list:[ 1; 2 ]
+                ~seed ();
+            ]
+          else [ report_simscale ~seed () ]);
     };
   ]
 

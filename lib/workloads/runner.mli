@@ -168,14 +168,20 @@ val report_saturation :
   ?vc_count:int ->
   ?rx_credits:int option ->
   ?seed:int ->
+  ?domains:int ->
   unit ->
   Report.t
-(** Latency vs offered load on an up-to-8x8 mesh driven by
+(** Latency vs offered load on a mesh driven by
     {!Udma_traffic.Sweep}: one row per load point (offered/delivered
     throughput, latency percentiles, head-of-line blocking), with the
     detected saturation knee flagged in the rows and recorded in the
     meta as [knee_load] (or the string ["none"]). Deterministic under
-    [seed]. *)
+    [seed]. [domains] (default 1) selects the worker-domain count for
+    the sharded engine; per {!Udma_traffic.Sweep.use_sharded} the
+    legacy single-engine path — and its exact report bytes — is kept
+    whenever [domains = 1] and [nodes <= 64]. On the sharded path the
+    meta gains [engine]/[domains] fields and the report is identical
+    for every [domains] value. *)
 
 (** {1 E12 — routing policy comparison (lib/shrimp router)} *)
 
@@ -372,6 +378,27 @@ val report_rpc :
     drain check; the SLO knee in the meta. Deterministic under
     [seed]. *)
 
+val report_simscale :
+  ?nodes:int ->
+  ?load:float ->
+  ?msg_bytes:int ->
+  ?warmup_cycles:int ->
+  ?window_cycles:int ->
+  ?domains_list:int list ->
+  ?seed:int ->
+  unit ->
+  Report.t
+(** E17: the sharded conservative engine ({!Udma_traffic.Shard_gen})
+    run on one fixed open-loop point (default: 16x16 mesh at load 0.9)
+    once per entry of [domains_list] (default [[1; 2; 4]]). One row
+    per domain count with the kernel counters (events, windows,
+    cross-shard posts), the traffic result, and the wall-clock
+    events/sec + speedup over the first entry. The counters and the
+    traffic result are identical across rows — the [deterministic]
+    meta flag asserts it — while the rate columns depend on the host
+    ([host_cores] meta records {!Domain.recommended_domain_count});
+    the anchored throughput baseline lives in [BENCH_sim.json]. *)
+
 (** {1 Driver} *)
 
 type experiment = {
@@ -382,12 +409,12 @@ type experiment = {
 }
 
 val experiments : experiment list
-(** The experiment registry, in E1..E16 order. [all_reports] and the
+(** The experiment registry, in E1..E17 order. [all_reports] and the
     [shrimp_sim] command set are both derived from it, so a new
     experiment registers exactly once here. *)
 
 val all_reports : ?quick:bool -> ?seed:int -> unit -> Report.t list
-(** Every experiment (E1 basic + queued, E2..E16) as reports, in
+(** Every experiment (E1 basic + queued, E2..E17) as reports, in
     registry order. [quick] (default false) substitutes the small
     deterministic parameter set CI uses for the committed
     [BENCH_baseline.json]; [seed] feeds the randomized experiments

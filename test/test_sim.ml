@@ -65,6 +65,107 @@ let test_eventq_peek () =
   Alcotest.(check (option int)) "peek" (Some 42) (Eventq.peek_time q);
   checki "peek does not pop" 1 (Eventq.length q)
 
+let test_eventq_key_order () =
+  let q = Eventq.create () in
+  Eventq.push q ~time:5 ~key:2 "k2";
+  Eventq.push q ~time:5 ~key:0 "k0";
+  Eventq.push q ~time:5 ~key:1 "k1";
+  Eventq.push q ~time:5 ~key:0 "k0'";
+  let order = List.init 4 (fun _ -> snd (Option.get (Eventq.pop q))) in
+  Alcotest.(check (list string)) "key then insertion order on equal times"
+    [ "k0"; "k0'"; "k1"; "k2" ] order
+
+(* The retention regression: a popped (or cleared) event must not be
+   kept alive by the vacated heap slot. Each payload is reachable only
+   through the queued closure; once the closure leaves the queue and
+   the returned value is dropped, a major GC has to collect it. Kept
+   out-of-line so no stale stack slot of the caller roots the payload. *)
+let[@inline never] push_tracked q time =
+  let payload = Bytes.make 4096 'x' in
+  let w = Weak.create 1 in
+  Weak.set w 0 (Some payload);
+  Eventq.push q ~time (fun () -> ignore (Bytes.length payload));
+  w
+
+let[@inline never] pop_and_drop q = ignore (Eventq.pop q)
+
+let test_eventq_pop_releases () =
+  let q = Eventq.create () in
+  let w = push_tracked q 10 in
+  (* a second event keeps the queue non-empty, so the popped slot is
+     genuinely a vacated interior slot, not an emptied queue *)
+  Eventq.push q ~time:20 (fun () -> ());
+  pop_and_drop q;
+  Gc.full_major ();
+  Gc.full_major ();
+  checkb "payload collectable once popped" false (Weak.check w 0);
+  checki "other event still queued" 1 (Eventq.length q)
+
+let test_eventq_clear_releases () =
+  let q = Eventq.create () in
+  let ws = List.init 3 (fun i -> push_tracked q (10 * (i + 1))) in
+  Eventq.clear q;
+  Gc.full_major ();
+  Gc.full_major ();
+  List.iteri
+    (fun i w ->
+      checkb (Printf.sprintf "payload %d collectable after clear" i) false
+        (Weak.check w 0))
+    ws
+
+(* qcheck: an interleaved push/pop/clear trace agrees with a sorted-list
+   reference model — global time order, and among equal (time, key) the
+   push order (FIFO). *)
+let qtest = QCheck_alcotest.to_alcotest
+
+type eventq_op = Push of int * int | Pop | Clear
+
+let eventq_model_prop =
+  let open QCheck in
+  let gen_op =
+    Gen.(
+      frequency
+        [
+          (6, map2 (fun t k -> Push (t, k)) (int_bound 20) (int_bound 3));
+          (3, return Pop);
+          (1, return Clear);
+        ])
+  in
+  let print_op = function
+    | Push (t, k) -> Printf.sprintf "push(t=%d,k=%d)" t k
+    | Pop -> "pop"
+    | Clear -> "clear"
+  in
+  let arb = make ~print:(Print.list print_op) Gen.(list_size (1 -- 60) gen_op) in
+  Test.make ~count:500 ~name:"Eventq trace = sorted-list model" arb (fun ops ->
+      let q = Eventq.create () in
+      let model = ref [] in
+      let next_id = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Push (t, k) ->
+              let id = !next_id in
+              incr next_id;
+              Eventq.push q ~time:t ~key:k id;
+              (* stable sort keeps push order among equal (time, key) *)
+              model :=
+                List.stable_sort
+                  (fun (t1, k1, _) (t2, k2, _) -> compare (t1, k1) (t2, k2))
+                  (!model @ [ (t, k, id) ])
+          | Pop -> (
+              match (Eventq.pop q, !model) with
+              | None, [] -> ()
+              | Some (t, id), (mt, _, mid) :: rest ->
+                  if t <> mt || id <> mid then ok := false else model := rest
+              | Some _, [] | None, _ :: _ -> ok := false)
+          | Clear ->
+              Eventq.clear q;
+              model := [])
+        ops;
+      !ok && Eventq.length q = List.length !model)
+
 (* ---------- Engine ---------- *)
 
 let test_engine_advance () =
@@ -302,6 +403,137 @@ let test_trace_sinks () =
   checki "sink saw both" 2 (count ());
   checki "ring still empty" 0 (List.length (Trace.events t))
 
+(* ---------- Rng.int_unbiased / substream ---------- *)
+
+(* The legacy biased stream is pinned: every committed anchor was
+   produced through Rng.int, so its outputs must never move. *)
+let test_rng_int_stream_pinned () =
+  let r = Rng.create 42 in
+  let got = List.init 8 (fun _ -> Rng.int r 1000) in
+  Alcotest.(check (list int))
+    "Rng.int stream @ seed 42"
+    [ 853; 72; 964; 941; 812; 265; 231; 977 ]
+    got
+
+let test_rng_unbiased_stream_pinned () =
+  let r = Rng.create 7 in
+  let got = List.init 8 (fun _ -> Rng.int_unbiased r 1000) in
+  Alcotest.(check (list int))
+    "Rng.int_unbiased stream @ seed 7"
+    [ 621; 951; 336; 50; 918; 76; 949; 295 ]
+    got
+
+let test_rng_unbiased_bounds () =
+  let r = Rng.create 1 in
+  (* a power-of-two bound (divides 2^62: the no-tail path), tiny bounds,
+     and a bound over half the raw range (the heavy-rejection path) *)
+  List.iter
+    (fun bound ->
+      for _ = 1 to 200 do
+        let v = Rng.int_unbiased r bound in
+        checkb "in range" true (v >= 0 && v < bound)
+      done)
+    [ 1; 2; 3; 64; 1000; (max_int / 2) + 3 ];
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Rng.int_unbiased: bound must be positive") (fun () ->
+      ignore (Rng.int_unbiased r 0))
+
+let test_rng_unbiased_uniform () =
+  let r = Rng.create 99 in
+  let buckets = Array.make 3 0 in
+  let n = 30_000 in
+  for _ = 1 to n do
+    let v = Rng.int_unbiased r 3 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      checkb
+        (Printf.sprintf "bucket %d near n/3 (got %d)" i c)
+        true
+        (abs (c - (n / 3)) < n / 30))
+    buckets
+
+let test_rng_substream () =
+  let a = Rng.substream 42 0 and a' = Rng.substream 42 0 in
+  let b = Rng.substream 42 1 in
+  let take r = List.init 6 (fun _ -> Rng.int_unbiased r 1_000_000) in
+  Alcotest.(check (list int)) "same (seed, index) = same stream" (take a')
+    (take (Rng.substream 42 0));
+  checkb "distinct indices decorrelate" true (take a <> take b);
+  (* partition independence: the stream for index i never depends on
+     which other indices exist or in what order they are created *)
+  let direct = take (Rng.substream 7 5) in
+  let _ = Rng.substream 7 0 and _ = Rng.substream 7 9 in
+  Alcotest.(check (list int)) "creation order irrelevant" direct
+    (take (Rng.substream 7 5))
+
+(* ---------- Shard: conservative sharded kernel ---------- *)
+
+module Shard = Udma_sim.Shard
+
+(* A token ring over the shards: each arrival records (shard, time) into
+   the owning shard's own trace cell (single-writer, so safe under any
+   domain packing) and forwards the token with a cross-shard delay. *)
+let run_ring ~domains ~shards ~hops =
+  let k = Shard.create ~lookahead:5 ~shards () in
+  let traces = Array.init shards (fun _ -> ref []) in
+  let rec arrive hop s () =
+    traces.(s) := (hop, Shard.now k ~shard:s) :: !(traces.(s));
+    if hop < hops then
+      let d = (s + 1) mod shards in
+      Shard.post k ~src:s ~dst:d ~delay:(5 + (hop mod 3)) (arrive (hop + 1) d)
+  in
+  Shard.schedule k ~shard:0 ~delay:1 (arrive 0 0);
+  Shard.run ~domains k;
+  ( Array.map (fun r -> List.rev !r) traces,
+    Shard.events_executed k,
+    Shard.messages_posted k,
+    Shard.windows_run k )
+
+let test_shard_ring_sequential () =
+  let traces, events, posts, windows = run_ring ~domains:1 ~shards:4 ~hops:10 in
+  checki "one event per hop" 11 events;
+  checki "every forward crosses a shard boundary" 10 posts;
+  checkb "windows advanced" true (windows > 0);
+  Alcotest.(check (list (pair int int)))
+    "shard 0 sees hops 0, 4, 8"
+    [ (0, 1); (4, 24); (8, 48) ]
+    traces.(0)
+
+let test_shard_domain_invariance () =
+  let base = run_ring ~domains:1 ~shards:4 ~hops:25 in
+  List.iter
+    (fun domains ->
+      let got = run_ring ~domains ~shards:4 ~hops:25 in
+      checkb
+        (Printf.sprintf "domains=%d identical to sequential" domains)
+        true (got = base))
+    [ 2; 3; 4; 7 ]
+
+let test_shard_post_below_lookahead () =
+  let k = Shard.create ~lookahead:8 ~shards:2 () in
+  Alcotest.check_raises "unsound cross-shard delay"
+    (Invalid_argument
+       "Shard.post: cross-shard delay 3 below lookahead 8 (the conservative \
+        window would be unsound)") (fun () ->
+      Shard.post k ~src:0 ~dst:1 ~delay:3 (fun () -> ()));
+  (* the same delay within a shard is fine: no window boundary crossed *)
+  Shard.post k ~src:0 ~dst:0 ~delay:3 (fun () -> ());
+  checki "local short post queued" 1 (Shard.pending_events k)
+
+let test_shard_until () =
+  let k = Shard.create ~lookahead:10 ~shards:2 () in
+  let fired = ref [] in
+  List.iter
+    (fun t -> Shard.schedule_at k ~shard:0 ~time:t (fun () -> fired := t :: !fired))
+    [ 3; 12; 40 ];
+  Shard.run ~until:20 k;
+  Alcotest.(check (list int)) "only events before the cut" [ 12; 3 ] !fired;
+  checki "later event still pending" 1 (Shard.pending_events k);
+  Shard.run k;
+  Alcotest.(check (list int)) "resume drains the rest" [ 40; 12; 3 ] !fired
+
 let () =
   Alcotest.run "udma_sim"
     [
@@ -309,8 +541,14 @@ let () =
         [
           Alcotest.test_case "ordering" `Quick test_eventq_ordering;
           Alcotest.test_case "fifo ties" `Quick test_eventq_fifo_ties;
+          Alcotest.test_case "key order" `Quick test_eventq_key_order;
           Alcotest.test_case "growth + heap order" `Quick test_eventq_growth;
           Alcotest.test_case "negative time" `Quick test_eventq_negative_time;
+          Alcotest.test_case "pop releases payload" `Quick
+            test_eventq_pop_releases;
+          Alcotest.test_case "clear releases payloads" `Quick
+            test_eventq_clear_releases;
+          qtest eventq_model_prop;
           Alcotest.test_case "clear" `Quick test_eventq_clear;
           Alcotest.test_case "peek" `Quick test_eventq_peek;
         ] );
@@ -343,6 +581,23 @@ let () =
           Alcotest.test_case "shuffle permutation" `Quick
             test_rng_shuffle_is_permutation;
           Alcotest.test_case "pick" `Quick test_rng_pick;
+          Alcotest.test_case "legacy int stream pinned" `Quick
+            test_rng_int_stream_pinned;
+          Alcotest.test_case "unbiased stream pinned" `Quick
+            test_rng_unbiased_stream_pinned;
+          Alcotest.test_case "unbiased bounds" `Quick test_rng_unbiased_bounds;
+          Alcotest.test_case "unbiased uniform" `Quick test_rng_unbiased_uniform;
+          Alcotest.test_case "substream" `Quick test_rng_substream;
+        ] );
+      ( "shard",
+        [
+          Alcotest.test_case "token ring (sequential)" `Quick
+            test_shard_ring_sequential;
+          Alcotest.test_case "domain-count invariance" `Quick
+            test_shard_domain_invariance;
+          Alcotest.test_case "lookahead soundness check" `Quick
+            test_shard_post_below_lookahead;
+          Alcotest.test_case "until + resume" `Quick test_shard_until;
         ] );
       ( "trace",
         [

@@ -293,6 +293,82 @@ let test_sweep_deterministic () =
         < p2.Sweep.result.Load_gen.injected
     | _ -> false)
 
+(* ---------- Shard_gen: the sharded engine's generator ---------- *)
+
+module Shard_gen = Udma_traffic.Shard_gen
+
+let shard_cfg ?(nodes = 64) ?(window = 8_000) () =
+  {
+    Load_gen.default_config with
+    Load_gen.nodes;
+    msg_bytes = 128;
+    warmup_cycles = 1_000;
+    window_cycles = window;
+    arrival = Arrival.Poisson { per_kcycle = 4.0 };
+    rx_credits = None;
+    seed = 11;
+  }
+
+let test_shard_gen_domain_invariance () =
+  let run domains = Shard_gen.run_stats ~domains (shard_cfg ()) in
+  let r1, k1 = run 1 in
+  checkb "traffic flows" true (r1.Load_gen.delivered > 0);
+  List.iter
+    (fun domains ->
+      let r, k = run domains in
+      checkb
+        (Printf.sprintf "result identical at domains=%d" domains)
+        true (r = r1);
+      checkb
+        (Printf.sprintf "kernel counters identical at domains=%d" domains)
+        true (k = k1))
+    [ 2; 3; 5 ]
+
+let test_shard_gen_repeatable () =
+  let a = Shard_gen.run (shard_cfg ()) in
+  let b = Shard_gen.run (shard_cfg ()) in
+  checkb "same config, same result" true (a = b);
+  let c = Shard_gen.run { (shard_cfg ()) with Load_gen.seed = 12 } in
+  checkb "seed matters" true (a <> c)
+
+let test_shard_gen_large_mesh () =
+  (* beyond the legacy 64-node cap: a short 1024-node (32x32) window *)
+  let r, k =
+    Shard_gen.run_stats ~domains:2 (shard_cfg ~nodes:1024 ~window:2_000 ())
+  in
+  checki "one shard per mesh row" 32 k.Shard_gen.shards;
+  checkb "deliveries on the big mesh" true (r.Load_gen.delivered > 0);
+  checkb "in-order per pair" true (r.Load_gen.injected >= r.Load_gen.delivered)
+
+let test_shard_gen_validation () =
+  let reject name cfg =
+    match Shard_gen.run cfg with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  reject "adaptive routing"
+    { (shard_cfg ()) with Load_gen.routing = `Minimal_adaptive };
+  reject "several VCs" { (shard_cfg ()) with Load_gen.vc_count = 2 };
+  reject "finite credits" { (shard_cfg ()) with Load_gen.rx_credits = Some 4 };
+  reject "closed loop"
+    { (shard_cfg ()) with
+      Load_gen.arrival = Arrival.Closed { clients = 2; think_cycles = 10 } };
+  reject "oversized mesh" { (shard_cfg ()) with Load_gen.nodes = 2048 }
+
+let test_sweep_dispatch () =
+  checkb "small mesh, one domain: legacy" false
+    (Sweep.use_sharded ~nodes:16 ~domains:1);
+  checkb "small mesh, two domains: sharded" true
+    (Sweep.use_sharded ~nodes:16 ~domains:2);
+  checkb "large mesh always sharded" true
+    (Sweep.use_sharded ~nodes:256 ~domains:1);
+  (* the sharded sweep is domain-count invariant end to end *)
+  let sweep domains =
+    Sweep.run ~loads:[ 0.3; 0.9 ] ~nodes:16 ~msg_bytes:128 ~warmup_cycles:500
+      ~window_cycles:4_000 ~seed:11 ~domains ()
+  in
+  checkb "sweep identical at domains 2 and 3" true (sweep 2 = sweep 3)
+
 let () =
   Alcotest.run "udma_traffic"
     [
@@ -329,5 +405,17 @@ let () =
           Alcotest.test_case "knee detection rules" `Quick test_knee_detection;
           Alcotest.test_case "deterministic, consistent knee" `Quick
             test_sweep_deterministic;
+          Alcotest.test_case "engine dispatch + sharded sweep" `Quick
+            test_sweep_dispatch;
+        ] );
+      ( "shard_gen",
+        [
+          Alcotest.test_case "domain-count invariance" `Quick
+            test_shard_gen_domain_invariance;
+          Alcotest.test_case "repeatable under seed" `Quick
+            test_shard_gen_repeatable;
+          Alcotest.test_case "1024-node mesh" `Quick test_shard_gen_large_mesh;
+          Alcotest.test_case "config validation" `Quick
+            test_shard_gen_validation;
         ] );
     ]
