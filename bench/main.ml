@@ -8,7 +8,8 @@
    4 KB, E2 initiation cycles, E11 saturation knee, E12 per-policy
    transpose knees, E13 hotspot knees at 1 and 4 VCs, E14 per-backend
    initiation p50 at 8 tenants and p99 at 256, E15 contiguous and
-   SG-256 bytes-per-cycle, E16 KV and RPC request p99 at load 0.8)
+   SG-256 bytes-per-cycle, E16 KV and RPC request p99 at load 0.8,
+   E18 flit-vs-analytic HOL p99 delta at 1 and 4 VCs)
    against a previously
    committed baseline, failing on >±2 % drift — that is the CI
    regression gate. *)
@@ -80,6 +81,11 @@ let bech_tests =
            ignore
              (Runner.report_kv ~loads:[ 0.5 ] ~nodes:4
                 ~window_cycles:10_000 ())));
+    Test.make ~name:"e18_flit_point"
+      (Staged.stage (fun () ->
+           ignore
+             (Runner.report_flit ~nodes:4 ~vc_counts:[ 2 ]
+                ~warmup_cycles:500 ~window_cycles:4_000 ())));
   ]
 
 let run_bechamel () =
@@ -204,6 +210,10 @@ let anchors_of_reports reports =
   let e16 id load =
     report_value reports ~id (fun rows -> row_where "load" load rows "p99")
   in
+  let e18 vcs =
+    report_value reports ~id:"e18_flit" (fun rows ->
+        row_where "vcs" vcs rows "hol_delta")
+  in
   [
     ("e1.pct_of_max@512B", e1 512.0);
     ("e1.pct_of_max@4KB", e1 4096.0);
@@ -225,6 +235,8 @@ let anchors_of_reports reports =
     ("e15.pct@sg256.basic", e15 "sg256" "basic_pct");
     ("e16.kv_p99@0.8", e16 "e16_kv" 0.8);
     ("e16.rpc_p99@0.8", e16 "e16_rpc" 0.8);
+    ("e18.hol_delta@vcs1", e18 1.0);
+    ("e18.hol_delta@vcs4", e18 4.0);
   ]
 
 let json_rows_of_experiment doc ~id =
@@ -333,6 +345,15 @@ let anchors_of_baseline doc =
             | _ -> None)
           rows)
   in
+  let e18 vcs =
+    Option.bind (json_rows_of_experiment doc ~id:"e18_flit") (fun rows ->
+        List.find_map
+          (fun row ->
+            match json_row_num "vcs" row with
+            | Some v when v = vcs -> json_row_num "hol_delta" row
+            | _ -> None)
+          rows)
+  in
   [
     ("e1.pct_of_max@512B", e1 512.0);
     ("e1.pct_of_max@4KB", e1 4096.0);
@@ -354,6 +375,8 @@ let anchors_of_baseline doc =
     ("e15.pct@sg256.basic", e15 "sg256" "basic_pct");
     ("e16.kv_p99@0.8", e16 "e16_kv" 0.8);
     ("e16.rpc_p99@0.8", e16 "e16_rpc" 0.8);
+    ("e18.hol_delta@vcs1", e18 1.0);
+    ("e18.hol_delta@vcs4", e18 4.0);
   ]
 
 let check_anchors reports ~baseline_file =

@@ -272,20 +272,40 @@ let traffic_term =
              the pre-credit model). With finite credits sources stall at \
              the injection gate instead of queueing on the wire.")
   in
+  let crossing =
+    let crossing_conv = Arg.enum [ ("analytic", `Analytic); ("flit", `Flit) ] in
+    Arg.(
+      value & opt crossing_conv `Analytic
+      & info [ "crossing" ] ~docv:"MODEL"
+          ~doc:
+            "Wire model under contention: $(b,analytic) (default, \
+             packet-granularity link reservations — the model every \
+             committed anchor was produced on) or $(b,flit) \
+             (cycle-accurate wormhole flits through per-(link,VC) input \
+             FIFOs; dimension-order only, always on the legacy engine). \
+             See also $(b,--flit-words).")
+  in
+  let flit_words =
+    Arg.(
+      value & opt int 1
+      & info [ "flit-words" ] ~docv:"N"
+          ~doc:"4-byte words per flit in the flit crossing (default 1).")
+  in
   let run c nodes pattern msg_bytes loads window warmup no_contention routing
-      link_per_word vcs rx_credits domains =
+      link_per_word vcs rx_credits crossing flit_words domains =
     emit_reports c (fun () ->
         [
           Runner.report_saturation ~loads ~nodes ~pattern ~msg_bytes
             ~warmup_cycles:warmup ~window_cycles:window
             ~link_contention:(not no_contention) ~routing ~link_per_word
-            ~vc_count:vcs ~rx_credits ~seed:c.seed ~domains ();
+            ~vc_count:vcs ~rx_credits ~crossing ~flit_words ~seed:c.seed
+            ~domains ();
         ])
   in
   Term.(
     const run $ common_term $ nodes $ pattern $ msg_bytes $ loads $ window
     $ warmup $ no_contention $ routing $ link_per_word $ vcs $ rx_credits
-    $ domains)
+    $ crossing $ flit_words $ domains)
 
 let tenants_term =
   let module Backend = Udma_protect.Backend in
@@ -739,8 +759,8 @@ let chaos_cmd =
       Arg.enum
         [
           ("i1", `I1); ("i2", `I2); ("i3", `I3); ("i4", `I4);
-          ("n1", `N1); ("n2", `N2); ("p1", `P1); ("p2", `P2);
-          ("d1", `D1);
+          ("n1", `N1); ("n2", `N2); ("f1", `F1); ("f2", `F2);
+          ("p1", `P1); ("p2", `P2); ("d1", `D1);
         ]
     in
     Arg.(
@@ -752,11 +772,14 @@ let chaos_cmd =
              (deliberate bug); the sweep is then expected to find \
              violations, and the first is reported shrunk. $(b,n1) \
              (credit leak) and $(b,n2) (stuck arbiter) plant router \
-             bugs, $(b,p1) (owner check skipped) and $(b,p2) (stale \
+             bugs, $(b,f1) (flit leaked on a dead-link retry) and \
+             $(b,f2) (arbiter double-grant past the credit check) \
+             plant flit-crossing bugs the F1 conservation oracle must \
+             catch, $(b,p1) (owner check skipped) and $(b,p2) (stale \
              datapath entry after teardown) plant protection-backend \
              bugs the I5 oracle must catch, and $(b,d1) (per-element \
              page clamp skipped on shaped transfers) plants a \
-             DMA-frontend bug the I4 oracle must catch; all five are \
+             DMA-frontend bug the I4 oracle must catch; all seven are \
              meant for $(b,--mesh) sweeps.")
   in
   let mesh =
@@ -767,10 +790,11 @@ let chaos_cmd =
             "Sweep multi-node mesh schedules instead of single-machine \
              ones: random sends, link faults, credit squeezes, rogue \
              tenants and import-slot revocations on a 2-4 node system \
-             with 1-4 VCs, checking I1-I4 and the I5 isolation oracle \
-             on every node (proxy, IOMMU and capability backends) and \
-             the router's credit (N1) and arbitration (N2) oracles \
-             after every action.")
+             with 1-4 VCs (a third of the seeds on the flit-level \
+             wormhole crossing), checking I1-I4 and the I5 isolation \
+             oracle on every node (proxy, IOMMU and capability \
+             backends) and the router's credit (N1), arbitration (N2) \
+             and flit-conservation (F1) oracles after every action.")
   in
   let run c seeds start steps replay mutate mesh =
     if c.trace then Trace.set_global_sink (Some (Event.jsonl_sink stderr));

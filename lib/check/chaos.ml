@@ -535,6 +535,8 @@ type mesh_setup = {
   mesh_pages : int;
   mesh_vcs : int;
   mesh_credits : int option;
+  mesh_crossing : Router.crossing;
+  mesh_flit_words : int;
 }
 
 type mesh_plan = { mesh_setup : mesh_setup; mesh_actions : mesh_action list }
@@ -583,13 +585,17 @@ let pp_mesh_action ppf = function
 
 let pp_mesh_setup ppf s =
   Format.fprintf ppf
-    "seed=%d nodes=%d contention=%b routing=%s pages/node=%d vcs=%d rx=%s"
+    "seed=%d nodes=%d contention=%b routing=%s pages/node=%d vcs=%d rx=%s \
+     crossing=%s"
     s.mesh_seed s.mesh_nodes s.contention
     (if s.adaptive then "adaptive" else "dimension-order")
     s.mesh_pages s.mesh_vcs
     (match s.mesh_credits with
     | None -> "unlimited"
     | Some n -> string_of_int n)
+    (match s.mesh_crossing with
+    | `Analytic -> "analytic"
+    | `Flit -> Printf.sprintf "flit(%dw)" s.mesh_flit_words)
 
 (* A random directed mesh link: a node and one of its in-mesh
    neighbours (the node counts below all tile complete rectangles, so
@@ -663,6 +669,11 @@ let mesh_node_choices = [| 4; 6; 9 |]
 
 let mesh_plan_of_seed ?(steps = 40) seed =
   let rng = Rng.create (seed lxor 0x6e57) in
+  (* the flit-crossing draws come from a second stream so that adding
+     them did not perturb the main stream — every pre-flit seed still
+     produces the same nodes/contention/.../action sequence, keeping
+     the committed N1/N2/P1/P2/D1 64-seed catch guarantees intact *)
+  let frng = Rng.create (seed lxor 0xf117) in
   let mesh_setup =
     { mesh_seed = seed;
       mesh_nodes = mesh_node_choices.(Rng.int rng 3);
@@ -677,6 +688,11 @@ let mesh_plan_of_seed ?(steps = 40) seed =
       mesh_vcs = 1 + Rng.int rng 4;
       mesh_credits =
         (if Rng.int rng 4 = 0 then None else Some (2 + Rng.int rng 6));
+      (* flit-level crossing for 1 of 3 seeds — the F1 oracle's
+         surface (mesh_build forces the combinations flit mode
+         supports) *)
+      mesh_crossing = (if Rng.int frng 3 = 0 then `Flit else `Analytic);
+      mesh_flit_words = [| 1; 2; 4 |].(Rng.int frng 3);
     }
   in
   { mesh_setup;
@@ -696,6 +712,10 @@ type mesh_ctx = {
   preempt : int array;
   mesh_rng : Rng.t;
   mutable mesh_benign : int;
+  mesh_flit : bool;
+      (* flit seeds cap message sizes: a 4 KB worm is ~1000 flit
+         crossings per hop, which would dominate the sweep's runtime
+         without exercising anything new *)
 }
 
 (* Every protection backend a node exposes: the NI's production proxy
@@ -710,15 +730,24 @@ let at_node violation i =
       Printf.sprintf "node %d: %s" i violation.Oracle.detail }
 
 let mesh_build ?skip_invariant setup =
+  let flit = setup.mesh_crossing = `Flit in
   let config =
     { System.default_config with
       System.router =
         { Router.default_config with
           Router.link_contention = setup.contention;
           Router.routing =
-            (if setup.adaptive then `Minimal_adaptive else `Dimension_order);
+            (* flit mode is dimension-order only *)
+            (if setup.adaptive && not flit then `Minimal_adaptive
+             else `Dimension_order);
           Router.vc_count = setup.mesh_vcs;
-          Router.rx_credits = setup.mesh_credits } }
+          Router.rx_credits =
+            (* flit seeds always exercise finite input FIFOs: that is
+               the credit half of the F1 conservation identity *)
+            (if flit && setup.mesh_credits = None then Some 4
+             else setup.mesh_credits);
+          Router.crossing = setup.mesh_crossing;
+          Router.flit_words = setup.mesh_flit_words } }
   in
   let sys = System.create ~config ?skip_invariant ~nodes:setup.mesh_nodes () in
   let nodes = setup.mesh_nodes in
@@ -754,7 +783,9 @@ let mesh_build ?skip_invariant setup =
     match skip_invariant with
     | Some `P1 -> Some (Backend.Owner_skip 0)
     | Some `P2 -> Some Backend.Stale_revoke
-    | Some (`I1 | `I2 | `I3 | `I4 | `I5 | `N1 | `N2 | `D1) | None -> None
+    | Some (`I1 | `I2 | `I3 | `I4 | `I5 | `N1 | `N2 | `F1 | `F2 | `D1)
+    | None ->
+        None
   in
   let mesh_shadows =
     Array.init nodes (fun i ->
@@ -788,7 +819,7 @@ let mesh_build ?skip_invariant setup =
             | None -> ()))
     mesh_procs;
   { sys; mesh_procs; mesh_chans; mesh_bufs; mesh_shadows; preempt;
-    mesh_rng; mesh_benign = 0 }
+    mesh_rng; mesh_benign = 0; mesh_flit = flit }
 
 let mesh_apply ctx action =
   let machine i = (System.node ctx.sys i).System.machine in
@@ -799,7 +830,11 @@ let mesh_apply ctx action =
       let cpu = Kernel.user_cpu m ctx.mesh_procs.(src) in
       let buf = ctx.mesh_bufs.(src).(0) in
       let ch = chan src dst in
-      let nbytes = min nbytes (Messaging.capacity ch) in
+      let cap =
+        if ctx.mesh_flit then min 512 (Messaging.capacity ch)
+        else Messaging.capacity ch
+      in
+      let nbytes = min nbytes cap in
       match Messaging.send_nowait ch cpu ~src_vaddr:buf ~nbytes ~pipelined ()
       with
       | Ok () -> ()
@@ -827,7 +862,11 @@ let mesh_apply ctx action =
       | Error _ -> ctx.mesh_benign <- ctx.mesh_benign + 1)
   | M_burst { src; dst; count; nbytes } ->
       let ch = chan src dst in
-      let payload = Bytes.make (min nbytes (Messaging.capacity ch)) '\xAB' in
+      let cap =
+        if ctx.mesh_flit then min 512 (Messaging.capacity ch)
+        else Messaging.capacity ch
+      in
+      let payload = Bytes.make (min nbytes cap) '\xAB' in
       for _ = 1 to count do
         Messaging.inject ch payload
       done

@@ -196,6 +196,10 @@ type mesh_setup = {
   mesh_pages : int;   (** extra user buffers per node *)
   mesh_vcs : int;     (** virtual channels per link, 1..4 *)
   mesh_credits : int option;  (** deposit slots per (link, VC), or [None] *)
+  mesh_crossing : Udma_shrimp.Router.crossing;
+      (** wire model; flit seeds (1 of 3) force dimension-order and
+          finite credits at build time and cap message sizes *)
+  mesh_flit_words : int;      (** flit size for [`Flit] seeds *)
 }
 
 type mesh_plan = { mesh_setup : mesh_setup; mesh_actions : mesh_action list }

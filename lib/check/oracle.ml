@@ -241,8 +241,15 @@ let check_n2 router =
   | None -> None
   | Some detail -> Some { invariant = `N2; detail }
 
+let check_f1 router =
+  match Udma_shrimp.Router.check_flits router with
+  | None -> None
+  | Some detail -> Some { invariant = `F1; detail }
+
 let check_router router =
-  first_of [ (fun () -> check_n1 router); (fun () -> check_n2 router) ]
+  first_of
+    [ (fun () -> check_n1 router); (fun () -> check_n2 router);
+      (fun () -> check_f1 router) ]
 
 (* ---------- protection (cross-tenant isolation) ---------- *)
 

@@ -56,8 +56,16 @@ val check_n2 : Udma_shrimp.Router.t -> violation option
 (** N2, arbitration fairness: no ready VC skipped [vc_count] or more
     consecutive rounds ({!Udma_shrimp.Router.check_arbitration}). *)
 
+val check_f1 : Udma_shrimp.Router.t -> violation option
+(** F1, flit conservation ({!Udma_shrimp.Router.check_flits}):
+    injected = delivered + in-network flits, and every finite
+    (link, VC) input FIFO keeps [credits + occupancy = capacity].
+    Trivially [None] when the router runs the analytic crossing. Both
+    planted flit bugs (the [`F1] leak and the [`F2] double-grant)
+    surface here. *)
+
 val check_router : Udma_shrimp.Router.t -> violation option
-(** N1 then N2; first counterexample wins. Safe between any two
+(** N1, N2 then F1; first counterexample wins. Safe between any two
     simulation events, like {!check_now}. *)
 
 val check_i5 : Udma_protect.Backend.t -> violation option

@@ -13,7 +13,8 @@ module Udma_engine = Udma.Udma_engine
 
 type i3_policy = Write_upgrade | Proxy_dirty_union
 
-type invariant = [ `I1 | `I2 | `I3 | `I4 | `I5 | `N1 | `N2 | `P1 | `P2 | `D1 ]
+type invariant =
+  [ `I1 | `I2 | `I3 | `I4 | `I5 | `N1 | `N2 | `F1 | `F2 | `P1 | `P2 | `D1 ]
 
 let invariant_name = function
   | `I1 -> "I1"
@@ -23,6 +24,8 @@ let invariant_name = function
   | `I5 -> "I5"
   | `N1 -> "N1"
   | `N2 -> "N2"
+  | `F1 -> "F1"
+  | `F2 -> "F2"
   | `P1 -> "P1"
   | `P2 -> "P2"
   | `D1 -> "D1"

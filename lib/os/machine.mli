@@ -31,6 +31,18 @@ type i3_policy =
     bug (credit leak / stuck arbiter); the machine itself has no
     [`N1]/[`N2] maintenance path.
 
+    [`F1] is flit conservation, the oracle of the flit-level crossing
+    model: every flit ever injected is either delivered or sitting in
+    some injection/input FIFO, and every finite input FIFO satisfies
+    [credits + occupancy = capacity] (with occupancy never exceeding
+    capacity). [`F2] is its second planted bug: the per-link arbiter
+    grants two flits in one flit-cycle against a single credit, which
+    the same conservation oracle catches as a credit/occupancy
+    mismatch. [Udma_shrimp.System] forwards [`F1]/[`F2] to the router
+    as the flit-leak / double-grant mutations; both are reported by
+    oracles as [`F1] violations and only fire when the router runs
+    with [crossing = `Flit].
+
     [`I5] is cross-tenant isolation: no transfer is authorized against
     a destination page its tenant does not own, and no datapath decode
     state (NIPT entry, IOTLB line, capability) survives the teardown of
@@ -47,7 +59,8 @@ type i3_policy =
     references never authorized. The mesh chaos harness must catch it
     through I1/I4 (a referenced frame no longer backs — or never
     backed — a user page). *)
-type invariant = [ `I1 | `I2 | `I3 | `I4 | `I5 | `N1 | `N2 | `P1 | `P2 | `D1 ]
+type invariant =
+  [ `I1 | `I2 | `I3 | `I4 | `I5 | `N1 | `N2 | `F1 | `F2 | `P1 | `P2 | `D1 ]
 
 val invariant_name : invariant -> string
 

@@ -4,6 +4,7 @@ module Metrics = Udma_obs.Metrics
 module Event = Udma_obs.Event
 
 type routing = [ `Dimension_order | `Minimal_adaptive ]
+type crossing = [ `Analytic | `Flit ]
 
 type config = {
   base_cycles : int;
@@ -13,12 +14,14 @@ type config = {
   routing : routing;
   vc_count : int;
   rx_credits : int option;
+  crossing : crossing;
+  flit_words : int;
 }
 
 let default_config =
   { base_cycles = 20; per_hop_cycles = 8; per_word_cycles = 1;
     link_contention = false; routing = `Dimension_order;
-    vc_count = 1; rx_credits = None }
+    vc_count = 1; rx_credits = None; crossing = `Analytic; flit_words = 1 }
 
 type fault = Link_ok | Link_slow of int | Link_dead
 
@@ -32,7 +35,7 @@ let dead_crossing_factor = 64
    NACK'd, so credit grants are quantised to this polling period. *)
 let nack_retry_cycles = 32
 
-type mutation = Credit_leak | Arb_stuck
+type mutation = Credit_leak | Arb_stuck | Flit_leak | Double_grant
 
 (* Round-robin arbitration among the VCs competing for one physical
    link: grant the first ready VC scanning circularly from [rr]. The
@@ -77,6 +80,60 @@ type pool = {
   mutable cp_free : int;
 }
 
+(* ---- Flit-level crossing state ([crossing = `Flit] only) ----
+
+   A packet decomposes into head/body/tail flits that cross the mesh
+   one link per flit-cycle. A worm is the in-network image of one
+   packet: its flits all follow the path the head reserves, and
+   [w_vcs] records, per hop, the virtual channel the head was granted
+   there (-1 until the head crosses that hop), which the body and tail
+   must reuse — the wormhole discipline. *)
+type worm = {
+  w_id : int;
+  w_pkt : Packet.t;
+  w_flits : int;
+  w_path : (int * int) array;
+  w_vcs : int array;
+}
+
+type flit = {
+  f_worm : worm;
+  f_idx : int;              (* 0 = head, w_flits - 1 = tail *)
+  mutable f_hop : int;      (* next hop to traverse; |w_path| once at dst *)
+  mutable f_ready : int;    (* cycle the flit is usable where it sits *)
+}
+
+(* One (link, VC) input FIFO on the deposit side of a directed link.
+   [fb_capacity] flit slots (-1 = unlimited); [fb_credits] is the
+   credit counter the sender side spends one of per flit pushed and
+   the receiver returns one of per flit popped, so
+   [credits + occupancy = capacity] at every flit-cycle — half of the
+   F1 conservation oracle. [fb_owner] is the id of the worm whose head
+   claimed this VC (freed when its tail pops out). *)
+type fbuf = {
+  fb_capacity : int;
+  mutable fb_credits : int;
+  mutable fb_occ : int;
+  mutable fb_owner : int;
+  mutable fb_max_occ : int;
+  mutable fb_grants : int;
+  fb_q : flit Queue.t;
+}
+
+(* An input unit competing for one output wire: the node's injection
+   FIFO, or one VC of an incoming link's input buffer. *)
+type funit = F_inject of flit Queue.t | F_buf of fbuf
+
+type flit_side = {
+  fs_bufs : fbuf array;             (* input FIFOs at l_dst, per VC *)
+  mutable fs_units : funit array;   (* competitors for this wire *)
+  mutable fs_wire_free : int;
+  mutable fs_vc_rr : int;           (* rr pointer for head-flit VC grants *)
+  mutable fs_flits : int;           (* flits that crossed this wire *)
+  mutable fs_stall_cycles : int;    (* cycles with a ready waiter, no grant *)
+  mutable fs_hol_cycles : int;      (* of those, cycles the wire was free *)
+}
+
 (* One directed mesh link. [busy_until] is the cycle at which the wire
    finishes the last packet that reserved it; [inflight] counts packets
    that have claimed the link and whose tails have not yet cleared it
@@ -98,6 +155,7 @@ type link = {
   l_vcs : vc array;
   mutable l_busy : (int * int) list;
   mutable l_pools : pool array;     (* [||] = unlimited credits *)
+  mutable l_flit : flit_side option;  (* [Some] iff [crossing = `Flit] *)
 }
 
 type link_stat = {
@@ -128,6 +186,19 @@ type credit_stat = {
   cr_free : int;
 }
 
+type flit_stat = {
+  fl_from : int;
+  fl_to : int;
+  fl_vc : int;
+  fl_capacity : int;    (* -1 = unlimited *)
+  fl_occ : int;
+  fl_credits : int;
+  fl_max_occ : int;
+  fl_grants : int;
+  fl_stall_cycles : int;
+  fl_hol_cycles : int;
+}
+
 type t = {
   engine : Engine.t;
   config : config;
@@ -149,6 +220,16 @@ type t = {
   mutable rx_credits_now : int option;
   mutable mutation : mutation option;
   mutable leak_used : bool;
+  (* flit-crossing state ([fl_links] is [||] in analytic mode) *)
+  mutable fl_links : link array;       (* every directed link, (src,dst) order *)
+  fl_inject : flit Queue.t array;      (* per-source injection FIFOs *)
+  mutable fl_injected : int;
+  mutable fl_delivered : int;
+  mutable fl_next_worm : int;
+  mutable fl_last_tick : int;
+  mutable fl_occ_sum : float array;    (* per-VC occupancy, summed per tick *)
+  mutable fl_occ_max : int array;
+  mutable fl_occ_cycles : int;
 }
 
 (* Width of the squarest mesh covering [nodes]. *)
@@ -162,6 +243,87 @@ let mesh_width nodes =
    4 -> 2 through the nonexistent node 5). *)
 let valid_nodes nodes = nodes > 0 && nodes mod mesh_width nodes = 0
 
+let fresh_vc () =
+  { v_tail = 0; v_inflight = 0; v_max_depth = 0; v_grants = 0;
+    v_skip_streak = 0; v_max_skip = 0 }
+
+let fresh_pool ~now n =
+  { cp_capacity = n; cp_slots = Array.make n now; cp_held = 0;
+    cp_inflight = 0; cp_free = n }
+
+let fresh_pools t =
+  match t.rx_credits_now with
+  | None -> [||]
+  | Some n ->
+      let now = Engine.now t.engine in
+      Array.init t.config.vc_count (fun _ -> fresh_pool ~now n)
+
+let fl_fresh_buf cap =
+  { fb_capacity = cap; fb_credits = cap; fb_occ = 0; fb_owner = -1;
+    fb_max_occ = 0; fb_grants = 0; fb_q = Queue.create () }
+
+(* Flit mode materialises every directed mesh link up front, in
+   (src, dst) order, so the per-cycle arbitration loop iterates them
+   deterministically (the lazy [link_of] creation order would depend
+   on traffic). *)
+let fl_build_links t =
+  let w = t.width and n = t.node_count in
+  let cap = match t.config.rx_credits with None -> -1 | Some c -> c in
+  let pairs = ref [] in
+  for id = 0 to n - 1 do
+    let x = id mod w and y = id / w in
+    List.iter
+      (fun (nx, ny) ->
+        if nx >= 0 && nx < w && ny >= 0 then begin
+          let b = nx + (ny * w) in
+          if b < n then pairs := (id, b) :: !pairs
+        end)
+      [ (x - 1, y); (x + 1, y); (x, y - 1); (x, y + 1) ]
+  done;
+  t.fl_links <-
+    Array.of_list
+      (List.map
+         (fun (a, b) ->
+           let fs =
+             {
+               fs_bufs =
+                 Array.init t.config.vc_count (fun _ -> fl_fresh_buf cap);
+               fs_units = [||];
+               fs_wire_free = 0;
+               fs_vc_rr = 0;
+               fs_flits = 0;
+               fs_stall_cycles = 0;
+               fs_hol_cycles = 0;
+             }
+           in
+           let l =
+             { l_src = a; l_dst = b; busy_until = 0; inflight = 0;
+               l_max_depth = 0; l_xmits = 0; l_busy_cycles = 0;
+               l_wait_cycles = 0; l_fault = Link_ok; l_rr = 0;
+               l_vcs = Array.init t.config.vc_count (fun _ -> fresh_vc ());
+               l_busy = []; l_pools = fresh_pools t; l_flit = Some fs }
+           in
+           Hashtbl.add t.links (a, b) l;
+           l)
+         (List.sort compare !pairs));
+  (* the input units competing for each wire: the source node's
+     injection FIFO first, then each incoming link's input-buffer VCs
+     in (src, dst, vc) order *)
+  Array.iter
+    (fun l ->
+      let fs = match l.l_flit with Some fs -> fs | None -> assert false in
+      let ins =
+        Array.to_list t.fl_links
+        |> List.filter (fun l' -> l'.l_dst = l.l_src)
+        |> List.concat_map (fun l' ->
+               match l'.l_flit with
+               | Some fs' ->
+                   Array.to_list (Array.map (fun b -> F_buf b) fs'.fs_bufs)
+               | None -> [])
+      in
+      fs.fs_units <- Array.of_list (F_inject t.fl_inject.(l.l_src) :: ins))
+    t.fl_links
+
 let create ~engine ~nodes ?(config = default_config) () =
   if nodes <= 0 then invalid_arg "Router.create: nodes must be positive";
   if config.vc_count < 1 || config.vc_count > 4 then
@@ -169,6 +331,14 @@ let create ~engine ~nodes ?(config = default_config) () =
   (match config.rx_credits with
   | Some n when n < 1 -> invalid_arg "Router.create: rx_credits must be >= 1"
   | Some _ | None -> ());
+  if config.flit_words < 1 then
+    invalid_arg "Router.create: flit_words must be >= 1";
+  (match (config.crossing, config.routing) with
+  | `Flit, `Minimal_adaptive ->
+      invalid_arg
+        "Router.create: the flit crossing model is dimension-order only \
+         (adaptive choice is packet-granularity)"
+  | (`Flit | `Analytic), _ -> ());
   let width = mesh_width nodes in
   if nodes mod width <> 0 then
     invalid_arg
@@ -177,21 +347,36 @@ let create ~engine ~nodes ?(config = default_config) () =
           (paths would cross phantom nodes); use a count that fills complete \
           rows, e.g. 2, 4, 6, 9, 12, 16, 25, 36, 64"
          nodes width);
-  {
-    engine;
-    config;
-    node_count = nodes;
-    width;
-    sinks = Array.make nodes None;
-    last_arrival = Hashtbl.create 16;
-    links = Hashtbl.create 64;
-    trace = Trace.create ~enabled:false ();
-    packets_routed = 0;
-    bytes_routed = 0;
-    rx_credits_now = config.rx_credits;
-    mutation = None;
-    leak_used = false;
-  }
+  let flit = config.crossing = `Flit && config.link_contention in
+  let t =
+    {
+      engine;
+      config;
+      node_count = nodes;
+      width;
+      sinks = Array.make nodes None;
+      last_arrival = Hashtbl.create 16;
+      links = Hashtbl.create 64;
+      trace = Trace.create ~enabled:false ();
+      packets_routed = 0;
+      bytes_routed = 0;
+      rx_credits_now = config.rx_credits;
+      mutation = None;
+      leak_used = false;
+      fl_links = [||];
+      fl_inject =
+        (if flit then Array.init nodes (fun _ -> Queue.create ()) else [||]);
+      fl_injected = 0;
+      fl_delivered = 0;
+      fl_next_worm = 0;
+      fl_last_tick = -1;
+      fl_occ_sum = (if flit then Array.make config.vc_count 0.0 else [||]);
+      fl_occ_max = (if flit then Array.make config.vc_count 0 else [||]);
+      fl_occ_cycles = 0;
+    }
+  in
+  if flit then fl_build_links t;
+  t
 
 let nodes t = t.node_count
 let width t = t.width
@@ -231,21 +416,6 @@ let path t ~src ~dst =
   in
   go sx sy []
 
-let fresh_vc () =
-  { v_tail = 0; v_inflight = 0; v_max_depth = 0; v_grants = 0;
-    v_skip_streak = 0; v_max_skip = 0 }
-
-let fresh_pool ~now n =
-  { cp_capacity = n; cp_slots = Array.make n now; cp_held = 0;
-    cp_inflight = 0; cp_free = n }
-
-let fresh_pools t =
-  match t.rx_credits_now with
-  | None -> [||]
-  | Some n ->
-      let now = Engine.now t.engine in
-      Array.init t.config.vc_count (fun _ -> fresh_pool ~now n)
-
 let link_of t a b =
   match Hashtbl.find_opt t.links (a, b) with
   | Some l -> l
@@ -255,7 +425,7 @@ let link_of t a b =
           l_max_depth = 0; l_xmits = 0; l_busy_cycles = 0; l_wait_cycles = 0;
           l_fault = Link_ok; l_rr = 0;
           l_vcs = Array.init t.config.vc_count (fun _ -> fresh_vc ());
-          l_busy = []; l_pools = fresh_pools t }
+          l_busy = []; l_pools = fresh_pools t; l_flit = None }
       in
       Hashtbl.add t.links (a, b) l;
       l
@@ -382,7 +552,7 @@ let claim_vc t l ~head =
     let c =
       match t.mutation with
       | Some Arb_stuck -> 0
-      | Some Credit_leak | None -> (
+      | Some (Credit_leak | Flit_leak | Double_grant) | None -> (
           match arbitrate ~rr:l.l_rr ~ready with
           | Some v -> v
           | None ->
@@ -576,6 +746,9 @@ let injection_ready t ~src ~dst =
   if (not t.config.link_contention)
      || src = dst
      || t.rx_credits_now = None
+     || t.config.crossing = `Flit
+        (* flit-mode backpressure lives inside the network: the source
+           FIFO accepts the worm and its head stalls on credits there *)
   then now
   else begin
     check_node t src "injection_ready";
@@ -594,6 +767,336 @@ let injection_ready t ~src ~dst =
     end
   end
 
+(* ---- The flit clock ----
+
+   One engine event per active flit-cycle. Each tick first ejects (at
+   most one flit per link), then arbitrates every wire (at most one
+   flit crosses per link per flit-cycle), in the fixed [fl_links]
+   order — fully deterministic. When a tick makes no progress the
+   clock skips ahead to the next flit-ready or wire-free time instead
+   of spinning, and goes quiescent when neither exists (empty network,
+   or a worm wedged by a planted mutation — which is why the F1 oracle
+   and not a hang is how a leak surfaces). *)
+
+let fl_flit_cycle t fault =
+  t.config.per_word_cycles * t.config.flit_words * occupancy_factor fault
+
+(* Worm completion: the tail flit ejected. Same in-order clamp as the
+   analytic path: the pair's arrival is pushed after its previous one
+   (body flits of one pair never interleave on the fixed path, but the
+   clamp keeps the delivery contract uniform across crossings). *)
+let fl_deliver t w now =
+  let pkt = w.w_pkt in
+  let key = (pkt.Packet.src_node, pkt.Packet.dst_node) in
+  let earliest =
+    match Hashtbl.find_opt t.last_arrival key with
+    | Some last -> last + 1
+    | None -> 0
+  in
+  let arrival = max now earliest in
+  Hashtbl.replace t.last_arrival key arrival;
+  match t.sinks.(pkt.Packet.dst_node) with
+  | Some sink -> Engine.schedule_at t.engine ~time:arrival (fun _ -> sink pkt)
+  | None -> ()
+
+let fl_eject t l now progress =
+  match l.l_flit with
+  | None -> ()
+  | Some fs ->
+      let em = Engine.metrics t.engine in
+      let done_ = ref false in
+      Array.iter
+        (fun fb ->
+          if (not !done_) && not (Queue.is_empty fb.fb_q) then begin
+            let f = Queue.peek fb.fb_q in
+            if f.f_hop = Array.length f.f_worm.w_path && f.f_ready <= now
+            then begin
+              ignore (Queue.pop fb.fb_q);
+              fb.fb_occ <- fb.fb_occ - 1;
+              if fb.fb_credits >= 0 then fb.fb_credits <- fb.fb_credits + 1;
+              if f.f_idx = f.f_worm.w_flits - 1 then begin
+                fb.fb_owner <- -1;
+                fl_deliver t f.f_worm now
+              end;
+              t.fl_delivered <- t.fl_delivered + 1;
+              Metrics.incr em "net.flit.delivered";
+              done_ := true;
+              progress := true
+            end
+          end)
+        fs.fs_bufs
+
+(* The flit a unit offers this wire right now, with the VC it would
+   ride: [None] when the unit is empty, its front flit is not ready,
+   is not routed over this wire, or cannot get a VC/credit. A head
+   flit asks the per-wire VC allocator (round-robin over the free,
+   credited VCs — the same [arbitrate] discipline as the packet
+   path); body and tail flits must follow the head's VC and only need
+   a credit there. *)
+let fl_offer t l fs now u =
+  let front =
+    match u with
+    | F_inject q -> if Queue.is_empty q then None else Some (Queue.peek q)
+    | F_buf ub -> if Queue.is_empty ub.fb_q then None else Some (Queue.peek ub.fb_q)
+  in
+  match front with
+  | None -> None
+  | Some f ->
+      let w = f.f_worm in
+      if
+        f.f_ready > now
+        || f.f_hop >= Array.length w.w_path
+        || w.w_path.(f.f_hop) <> (l.l_src, l.l_dst)
+      then None
+      else if f.f_idx = 0 then begin
+        let ready =
+          Array.map
+            (fun fb -> fb.fb_owner = -1 && fb.fb_credits <> 0)
+            fs.fs_bufs
+        in
+        match arbitrate ~rr:fs.fs_vc_rr ~ready with
+        | Some vc -> Some (f, vc)
+        | None -> ignore t; None
+      end
+      else
+        let vc = w.w_vcs.(f.f_hop) in
+        if vc >= 0
+           && fs.fs_bufs.(vc).fb_owner = w.w_id
+           && fs.fs_bufs.(vc).fb_credits <> 0
+        then Some (f, vc)
+        else None
+
+(* Pop a granted flit out of its input unit, returning the upstream
+   credit; a popped tail releases the upstream VC. *)
+let fl_pop u =
+  match u with
+  | F_inject q -> ignore (Queue.pop q)
+  | F_buf ub ->
+      let f = Queue.pop ub.fb_q in
+      ub.fb_occ <- ub.fb_occ - 1;
+      if ub.fb_credits >= 0 then ub.fb_credits <- ub.fb_credits + 1;
+      if f.f_idx = f.f_worm.w_flits - 1 then ub.fb_owner <- -1
+
+(* Move one granted flit across the wire into [fb] (VC [vc]). *)
+let fl_advance t fb vc f now =
+  let em = Engine.metrics t.engine in
+  if f.f_idx = 0 then begin
+    f.f_worm.w_vcs.(f.f_hop) <- vc;
+    fb.fb_owner <- f.f_worm.w_id
+  end;
+  if fb.fb_credits > 0 then fb.fb_credits <- fb.fb_credits - 1;
+  f.f_hop <- f.f_hop + 1;
+  f.f_ready <- now + t.config.per_hop_cycles;
+  Queue.add f fb.fb_q;
+  fb.fb_occ <- fb.fb_occ + 1;
+  if fb.fb_occ > fb.fb_max_occ then fb.fb_max_occ <- fb.fb_occ;
+  fb.fb_grants <- fb.fb_grants + 1;
+  Metrics.incr em "net.flit.grants";
+  Metrics.observe em "net.flit.occupancy" fb.fb_occ
+
+let fl_arbitrate_link t l now progress =
+  match l.l_flit with
+  | None -> ()
+  | Some fs ->
+      let em = Engine.metrics t.engine in
+      let n = Array.length fs.fs_units in
+      let offers = Array.map (fl_offer t l fs now) fs.fs_units in
+      let waiting = Array.exists (fun o -> o <> None) offers in
+      let wire_free = now >= fs.fs_wire_free in
+      (* a unit whose flit is ready but credit/VC-blocked also counts
+         as a waiter for stall accounting *)
+      let blocked_waiter =
+        (not waiting)
+        && Array.exists
+             (fun u ->
+               match u with
+               | F_inject q ->
+                   (not (Queue.is_empty q))
+                   && (let f = Queue.peek q in
+                       f.f_ready <= now
+                       && f.f_hop < Array.length f.f_worm.w_path
+                       && f.f_worm.w_path.(f.f_hop) = (l.l_src, l.l_dst))
+               | F_buf ub ->
+                   (not (Queue.is_empty ub.fb_q))
+                   && (let f = Queue.peek ub.fb_q in
+                       f.f_ready <= now
+                       && f.f_hop < Array.length f.f_worm.w_path
+                       && f.f_worm.w_path.(f.f_hop) = (l.l_src, l.l_dst)))
+             fs.fs_units
+      in
+      if waiting && wire_free then begin
+        let ready = Array.map (fun o -> o <> None) offers in
+        match arbitrate ~rr:l.l_rr ~ready with
+        | None -> ()
+        | Some ui ->
+            l.l_rr <- (ui + 1) mod n;
+            let u = fs.fs_units.(ui) in
+            let f, vc =
+              match offers.(ui) with Some fv -> fv | None -> assert false
+            in
+            let fb = fs.fs_bufs.(vc) in
+            if f.f_idx = 0 then begin
+              fs.fs_vc_rr <- (vc + 1) mod Array.length fs.fs_bufs;
+              (* the head claims the whole packet's crossing of this
+                 wire for link-level stats *)
+              l.l_xmits <- l.l_xmits + 1
+            end;
+            fl_pop u;
+            let occ = fl_flit_cycle t l.l_fault in
+            fs.fs_wire_free <- now + occ;
+            fs.fs_flits <- fs.fs_flits + 1;
+            l.l_busy_cycles <- l.l_busy_cycles + occ;
+            Metrics.add em "net.link.busy_cycles" occ;
+            if l.l_fault = Link_dead then begin
+              Metrics.incr em "net.flit.dead_retries";
+              Metrics.incr em "net.link.dead_crossings"
+            end;
+            (* F1 planted bug: on a dead-link retry the flit is popped
+               from the sender but the retransmit never lands — it
+               vanishes from the network, which only the conservation
+               oracle can notice *)
+            let leak =
+              l.l_fault = Link_dead
+              && t.mutation = Some Flit_leak
+              && not t.leak_used
+            in
+            if leak then begin
+              t.leak_used <- true;
+              Metrics.incr em "net.flit.leaked"
+            end
+            else begin
+              fl_advance t fb vc f now;
+              (* F2 planted bug: the arbiter grants a second flit of
+                 the same worm in the same flit-cycle without spending
+                 a second credit — the input FIFO overruns and
+                 credits + occupancy leaves capacity *)
+              match t.mutation with
+              | Some Double_grant
+                when (not t.leak_used)
+                     && fb.fb_credits >= 0
+                     && f.f_idx < f.f_worm.w_flits - 1 -> (
+                  let next =
+                    match u with
+                    | F_inject q ->
+                        if Queue.is_empty q then None else Some (Queue.peek q)
+                    | F_buf ub ->
+                        if Queue.is_empty ub.fb_q then None
+                        else Some (Queue.peek ub.fb_q)
+                  in
+                  match next with
+                  | Some f2 when f2.f_worm == f.f_worm && f2.f_ready <= now ->
+                      t.leak_used <- true;
+                      fl_pop u;
+                      f2.f_hop <- f2.f_hop + 1;
+                      f2.f_ready <- now + t.config.per_hop_cycles;
+                      Queue.add f2 fb.fb_q;
+                      fb.fb_occ <- fb.fb_occ + 1;
+                      Metrics.incr em "net.flit.double_grants"
+                  | Some _ | None -> ())
+              | Some (Double_grant | Credit_leak | Arb_stuck | Flit_leak)
+              | None ->
+                  ()
+            end;
+            progress := true
+      end
+      else if waiting || blocked_waiter then begin
+        fs.fs_stall_cycles <- fs.fs_stall_cycles + 1;
+        l.l_wait_cycles <- l.l_wait_cycles + 1;
+        Metrics.incr em "net.flit.stall_cycles";
+        if wire_free then begin
+          (* the wire is idle yet no flit may cross: head-of-line /
+             credit blocking, the quantity E18 measures *)
+          fs.fs_hol_cycles <- fs.fs_hol_cycles + 1;
+          Metrics.incr em "net.flit.hol_stall_cycles"
+        end
+      end
+
+(* Earliest future cycle at which anything could change, or [None]
+   when the network is empty or frozen. *)
+let fl_next_time t now =
+  let best = ref max_int in
+  let wire_best = ref max_int in
+  let any = ref false in
+  let consider_front q =
+    if not (Queue.is_empty q) then begin
+      any := true;
+      let f = Queue.peek q in
+      if f.f_ready > now && f.f_ready < !best then best := f.f_ready
+    end
+  in
+  Array.iter consider_front t.fl_inject;
+  Array.iter
+    (fun l ->
+      match l.l_flit with
+      | None -> ()
+      | Some fs ->
+          Array.iter (fun fb -> consider_front fb.fb_q) fs.fs_bufs;
+          if fs.fs_wire_free > now && fs.fs_wire_free < !wire_best then
+            wire_best := fs.fs_wire_free)
+    t.fl_links;
+  if not !any then None
+  else
+    let b = min !best !wire_best in
+    if b = max_int then None else Some b
+
+let fl_sample t =
+  let vcn = Array.length t.fl_occ_sum in
+  if vcn > 0 then begin
+    t.fl_occ_cycles <- t.fl_occ_cycles + 1;
+    for v = 0 to vcn - 1 do
+      let occ = ref 0 in
+      Array.iter
+        (fun l ->
+          match l.l_flit with
+          | None -> ()
+          | Some fs -> occ := !occ + fs.fs_bufs.(v).fb_occ)
+        t.fl_links;
+      t.fl_occ_sum.(v) <- t.fl_occ_sum.(v) +. float_of_int !occ;
+      if !occ > t.fl_occ_max.(v) then t.fl_occ_max.(v) <- !occ
+    done
+  end
+
+let rec fl_tick t _ =
+  let now = Engine.now t.engine in
+  if now > t.fl_last_tick then begin
+    t.fl_last_tick <- now;
+    let progress = ref false in
+    Array.iter (fun l -> fl_eject t l now progress) t.fl_links;
+    Array.iter (fun l -> fl_arbitrate_link t l now progress) t.fl_links;
+    fl_sample t;
+    let next =
+      if !progress then Some (now + 1) else fl_next_time t now
+    in
+    match next with
+    | Some tn -> Engine.schedule_at t.engine ~time:tn (fl_tick t)
+    | None -> ()
+  end
+
+(* Decompose a packet into a worm and enqueue its flits on the source
+   node's injection FIFO (worms of one source serialize there, like
+   the NI's outgoing FIFO). *)
+let fl_send t pkt =
+  let em = Engine.metrics t.engine in
+  let now = Engine.now t.engine in
+  let src = pkt.Packet.src_node and dst = pkt.Packet.dst_node in
+  let words = (Packet.size_bytes pkt + 3) / 4 in
+  let nf = max 1 ((words + t.config.flit_words - 1) / t.config.flit_words) in
+  let p = Array.of_list (path t ~src ~dst) in
+  let w =
+    { w_id = t.fl_next_worm; w_pkt = pkt; w_flits = nf; w_path = p;
+      w_vcs = Array.make (Array.length p) (-1) }
+  in
+  t.fl_next_worm <- t.fl_next_worm + 1;
+  let ready = now + t.config.base_cycles in
+  for i = 0 to nf - 1 do
+    Queue.add
+      { f_worm = w; f_idx = i; f_hop = 0; f_ready = ready }
+      t.fl_inject.(src)
+  done;
+  t.fl_injected <- t.fl_injected + nf;
+  Metrics.add em "net.flit.injected" nf;
+  Engine.schedule_at t.engine ~time:ready (fl_tick t)
+
 let send t pkt =
   check_node t pkt.Packet.src_node "send";
   check_node t pkt.Packet.dst_node "send";
@@ -605,6 +1108,14 @@ let send t pkt =
       let bytes = Packet.size_bytes pkt in
       let src = pkt.Packet.src_node and dst = pkt.Packet.dst_node in
       let now = Engine.now t.engine in
+      if
+        t.config.crossing = `Flit && t.config.link_contention && src <> dst
+      then begin
+        t.packets_routed <- t.packets_routed + 1;
+        t.bytes_routed <- t.bytes_routed + bytes;
+        fl_send t pkt
+      end
+      else begin
       let uncontended = now + latency_cycles t ~src ~dst ~bytes in
       let nominal =
         if t.config.link_contention then
@@ -622,6 +1133,7 @@ let send t pkt =
       t.packets_routed <- t.packets_routed + 1;
       t.bytes_routed <- t.bytes_routed + bytes;
       Engine.schedule t.engine ~delay:(arrival - now) (fun _ -> sink pkt)
+      end
 
 let sorted_links t =
   Hashtbl.fold (fun _ l acc -> l :: acc) t.links []
@@ -725,6 +1237,98 @@ let check_arbitration t =
           l.l_vcs)
     (sorted_links t);
   !bad
+
+let flit_stats t =
+  List.concat_map
+    (fun l ->
+      match l.l_flit with
+      | None -> []
+      | Some fs ->
+          Array.to_list
+            (Array.mapi
+               (fun i fb ->
+                 {
+                   fl_from = l.l_src;
+                   fl_to = l.l_dst;
+                   fl_vc = i;
+                   fl_capacity = fb.fb_capacity;
+                   fl_occ = fb.fb_occ;
+                   fl_credits = fb.fb_credits;
+                   fl_max_occ = fb.fb_max_occ;
+                   fl_grants = fb.fb_grants;
+                   fl_stall_cycles = fs.fs_stall_cycles;
+                   fl_hol_cycles = fs.fs_hol_cycles;
+                 })
+               fs.fs_bufs))
+    (Array.to_list t.fl_links)
+
+let flit_counts t =
+  let buffered = ref 0 in
+  Array.iter (fun q -> buffered := !buffered + Queue.length q) t.fl_inject;
+  Array.iter
+    (fun l ->
+      match l.l_flit with
+      | None -> ()
+      | Some fs ->
+          Array.iter
+            (fun fb -> buffered := !buffered + Queue.length fb.fb_q)
+            fs.fs_bufs)
+    t.fl_links;
+  (t.fl_injected, t.fl_delivered, !buffered)
+
+let flit_vc_occupancy t =
+  Array.mapi
+    (fun v sum ->
+      let mean =
+        if t.fl_occ_cycles = 0 then 0.0
+        else sum /. float_of_int t.fl_occ_cycles
+      in
+      (mean, t.fl_occ_max.(v)))
+    t.fl_occ_sum
+
+(* F1: flit conservation. Every flit ever injected is delivered or
+   still sitting in some FIFO, and every finite input FIFO satisfies
+   credits + occupancy = capacity with occupancy within capacity. The
+   planted [Flit_leak] drops a flit mid-retry (the sum comes up
+   short); the planted [Double_grant] pushes two flits against one
+   credit (the per-FIFO identity breaks). Holds at every flit-cycle
+   in an unmutated router; trivially [None] in analytic mode. *)
+let check_flits t =
+  if Array.length t.fl_links = 0 then None
+  else begin
+    let injected, delivered, buffered = flit_counts t in
+    if injected <> delivered + buffered then
+      Some
+        (Printf.sprintf
+           "flit conservation: injected %d <> delivered %d + in-network %d"
+           injected delivered buffered)
+    else begin
+      let bad = ref None in
+      Array.iter
+        (fun l ->
+          match l.l_flit with
+          | None -> ()
+          | Some fs ->
+              Array.iteri
+                (fun vi fb ->
+                  if
+                    !bad = None && fb.fb_capacity >= 0
+                    && (fb.fb_credits + fb.fb_occ <> fb.fb_capacity
+                       || fb.fb_occ > fb.fb_capacity
+                       || fb.fb_occ <> Queue.length fb.fb_q)
+                  then
+                    bad :=
+                      Some
+                        (Printf.sprintf
+                           "link %d-%d vc %d: credits %d + occupancy %d <> \
+                            capacity %d"
+                           l.l_src l.l_dst vi fb.fb_credits fb.fb_occ
+                           fb.fb_capacity))
+                fs.fs_bufs)
+        t.fl_links;
+      !bad
+    end
+  end
 
 let publish_link_gauges t =
   let em = Engine.metrics t.engine in

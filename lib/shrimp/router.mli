@@ -66,6 +66,23 @@
 
 type routing = [ `Dimension_order | `Minimal_adaptive ]
 
+(** How a contended wire is modelled. [`Analytic] (the default) is the
+    packet-granularity reservation model described above — whole
+    packets claim whole wire intervals, so anchors over it are
+    byte-identical to the pre-flit router. [`Flit] decomposes every
+    packet into head/body/tail flits of [flit_words] words and runs a
+    cycle-by-cycle wormhole network: each directed link has per-VC
+    input FIFOs of [rx_credits] flit slots, a round-robin arbiter (the
+    same {!arbitrate} discipline, per output wire) advances at most
+    one flit per link per flit-cycle, credits return per flit slot,
+    body flits follow the path and VC their head reserved, and a
+    blocked head stalls the worm in place — holding buffer slots
+    across multiple links, which is the head-of-line blocking the
+    analytic wire cannot express (E18 measures the delta). Flit mode
+    is dimension-order only and, like faults and credits, lives in the
+    contended link model ([link_contention = false] ignores it). *)
+type crossing = [ `Analytic | `Flit ]
+
 type config = {
   base_cycles : int;       (** injection + ejection *)
   per_hop_cycles : int;
@@ -81,12 +98,20 @@ type config = {
   rx_credits : int option;
       (** deposit slots per (link, VC) receive FIFO; [None] (default)
           = unlimited, the pre-credit model. Like faults, credits live
-          in the contended link model only. *)
+          in the contended link model only. In flit mode this is the
+          per-(link, VC) input-FIFO depth in flits, fixed at creation
+          ({!set_rx_credits} only resizes the analytic pools). *)
+  crossing : crossing;
+      (** wire model under contention (default [`Analytic]) *)
+  flit_words : int;
+      (** 32-bit words per flit in [`Flit] mode, [>= 1] (default 1);
+          a flit occupies a wire for [flit_words · per_word_cycles]
+          cycles (fault-scaled) *)
 }
 
 val default_config : config
 (** 20 / 8 / 1 cycles, contention off, dimension-order, 1 VC,
-    unlimited credits. *)
+    unlimited credits, analytic crossing, 1-word flits. *)
 
 type t
 
@@ -102,7 +127,9 @@ val create :
   engine:Udma_sim.Engine.t -> nodes:int -> ?config:config -> unit -> t
 (** A mesh of the squarest shape covering [nodes]. Raises
     [Invalid_argument] unless {!valid_nodes}[ nodes], [vc_count] is in
-    1..4 and [rx_credits] (when finite) is [>= 1]. *)
+    1..4, [rx_credits] (when finite) is [>= 1], [flit_words >= 1],
+    and the crossing/routing combination is supported ([`Flit] is
+    dimension-order only). *)
 
 val nodes : t -> int
 
@@ -189,14 +216,18 @@ val injection_ready : t -> src:int -> dst:int -> int
     unlimited, contention is off, or [src = dst]. Sources use this to
     stall injection instead of queueing on the wire. *)
 
-type mutation = Credit_leak | Arb_stuck
+type mutation = Credit_leak | Arb_stuck | Flit_leak | Double_grant
 
 val set_mutation : t -> mutation option -> unit
 (** Plant a deliberate flow-control bug for oracle-soundness tests:
     [Credit_leak] drops exactly one credit return (the slot never
     frees and the conservation sum comes up short — N1);
     [Arb_stuck] pins every VC grant to VC 0 (a ready VC's skip streak
-    grows past [vc_count] — N2). *)
+    grows past [vc_count] — N2); [Flit_leak] drops exactly one flit on
+    a dead-link retry crossing and [Double_grant] moves two flits of
+    one worm in a single flit-cycle against one credit — both flit
+    bugs are caught by {!check_flits} (F1) and only fire in [`Flit]
+    mode. *)
 
 val check_credits : t -> string option
 (** N1, credit conservation: [Some detail] iff some (link, VC) pool
@@ -233,6 +264,41 @@ type credit_stat = {
 val credit_stats : t -> credit_stat list
 (** Per-(link, VC) credit-pool state, sorted by (from, to, vc); empty
     when credits are unlimited. *)
+
+(** {1 Flit-level crossing} (all empty/zero unless [crossing = `Flit]
+    with [link_contention]) *)
+
+val check_flits : t -> string option
+(** F1, flit conservation: [Some detail] iff flits injected differ
+    from flits delivered plus flits sitting in FIFOs, or some finite
+    input FIFO has [credits + occupancy <> capacity] (or occupancy
+    beyond capacity). Holds at {e every} flit-cycle in an unmutated
+    router; always [None] in analytic mode. *)
+
+type flit_stat = {
+  fl_from : int;
+  fl_to : int;
+  fl_vc : int;
+  fl_capacity : int;      (** input-FIFO flit slots; -1 = unlimited *)
+  fl_occ : int;           (** flits buffered right now *)
+  fl_credits : int;       (** sender-side credits; -1 = unlimited *)
+  fl_max_occ : int;
+  fl_grants : int;        (** flits pushed into this FIFO *)
+  fl_stall_cycles : int;  (** link cycles with a ready waiter, no grant *)
+  fl_hol_cycles : int;    (** of those, cycles the wire itself was free *)
+}
+
+val flit_stats : t -> flit_stat list
+(** Per-(link, VC) input-FIFO state, in (from, to, vc) order. *)
+
+val flit_counts : t -> int * int * int
+(** [(injected, delivered, in_network)] flit totals; conservation
+    means the first equals the sum of the other two. *)
+
+val flit_vc_occupancy : t -> (float * int) array
+(** Per VC index: (mean, max) total buffered flits across all links,
+    the mean taken over active flit-cycles — the per-VC occupancy
+    profile E18 reports. *)
 
 (** {1 Link statistics} (all zero unless [link_contention]) *)
 

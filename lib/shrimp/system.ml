@@ -43,6 +43,8 @@ let create ?(config = default_config) ?skip_invariant ~nodes () =
   (match skip_invariant with
   | Some `N1 -> Router.set_mutation router (Some Router.Credit_leak)
   | Some `N2 -> Router.set_mutation router (Some Router.Arb_stuck)
+  | Some `F1 -> Router.set_mutation router (Some Router.Flit_leak)
+  | Some `F2 -> Router.set_mutation router (Some Router.Double_grant)
   | Some (`I1 | `I2 | `I3 | `I4 | `I5 | `P1 | `P2 | `D1) | None -> ());
   (* ... and the protection bugs live in each node's backend. P1 skips
      the owner check on dev page 0 (the hottest import slot); P2 makes
@@ -51,7 +53,9 @@ let create ?(config = default_config) ?skip_invariant ~nodes () =
     match skip_invariant with
     | Some `P1 -> Some (Backend.Owner_skip 0)
     | Some `P2 -> Some Backend.Stale_revoke
-    | Some (`I1 | `I2 | `I3 | `I4 | `I5 | `N1 | `N2 | `D1) | None -> None
+    | Some (`I1 | `I2 | `I3 | `I4 | `I5 | `N1 | `N2 | `F1 | `F2 | `D1)
+    | None ->
+        None
   in
   let make_node id =
     let machine =

@@ -22,6 +22,8 @@ type config = {
   link_per_word : int;
   vc_count : int;
   rx_credits : int option;
+  crossing : Router.crossing;
+  flit_words : int;
   seed : int;
 }
 
@@ -38,6 +40,8 @@ let default_config =
     link_per_word = Router.default_config.Router.per_word_cycles;
     vc_count = Router.default_config.Router.vc_count;
     rx_credits = Router.default_config.Router.rx_credits;
+    crossing = Router.default_config.Router.crossing;
+    flit_words = Router.default_config.Router.flit_words;
     seed = 42;
   }
 
@@ -62,6 +66,9 @@ type result = {
   credit_stalls : int;
   credit_stall_cycles : int;
   links : Router.link_stat list;
+  flit_hol_cycles : int;
+  flit_occupancy : (float * int) array;
+      (* per VC: (mean, max) buffered flits; [||] in analytic mode *)
 }
 
 (* p-th percentile of a sorted array (nearest-rank). *)
@@ -89,6 +96,11 @@ let validate (cfg : config) =
   (match cfg.rx_credits with
   | Some n when n < 1 -> invalid_arg "Load_gen: rx_credits must be >= 1"
   | Some _ | None -> ());
+  if cfg.flit_words < 1 then invalid_arg "Load_gen: flit_words must be >= 1";
+  (match (cfg.crossing, cfg.routing) with
+  | `Flit, `Minimal_adaptive ->
+      invalid_arg "Load_gen: the flit crossing is dimension-order only"
+  | (`Flit | `Analytic), _ -> ());
   if cfg.window_cycles <= 0 then
     invalid_arg "Load_gen: window_cycles must be positive";
   if cfg.warmup_cycles < 0 then
@@ -104,7 +116,9 @@ let make_system (cfg : config) =
             Router.routing = cfg.routing;
             Router.per_word_cycles = cfg.link_per_word;
             Router.vc_count = cfg.vc_count;
-            Router.rx_credits = cfg.rx_credits } }
+            Router.rx_credits = cfg.rx_credits;
+            Router.crossing = cfg.crossing;
+            Router.flit_words = cfg.flit_words } }
     ~nodes:cfg.nodes ()
 
 (* One real user-level send (STORE count / LOAD source, blocking until
@@ -370,4 +384,12 @@ let run ?probe (cfg : config) =
     credit_stalls = !credit_stalls;
     credit_stall_cycles = !credit_stall_cycles;
     links;
+    flit_hol_cycles =
+      (* fl_hol_cycles is a per-link counter repeated on each VC row *)
+      List.fold_left
+        (fun a (s : Router.flit_stat) ->
+          if s.Router.fl_vc = 0 then a + s.Router.fl_hol_cycles else a)
+        0
+        (Router.flit_stats router);
+    flit_occupancy = Router.flit_vc_occupancy router;
   }

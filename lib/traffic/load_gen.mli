@@ -42,13 +42,20 @@ type config = {
           packet to the NI and stalls while the first-hop FIFO is out
           of slots — saturation then shows up as [credit_stalls]
           instead of unbounded link queueing. *)
+  crossing : Udma_shrimp.Router.crossing;
+      (** wire model under contention: [`Analytic] (default,
+          packet-granularity reservations, byte-identical to the
+          pre-flit generator) or [`Flit] (cycle-accurate wormhole
+          flits; dimension-order only, and the injection gate moves
+          inside the network so [credit_stalls] stays 0). *)
+  flit_words : int;  (** words per flit in [`Flit] mode (>= 1) *)
   seed : int;
 }
 
 val default_config : config
 (** 16 nodes, uniform, Poisson 1 msg/kcycle/node, 256 B, 2k warmup,
     50k window, contention on, dimension-order routing, 1 VC,
-    unlimited credits, seed 42. *)
+    unlimited credits, analytic crossing, seed 42. *)
 
 type result = {
   nodes : int;
@@ -73,6 +80,13 @@ type result = {
           first-hop deposit FIFO (0 with unlimited credits) *)
   credit_stall_cycles : int;  (** cycles sources spent in those stalls *)
   links : Udma_shrimp.Router.link_stat list;
+  flit_hol_cycles : int;
+      (** flit mode: link flit-cycles an idle wire spent blocked on
+          VC/credit availability — head-of-line blocking (0 in
+          analytic mode, which cannot observe it) *)
+  flit_occupancy : (float * int) array;
+      (** flit mode: per-VC (mean, max) buffered flits across the mesh
+          over active flit-cycles; [[||]] in analytic mode *)
 }
 
 val percentile_sorted : int array -> float -> int

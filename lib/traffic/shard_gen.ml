@@ -64,6 +64,10 @@ let validate (cfg : Load_gen.config) =
     invalid_arg
       "Shard_gen: the sharded engine does not model finite rx credits \
        (the injection gate reads remote deposit state)";
+  if cfg.crossing <> `Analytic then
+    invalid_arg
+      "Shard_gen: the sharded engine has no cycle-level wire model; the flit \
+       crossing runs on the legacy engine";
   if not (Arrival.open_loop cfg.arrival) then
     invalid_arg
       "Shard_gen: closed-loop arrivals need sub-lookahead delivery feedback; \
@@ -317,6 +321,8 @@ let run_stats ?(domains = 1) ?send_cycles (cfg : Load_gen.config) =
       credit_stalls = 0;
       credit_stall_cycles = 0;
       links = link_stats;
+      flit_hol_cycles = 0;
+      flit_occupancy = [||];
     }
   in
   ( result,

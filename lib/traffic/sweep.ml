@@ -60,8 +60,10 @@ let detect_knee points =
    parallelism is requested or the mesh exceeds the legacy 64-node
    cap. [domains = 1] on a small mesh therefore IS the current
    engine — the single-domain deterministic mode. *)
-let use_sharded ~nodes ~domains =
-  domains > 1 || nodes > 64
+let use_sharded ?(crossing = `Analytic) ~nodes ~domains () =
+  (* the flit crossing is a legacy-engine feature: the sharded kernel
+     has no cycle-level wire model, so flit sweeps ignore [domains] *)
+  crossing = `Analytic && (domains > 1 || nodes > 64)
 
 let run ?(loads = default_loads) ?probe ?(nodes = 16)
     ?(pattern = Pattern.Uniform) ?(msg_bytes = 256) ?(warmup_cycles = 2_000)
@@ -70,13 +72,15 @@ let run ?(loads = default_loads) ?probe ?(nodes = 16)
     ?(link_per_word = Load_gen.default_config.Load_gen.link_per_word)
     ?(vc_count = Load_gen.default_config.Load_gen.vc_count)
     ?(rx_credits = Load_gen.default_config.Load_gen.rx_credits)
+    ?(crossing = Load_gen.default_config.Load_gen.crossing)
+    ?(flit_words = Load_gen.default_config.Load_gen.flit_words)
     ?(seed = 42) ?(domains = 1) () =
   if loads = [] then invalid_arg "Sweep.run: empty load list";
   List.iter
     (fun l -> if not (l > 0.0) then invalid_arg "Sweep.run: loads must be > 0")
     loads;
   if domains < 1 then invalid_arg "Sweep.run: domains must be >= 1";
-  let sharded = use_sharded ~nodes ~domains in
+  let sharded = use_sharded ~crossing ~nodes ~domains () in
   (* per-source capacity: one initiation every [send_cycles]; a load
      fraction maps to that share of the capacity rate *)
   let send_cycles = Load_gen.calibrate ~msg_bytes () in
@@ -97,6 +101,8 @@ let run ?(loads = default_loads) ?probe ?(nodes = 16)
             link_per_word;
             vc_count;
             rx_credits;
+            crossing;
+            flit_words;
             seed;
           }
         in

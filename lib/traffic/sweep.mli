@@ -35,12 +35,17 @@ val detect_knee : point list -> int option
     [Some 0] (no later point is compared against the saturated
     baseline). *)
 
-val use_sharded : nodes:int -> domains:int -> bool
+val use_sharded :
+  ?crossing:Udma_shrimp.Router.crossing ->
+  nodes:int -> domains:int -> unit -> bool
 (** Engine dispatch rule for {!run}: the sharded conservative kernel
     ({!Shard_gen}) runs the points when [domains > 1] or
     [nodes > 64]; otherwise the legacy global-engine {!Load_gen} path
     does — so [domains = 1] on a small mesh is byte-identical to the
-    engine every committed anchor was produced on. *)
+    engine every committed anchor was produced on. The [`Flit]
+    crossing (default [`Analytic]) always stays on the legacy engine:
+    the sharded kernel has no cycle-level wire model, so flit sweeps
+    ignore [domains]. *)
 
 val run :
   ?loads:float list ->
@@ -55,6 +60,8 @@ val run :
   ?link_per_word:int ->
   ?vc_count:int ->
   ?rx_credits:int option ->
+  ?crossing:Udma_shrimp.Router.crossing ->
+  ?flit_words:int ->
   ?seed:int ->
   ?domains:int ->
   unit ->

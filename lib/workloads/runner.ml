@@ -1058,13 +1058,15 @@ let report_saturation ?loads ?(nodes = 16) ?(pattern = Pattern.Uniform)
     ?(link_per_word = Udma_traffic.Load_gen.default_config.Udma_traffic.Load_gen.link_per_word)
     ?(vc_count = Udma_traffic.Load_gen.default_config.Udma_traffic.Load_gen.vc_count)
     ?(rx_credits = Udma_traffic.Load_gen.default_config.Udma_traffic.Load_gen.rx_credits)
+    ?(crossing = Udma_traffic.Load_gen.default_config.Udma_traffic.Load_gen.crossing)
+    ?(flit_words = Udma_traffic.Load_gen.default_config.Udma_traffic.Load_gen.flit_words)
     ?(seed = 42) ?(domains = 1) () =
   let p = probe () in
-  let sharded = Sweep.use_sharded ~nodes ~domains in
+  let sharded = Sweep.use_sharded ~crossing ~nodes ~domains () in
   let outcome =
     Sweep.run ?loads ~probe:(watch p) ~nodes ~pattern ~msg_bytes
       ~warmup_cycles ~window_cycles ~link_contention ~routing ~link_per_word
-      ~vc_count ~rx_credits ~seed ~domains ()
+      ~vc_count ~rx_credits ~crossing ~flit_words ~seed ~domains ()
   in
   let width =
     match outcome.Sweep.points with
@@ -1101,6 +1103,11 @@ let report_saturation ?loads ?(nodes = 16) ?(pattern = Pattern.Uniform)
          every committed anchor derived from it — stays byte-identical *)
       @ (if sharded then
            [ ("engine", vs "sharded"); ("domains", vi domains) ]
+         else [])
+      (* same discipline for the flit crossing: analytic reports are
+         byte-identical to the pre-flit runner *)
+      @ (if crossing = `Flit then
+           [ ("crossing", vs "flit"); ("flit_words", vi flit_words) ]
          else [])
     )
     ~columns:
@@ -1291,6 +1298,104 @@ let report_hotspot ?loads ?(nodes = 16) ?(pcts = [ 10; 25; 50 ])
         ("credit_stall_cycles", "stall cyc");
         ("link_max_depth", "max depth");
         ("link_wait", "link wait");
+      ]
+    ~breakdown:(breakdown p) rows
+
+(* E18: head-of-line blocking the analytic wire cannot see. The
+   analytic crossing reserves a whole packet's occupancy interval per
+   link and lets later packets backfill gaps, so a blocked hotspot
+   packet never holds buffers on upstream links. The flit crossing
+   does: in the E13 regime (hot 50 %, 2 KB messages, link-bound wires,
+   finite deposit credits) a stalled worm's flits sit in the
+   per-(link, VC) input FIFOs across several links and cold flows
+   sharing those links wait behind them even when their own wire is
+   free. One row per VC count compares the two crossings at the same
+   offered load: [hol_delta] (flit p99 minus analytic p99) is the
+   latency the packet-granularity model under-reports, [hol_cycles]
+   counts link flit-cycles an idle wire spent blocked on VC/credit
+   availability, and [occupancy] shows where the worms sat per VC.
+   Extra VCs let cold flits interleave around the blocked worm, so
+   both the delta and the stall count shrink from 1 VC to 4. *)
+let report_flit ?(load = 0.5) ?(nodes = 16) ?(hot_pct = 50)
+    ?(vc_counts = [ 1; 2; 4 ]) ?(msg_bytes = 2048) ?(warmup_cycles = 2_000)
+    ?(window_cycles = 60_000) ?(link_per_word = 2) ?(rx_credits = Some 8)
+    ?(flit_words = 1) ?(seed = 42) () =
+  let p = probe () in
+  let send_cycles = ref 0 in
+  let point crossing vcs =
+    let o =
+      Sweep.run ~loads:[ load ] ~probe:(watch p) ~nodes
+        ~pattern:(Pattern.Hotspot { node = 0; pct = hot_pct })
+        ~msg_bytes ~warmup_cycles ~window_cycles ~link_contention:true
+        ~routing:`Dimension_order ~link_per_word ~vc_count:vcs ~rx_credits
+        ~crossing ~flit_words ~seed ()
+    in
+    send_cycles := o.Sweep.send_cycles;
+    match o.Sweep.points with
+    | [ { Sweep.result; _ } ] -> result
+    | _ -> assert false (* one load in, one point out *)
+  in
+  let rows =
+    List.map
+      (fun vcs ->
+        let a = point `Analytic vcs in
+        let f = point `Flit vcs in
+        let occ =
+          String.concat " "
+            (List.mapi
+               (fun vc (mean, mx) -> Printf.sprintf "vc%d:%.2f/%d" vc mean mx)
+               (Array.to_list f.Load_gen.flit_occupancy))
+        in
+        [
+          ("vcs", vi vcs);
+          ("analytic_p50", vi a.Load_gen.p50_latency);
+          ("analytic_p99", vi a.Load_gen.p99_latency);
+          ("flit_p50", vi f.Load_gen.p50_latency);
+          ("flit_p99", vi f.Load_gen.p99_latency);
+          ( "hol_delta",
+            vi (f.Load_gen.p99_latency - a.Load_gen.p99_latency) );
+          ("hol_cycles", vi f.Load_gen.flit_hol_cycles);
+          ("analytic_delivered", vi a.Load_gen.delivered);
+          ("flit_delivered", vi f.Load_gen.delivered);
+          ("occupancy", vs occ);
+        ])
+      vc_counts
+  in
+  let width = Udma_shrimp.Router.mesh_width nodes in
+  Report.make ~id:"e18_flit"
+    ~title:
+      (Printf.sprintf
+         "E18: flit-level wormhole crossing vs the analytic wire, %d-node \
+          mesh, %d%% hotspot at load %.2f (head-of-line blocking per VC \
+          count)"
+         nodes hot_pct load)
+    ~meta:
+      [
+        ("nodes", vi nodes);
+        ("width", vi width);
+        ("hot_pct", vi hot_pct);
+        ("load", vf load);
+        ("msg_bytes", vi msg_bytes);
+        ("link_per_word", vi link_per_word);
+        ("flit_words", vi flit_words);
+        ( "rx_credits",
+          match rx_credits with
+          | Some n -> vi n
+          | None -> vs "unlimited" );
+        ("send_cycles", vi !send_cycles);
+        ("warmup_cycles", vi warmup_cycles);
+        ("window_cycles", vi window_cycles);
+        ("seed", vi seed);
+      ]
+    ~columns:
+      [
+        ("vcs", "VCs");
+        ("analytic_p99", "ana p99");
+        ("flit_p99", "flit p99");
+        ("hol_delta", "HOL delta");
+        ("hol_cycles", "HOL cyc");
+        ("flit_delivered", "flit del");
+        ("occupancy", "occ (mean/max)");
       ]
     ~breakdown:(breakdown p) rows
 
@@ -2228,6 +2333,20 @@ let experiments =
                 ~seed ();
             ]
           else [ report_simscale ~seed () ]);
+    };
+    {
+      exp_name = "flit";
+      exp_alias = "e18";
+      exp_doc =
+        "E18: flit-level wormhole crossing vs the analytic wire — hotspot \
+         head-of-line blocking delta and per-VC occupancy at 1-4 VCs.";
+      exp_run =
+        (fun ~quick ~seed ->
+          if quick then
+            [
+              report_flit ~vc_counts:[ 1; 4 ] ~window_cycles:20_000 ~seed ();
+            ]
+          else [ report_flit ~seed () ]);
     };
   ]
 

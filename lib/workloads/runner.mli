@@ -167,6 +167,8 @@ val report_saturation :
   ?link_per_word:int ->
   ?vc_count:int ->
   ?rx_credits:int option ->
+  ?crossing:Udma_shrimp.Router.crossing ->
+  ?flit_words:int ->
   ?seed:int ->
   ?domains:int ->
   unit ->
@@ -181,7 +183,10 @@ val report_saturation :
     legacy single-engine path — and its exact report bytes — is kept
     whenever [domains = 1] and [nodes <= 64]. On the sharded path the
     meta gains [engine]/[domains] fields and the report is identical
-    for every [domains] value. *)
+    for every [domains] value. [crossing] (default [`Analytic])
+    selects the wire model; [`Flit] pins the legacy engine and adds
+    [crossing]/[flit_words] meta fields, leaving analytic reports
+    byte-identical to the pre-flit runner. *)
 
 (** {1 E12 — routing policy comparison (lib/shrimp router)} *)
 
@@ -228,6 +233,33 @@ val report_hotspot :
     finite [rx_credits] (default [Some 8]) convert residual overload
     into [credit_stalls] instead of unbounded link depth.
     Deterministic under [seed]. *)
+
+(** {1 E18 — flit-level wormhole crossing vs the analytic wire} *)
+
+val report_flit :
+  ?load:float ->
+  ?nodes:int ->
+  ?hot_pct:int ->
+  ?vc_counts:int list ->
+  ?msg_bytes:int ->
+  ?warmup_cycles:int ->
+  ?window_cycles:int ->
+  ?link_per_word:int ->
+  ?rx_credits:int option ->
+  ?flit_words:int ->
+  ?seed:int ->
+  unit ->
+  Report.t
+(** The E13 hotspot regime (default: 50 % hotspot share, 2 KB
+    messages, link-bound wires, 8 deposit credits) run at one offered
+    load under both wire models, per VC count: [hol_delta] is the p99
+    latency the packet-granularity analytic crossing under-reports
+    (flit p99 minus analytic p99 — head-of-line blocking through the
+    per-(link, VC) input FIFOs a stalled worm occupies across links),
+    [hol_cycles] counts link flit-cycles a free wire spent blocked on
+    VC/credit availability, and [occupancy] is the per-VC mean/max
+    buffered-flit profile. Both shrink from 1 VC to 4 as cold flits
+    interleave around the blocked worm. Deterministic under [seed]. *)
 
 (** {1 E14 — multi-tenant protection backends} *)
 

@@ -88,7 +88,10 @@ let test_mesh_sweep () =
    (ownership check skipped) and P2 (stale datapath entry survives
    teardown) manifest as cross-tenant isolation leaks, so their
    violations are reported under I5 — [expect_name] overrides the
-   expected name for those cases. *)
+   expected name for those cases. The flit bugs F1 (a flit leaked on a
+   dead-link retry) and F2 (an arbiter double grant against one
+   credit) arm only on flit-crossing seeds and both surface through
+   the F1 conservation oracle. *)
 let test_mesh_mutation ?(check_name = false) ?expect_name inv () =
   let rec first seed =
     if seed >= mesh_seeds then None
@@ -133,6 +136,7 @@ let test_mesh_generator_coverage () =
   let squeeze = ref 0 and squeeze_tight = ref 0 in
   let rogue = ref 0 and revoke = ref 0 and backend_send = ref 0 in
   let shaped = ref 0 in
+  let flit = ref 0 in
   for seed = 0 to mesh_seeds - 1 do
     let p = Chaos.mesh_plan_of_seed seed in
     let setup = p.Chaos.mesh_setup in
@@ -149,6 +153,16 @@ let test_mesh_generator_coverage () =
     | None -> incr unlimited);
     if setup.Chaos.adaptive then incr adaptive;
     if setup.Chaos.mesh_vcs > 1 then incr multi_vc;
+    (* the apply step downgrades adaptive to dimension-order on flit
+       seeds, so the plan may pair them freely; flit_words must still
+       be sane *)
+    (match setup.Chaos.mesh_crossing with
+    | `Flit ->
+        incr flit;
+        if setup.Chaos.mesh_flit_words < 1 then
+          Alcotest.failf "seed %d generated flit_words %d" seed
+            setup.Chaos.mesh_flit_words
+    | `Analytic -> ());
     List.iter
       (function
         | Chaos.M_link_fault { fault = Udma_shrimp.Router.Link_dead; _ } ->
@@ -185,7 +199,9 @@ let test_mesh_generator_coverage () =
   Alcotest.(check bool) "revocations generated" true (!revoke > 0);
   Alcotest.(check bool) "authorized backend sends generated" true
     (!backend_send > 0);
-  Alcotest.(check bool) "shaped sends generated" true (!shaped > 0)
+  Alcotest.(check bool) "shaped sends generated" true (!shaped > 0);
+  Alcotest.(check bool) "both crossings exercised" true
+    (!flit > 0 && !flit < mesh_seeds)
 
 (* ---------- determinism of the generator ---------- *)
 
@@ -246,6 +262,16 @@ let () =
              unauthorized frames (D1 -> I4)"
             `Quick
             (test_mesh_mutation ~check_name:true ~expect_name:"I4" `D1);
+          Alcotest.test_case
+            "mesh mutation: a flit leaked on a dead-link retry breaks \
+             conservation (F1)"
+            `Quick
+            (test_mesh_mutation ~check_name:true `F1);
+          Alcotest.test_case
+            "mesh mutation: an arbiter double grant breaks the credit \
+             identity (F2 -> F1)"
+            `Quick
+            (test_mesh_mutation ~check_name:true ~expect_name:"F1" `F2);
           Alcotest.test_case "mesh generator covers faults + policies" `Quick
             test_mesh_generator_coverage;
         ] );

@@ -484,7 +484,7 @@ let prop_router_in_order =
    different paths and the per-(src,dst) arrival clamp is the whole
    guarantee — so the same property is checked for both policies. *)
 let prop_router_in_order_contended_with ?(vc_count = 1) ?(rx_credits = None)
-    routing name =
+    ?(crossing = `Analytic) ?(flit_words = 1) routing name =
   qtest ~count:50 name
     QCheck.(pair (int_bound 100_000) (int_range 10 120))
     (fun (seed, npackets) ->
@@ -497,7 +497,9 @@ let prop_router_in_order_contended_with ?(vc_count = 1) ?(rx_credits = None)
               Router.link_contention = true;
               Router.routing = routing;
               Router.vc_count;
-              Router.rx_credits }
+              Router.rx_credits;
+              Router.crossing;
+              Router.flit_words }
           ()
       in
       let delivered = Hashtbl.create 32 in
@@ -554,6 +556,22 @@ let prop_router_in_order_vcs_credits =
   prop_router_in_order_contended_with ~vc_count:4 ~rx_credits:(Some 2)
     `Minimal_adaptive
     "4-VC credited adaptive router keeps every flow in order"
+
+(* The flit crossing must honour the same delivery contract as the
+   analytic wire: every (src,dst) flow in submit order, under VC
+   interleaving and finite flit credits alike. The degenerate case —
+   flit_words so large every packet is a single flit — is wormhole
+   with nothing to pipeline, and pins the flit arbiter to the analytic
+   one-packet-per-wire behaviour. *)
+let prop_router_in_order_flit =
+  prop_router_in_order_contended_with ~vc_count:2 ~rx_credits:(Some 2)
+    ~crossing:`Flit `Dimension_order
+    "flit crossing keeps every (src,dst) flow in order"
+
+let prop_router_in_order_flit_degenerate =
+  prop_router_in_order_contended_with ~crossing:`Flit ~flit_words:1024
+    `Dimension_order
+    "one-flit worms (degenerate flit mode) keep every flow in order"
 
 (* ---------- router: credit conservation at every cycle ---------- *)
 
@@ -643,6 +661,100 @@ let prop_router_credit_conservation =
           then ok := false)
         (Router.credit_stats r);
       !ok)
+
+(* ---------- router: flit-crossing pins ---------- *)
+
+(* The analytic crossing must ignore the flit-only knobs: spelling out
+   [`Analytic] and setting any [flit_words] takes the exact same code
+   path, so arrivals are identical packet for packet. This is the pin
+   that keeps every committed benchmark anchor byte-stable while the
+   flit engine evolves. *)
+let prop_analytic_ignores_flit_knobs =
+  qtest ~count:30 "analytic arrivals identical under any flit_words"
+    QCheck.(triple (int_bound 100_000) (int_range 10 60) (int_range 2 64))
+    (fun (seed, npackets, flit_words) ->
+      let run config =
+        let engine = Engine.create () in
+        let nodes = 9 in
+        let r = Router.create ~engine ~nodes ~config () in
+        let arrivals = ref [] in
+        for d = 0 to nodes - 1 do
+          Router.register r ~node_id:d (fun p ->
+              arrivals :=
+                (p.Packet.src_node, d, p.Packet.seq, Engine.now engine)
+                :: !arrivals)
+        done;
+        let rng = Rng.create seed in
+        for i = 1 to npackets do
+          let src = Rng.int rng nodes in
+          let dst = (src + 1 + Rng.int rng (nodes - 1)) mod nodes in
+          let size = 4 * (1 + Rng.int rng 400) in
+          let time = Rng.int rng 1_500 in
+          Engine.schedule_at engine ~time (fun _ ->
+              Router.send r
+                { Packet.src_node = src; dst_node = dst; dst_paddr = 0;
+                  payload = Bytes.make size 'x'; seq = i })
+        done;
+        Engine.run_until_idle engine;
+        !arrivals
+      in
+      let base =
+        { Router.default_config with
+          Router.link_contention = true;
+          Router.vc_count = 2;
+          Router.rx_credits = Some 2 }
+      in
+      run base = run { base with Router.crossing = `Analytic; flit_words })
+
+(* F1 as a property: under random flit traffic — random VC counts,
+   credit depths and flit sizes — flit conservation holds at random
+   mid-run probe points and at quiescence, where the mesh must also be
+   fully drained (delivered = injected, nothing buffered, all credits
+   back). Probes piggyback on engine events, so they always observe a
+   flit-cycle boundary, where the identity is claimed to hold. *)
+let prop_flit_conservation =
+  qtest ~count:40 "flit conservation at random probes and quiescence"
+    QCheck.(pair (int_bound 100_000)
+              (triple (int_range 1 4) (int_range 0 4) (int_range 1 8)))
+    (fun (seed, (vcs, credits, flit_words)) ->
+      let engine = Engine.create () in
+      let nodes = 9 in
+      let r =
+        Router.create ~engine ~nodes
+          ~config:
+            { Router.default_config with
+              Router.link_contention = true;
+              Router.crossing = `Flit;
+              Router.vc_count = vcs;
+              Router.rx_credits = (if credits = 0 then None else Some credits);
+              Router.flit_words }
+          ()
+      in
+      for d = 0 to nodes - 1 do
+        Router.register r ~node_id:d (fun _ -> ())
+      done;
+      let rng = Rng.create seed in
+      let ok = ref true in
+      let probe _ = if Router.check_flits r <> None then ok := false in
+      for i = 1 to 60 do
+        let src = Rng.int rng nodes in
+        let dst = (src + 1 + Rng.int rng (nodes - 1)) mod nodes in
+        let size = 4 * (1 + Rng.int rng 300) in
+        Engine.schedule_at engine ~time:(Rng.int rng 2_000) (fun _ ->
+            Router.send r
+              { Packet.src_node = src; dst_node = dst; dst_paddr = 0;
+                payload = Bytes.make size 'x'; seq = i });
+        Engine.schedule_at engine ~time:(Rng.int rng 8_000) probe
+      done;
+      Engine.run_until_idle engine;
+      probe ();
+      let injected, delivered, buffered = Router.flit_counts r in
+      List.iter
+        (fun (s : Router.flit_stat) ->
+          if s.Router.fl_occ <> 0 || s.Router.fl_credits <> s.Router.fl_capacity
+          then ok := false)
+        (Router.flit_stats r);
+      !ok && buffered = 0 && injected = delivered && injected > 0)
 
 (* ---------- router: round-robin arbiter never starves ---------- *)
 
@@ -1000,6 +1112,10 @@ let () =
           prop_router_in_order_adaptive;
           prop_router_in_order_vcs;
           prop_router_in_order_vcs_credits;
+          prop_router_in_order_flit;
+          prop_router_in_order_flit_degenerate;
+          prop_analytic_ignores_flit_knobs;
+          prop_flit_conservation;
           prop_router_credit_conservation;
           prop_router_paths_valid;
           prop_i3_policies_equivalent_data;

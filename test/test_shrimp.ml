@@ -403,6 +403,153 @@ let test_set_link_fault_validates () =
     | Router.Link_ok -> 0
     | _ -> 1)
 
+(* ---------- Flit-level crossing (wormhole testbench) ----------
+
+   Hand-computed flit-by-flit schedules on a 2x2 mesh with unit
+   timing: base_cycles = 2 (a worm's flits become ready two cycles
+   after send), per_hop_cycles = 1 (a granted flit is usable
+   downstream the next cycle), per_word_cycles = 1 with flit_words = 1
+   (a flit holds its wire for one cycle, and every 32-bit word is its
+   own flit, so a len-byte packet is (len + 16 + 3) / 4 flits). *)
+
+let flit_router ?(vc_count = 1) ?rx_credits nodes =
+  let engine = Engine.create () in
+  let r =
+    Router.create ~engine ~nodes
+      ~config:
+        { Router.default_config with
+          Router.link_contention = true;
+          crossing = `Flit;
+          base_cycles = 2;
+          per_hop_cycles = 1;
+          per_word_cycles = 1;
+          flit_words = 1;
+          vc_count;
+          rx_credits }
+      ()
+  in
+  (engine, r)
+
+let flit_stat r ~from_node ~to_node ~vc =
+  match
+    List.find_opt
+      (fun (s : Router.flit_stat) ->
+        s.Router.fl_from = from_node && s.Router.fl_to = to_node
+        && s.Router.fl_vc = vc)
+      (Router.flit_stats r)
+  with
+  | Some s -> s
+  | None ->
+      Alcotest.fail
+        (Printf.sprintf "no flit FIFO (%d,%d) vc%d" from_node to_node vc)
+
+(* One 5-flit worm 0 -> 3 (dimension order: (0,1) then (1,3)) on an
+   idle mesh pipelines one flit per cycle. Hand schedule: all flits
+   ready at t = 2; flit k crosses (0,1) at t = 2 + k, crosses (1,3)
+   at t = 3 + k and ejects at node 3 at t = 4 + k; the tail (k = 4)
+   completes the packet at exactly t = 8 = base + hops + 4. *)
+let test_flit_pipelined_schedule () =
+  let engine, r = flit_router 4 in
+  let arrival = ref (-1) in
+  Router.register r ~node_id:3 (fun _ -> arrival := Engine.now engine);
+  Router.send r { (pkt ~len:4 0) with Packet.dst_node = 3 };
+  let injected, _, _ = Router.flit_counts r in
+  checki "20 bytes = 5 one-word flits" 5 injected;
+  (* end of cycle 4: the head just ejected; flits 1 and 2 sit in the
+     two link FIFOs, 3 and 4 are still queued at the source *)
+  Engine.run_until engine 4;
+  let injected, delivered, buffered = Router.flit_counts r in
+  checki "head ejected at t=4" 1 delivered;
+  checki "rest still in network" 4 buffered;
+  checki "nothing re-injected" 5 injected;
+  checkb "conservation holds mid-flight" true (Router.check_flits r = None);
+  Engine.run_until_idle engine;
+  checki "tail completes at base + hops + 4 trailing flits" 8 !arrival;
+  let _, delivered, buffered = Router.flit_counts r in
+  checki "all five flits ejected" 5 delivered;
+  checki "network drained" 0 buffered;
+  (* both wires carried the whole worm; the source wire double-buffers
+     (a fresh flit lands each cycle as the previous one leaves for
+     (1,3) in the same tick), the last wire drains eject-then-fill *)
+  checki "grants on (0,1)" 5
+    (flit_stat r ~from_node:0 ~to_node:1 ~vc:0).Router.fl_grants;
+  checki "grants on (1,3)" 5
+    (flit_stat r ~from_node:1 ~to_node:3 ~vc:0).Router.fl_grants;
+  checki "peak occupancy on (0,1)" 2
+    (flit_stat r ~from_node:0 ~to_node:1 ~vc:0).Router.fl_max_occ;
+  checki "peak occupancy on (1,3)" 1
+    (flit_stat r ~from_node:1 ~to_node:3 ~vc:0).Router.fl_max_occ;
+  checkb "conservation holds when drained" true (Router.check_flits r = None)
+
+(* Two worms sharing wire (1,3) interleave flit by flit on separate
+   virtual channels. Worm A (0 -> 3) and worm B (1 -> 3), 4 flits
+   each (len = 0), both sent at t = 0. B's head takes (1,3) on VC 0
+   at t = 2 while A's head is still crossing (0,1); A's head then
+   claims VC 1 and the wire's round-robin arbiter alternates
+   B,A,B,A,... every cycle from t = 3 to t = 9. B's tail ejects at
+   t = 9, A's one cycle later — neither worm waits for the other's
+   tail, which a single channel would force. *)
+let test_flit_vc_interleaving () =
+  let engine, r = flit_router ~vc_count:2 4 in
+  let arrivals = ref [] in
+  Router.register r ~node_id:3 (fun p ->
+      arrivals := (p.Packet.src_node, Engine.now engine) :: !arrivals);
+  Router.send r { (pkt ~len:0 0) with Packet.dst_node = 3 };
+  Router.send r { (pkt ~len:0 1) with Packet.src_node = 1; dst_node = 3 };
+  Engine.run_until_idle engine;
+  checki "B (1 -> 3) tail at t=9" 9 (List.assoc 1 !arrivals);
+  checki "A (0 -> 3) tail at t=10" 10 (List.assoc 0 !arrivals);
+  (* each worm rode its own virtual channel of the shared wire *)
+  checki "B's four flits on VC 0" 4
+    (flit_stat r ~from_node:1 ~to_node:3 ~vc:0).Router.fl_grants;
+  checki "A's four flits on VC 1" 4
+    (flit_stat r ~from_node:1 ~to_node:3 ~vc:1).Router.fl_grants;
+  let injected, delivered, buffered = Router.flit_counts r in
+  checki "8 flits injected" 8 injected;
+  checki "8 flits delivered" 8 delivered;
+  checki "none left behind" 0 buffered;
+  checkb "conservation" true (Router.check_flits r = None)
+
+(* A slow wire stretches a worm across two links. With Link_slow 4 on
+   (1,3) and single-slot FIFOs, a 4-flit worm crosses (1,3) only
+   every 4th cycle (t = 3, 7, 11, 15) while upstream flits sit
+   credit-blocked in (0,1)'s slot — the worm holds buffers on both
+   links at once, wormhole's defining hazard. Tail eject at t = 16
+   returns every credit. *)
+let test_flit_blocked_worm_credit_release () =
+  let engine, r = flit_router ~rx_credits:1 4 in
+  Router.set_link_fault r ~from_node:1 ~to_node:3 (Router.Link_slow 4);
+  let arrival = ref (-1) in
+  Router.register r ~node_id:3 (fun _ -> arrival := Engine.now engine);
+  Router.send r { (pkt ~len:0 0) with Packet.dst_node = 3 };
+  (* end of cycle 9: head (t=4) and first body (t=8) have ejected;
+     the second body is parked in (0,1)'s only slot waiting for the
+     slow wire, pinning its credit, so the tail cannot leave the
+     source even though the (0,1) wire itself is idle *)
+  Engine.run_until engine 9;
+  let s01 = flit_stat r ~from_node:0 ~to_node:1 ~vc:0 in
+  checki "slot on (0,1) occupied" 1 s01.Router.fl_occ;
+  checki "its credit is pinned" 0 s01.Router.fl_credits;
+  let injected, delivered, buffered = Router.flit_counts r in
+  checki "two flits through" 2 delivered;
+  checki "two still inside" 2 buffered;
+  checki "injected" 4 injected;
+  checkb "conservation under backpressure" true (Router.check_flits r = None);
+  checkb "credit stall with the (0,1) wire idle counts as HOL" true
+    (s01.Router.fl_hol_cycles > 0);
+  Engine.run_until_idle engine;
+  checki "tail ejects at t=16 (one (1,3) crossing per 4 cycles)" 16 !arrival;
+  (* the tail's passage released every slot on both links *)
+  List.iter
+    (fun (s : Router.flit_stat) ->
+      checki "drained FIFO empty" 0 s.Router.fl_occ;
+      checki "credits restored" s.Router.fl_capacity s.Router.fl_credits)
+    (Router.flit_stats r);
+  let s13 = flit_stat r ~from_node:1 ~to_node:3 ~vc:0 in
+  checkb "the slow wire stalled ready flits without HOL" true
+    (s13.Router.fl_stall_cycles > 0 && s13.Router.fl_hol_cycles = 0);
+  checkb "conservation when drained" true (Router.check_flits r = None)
+
 (* ---------- System + NI end to end ---------- *)
 
 let two_nodes () =
@@ -948,6 +1095,12 @@ let () =
             test_adaptive_prefers_less_busy_link;
           Alcotest.test_case "set_link_fault validates" `Quick
             test_set_link_fault_validates;
+          Alcotest.test_case "flit: pipelined hand schedule" `Quick
+            test_flit_pipelined_schedule;
+          Alcotest.test_case "flit: 2-VC interleaving hand schedule" `Quick
+            test_flit_vc_interleaving;
+          Alcotest.test_case "flit: blocked worm + credit release" `Quick
+            test_flit_blocked_worm_credit_release;
         ] );
       ( "system",
         [

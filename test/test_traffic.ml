@@ -229,7 +229,8 @@ let mk_point ?(injected = 100) ?(delivered = 100) load mean =
         latencies = [||]; mean_latency = mean; p50_latency = 0;
         p95_latency = 0; p99_latency = 0; max_latency = 0;
         link_wait_cycles = 0; link_max_depth = 0; credit_stalls = 0;
-        credit_stall_cycles = 0; links = [] } }
+        credit_stall_cycles = 0; links = []; flit_hol_cycles = 0;
+        flit_occupancy = [||] } }
 
 let test_knee_detection () =
   checkb "no knee on a flat curve" true
@@ -357,11 +358,13 @@ let test_shard_gen_validation () =
 
 let test_sweep_dispatch () =
   checkb "small mesh, one domain: legacy" false
-    (Sweep.use_sharded ~nodes:16 ~domains:1);
+    (Sweep.use_sharded ~nodes:16 ~domains:1 ());
   checkb "small mesh, two domains: sharded" true
-    (Sweep.use_sharded ~nodes:16 ~domains:2);
+    (Sweep.use_sharded ~nodes:16 ~domains:2 ());
   checkb "large mesh always sharded" true
-    (Sweep.use_sharded ~nodes:256 ~domains:1);
+    (Sweep.use_sharded ~nodes:256 ~domains:1 ());
+  checkb "flit crossing pins the legacy engine" false
+    (Sweep.use_sharded ~crossing:`Flit ~nodes:16 ~domains:2 ());
   (* the sharded sweep is domain-count invariant end to end *)
   let sweep domains =
     Sweep.run ~loads:[ 0.3; 0.9 ] ~nodes:16 ~msg_bytes:128 ~warmup_cycles:500
